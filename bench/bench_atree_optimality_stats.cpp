@@ -1,0 +1,104 @@
+// Section 3.3/3.4 statistics: how often the A-tree algorithm's moves are
+// safe (hence optimal), how often whole constructions are all-safe (hence
+// optimal under both the OST and QMST costs), and how far from optimal the
+// heuristic trees are -- measured both against the online ERROR lower bound
+// and against the exact DP optimum.
+//
+// Paper's numbers: first-quadrant -- 96% safe moves, 65% all-safe trees,
+// <= 3% average gap; generalized (all quadrants) -- 94%, 45%, <= 4%.
+#include <random>
+
+#include "atree/atree.h"
+#include "atree/exact_rsa.h"
+#include "atree/generalized.h"
+#include "bench_common.h"
+#include "netgen/netgen.h"
+#include "report/table.h"
+
+namespace cong93 {
+namespace {
+
+struct Stats {
+    long safe = 0;
+    long heuristic = 0;
+    int all_safe_trees = 0;
+    int nets = 0;
+    double gap_vs_lb = 0.0;     // (cost - lower_bound) / cost
+    double gap_vs_exact = 0.0;  // (cost - exact) / exact, when exact is known
+    int exact_known = 0;
+};
+
+void accumulate(Stats& s, const AtreeResult& r)
+{
+    s.safe += r.safe_moves;
+    s.heuristic += r.heuristic_moves;
+    s.all_safe_trees += r.all_safe() ? 1 : 0;
+    ++s.nets;
+    if (r.cost > 0)
+        s.gap_vs_lb += static_cast<double>(r.cost - r.lower_bound()) /
+                       static_cast<double>(r.cost);
+}
+
+void print(const char* name, const Stats& s)
+{
+    TextTable t({"statistic", name});
+    const double moves = static_cast<double>(s.safe + s.heuristic);
+    t.add_row({"nets", std::to_string(s.nets)});
+    t.add_row({"safe moves", fmt_fixed(100.0 * s.safe / moves, 1) + "%"});
+    t.add_row({"all-safe (provably optimal) trees",
+               fmt_fixed(100.0 * s.all_safe_trees / s.nets, 1) + "%"});
+    t.add_row({"avg gap vs online lower bound",
+               fmt_fixed(100.0 * s.gap_vs_lb / s.nets, 2) + "%"});
+    if (s.exact_known > 0)
+        t.add_row({"avg gap vs exact optimum",
+                   fmt_fixed(100.0 * s.gap_vs_exact / s.exact_known, 2) + "%"});
+    t.print(std::cout);
+}
+
+void run()
+{
+    bench::banner("A-tree optimality statistics",
+                  "Cong/Leung/Zhou 1993, Sections 3.3-3.4");
+
+    for (const int sinks : {4, 8}) {
+        // First-quadrant version (exact optimum available for comparison).
+        Stats fq;
+        std::mt19937_64 rng(static_cast<std::uint64_t>(333 + sinks));
+        for (int i = 0; i < bench::kNetsPerConfig; ++i) {
+            std::uniform_int_distribution<Coord> c(0, kMcmGrid);
+            Net net;
+            net.source = Point{0, 0};
+            for (int k = 0; k < sinks; ++k) net.sinks.push_back(Point{c(rng), c(rng)});
+            const AtreeResult r = build_atree(net);
+            accumulate(fq, r);
+            const Length opt = exact_rsa_cost(net);
+            fq.gap_vs_exact += static_cast<double>(r.cost - opt) /
+                               static_cast<double>(opt);
+            ++fq.exact_known;
+        }
+        std::cout << "\nfirst-quadrant nets, " << sinks << " sinks:\n";
+        print("first-quadrant A-tree", fq);
+
+        // Generalized version (all quadrants).
+        Stats gen;
+        const auto nets =
+            random_nets(static_cast<std::uint64_t>(777 + sinks),
+                        bench::kNetsPerConfig, kMcmGrid, sinks);
+        for (const Net& net : nets) accumulate(gen, build_atree_general(net));
+        std::cout << "\ngeneral nets (all quadrants), " << sinks << " sinks:\n";
+        print("generalized A-tree", gen);
+    }
+    std::cout << "\nPaper's shape: ~96% (first-quadrant) / ~94% (general) of "
+                 "moves are safe, a solid majority / near-half of trees are "
+                 "all-safe and provably optimal, and the average optimality gap "
+                 "is a few percent.\n";
+}
+
+}  // namespace
+}  // namespace cong93
+
+int main()
+{
+    cong93::run();
+    return 0;
+}

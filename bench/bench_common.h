@@ -1,0 +1,49 @@
+// Shared helpers for the table/figure reproduction binaries.
+#ifndef CONG93_BENCH_COMMON_H
+#define CONG93_BENCH_COMMON_H
+
+#include <chrono>
+#include <iostream>
+#include <numeric>
+#include <vector>
+
+namespace cong93::bench {
+
+/// Wall-clock seconds of fn().
+template <typename Fn>
+double time_seconds(Fn&& fn)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+inline double mean(const std::vector<double>& v)
+{
+    if (v.empty()) return 0.0;
+    return std::accumulate(v.begin(), v.end(), 0.0) / static_cast<double>(v.size());
+}
+
+/// Standard experiment banner.
+inline void banner(const char* title, const char* paper_ref)
+{
+    std::cout << "==============================================================\n"
+              << title << '\n'
+              << "Reproduces: " << paper_ref << '\n'
+              << "==============================================================\n";
+}
+
+/// Number of random nets per configuration (the paper uses 100 everywhere).
+inline constexpr int kNetsPerConfig = 100;
+
+/// Delay threshold used for the paper's reported delays.  Calibration: with
+/// a 50% threshold our two-pole delays are ~1/3 of the paper's Table 5/8
+/// values, while a 90% threshold reproduces them closely (8.07/10.49/14.92ns
+/// for 4/8/16-sink A-trees), consistent with the RPH-bound-style delay
+/// definition used by the two-pole simulator of [18].
+inline constexpr double kPaperThreshold = 0.9;
+
+}  // namespace cong93::bench
+
+#endif  // CONG93_BENCH_COMMON_H

@@ -1,0 +1,91 @@
+// Algorithm scaling micro-benchmarks (google-benchmark): A-tree construction
+// vs sink count, OWSA vs width count (the O(n^{r-1}) of Theorem 5),
+// GREWSA vs sink count, and the two simulators vs tree size.
+#include <benchmark/benchmark.h>
+
+#include "atree/generalized.h"
+#include "netgen/netgen.h"
+#include "sim/delay_measure.h"
+#include "sim/two_pole.h"
+#include "tech/technology.h"
+#include "wiresize/combined.h"
+#include "wiresize/grewsa.h"
+#include "wiresize/owsa.h"
+
+namespace cong93 {
+namespace {
+
+void BM_AtreeBuild(benchmark::State& state)
+{
+    const int sinks = static_cast<int>(state.range(0));
+    const auto nets = random_nets(1, 16, kMcmGrid, sinks);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(build_atree_general(nets[i % nets.size()]));
+        ++i;
+    }
+}
+BENCHMARK(BM_AtreeBuild)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_Owsa(benchmark::State& state)
+{
+    const int r = static_cast<int>(state.range(0));
+    const Technology tech = mcm_technology();
+    const Net net = random_nets(2, 1, kMcmGrid, 16)[0];
+    const RoutingTree tree = build_atree_general(net).tree;
+    const SegmentDecomposition segs(tree);
+    const WiresizeContext ctx(segs, tech, WidthSet::uniform_steps(r));
+    for (auto _ : state) benchmark::DoNotOptimize(owsa(ctx));
+}
+BENCHMARK(BM_Owsa)->Arg(2)->Arg(3)->Arg(4)->Arg(5)->Arg(6);
+
+void BM_Grewsa(benchmark::State& state)
+{
+    const int sinks = static_cast<int>(state.range(0));
+    const Technology tech = mcm_technology();
+    const Net net = random_nets(3, 1, kMcmGrid, sinks)[0];
+    const RoutingTree tree = build_atree_general(net).tree;
+    const SegmentDecomposition segs(tree);
+    const WiresizeContext ctx(segs, tech, WidthSet::uniform_steps(4));
+    for (auto _ : state) benchmark::DoNotOptimize(grewsa_from_min(ctx));
+}
+BENCHMARK(BM_Grewsa)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_GrewsaOwsa(benchmark::State& state)
+{
+    const int r = static_cast<int>(state.range(0));
+    const Technology tech = mcm_technology();
+    const Net net = random_nets(2, 1, kMcmGrid, 16)[0];
+    const RoutingTree tree = build_atree_general(net).tree;
+    const SegmentDecomposition segs(tree);
+    const WiresizeContext ctx(segs, tech, WidthSet::uniform_steps(r));
+    for (auto _ : state) benchmark::DoNotOptimize(grewsa_owsa(ctx));
+}
+BENCHMARK(BM_GrewsaOwsa)->Arg(2)->Arg(4)->Arg(6);
+
+void BM_TwoPoleSim(benchmark::State& state)
+{
+    const int sinks = static_cast<int>(state.range(0));
+    const Technology tech = mcm_technology();
+    const Net net = random_nets(4, 1, kMcmGrid, sinks)[0];
+    const RoutingTree tree = build_atree_general(net).tree;
+    const RcTree rc = RcTree::from_routing_tree(tree, tech);
+    for (auto _ : state) benchmark::DoNotOptimize(two_pole_sink_delays(rc));
+}
+BENCHMARK(BM_TwoPoleSim)->Arg(8)->Arg(32);
+
+void BM_TransientSim(benchmark::State& state)
+{
+    const int sinks = static_cast<int>(state.range(0));
+    const Technology tech = mcm_technology();
+    const Net net = random_nets(4, 1, kMcmGrid, sinks)[0];
+    const RoutingTree tree = build_atree_general(net).tree;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(measure_delay(tree, tech, SimMethod::transient));
+}
+BENCHMARK(BM_TransientSim)->Arg(8)->Arg(32);
+
+}  // namespace
+}  // namespace cong93
+
+BENCHMARK_MAIN();

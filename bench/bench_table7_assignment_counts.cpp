@@ -1,0 +1,73 @@
+// Table 7: number of assignments examined by exhaustive enumeration (with
+// and without the monotone property), OWSA, and GREWSA-OWSA, plus the
+// average number of admissible width choices per segment -- on the same
+// 16-sink A-tree population as Table 6.  These counts are machine
+// independent and should reproduce the paper's magnitudes directly.
+#include <vector>
+
+#include "atree/generalized.h"
+#include "bench_common.h"
+#include "netgen/netgen.h"
+#include "report/table.h"
+#include "tech/technology.h"
+#include "wiresize/combined.h"
+#include "wiresize/counting.h"
+#include "wiresize/owsa.h"
+
+namespace cong93 {
+namespace {
+
+void run()
+{
+    bench::banner("Table 7 -- assignment-space pruning (MCM, 16-sink A-trees)",
+                  "Cong/Leung/Zhou 1993, Table 7");
+    const Technology tech = mcm_technology();
+    const auto nets = random_nets(2006, bench::kNetsPerConfig, kMcmGrid, 16);
+
+    std::vector<RoutingTree> storage;
+    storage.reserve(nets.size());
+    std::vector<SegmentDecomposition> trees;
+    trees.reserve(nets.size());
+    double avg_segments = 0.0;
+    for (const Net& net : nets) {
+        storage.push_back(build_atree_general(net).tree);
+        trees.emplace_back(storage.back());
+        avg_segments += static_cast<double>(trees.back().count());
+    }
+    avg_segments /= static_cast<double>(nets.size());
+    std::cout << "average segments per tree: " << fmt_fixed(avg_segments, 2)
+              << " (paper: 32.53)\n\n";
+
+    TextTable t({"r", "exhaustive", "exhaustive (with MP)", "OWSA",
+                 "GREWSA-OWSA", "avg choices/seg OWSA", "avg choices/seg G-O"});
+    for (int r = 2; r <= 6; ++r) {
+        double exh = 0, mono = 0, owsa_cnt = 0, comb_cnt = 0, comb_choices = 0;
+        for (const auto& segs : trees) {
+            const WiresizeContext ctx(segs, tech, WidthSet::uniform_steps(r));
+            exh += exhaustive_assignment_count(segs.count(), r);
+            mono += monotone_assignment_count(segs, r);
+            owsa_cnt += static_cast<double>(owsa(ctx).assignments_examined);
+            const CombinedResult c = grewsa_owsa(ctx);
+            comb_cnt += static_cast<double>(c.assignments_examined);
+            comb_choices += c.avg_choices_per_segment();
+        }
+        const double n = static_cast<double>(trees.size());
+        t.add_row({std::to_string(r), fmt_sci(exh / n, 2), fmt_sci(mono / n, 2),
+                   fmt_sci(owsa_cnt / n, 2), fmt_sci(comb_cnt / n, 2),
+                   fmt_fixed(r, 4), fmt_fixed(comb_choices / n, 4)});
+    }
+    t.print(std::cout);
+    std::cout << "\nPaper's shape: exhaustive counts are astronomically large, "
+                 "the monotone property removes many orders of magnitude, OWSA "
+                 "reduces to polynomially few, and the GREWSA bounds pin almost "
+                 "every segment (counts near 1, choices/segment near 1.0).\n";
+}
+
+}  // namespace
+}  // namespace cong93
+
+int main()
+{
+    cong93::run();
+    return 0;
+}

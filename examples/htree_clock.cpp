@@ -1,0 +1,62 @@
+// H-tree clock distribution (Fisher/Kung-style, cited in the paper's
+// introduction as the prior wiresizing art): build a perfect H-tree on the
+// MCM substrate, measure skew, and wire-size it with GREWSA-OWSA.  The tree
+// is exactly symmetric, so skew must stay (numerically) zero before and
+// after wiresizing while the delay itself drops.
+//
+//   $ ./htree_clock [levels]
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+
+#include "netgen/htree.h"
+#include "report/table.h"
+#include "rtree/metrics.h"
+#include "sim/delay_measure.h"
+#include "tech/technology.h"
+#include "wiresize/combined.h"
+
+int main(int argc, char** argv)
+{
+    using namespace cong93;
+    const int levels = argc > 1 ? std::atoi(argv[1]) : 3;
+    const Technology tech = mcm_technology();
+
+    const RoutingTree tree = build_htree(levels, 1024, Point{2000, 2000});
+    const SegmentDecomposition segs(tree);
+    std::cout << "H-tree: " << levels << " levels, " << tree.sinks().size()
+              << " sinks, " << segs.count() << " segments, wirelength "
+              << total_length(tree) << " grids\n\n";
+
+    const auto skew = [](const DelayReport& d) {
+        const auto [lo, hi] =
+            std::minmax_element(d.sink_delays.begin(), d.sink_delays.end());
+        return *hi - *lo;
+    };
+
+    const DelayReport uniform = measure_delay(tree, tech);
+    const WiresizeContext ctx(segs, tech, WidthSet::uniform_steps(4));
+    const CombinedResult sized = grewsa_owsa(ctx);
+    const DelayReport wide =
+        measure_delay_wiresized(segs, tech, ctx.widths(), sized.assignment);
+
+    TextTable t({"metric", "uniform width", "wiresized (GREWSA-OWSA)"});
+    t.add_row({"mean sink delay (ns)", fmt_ns(uniform.mean), fmt_ns(wide.mean)});
+    t.add_row({"max sink delay (ns)", fmt_ns(uniform.max), fmt_ns(wide.max)});
+    t.add_row({"skew (ps)", fmt_fixed(skew(uniform) * 1e12, 3),
+               fmt_fixed(skew(wide) * 1e12, 3)});
+    t.print(std::cout);
+
+    // Width wavefront from the driver: widths along a root-to-leaf path.
+    std::cout << "\nwidths along one root-to-leaf path:";
+    int seg = segs.roots()[0];
+    for (;;) {
+        std::cout << ' ' << ctx.widths()[sized.assignment[static_cast<std::size_t>(seg)]];
+        if (segs[static_cast<std::size_t>(seg)].children.empty()) break;
+        seg = segs[static_cast<std::size_t>(seg)].children.front();
+    }
+    std::cout << "\n\nSymmetry keeps the skew at zero while wiresizing cuts the "
+                 "delay -- the Fisher/Kung observation the paper generalizes "
+                 "to arbitrary topologies.\n";
+    return 0;
+}

@@ -1,0 +1,76 @@
+#include "atree/atree.h"
+
+#include <stdexcept>
+
+#include "rtree/metrics.h"
+
+namespace cong93 {
+
+namespace {
+
+/// Converts the single remaining arborescence of `forest` into a RoutingTree
+/// rooted at the source, translating by `offset` (the original source
+/// position) and marking the net's sinks.
+RoutingTree forest_to_tree(const Forest& forest, const Net& net, Point offset)
+{
+    const int src = forest.source_node();
+    if (forest.node(src).parent != -1)
+        throw std::logic_error("forest_to_tree: source is not the final root");
+
+    RoutingTree tree(net.source);
+    // Map forest node ids to tree node ids with an explicit DFS.
+    std::vector<NodeId> map(forest.node_count(), kNoNode);
+    map[static_cast<std::size_t>(src)] = tree.root();
+    std::vector<int> stack{src};
+    while (!stack.empty()) {
+        const int id = stack.back();
+        stack.pop_back();
+        for (const int c : forest.node(id).children) {
+            const Point p = forest.node(c).p;
+            const Point shifted{static_cast<Coord>(p.x + offset.x),
+                                static_cast<Coord>(p.y + offset.y)};
+            map[static_cast<std::size_t>(c)] =
+                tree.add_child(map[static_cast<std::size_t>(id)], shifted);
+            stack.push_back(c);
+        }
+    }
+    for (std::size_t i = 0; i < net.sinks.size(); ++i) {
+        const auto id = tree.find_node(net.sinks[i]);
+        if (!id) throw std::logic_error("forest_to_tree: sink missing from tree");
+        tree.mark_sink(*id, net.sink_cap(i));
+    }
+    return tree;
+}
+
+}  // namespace
+
+AtreeResult build_atree(const Net& net, const AtreeOptions& options)
+{
+    // Translate the source to the origin.
+    std::vector<Point> sinks;
+    sinks.reserve(net.sinks.size());
+    for (const Point s : net.sinks) {
+        const Point t{static_cast<Coord>(s.x - net.source.x),
+                      static_cast<Coord>(s.y - net.source.y)};
+        if (t.x < 0 || t.y < 0)
+            throw std::invalid_argument(
+                "build_atree: sink does not dominate the source; use "
+                "build_atree_general for arbitrary nets");
+        sinks.push_back(t);
+    }
+
+    Forest forest(Point{0, 0}, sinks);
+    MoveEngine engine(forest, options.policy, options.use_safe_moves);
+    engine.run();
+
+    AtreeResult res{forest_to_tree(forest, net, net.source)};
+    res.safe_moves = engine.safe_moves();
+    res.heuristic_moves = engine.heuristic_moves();
+    res.cost = total_length(res.tree);
+    res.sb_total = engine.sb_total();
+    res.qmst_cost = sum_all_node_path_lengths(res.tree);
+    res.sb_qmst_total = engine.sb_qmst_total();
+    return res;
+}
+
+}  // namespace cong93

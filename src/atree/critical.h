@@ -1,0 +1,36 @@
+// Critical-sink interconnect design -- the first future-work item of the
+// paper's Section 6: "we can modify the A-tree algorithm by introducing
+// 'forbidden region' for each critical sink so that the critical sinks are
+// connected directly or almost directly to the source".
+//
+// Realization: the critical sinks are routed as their own A-tree, entirely
+// decoupled from the non-critical sinks, and the two arborescences are
+// joined at the source.  Critical paths therefore carry no non-critical
+// branch load (a stronger guarantee than a forbidden region), at the cost of
+// duplicated wire where the two trees would have shared.  The result is
+// still an A-tree: both halves are A-trees and they meet only at the source.
+#ifndef CONG93_ATREE_CRITICAL_H
+#define CONG93_ATREE_CRITICAL_H
+
+#include "atree/atree.h"
+
+namespace cong93 {
+
+struct CriticalAtreeResult {
+    RoutingTree tree;
+    int safe_moves = 0;
+    int heuristic_moves = 0;
+    Length cost = 0;
+    Length critical_cost = 0;  ///< wirelength of the critical sub-arborescence
+};
+
+/// Routes `net` with the sinks whose index appears in `critical` isolated on
+/// their own source-rooted arborescence.  Sink positions may be anywhere
+/// (the generalized algorithm is used for both halves).
+CriticalAtreeResult build_atree_critical(const Net& net,
+                                         const std::vector<std::size_t>& critical,
+                                         const AtreeOptions& options = {});
+
+}  // namespace cong93
+
+#endif  // CONG93_ATREE_CRITICAL_H

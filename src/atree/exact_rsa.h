@@ -1,0 +1,38 @@
+// Exact rectilinear Steiner arborescence by dynamic programming.
+//
+// Dreyfus-Wagner-style DP over the Hanan grid of the terminals, with edges
+// directed away from the origin (a point u is reachable from v iff u
+// dominates v; every monotone v->u path has the same cost).  Supports two
+// cost modes:
+//   * wirelength -- the OST cost of Section 2.1;
+//   * qmst       -- Σ_{grid nodes} pl_k; a monotone path v->u of length d
+//                   costs d*|v| + d(d+1)/2 where |v| = dist_origin(v).
+// The Hanan restriction is exact for both modes (for qmst the tree cost is
+// concave in each Steiner-point coordinate, so optima lie on Hanan lines).
+//
+// Exponential in the sink count (3^n * |V| + 2^n * |V|^2); intended for the
+// optimality-gap statistics of Section 3.3/3.4 (n <= ~12).
+#ifndef CONG93_ATREE_EXACT_RSA_H
+#define CONG93_ATREE_EXACT_RSA_H
+
+#include "rtree/routing_tree.h"
+
+namespace cong93 {
+
+enum class RsaCost { wirelength, qmst };
+
+struct ExactRsaResult {
+    RoutingTree tree;
+    Length cost = 0;
+};
+
+/// Optimal arborescence for a first-quadrant net (every sink must dominate
+/// the source).  Throws std::invalid_argument on bad nets or > 16 sinks.
+ExactRsaResult exact_rsa(const Net& net, RsaCost mode = RsaCost::wirelength);
+
+/// Cost-only convenience wrapper.
+Length exact_rsa_cost(const Net& net, RsaCost mode = RsaCost::wirelength);
+
+}  // namespace cong93
+
+#endif  // CONG93_ATREE_EXACT_RSA_H

@@ -1,0 +1,261 @@
+#include "atree/forest.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cong93 {
+
+Forest::Forest(Point source, const std::vector<Point>& sinks)
+{
+    if (source.x != 0 || source.y != 0)
+        throw std::invalid_argument("Forest: source must be at the origin");
+    source_node_ = new_node(source, 0);
+    nodes_.back().terminal = true;
+    roots_.push_back(source_node_);
+    tree_roots_.push_back(source_node_);
+    for (const Point s : sinks) {
+        if (s.x < 0 || s.y < 0)
+            throw std::invalid_argument("Forest: sinks must lie in the first quadrant");
+        if (s == source) continue;
+        bool dup = false;
+        for (const NodeRec& n : nodes_) dup = dup || n.p == s;
+        if (dup) continue;
+        const int tree = static_cast<int>(tree_roots_.size());
+        const int id = new_node(s, tree);
+        nodes_.back().terminal = true;
+        roots_.push_back(id);
+        tree_roots_.push_back(id);
+    }
+}
+
+int Forest::new_node(Point p, int tree)
+{
+    NodeRec n;
+    n.p = p;
+    n.tree = tree;
+    nodes_.push_back(n);
+    return static_cast<int>(nodes_.size()) - 1;
+}
+
+namespace {
+
+/// Visits every maximal piece of forest geometry as a Seg: one segment per
+/// (node, parent) edge plus a degenerate segment per isolated node.
+template <typename Fn>
+void for_each_forest_seg(const std::vector<Forest::NodeRec>& nodes, Fn&& fn)
+{
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        const auto& n = nodes[i];
+        if (n.parent >= 0)
+            fn(Seg(n.p, nodes[static_cast<std::size_t>(n.parent)].p), n.tree);
+        else if (n.children.empty())
+            fn(Seg(n.p), n.tree);
+    }
+}
+
+}  // namespace
+
+Forest::RootQuery Forest::analyze(int root_id) const
+{
+    const NodeRec& pn = node(root_id);
+    const Point p = pn.p;
+    RootQuery q;
+
+    // df / mf: nearest dominated point of any *other* arborescence
+    // (Definition 7).  Edge interiors count.
+    for_each_forest_seg(nodes_, [&](const Seg& seg, int tree) {
+        if (tree == pn.tree) return;
+        const auto cand = seg.nearest_dominated(p);
+        if (!cand) return;
+        const Length d = dist(p, *cand);
+        if (d < q.df) {
+            q.df = d;
+            q.mf_west = q.mf_south = *cand;
+        } else if (d == q.df) {
+            if (cand->x < q.mf_west->x ||
+                (cand->x == q.mf_west->x && cand->y < q.mf_west->y))
+                q.mf_west = *cand;
+            if (cand->y < q.mf_south->y ||
+                (cand->y == q.mf_south->y && cand->x < q.mf_south->x))
+                q.mf_south = *cand;
+        }
+    });
+
+    // dx / mx: unblocked roots strictly northwest of p (Definition 6).
+    for (const int rid : roots_) {
+        if (rid == root_id) continue;
+        const NodeRec& rn = node(rid);
+        if (rn.tree == pn.tree) continue;
+        const Point r = rn.p;
+        if (r.x < p.x && r.y > p.y) {
+            // q blocked from p: some forest point at column r.x with
+            // y in [p.y, r.y) (Definition 5).
+            bool blocked = false;
+            for_each_forest_seg(nodes_, [&](const Seg& seg, int) {
+                blocked = blocked || seg.hits_vertical_gate(r.x, p.y, r.y);
+            });
+            if (!blocked) {
+                const Length d = dist_x(p, r);
+                if (d < q.dx || (d == q.dx && q.mx && r.y < q.mx->y)) {
+                    q.dx = d;
+                    q.mx = r;
+                }
+            }
+        } else if (r.x > p.x && r.y < p.y) {
+            // my: unblocked roots strictly southeast of p.
+            bool blocked = false;
+            for_each_forest_seg(nodes_, [&](const Seg& seg, int) {
+                blocked = blocked || seg.hits_horizontal_gate(r.y, p.x, r.x);
+            });
+            if (!blocked) {
+                const Length d = dist_y(p, r);
+                if (d < q.dy || (d == q.dy && q.my && r.x < q.my->x)) {
+                    q.dy = d;
+                    q.my = r;
+                }
+            }
+        }
+    }
+    return q;
+}
+
+std::optional<std::pair<Length, int>> Forest::first_contact(const Leg& leg,
+                                                            int own_tree) const
+{
+    std::optional<std::pair<Length, int>> best;
+    for_each_forest_seg(nodes_, [&](const Seg& seg, int tree) {
+        if (tree == own_tree) return;
+        const auto t = first_hit(leg, seg);
+        if (t && (!best || *t < best->first)) best = {*t, tree};
+    });
+    return best;
+}
+
+int Forest::materialize(Point p, int tree_id)
+{
+    for (std::size_t i = 0; i < nodes_.size(); ++i)
+        if (nodes_[i].tree == tree_id && nodes_[i].p == p) return static_cast<int>(i);
+    // Split the edge of tree_id whose interior contains p.
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        NodeRec& child = nodes_[i];
+        if (child.tree != tree_id || child.parent < 0) continue;
+        NodeRec& par = nodes_[static_cast<std::size_t>(child.parent)];
+        const Seg edge(par.p, child.p);
+        if (!edge.contains(p)) continue;
+        const int child_id = static_cast<int>(i);
+        const int parent_id = child.parent;
+        const int mid = new_node(p, tree_id);  // may invalidate child/par refs
+        NodeRec& m = nodes_[static_cast<std::size_t>(mid)];
+        m.parent = parent_id;
+        m.children.push_back(child_id);
+        nodes_[i].parent = mid;
+        auto& pc = nodes_[static_cast<std::size_t>(parent_id)].children;
+        *std::find(pc.begin(), pc.end(), child_id) = mid;
+        return mid;
+    }
+    throw std::logic_error("Forest::materialize: point not on the target tree");
+}
+
+void Forest::set_tree(int node_id, int tree_id)
+{
+    std::vector<int> stack{node_id};
+    while (!stack.empty()) {
+        const int id = stack.back();
+        stack.pop_back();
+        nodes_[static_cast<std::size_t>(id)].tree = tree_id;
+        for (const int c : nodes_[static_cast<std::size_t>(id)].children)
+            stack.push_back(c);
+    }
+}
+
+Forest::PathResult Forest::apply_path(int from_root, const std::vector<Point>& waypoints)
+{
+    NodeRec& start = nodes_.at(static_cast<std::size_t>(from_root));
+    if (start.parent != -1)
+        throw std::invalid_argument("apply_path: from_root is not a root");
+    const int own_tree = start.tree;
+
+    // Walk the legs, truncating at the first contact with another tree.
+    std::vector<Point> chain;  // corner / end points, in walking order
+    Point cur = start.p;
+    int merged_tree = -1;
+    Length walked = 0;
+    for (const Point wp : waypoints) {
+        if (wp == cur) continue;
+        const Leg leg = make_leg(cur, wp);
+        if (const auto hit = first_contact(leg, own_tree)) {
+            chain.push_back(leg.at(hit->first));
+            walked += hit->first;
+            merged_tree = hit->second;
+            break;
+        }
+        chain.push_back(wp);
+        walked += leg.len;
+        cur = wp;
+    }
+
+    PathResult res;
+    if (chain.empty()) {  // zero-length move
+        res.end_node = from_root;
+        res.end_point = start.p;
+        return res;
+    }
+    res.end_point = chain.back();
+    total_length_ += walked;
+
+    // Create the chain of nodes from the far end back toward from_root.
+    int far_node;
+    const int final_tree = merged_tree >= 0 ? merged_tree : own_tree;
+    if (merged_tree >= 0) {
+        far_node = materialize(chain.back(), merged_tree);
+    } else {
+        far_node = new_node(chain.back(), own_tree);
+    }
+    int parent = far_node;
+    for (std::size_t i = chain.size() - 1; i-- > 0;) {
+        const int mid = new_node(chain[i], final_tree);
+        nodes_[static_cast<std::size_t>(mid)].parent = parent;
+        nodes_[static_cast<std::size_t>(parent)].children.push_back(mid);
+        parent = mid;
+    }
+    nodes_[static_cast<std::size_t>(from_root)].parent = parent;
+    nodes_[static_cast<std::size_t>(parent)].children.push_back(from_root);
+
+    if (merged_tree >= 0) {
+        set_tree(from_root, merged_tree);
+        tree_roots_[static_cast<std::size_t>(own_tree)] = -1;
+        roots_.erase(std::find(roots_.begin(), roots_.end(), from_root));
+        res.merged = true;
+        res.end_node = far_node;
+    } else {
+        // The far end is the new root of from_root's tree.
+        nodes_[static_cast<std::size_t>(far_node)].parent = -1;
+        tree_roots_[static_cast<std::size_t>(own_tree)] = far_node;
+        *std::find(roots_.begin(), roots_.end(), from_root) = far_node;
+        res.end_node = far_node;
+    }
+    return res;
+}
+
+Length Forest::nearest_dominated_dist(Point p, int exclude_tree1,
+                                      int exclude_tree2) const
+{
+    Length best = kInfLen;
+    for_each_forest_seg(nodes_, [&](const Seg& seg, int tree) {
+        if (tree == exclude_tree1 || tree == exclude_tree2) return;
+        if (const auto cand = seg.nearest_dominated(p))
+            best = std::min(best, dist(p, *cand));
+    });
+    return best;
+}
+
+bool Forest::covers(Point p) const
+{
+    bool found = false;
+    for_each_forest_seg(nodes_, [&](const Seg& seg, int) {
+        found = found || seg.contains(p);
+    });
+    return found;
+}
+
+}  // namespace cong93

@@ -1,0 +1,114 @@
+// The forest grown by the A-tree algorithm (Section 3.2).
+//
+// The forest starts as single-node arborescences (the source at the origin
+// plus every sink in the first quadrant) and is grown by *moves*: each move
+// adds a rectilinear path that either extends one arborescence toward the
+// origin or merges two arborescences.  Within an arborescence every node
+// dominates the arborescence's root, and edges are directed away from it.
+//
+// This class owns the geometric bookkeeping: the regional queries dx/dy/df
+// and mx/my/mf of Definitions 4-7 (treating *edge interiors* as forest
+// points, as the paper does), edge splitting when a path lands mid-segment,
+// and truncation of new paths at their first contact with another
+// arborescence.
+#ifndef CONG93_ATREE_FOREST_H
+#define CONG93_ATREE_FOREST_H
+
+#include <limits>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/segment.h"
+
+namespace cong93 {
+
+/// Sentinel "infinite" distance for missing mx/my/mf (compared, never added).
+inline constexpr Length kInfLen = std::numeric_limits<Length>::max() / 4;
+
+class Forest {
+public:
+    struct NodeRec {
+        Point p;
+        int parent = -1;             ///< parent node id within the arborescence
+        std::vector<int> children;
+        int tree = -1;               ///< arborescence id
+        bool terminal = false;       ///< source or sink of the net
+    };
+
+    /// The regional quantities of Definitions 6-7 for a root node p.
+    struct RootQuery {
+        Length dx = kInfLen;              ///< horizontal distance to mx
+        Length dy = kInfLen;              ///< vertical distance to my
+        Length df = kInfLen;              ///< L1 distance to MF(p)
+        std::optional<Point> mx;          ///< unblocked NW root, min horiz dist
+        std::optional<Point> my;          ///< unblocked SE root, min vert dist
+        std::optional<Point> mf_west;     ///< westmost nearest dominated point
+        std::optional<Point> mf_south;    ///< southmost nearest dominated point
+    };
+
+    /// Creates the initial forest F_0 for a first-quadrant net: `source` must
+    /// be (0,0) and every sink must have nonnegative coordinates.  Duplicate
+    /// terminals are collapsed.
+    Forest(Point source, const std::vector<Point>& sinks);
+
+    std::size_t node_count() const { return nodes_.size(); }
+    const NodeRec& node(int id) const { return nodes_.at(static_cast<std::size_t>(id)); }
+    int source_node() const { return source_node_; }
+
+    /// Current root node ids, one per arborescence.
+    const std::vector<int>& roots() const { return roots_; }
+    bool single_tree() const { return roots_.size() == 1; }
+
+    /// Root node id of the arborescence containing `id`.
+    int root_of_tree(int tree_id) const { return tree_roots_.at(static_cast<std::size_t>(tree_id)); }
+
+    /// Computes dx/dy/df and the m-points for a root node.
+    RootQuery analyze(int root_id) const;
+
+    /// Result of applying a path.
+    struct PathResult {
+        int end_node = -1;    ///< node at the path's final point
+        bool merged = false;  ///< true when the path reached another tree
+        Point end_point;      ///< where the path actually ended (may be a
+                              ///< truncation point before the requested target)
+    };
+
+    /// Adds the rectilinear path from root `from_root` through `waypoints`
+    /// (consecutive points axis-aligned).  The path is truncated at its first
+    /// contact with another arborescence, where the trees merge; otherwise
+    /// the final point becomes the new root of `from_root`'s tree.  Length-0
+    /// paths are rejected (returns end_node == from_root, merged == false).
+    PathResult apply_path(int from_root, const std::vector<Point>& waypoints);
+
+    /// Total wirelength of the forest.
+    Length total_length() const { return total_length_; }
+
+    /// True if point p lies on any arborescence (node or edge interior).
+    bool covers(Point p) const;
+
+    /// L1 distance from p to the nearest forest point dominated by p,
+    /// ignoring the given trees (kInfLen when none exists).  Used to estimate
+    /// df(p', F_{k+1}) for a prospective H2 corner p'.
+    Length nearest_dominated_dist(Point p, int exclude_tree1 = -1,
+                                  int exclude_tree2 = -1) const;
+
+private:
+    int new_node(Point p, int tree);
+    /// Node exactly at p on tree `tree_id`, splitting an edge if needed.
+    int materialize(Point p, int tree_id);
+    void set_tree(int node_id, int tree_id);  // relabel a whole subtree
+    /// First contact of the leg with any tree other than `own_tree`.
+    std::optional<std::pair<Length, int>> first_contact(const Leg& leg, int own_tree) const;
+
+    std::vector<NodeRec> nodes_;
+    std::vector<int> roots_;       ///< node ids
+    std::vector<int> tree_roots_;  ///< tree id -> root node id (-1 once absorbed)
+    int source_node_ = -1;
+    Length total_length_ = 0;
+};
+
+}  // namespace cong93
+
+#endif  // CONG93_ATREE_FOREST_H

@@ -1,0 +1,143 @@
+#include "atree/generalized.h"
+
+#include <array>
+#include <stdexcept>
+
+#include "rtree/metrics.h"
+
+namespace cong93 {
+
+namespace {
+
+/// Quadrants around the origin: 0 => (+,+), 1 => (-,+), 2 => (-,-), 3 => (+,-).
+constexpr std::array<std::pair<int, int>, 4> kQuadSign = {
+    {{1, 1}, {-1, 1}, {-1, -1}, {1, -1}}};
+
+bool in_quadrant(Point d, int q)
+{
+    const auto [sx, sy] = kQuadSign[static_cast<std::size_t>(q)];
+    return d.x * sx >= 0 && d.y * sy >= 0;
+}
+
+bool strictly_in_quadrant(Point d, int q)
+{
+    const auto [sx, sy] = kQuadSign[static_cast<std::size_t>(q)];
+    return d.x * sx > 0 && d.y * sy > 0;
+}
+
+}  // namespace
+
+AtreeResult build_atree_general(const Net& net, const AtreeOptions& options)
+{
+    // Work in source-relative coordinates (carrying per-sink caps along).
+    struct RelSink {
+        Point p;
+        double cap;
+    };
+    std::vector<RelSink> rel;
+    rel.reserve(net.sinks.size());
+    for (std::size_t i = 0; i < net.sinks.size(); ++i)
+        rel.push_back({Point{static_cast<Coord>(net.sinks[i].x - net.source.x),
+                             static_cast<Coord>(net.sinks[i].y - net.source.y)},
+                       net.sink_cap(i)});
+
+    // Assign each sink to a quadrant.  Interior sinks are unambiguous; axis
+    // sinks join the adjacent quadrant whose nearest interior sink is
+    // closest (preferring lower quadrant index on ties).
+    std::array<std::vector<RelSink>, 4> quad_sinks;
+    std::vector<RelSink> axis_sinks;
+    for (const RelSink& d : rel) {
+        if (d.p.x == 0 && d.p.y == 0) continue;  // sink at the source
+        bool placed = false;
+        for (int q = 0; q < 4 && !placed; ++q) {
+            if (strictly_in_quadrant(d.p, q)) {
+                quad_sinks[static_cast<std::size_t>(q)].push_back(d);
+                placed = true;
+            }
+        }
+        if (!placed) axis_sinks.push_back(d);
+    }
+    for (const RelSink& d : axis_sinks) {
+        int best_q = -1;
+        Length best_d = kInfLen;
+        for (int q = 0; q < 4; ++q) {
+            if (!in_quadrant(d.p, q)) continue;
+            if (best_q < 0) best_q = q;  // fallback: first admissible quadrant
+            for (const RelSink& other : quad_sinks[static_cast<std::size_t>(q)]) {
+                const Length dd = dist(d.p, other.p);
+                if (dd < best_d) {
+                    best_d = dd;
+                    best_q = q;
+                }
+            }
+        }
+        quad_sinks[static_cast<std::size_t>(best_q)].push_back(d);
+    }
+
+    RoutingTree combined(net.source);
+    AtreeResult total{combined};
+    for (int q = 0; q < 4; ++q) {
+        const auto& sinks = quad_sinks[static_cast<std::size_t>(q)];
+        if (sinks.empty()) continue;
+        const auto [sx, sy] = kQuadSign[static_cast<std::size_t>(q)];
+
+        Net sub;
+        sub.source = Point{0, 0};
+        for (const RelSink& d : sinks)
+            sub.sinks.push_back(Point{static_cast<Coord>(d.p.x * sx),
+                                      static_cast<Coord>(d.p.y * sy)});
+        for (const RelSink& d : sinks) sub.sink_caps.push_back(d.cap);
+        const AtreeResult r = build_atree(sub, options);
+
+        // Graft the quadrant tree into the combined tree, reflecting back and
+        // translating to absolute coordinates.
+        const auto map_point = [&](Point p) {
+            return Point{static_cast<Coord>(p.x * sx + net.source.x),
+                         static_cast<Coord>(p.y * sy + net.source.y)};
+        };
+        std::vector<NodeId> map(r.tree.node_count(), kNoNode);
+        map[static_cast<std::size_t>(r.tree.root())] = combined.root();
+        for (const NodeId id : r.tree.preorder()) {
+            if (id == r.tree.root()) continue;
+            const NodeId parent = map[static_cast<std::size_t>(r.tree.node(id).parent)];
+            map[static_cast<std::size_t>(id)] =
+                combined.add_child(parent, map_point(r.tree.point(id)));
+        }
+
+        // Mark this quadrant's sinks on the grafted copy (marking inside the
+        // quadrant keeps sink loads on the owning branch even when two
+        // quadrant trees touch along an axis).
+        for (std::size_t i = 0; i < r.tree.node_count(); ++i) {
+            const NodeId id = static_cast<NodeId>(i);
+            if (r.tree.node(id).is_sink)
+                combined.mark_sink(map[i], r.tree.node(id).sink_cap_f);
+        }
+
+        total.safe_moves += r.safe_moves;
+        total.heuristic_moves += r.heuristic_moves;
+        total.sb_total += r.sb_total;
+        total.sb_qmst_total += r.sb_qmst_total;
+    }
+
+    // Verify coverage (a sink exactly at the source is marked on the root).
+    for (const Point s : net.sinks) {
+        bool marked = false;
+        NodeId at_point = kNoNode;
+        for (std::size_t i = 0; i < combined.node_count(); ++i) {
+            const NodeId id = static_cast<NodeId>(i);
+            if (combined.point(id) != s) continue;
+            at_point = id;
+            marked = marked || combined.node(id).is_sink;
+        }
+        if (at_point == kNoNode)
+            throw std::logic_error("build_atree_general: sink missing");
+        if (!marked) combined.mark_sink(at_point);
+    }
+
+    total.tree = combined;
+    total.cost = total_length(combined);
+    total.qmst_cost = sum_all_node_path_lengths(combined);
+    return total;
+}
+
+}  // namespace cong93

@@ -1,0 +1,23 @@
+// Generalized A-tree construction for arbitrary sink positions (the paper's
+// Section 3, last paragraph: "routing is performed for all quadrants").
+//
+// Sinks are partitioned into the four quadrants around the source (axis
+// sinks join the adjacent quadrant whose interior sink population is
+// nearest), each quadrant is reflected into the first quadrant, solved with
+// the first-quadrant A-tree algorithm, reflected back, and the four
+// arborescences are joined at the source.  The result is an A-tree by
+// Definition 1: every source-to-node path stays inside one quadrant and is
+// monotone, hence rectilinearly shortest.
+#ifndef CONG93_ATREE_GENERALIZED_H
+#define CONG93_ATREE_GENERALIZED_H
+
+#include "atree/atree.h"
+
+namespace cong93 {
+
+/// Builds a generalized A-tree for a net whose sinks may lie anywhere.
+AtreeResult build_atree_general(const Net& net, const AtreeOptions& options = {});
+
+}  // namespace cong93
+
+#endif  // CONG93_ATREE_GENERALIZED_H

@@ -1,0 +1,270 @@
+#include "atree/moves.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cong93 {
+
+const char* to_string(MoveType t)
+{
+    switch (t) {
+    case MoveType::s1: return "S1";
+    case MoveType::s2: return "S2";
+    case MoveType::s3: return "S3";
+    case MoveType::h1: return "H1";
+    case MoveType::h2: return "H2";
+    }
+    return "?";
+}
+
+Length sigma_qmst(Point p, Length d)
+{
+    // Σ_{i=0..d-1} (p.x + p.y - i) = d*(x+y) - d(d-1)/2  (Lemma 3).
+    if (d <= 0) return 0;
+    return d * (static_cast<Length>(p.x) + p.y) - d * (d - 1) / 2;
+}
+
+MoveEngine::MoveEngine(Forest& forest, HeuristicPolicy policy, bool use_safe_moves)
+    : forest_(&forest), policy_(policy), use_safe_moves_(use_safe_moves)
+{
+}
+
+void MoveEngine::record(MoveRecord rec)
+{
+    if (rec.type == MoveType::h1 || rec.type == MoveType::h2) {
+        ++heuristic_moves_;
+        sb_total_ += rec.sb;
+        sb_qmst_total_ += rec.sb_qmst;
+    } else {
+        ++safe_moves_;
+    }
+    log_.push_back(rec);
+}
+
+bool MoveEngine::step()
+{
+    if (forest_->single_tree()) return false;
+    if (!use_safe_moves_ || !try_safe_move()) heuristic_move();
+    return true;
+}
+
+void MoveEngine::run()
+{
+    // Every applied move either merges two arborescences or moves one root
+    // strictly closer to the origin, so the loop terminates; the guard is a
+    // defensive backstop only.
+    std::size_t guard = 0;
+    const std::size_t limit = 64 * forest_->node_count() * forest_->node_count() + 4096;
+    while (step()) {
+        if (++guard > limit) throw std::logic_error("MoveEngine::run: no progress");
+    }
+}
+
+bool MoveEngine::try_safe_move()
+{
+    // Deterministic scan order: farthest root from the origin first.
+    std::vector<int> roots = forest_->roots();
+    std::sort(roots.begin(), roots.end(), [&](int a, int b) {
+        const Point pa = forest_->node(a).p;
+        const Point pb = forest_->node(b).p;
+        if (dist_origin(pa) != dist_origin(pb))
+            return dist_origin(pa) > dist_origin(pb);
+        return pb < pa;
+    });
+
+    for (const int rid : roots) {
+        const Point p = forest_->node(rid).p;
+        const Forest::RootQuery q = forest_->analyze(rid);
+        if (q.df >= kInfLen) continue;  // the origin; it never moves
+
+        if (q.dx >= q.df && q.dy >= q.df) {
+            // S1-move: connect p to mf_west (south leg first, then west).
+            const Point target = *q.mf_west;
+            const Point corner{p.x, target.y};
+            const auto res = forest_->apply_path(rid, {corner, target});
+            MoveRecord rec;
+            rec.type = MoveType::s1;
+            rec.from1 = p;
+            rec.to = res.end_point;
+            rec.added = dist(p, res.end_point);
+            record(rec);
+            return true;
+        }
+        if (q.dx >= q.df && q.dy < q.df) {
+            // S2-move: vertical path of length min(dist_y(mf_south,p), dy).
+            const Length len = std::min(dist_y(*q.mf_south, p), q.dy);
+            if (len < 1) continue;  // degenerate; treat as no safe move from p
+            const Point target{p.x, static_cast<Coord>(p.y - len)};
+            const auto res = forest_->apply_path(rid, {target});
+            MoveRecord rec;
+            rec.type = MoveType::s2;
+            rec.from1 = p;
+            rec.to = res.end_point;
+            rec.added = dist(p, res.end_point);
+            record(rec);
+            return true;
+        }
+        if (q.dx < q.df && q.dy >= q.df) {
+            // S3-move: horizontal path of length min(dist_x(mf_west,p), dx).
+            const Length len = std::min(dist_x(*q.mf_west, p), q.dx);
+            if (len < 1) continue;
+            const Point target{static_cast<Coord>(p.x - len), p.y};
+            const auto res = forest_->apply_path(rid, {target});
+            MoveRecord rec;
+            rec.type = MoveType::s3;
+            rec.from1 = p;
+            rec.to = res.end_point;
+            rec.added = dist(p, res.end_point);
+            record(rec);
+            return true;
+        }
+        // dx < df and dy < df: no safe move originates from p.
+    }
+    return false;
+}
+
+namespace {
+
+Length lower_bound_of(const Forest::RootQuery& q)
+{
+    return std::min({q.dx, q.dy, q.df});
+}
+
+}  // namespace
+
+void MoveEngine::heuristic_move()
+{
+    struct Cand {
+        int root = -1;
+        Point p;
+        Forest::RootQuery q;
+    };
+    std::vector<Cand> cands;
+    for (const int rid : forest_->roots()) {
+        Cand c;
+        c.root = rid;
+        c.p = forest_->node(rid).p;
+        c.q = forest_->analyze(rid);
+        if (c.q.df >= kInfLen) continue;  // the origin cannot be moved
+        cands.push_back(c);
+    }
+    if (cands.empty()) throw std::logic_error("heuristic_move: no candidates");
+
+    // H1 candidate: the root whose mf_west is farthest from the origin
+    // (farthest_corner policy) or with the smallest SB (min_suboptimality).
+    int best_h1 = -1;
+    Length best_h1_score = -1;
+    Length best_h1_sb = kInfLen;
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+        const Cand& c = cands[i];
+        const Length score = dist_origin(*c.q.mf_west);
+        const Length sb = std::max<Length>(0, c.q.df - lower_bound_of(c.q));
+        if (policy_ == HeuristicPolicy::farthest_corner ? score > best_h1_score
+                                                        : sb < best_h1_sb) {
+            best_h1 = static_cast<int>(i);
+            best_h1_score = score;
+            best_h1_sb = sb;
+        }
+    }
+
+    // H2 candidate: the pair whose meeting corner is farthest from the
+    // origin (farthest_corner) or with the smallest estimated SB.
+    int best_i = -1, best_j = -1;
+    Length best_h2_score = -1;
+    Length best_h2_sb = kInfLen;
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+        for (std::size_t j = i + 1; j < cands.size(); ++j) {
+            const Point corner{std::min(cands[i].p.x, cands[j].p.x),
+                               std::min(cands[i].p.y, cands[j].p.y)};
+            const Length score = dist_origin(corner);
+            Length sb = 0;
+            if (policy_ == HeuristicPolicy::min_suboptimality) {
+                const Length df_est = forest_->nearest_dominated_dist(
+                    corner, forest_->node(cands[i].root).tree,
+                    forest_->node(cands[j].root).tree);
+                sb = std::max<Length>(
+                    0, dist(corner, cands[i].p) + dist(corner, cands[j].p) +
+                           (df_est >= kInfLen ? 0 : df_est) -
+                           lower_bound_of(cands[i].q) - lower_bound_of(cands[j].q));
+            }
+            if (policy_ == HeuristicPolicy::farthest_corner ? score > best_h2_score
+                                                            : sb < best_h2_sb) {
+                best_i = static_cast<int>(i);
+                best_j = static_cast<int>(j);
+                best_h2_score = score;
+                best_h2_sb = sb;
+            }
+        }
+    }
+
+    const bool use_h1 =
+        best_i < 0 ||
+        (policy_ == HeuristicPolicy::farthest_corner ? best_h1_score >= best_h2_score
+                                                     : best_h1_sb <= best_h2_sb);
+
+    if (use_h1) {
+        const Cand& c = cands[static_cast<std::size_t>(best_h1)];
+        const Point target = *c.q.mf_west;
+        const Point corner{c.p.x, target.y};
+        const auto res = forest_->apply_path(c.root, {corner, target});
+        MoveRecord rec;
+        rec.type = MoveType::h1;
+        rec.from1 = c.p;
+        rec.to = res.end_point;
+        rec.added = dist(c.p, res.end_point);
+        const Length lb = lower_bound_of(c.q);
+        rec.sb = std::max<Length>(0, rec.added - lb);
+        rec.sb_qmst =
+            std::max<Length>(0, sigma_qmst(c.p, rec.added) - sigma_qmst(c.p, lb));
+        record(rec);
+        return;
+    }
+
+    // H2-move: join cands[best_i] and cands[best_j] at their corner.
+    const Cand& c1 = cands[static_cast<std::size_t>(best_i)];
+    const Cand& c2 = cands[static_cast<std::size_t>(best_j)];
+    const Point corner{std::min(c1.p.x, c2.p.x), std::min(c1.p.y, c2.p.y)};
+
+    MoveRecord rec;
+    rec.type = MoveType::h2;
+    rec.from1 = c1.p;
+    rec.from2 = c2.p;
+    rec.to = corner;
+
+    const auto res1 = forest_->apply_path(c1.root, {corner});
+    const Length added1 = dist(c1.p, res1.end_point);
+    Length added2 = 0;
+    bool leg2_done = false;
+    // Only continue with the second leg if the first reached the corner
+    // cleanly (possibly as a no-op when corner == c1.p).
+    if (res1.end_point == corner && !res1.merged) {
+        const auto res2 = forest_->apply_path(c2.root, {corner});
+        added2 = dist(c2.p, res2.end_point);
+        leg2_done = true;
+    }
+    rec.added = added1 + added2;
+
+    // SB(pi) = d(p',p1) + d(p',p2) + df(p', F_{k+1}) - LB(p1) - LB(p2),
+    // adapted to truncated/degenerate outcomes (see Section 3.4).
+    Length df_after = 0;
+    const auto& roots_now = forest_->roots();
+    int corner_root = -1;
+    for (const int rid : roots_now)
+        if (forest_->node(rid).p == corner) corner_root = rid;
+    if (corner_root >= 0) {
+        const Forest::RootQuery q = forest_->analyze(corner_root);
+        if (q.df < kInfLen) df_after = q.df;
+    }
+    Length sb = added1 + added2 + df_after - lower_bound_of(c1.q);
+    Length sb_qmst = sigma_qmst(c1.p, added1) + sigma_qmst(c2.p, added2) +
+                     sigma_qmst(corner, df_after) - sigma_qmst(c1.p, lower_bound_of(c1.q));
+    if (leg2_done) {
+        sb -= lower_bound_of(c2.q);
+        sb_qmst -= sigma_qmst(c2.p, lower_bound_of(c2.q));
+    }
+    rec.sb = std::max<Length>(0, sb);
+    rec.sb_qmst = std::max<Length>(0, sb_qmst);
+    record(rec);
+}
+
+}  // namespace cong93

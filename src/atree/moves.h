@@ -1,0 +1,82 @@
+// Move selection and application for the A-tree algorithm (Section 3.2-3.4).
+//
+// Safe moves (S1/S2/S3) are provably optimal (Theorem 1 for wirelength,
+// Theorem 2 for the QMST cost) and are always preferred.  When none applies,
+// a heuristic move (H1/H2, after Rao et al.) is made and its suboptimality
+// bound SB(pi) (Section 3.4) is accumulated: cost(T) - Σ SB is a valid lower
+// bound on the optimal arborescence cost, and likewise for the QMST cost via
+// sigma_qmst.
+#ifndef CONG93_ATREE_MOVES_H
+#define CONG93_ATREE_MOVES_H
+
+#include <vector>
+
+#include "atree/forest.h"
+
+namespace cong93 {
+
+enum class MoveType { s1, s2, s3, h1, h2 };
+
+const char* to_string(MoveType t);
+
+/// How a heuristic move is selected when no safe move exists.
+enum class HeuristicPolicy {
+    /// The paper's A-tree rule: maximize the distance of p' from the source.
+    farthest_corner,
+    /// The paper's lower-bound rule: minimize the (estimated) SB(pi).
+    min_suboptimality,
+};
+
+struct MoveRecord {
+    MoveType type;
+    Point from1;          ///< the moved root p (or p1 for H2)
+    Point from2;          ///< p2 for H2 moves
+    Point to;             ///< actual end point p' (after any truncation)
+    Length added = 0;     ///< wirelength added by the move
+    Length sb = 0;        ///< suboptimality bound contribution (wirelength)
+    Length sb_qmst = 0;   ///< suboptimality bound contribution (QMST cost)
+};
+
+/// sigma_qmst(p, d): QMST cost of a d-unit monotone path ending at p
+/// (Lemma 3): Σ_{i=0..d-1} (p.x + p.y - i).
+Length sigma_qmst(Point p, Length d);
+
+/// Drives a Forest to completion one move at a time.
+class MoveEngine {
+public:
+    /// `use_safe_moves = false` degenerates to the pure heuristic
+    /// construction of Rao et al. (an ablation; the paper's algorithm always
+    /// prefers safe moves).
+    MoveEngine(Forest& forest, HeuristicPolicy policy, bool use_safe_moves = true);
+
+    /// Performs one move.  Returns false when the forest is already a single
+    /// arborescence (no move performed).
+    bool step();
+
+    /// Runs until a single arborescence remains.
+    void run();
+
+    const std::vector<MoveRecord>& log() const { return log_; }
+    int safe_moves() const { return safe_moves_; }
+    int heuristic_moves() const { return heuristic_moves_; }
+    Length sb_total() const { return sb_total_; }
+    Length sb_qmst_total() const { return sb_qmst_total_; }
+
+private:
+    bool try_safe_move();
+    void heuristic_move();
+    void record(MoveRecord rec);
+
+    Forest* forest_;
+    HeuristicPolicy policy_;
+    bool use_safe_moves_;
+    std::vector<MoveRecord> log_;
+    int safe_moves_ = 0;
+    int heuristic_moves_ = 0;
+    Length sb_total_ = 0;
+    Length sb_qmst_total_ = 0;
+};
+
+}  // namespace cong93
+
+#endif  // CONG93_ATREE_MOVES_H

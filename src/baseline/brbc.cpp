@@ -1,0 +1,117 @@
+#include "baseline/brbc.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "baseline/mst.h"
+#include "rtree/metrics.h"
+
+namespace cong93 {
+
+RoutingTree build_brbc(const Net& net, double epsilon, BrbcRadius radius_base)
+{
+    if (epsilon < 0.0) throw std::invalid_argument("brbc: epsilon must be >= 0");
+    const std::vector<Point> pts = net.terminals();
+    const std::size_t k = pts.size();
+    const std::vector<int> mst_parent = rectilinear_mst_parents(pts, 0);
+
+    // Adjacency of the graph Q: MST edges plus shortcuts.
+    std::vector<std::vector<int>> adj(k);
+    const auto add_edge = [&](int a, int b) {
+        if (a == b) return;
+        if (std::find(adj[static_cast<std::size_t>(a)].begin(),
+                      adj[static_cast<std::size_t>(a)].end(),
+                      b) != adj[static_cast<std::size_t>(a)].end())
+            return;
+        adj[static_cast<std::size_t>(a)].push_back(b);
+        adj[static_cast<std::size_t>(b)].push_back(a);
+    };
+    std::vector<std::vector<int>> mst_children(k);
+    for (std::size_t i = 0; i < k; ++i) {
+        if (mst_parent[i] < 0) continue;
+        add_edge(static_cast<int>(i), mst_parent[i]);
+        mst_children[static_cast<std::size_t>(mst_parent[i])].push_back(static_cast<int>(i));
+    }
+
+    // Depth-first tour of the MST (nodes revisited on backtrack).
+    std::vector<int> tour;
+    struct Frame {
+        int node;
+        std::size_t next_child = 0;
+    };
+    std::vector<Frame> stack{{0}};
+    tour.push_back(0);
+    while (!stack.empty()) {
+        Frame& f = stack.back();
+        const auto& ch = mst_children[static_cast<std::size_t>(f.node)];
+        if (f.next_child < ch.size()) {
+            const int c = ch[f.next_child++];
+            tour.push_back(c);
+            stack.push_back({c});
+        } else {
+            stack.pop_back();
+            if (!stack.empty()) tour.push_back(stack.back().node);
+        }
+    }
+
+    // Shortcut insertion.
+    double r = static_cast<double>(net_radius(net));
+    if (radius_base == BrbcRadius::mst_path) {
+        std::vector<Length> pl(k, 0);
+        Length mst_radius = 0;
+        std::vector<int> st{0};
+        while (!st.empty()) {
+            const int u = st.back();
+            st.pop_back();
+            for (const int c : mst_children[static_cast<std::size_t>(u)]) {
+                pl[static_cast<std::size_t>(c)] =
+                    pl[static_cast<std::size_t>(u)] +
+                    dist(pts[static_cast<std::size_t>(u)], pts[static_cast<std::size_t>(c)]);
+                mst_radius = std::max(mst_radius, pl[static_cast<std::size_t>(c)]);
+                st.push_back(c);
+            }
+        }
+        r = static_cast<double>(mst_radius);
+    }
+    double sum = 0.0;
+    for (std::size_t i = 1; i < tour.size(); ++i) {
+        const int a = tour[i - 1];
+        const int b = tour[i];
+        sum += static_cast<double>(
+            dist(pts[static_cast<std::size_t>(a)], pts[static_cast<std::size_t>(b)]));
+        if (sum >= epsilon * r) {
+            add_edge(0, b);
+            sum = 0.0;
+        }
+    }
+
+    // Shortest-path tree of Q from the source (Dijkstra, O(k^2)).
+    std::vector<Length> distv(k, std::numeric_limits<Length>::max());
+    std::vector<int> parent(k, -1);
+    std::vector<bool> done(k, false);
+    distv[0] = 0;
+    for (std::size_t it = 0; it < k; ++it) {
+        int u = -1;
+        Length best = std::numeric_limits<Length>::max();
+        for (std::size_t i = 0; i < k; ++i)
+            if (!done[i] && distv[i] < best) {
+                best = distv[i];
+                u = static_cast<int>(i);
+            }
+        if (u < 0) break;
+        done[static_cast<std::size_t>(u)] = true;
+        for (const int v : adj[static_cast<std::size_t>(u)]) {
+            const Length nd =
+                distv[static_cast<std::size_t>(u)] +
+                dist(pts[static_cast<std::size_t>(u)], pts[static_cast<std::size_t>(v)]);
+            if (nd < distv[static_cast<std::size_t>(v)]) {
+                distv[static_cast<std::size_t>(v)] = nd;
+                parent[static_cast<std::size_t>(v)] = u;
+            }
+        }
+    }
+    return tree_from_parent_map(net, pts, parent);
+}
+
+}  // namespace cong93

@@ -1,0 +1,31 @@
+// BRBC -- the bounded-radius bounded-cost routing tree of Cong, Kahng,
+// Robins, Sarrafzadeh and Wong [3,4], the paper's performance-driven
+// baseline (BRBC-0.5 and BRBC-1.0 in Table 5).
+//
+// Given epsilon >= 0: walk a depth-first tour of the terminal MST keeping a
+// running length S; whenever S >= epsilon * R (R = max source-sink L1
+// distance) add a direct source-to-current-node shortcut and reset S.  The
+// output is the shortest-path tree (Dijkstra) of the resulting graph, which
+// is guaranteed to have radius <= (1+epsilon) * R and cost <=
+// (1 + 2/epsilon) * cost(MST).
+#ifndef CONG93_BASELINE_BRBC_H
+#define CONG93_BASELINE_BRBC_H
+
+#include "rtree/routing_tree.h"
+
+namespace cong93 {
+
+/// What "R" means in the shortcut trigger S >= epsilon * R.  The BRBC paper
+/// defines R as the net radius (max source-sink L1 distance); the DAC'93
+/// paper's reported BRBC wirelengths are consistent with a laxer trigger, so
+/// the MST-path-radius variant is provided for sensitivity studies (it adds
+/// fewer shortcuts; both variants keep the (1+epsilon) radius guarantee,
+/// since the MST radius is >= the net radius).
+enum class BrbcRadius { net, mst_path };
+
+RoutingTree build_brbc(const Net& net, double epsilon,
+                       BrbcRadius radius_base = BrbcRadius::net);
+
+}  // namespace cong93
+
+#endif  // CONG93_BASELINE_BRBC_H

@@ -1,0 +1,22 @@
+// Exact rectilinear Steiner minimal tree (the OST of Section 2.1) by the
+// Dreyfus-Wagner dynamic program over the Hanan grid.  Exponential in the
+// sink count; used for Figure 1/3 style studies and optimality checks
+// (n <= ~10).
+#ifndef CONG93_BASELINE_EXACT_STEINER_H
+#define CONG93_BASELINE_EXACT_STEINER_H
+
+#include "rtree/routing_tree.h"
+
+namespace cong93 {
+
+struct ExactSteinerResult {
+    RoutingTree tree;
+    Length cost = 0;
+};
+
+ExactSteinerResult exact_steiner(const Net& net);
+Length exact_steiner_cost(const Net& net);
+
+}  // namespace cong93
+
+#endif  // CONG93_BASELINE_EXACT_STEINER_H

@@ -1,0 +1,63 @@
+#include "baseline/mst.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace cong93 {
+
+std::vector<int> rectilinear_mst_parents(const std::vector<Point>& pts, int root)
+{
+    const std::size_t k = pts.size();
+    if (k == 0) throw std::invalid_argument("mst: no points");
+    std::vector<int> parent(k, -1);
+    std::vector<bool> in_tree(k, false);
+    std::vector<Length> best(k, std::numeric_limits<Length>::max());
+    std::vector<int> best_from(k, root);
+
+    in_tree[static_cast<std::size_t>(root)] = true;
+    for (std::size_t i = 0; i < k; ++i) {
+        if (in_tree[i]) continue;
+        best[i] = dist(pts[i], pts[static_cast<std::size_t>(root)]);
+    }
+    for (std::size_t added = 1; added < k; ++added) {
+        int next = -1;
+        Length next_d = std::numeric_limits<Length>::max();
+        for (std::size_t i = 0; i < k; ++i) {
+            if (in_tree[i]) continue;
+            if (best[i] < next_d) {
+                next_d = best[i];
+                next = static_cast<int>(i);
+            }
+        }
+        if (next < 0) throw std::logic_error("mst: disconnected (impossible in L1)");
+        in_tree[static_cast<std::size_t>(next)] = true;
+        parent[static_cast<std::size_t>(next)] = best_from[static_cast<std::size_t>(next)];
+        for (std::size_t i = 0; i < k; ++i) {
+            if (in_tree[i]) continue;
+            const Length d = dist(pts[i], pts[static_cast<std::size_t>(next)]);
+            if (d < best[i]) {
+                best[i] = d;
+                best_from[i] = next;
+            }
+        }
+    }
+    return parent;
+}
+
+Length rectilinear_mst_cost(const std::vector<Point>& pts)
+{
+    const std::vector<int> parent = rectilinear_mst_parents(pts, 0);
+    Length sum = 0;
+    for (std::size_t i = 0; i < pts.size(); ++i)
+        if (parent[i] >= 0) sum += dist(pts[i], pts[static_cast<std::size_t>(parent[i])]);
+    return sum;
+}
+
+RoutingTree build_mst_tree(const Net& net)
+{
+    const std::vector<Point> pts = net.terminals();
+    const std::vector<int> parent = rectilinear_mst_parents(pts, 0);
+    return tree_from_parent_map(net, pts, parent);
+}
+
+}  // namespace cong93

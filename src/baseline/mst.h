@@ -1,0 +1,24 @@
+// Rectilinear minimum spanning tree (Prim) -- the substrate for the batched
+// 1-Steiner and BRBC baselines.
+#ifndef CONG93_BASELINE_MST_H
+#define CONG93_BASELINE_MST_H
+
+#include <vector>
+
+#include "rtree/routing_tree.h"
+
+namespace cong93 {
+
+/// Parent index per point for the L1 MST rooted at pts[root]; parent_of[root]
+/// is -1.  O(k^2).
+std::vector<int> rectilinear_mst_parents(const std::vector<Point>& pts, int root);
+
+/// Total L1 weight of the MST over the points.
+Length rectilinear_mst_cost(const std::vector<Point>& pts);
+
+/// Routing tree for the net: MST over the terminals, edges L-embedded.
+RoutingTree build_mst_tree(const Net& net);
+
+}  // namespace cong93
+
+#endif  // CONG93_BASELINE_MST_H

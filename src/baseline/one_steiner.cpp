@@ -1,0 +1,95 @@
+#include "baseline/one_steiner.h"
+
+#include <algorithm>
+
+#include "baseline/mst.h"
+#include "geom/hanan.h"
+
+namespace cong93 {
+
+namespace {
+
+/// MST degree of each point.
+std::vector<int> mst_degrees(const std::vector<Point>& pts)
+{
+    const std::vector<int> parent = rectilinear_mst_parents(pts, 0);
+    std::vector<int> deg(pts.size(), 0);
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+        if (parent[i] < 0) continue;
+        ++deg[i];
+        ++deg[static_cast<std::size_t>(parent[i])];
+    }
+    return deg;
+}
+
+}  // namespace
+
+OneSteinerResult build_one_steiner(const Net& net, const OneSteinerOptions& opts)
+{
+    std::vector<Point> pts = net.terminals();
+    // Deduplicate (coincident terminals would create zero edges, harmless but
+    // noisy for the candidate generator).
+    std::sort(pts.begin() + 1, pts.end());
+    pts.erase(std::unique(pts.begin() + 1, pts.end()), pts.end());
+
+    const Length base_cost = rectilinear_mst_cost(pts);
+    std::size_t terminal_count = pts.size();
+
+    for (int round = 0; round < opts.max_rounds; ++round) {
+        Length current = rectilinear_mst_cost(pts);
+        // Gain of each Hanan candidate w.r.t. the current point set.
+        struct Cand {
+            Point p;
+            Length gain;
+        };
+        std::vector<Cand> cands;
+        for (const Point c : hanan_candidates(pts)) {
+            std::vector<Point> trial = pts;
+            trial.push_back(c);
+            const Length gain = current - rectilinear_mst_cost(trial);
+            if (gain > 0) cands.push_back({c, gain});
+        }
+        if (cands.empty()) break;
+        std::sort(cands.begin(), cands.end(), [](const Cand& a, const Cand& b) {
+            if (a.gain != b.gain) return a.gain > b.gain;
+            return a.p < b.p;
+        });
+        // Batched acceptance: re-validate each candidate against the set
+        // grown so far this round.
+        bool added = false;
+        for (const Cand& c : cands) {
+            std::vector<Point> trial = pts;
+            trial.push_back(c.p);
+            const Length trial_cost = rectilinear_mst_cost(trial);
+            if (trial_cost < current) {
+                pts = std::move(trial);
+                current = trial_cost;
+                added = true;
+            }
+        }
+        if (!added) break;
+    }
+
+    // Prune Steiner points of MST degree <= 2 (they never help a final MST).
+    for (bool pruned = true; pruned;) {
+        pruned = false;
+        const std::vector<int> deg = mst_degrees(pts);
+        for (std::size_t i = pts.size(); i-- > terminal_count;) {
+            if (deg[i] <= 2) {
+                pts.erase(pts.begin() + static_cast<std::ptrdiff_t>(i));
+                pruned = true;
+                break;  // degrees are stale after one removal
+            }
+        }
+    }
+
+    const std::vector<int> parent = rectilinear_mst_parents(pts, 0);
+    OneSteinerResult res{tree_from_parent_map(net, pts, parent), {}, 0, 0};
+    res.steiner_points.assign(pts.begin() + static_cast<std::ptrdiff_t>(terminal_count),
+                              pts.end());
+    res.mst_cost = base_cost;
+    res.final_cost = rectilinear_mst_cost(pts);
+    return res;
+}
+
+}  // namespace cong93

@@ -1,0 +1,32 @@
+// Batched 1-Steiner heuristic of Kahng and Robins [10] -- the paper's
+// wirelength baseline ("one of the best known Steiner heuristics").
+//
+// Rounds of candidate evaluation over the Hanan grid: each round computes
+// the MST-cost saving of every candidate Steiner point, then greedily
+// accepts candidates in decreasing-gain order as long as their recomputed
+// gain stays positive (the "batched" acceptance).  Rounds repeat until no
+// candidate helps; finally degree-<=2 Steiner points are pruned.
+#ifndef CONG93_BASELINE_ONE_STEINER_H
+#define CONG93_BASELINE_ONE_STEINER_H
+
+#include "rtree/routing_tree.h"
+
+namespace cong93 {
+
+struct OneSteinerOptions {
+    int max_rounds = 32;  ///< backstop; convergence normally takes a few rounds
+};
+
+/// The chosen Steiner points plus the final tree.
+struct OneSteinerResult {
+    RoutingTree tree;
+    std::vector<Point> steiner_points;
+    Length mst_cost = 0;    ///< MST cost over terminals only
+    Length final_cost = 0;  ///< MST cost over terminals + Steiner points
+};
+
+OneSteinerResult build_one_steiner(const Net& net, const OneSteinerOptions& = {});
+
+}  // namespace cong93
+
+#endif  // CONG93_BASELINE_ONE_STEINER_H

@@ -1,0 +1,62 @@
+#include "baseline/spt.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace cong93 {
+
+namespace {
+
+bool between(Coord a, Coord lo, Coord hi)
+{
+    return std::min(lo, hi) <= a && a <= std::max(lo, hi);
+}
+
+}  // namespace
+
+RoutingTree build_spt(const Net& net)
+{
+    std::vector<std::pair<Point, double>> order;
+    order.reserve(net.sinks.size());
+    for (std::size_t i = 0; i < net.sinks.size(); ++i)
+        order.emplace_back(net.sinks[i], net.sink_cap(i));
+    std::sort(order.begin(), order.end(), [&](const auto& a, const auto& b) {
+        if (dist(net.source, a.first) != dist(net.source, b.first))
+            return dist(net.source, a.first) < dist(net.source, b.first);
+        return a.first < b.first;
+    });
+
+    RoutingTree tree(net.source);
+    for (const auto& [s, cap] : order) {
+        if (const auto existing = tree.find_node(s)) {
+            tree.mark_sink(*existing, cap);
+            continue;
+        }
+        // Best attachment: a tree node on some shortest source->s path,
+        // minimizing added wirelength (ties -> the deeper node).
+        NodeId best = tree.root();
+        Length best_d = dist(net.source, s);
+        Length best_pl = 0;
+        for (std::size_t i = 0; i < tree.node_count(); ++i) {
+            const NodeId id = static_cast<NodeId>(i);
+            const Point q = tree.point(id);
+            if (!between(q.x, net.source.x, s.x) || !between(q.y, net.source.y, s.y))
+                continue;
+            if (tree.path_length(id) != dist(net.source, q)) continue;
+            const Length d = dist(q, s);
+            const Length pl = tree.path_length(id);
+            if (d < best_d || (d == best_d && pl > best_pl)) {
+                best = id;
+                best_d = d;
+                best_pl = pl;
+            }
+        }
+        const Point q = tree.point(best);
+        const Point corner{s.x, q.y};
+        const NodeId end = tree.attach_path(best, {corner, s});
+        tree.mark_sink(end, cap);
+    }
+    return tree;
+}
+
+}  // namespace cong93

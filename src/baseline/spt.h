@@ -1,0 +1,22 @@
+// Shortest-path-tree baseline: every source-to-sink tree path is a
+// rectilinear shortest path (the t2-optimal topology of Section 2.1).
+//
+// Construction is greedy: sinks are processed in increasing distance from
+// the source; each sink attaches by a monotone L-path to the existing tree
+// node that minimizes added wirelength among nodes lying on some shortest
+// source-to-sink path (i.e. inside the bounding box of source and sink and
+// themselves at shortest-path distance).  The result is always a valid SPT;
+// its wirelength is heuristic (the min-wirelength SPT of a first-quadrant
+// net is exactly the optimal arborescence, see atree/exact_rsa.h).
+#ifndef CONG93_BASELINE_SPT_H
+#define CONG93_BASELINE_SPT_H
+
+#include "rtree/routing_tree.h"
+
+namespace cong93 {
+
+RoutingTree build_spt(const Net& net);
+
+}  // namespace cong93
+
+#endif  // CONG93_BASELINE_SPT_H

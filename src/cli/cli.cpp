@@ -1,0 +1,312 @@
+#include "cli/cli.h"
+
+#include <fstream>
+#include <functional>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "atree/generalized.h"
+#include "baseline/brbc.h"
+#include "baseline/mst.h"
+#include "baseline/one_steiner.h"
+#include "baseline/spt.h"
+#include "netgen/netgen.h"
+#include "report/table.h"
+#include "rtree/io.h"
+#include "rtree/metrics.h"
+#include "sim/delay_measure.h"
+#include "tech/technology.h"
+#include "wiresize/bottom_up.h"
+#include "wiresize/combined.h"
+
+namespace cong93 {
+
+std::string cli_usage()
+{
+    return R"(usage: cong93 <command> [options]
+
+commands:
+  gen        generate random nets and print them
+  route      route nets, print metrics (optionally dump trees with --out)
+  flow       route + wiresize + simulate
+  simulate   simulate serialized trees (--in trees.txt)
+
+options:
+  --in <file>          input netlist/tree file (default: generated nets)
+  --random <n>         number of generated nets (default 10)
+  --sinks <k>          sinks per generated net (default 8)
+  --grid <g>           generated-net region in grid units (default 4000)
+  --seed <s>           generator seed (default 1)
+  --algo <name>        atree|steiner|mst|spt|brbc05|brbc10 (default atree)
+  --tech <name>        mcm|cmos20|cmos15|cmos12|cmos05 (default mcm)
+  --driver-scale <x>   driver transistor scale factor (default 1)
+  --widths <r>         wiresizing width count (flow; default 4)
+  --sizer <name>       combined|owsa|grewsa|bottomup (flow; default combined)
+  --method <name>      two_pole|transient (default two_pole)
+  --threshold <t>      delay threshold in (0,1) (default 0.5)
+  --rlc                include wire inductance in simulations
+  --out <file>         write routed trees (route/flow)
+)";
+}
+
+namespace {
+
+Technology technology_by_name(const std::string& name, double driver_scale)
+{
+    Technology t;
+    if (name == "mcm") t = mcm_technology();
+    else if (name == "cmos20") t = cmos_2000nm();
+    else if (name == "cmos15") t = cmos_1500nm();
+    else if (name == "cmos12") t = cmos_1200nm();
+    else if (name == "cmos05") t = cmos_500nm();
+    else throw std::invalid_argument("unknown technology: " + name);
+    return driver_scale == 1.0 ? t : t.with_driver_scale(driver_scale);
+}
+
+RoutingTree route_net(const Net& net, const std::string& algo)
+{
+    if (algo == "atree") return build_atree_general(net).tree;
+    if (algo == "steiner") return build_one_steiner(net).tree;
+    if (algo == "mst") return build_mst_tree(net);
+    if (algo == "spt") return build_spt(net);
+    if (algo == "brbc05") return build_brbc(net, 0.5);
+    if (algo == "brbc10") return build_brbc(net, 1.0);
+    throw std::invalid_argument("unknown algorithm: " + algo);
+}
+
+SimMethod method_by_name(const std::string& name)
+{
+    if (name == "two_pole") return SimMethod::two_pole;
+    if (name == "transient") return SimMethod::transient;
+    throw std::invalid_argument("unknown simulation method: " + name);
+}
+
+std::string read_input(const CliOptions& opts, const std::string* input_text)
+{
+    if (input_text) return *input_text;
+    std::ifstream in(opts.input_path);
+    if (!in) throw std::invalid_argument("cannot open " + opts.input_path);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+std::vector<Net> load_nets(const CliOptions& opts, const std::string* input_text)
+{
+    if (opts.input_path.empty() && !input_text)
+        return random_nets(opts.seed, opts.random_count, opts.grid, opts.sinks);
+    return parse_nets(read_input(opts, input_text));
+}
+
+/// Splits a concatenation of tree blocks and parses each.
+std::vector<RoutingTree> parse_tree_blocks(const std::string& text)
+{
+    std::vector<RoutingTree> trees;
+    std::istringstream is(text);
+    std::string line;
+    std::string block;
+    bool in_block = false;
+    while (std::getline(is, line)) {
+        std::istringstream probe(line);
+        std::string first;
+        probe >> first;
+        if (first == "tree") in_block = true;
+        if (in_block) block += line + '\n';
+        if (first == "end" && in_block) {
+            trees.push_back(parse_tree(block));
+            block.clear();
+            in_block = false;
+        }
+    }
+    if (in_block) throw std::invalid_argument("unterminated tree block");
+    if (trees.empty()) throw std::invalid_argument("no trees in input");
+    return trees;
+}
+
+int run_gen(const CliOptions& opts, std::ostream& out)
+{
+    out << "# cong93 gen --random " << opts.random_count << " --sinks " << opts.sinks
+        << " --grid " << opts.grid << " --seed " << opts.seed << '\n'
+        << format_nets(
+               random_nets(opts.seed, opts.random_count, opts.grid, opts.sinks));
+    return 0;
+}
+
+int run_route(const CliOptions& opts, std::ostream& out,
+              const std::string* input_text)
+{
+    const Technology tech = technology_by_name(opts.tech, opts.driver_scale);
+    const std::vector<Net> nets = load_nets(opts, input_text);
+    const SimMethod method = method_by_name(opts.method);
+
+    TextTable t({"net", "sinks", "length", "radius", "sum sink pl",
+                 "mean delay (ns)", "max delay (ns)"});
+    std::string dump;
+    for (std::size_t i = 0; i < nets.size(); ++i) {
+        const RoutingTree tree = route_net(nets[i], opts.algo);
+        const DelayReport d =
+            measure_delay(tree, tech, method, opts.threshold, opts.rlc);
+        t.add_row({std::to_string(i), std::to_string(nets[i].sinks.size()),
+                   std::to_string(total_length(tree)), std::to_string(radius(tree)),
+                   std::to_string(sum_sink_path_lengths(tree)), fmt_ns(d.mean),
+                   fmt_ns(d.max)});
+        if (!opts.out_path.empty()) dump += format_tree(tree);
+    }
+    t.print(out);
+    if (!opts.out_path.empty()) {
+        std::ofstream of(opts.out_path);
+        if (!of) throw std::invalid_argument("cannot write " + opts.out_path);
+        of << dump;
+        out << "wrote " << nets.size() << " trees to " << opts.out_path << '\n';
+    }
+    return 0;
+}
+
+int run_flow(const CliOptions& opts, std::ostream& out, const std::string* input_text)
+{
+    const Technology tech = technology_by_name(opts.tech, opts.driver_scale);
+    const std::vector<Net> nets = load_nets(opts, input_text);
+    const SimMethod method = method_by_name(opts.method);
+    const WidthSet widths = WidthSet::uniform_steps(opts.widths);
+
+    TextTable t({"net", "length", "uniform delay (ns)", "wiresized delay (ns)",
+                 "gain"});
+    double before_total = 0.0, after_total = 0.0;
+    std::string dump;
+    for (std::size_t i = 0; i < nets.size(); ++i) {
+        const RoutingTree tree = route_net(nets[i], opts.algo);
+        const SegmentDecomposition segs(tree);
+        const WiresizeContext ctx(segs, tech, widths);
+        Assignment assignment;
+        if (opts.sizer == "combined") assignment = grewsa_owsa(ctx).assignment;
+        else if (opts.sizer == "owsa") assignment = owsa(ctx).assignment;
+        else if (opts.sizer == "grewsa") assignment = grewsa_from_min(ctx).assignment;
+        else if (opts.sizer == "bottomup")
+            assignment = bottom_up_wiresize(ctx).assignment;
+        else throw std::invalid_argument("unknown sizer: " + opts.sizer);
+
+        const double before =
+            measure_delay(tree, tech, method, opts.threshold, opts.rlc).mean;
+        const double after = measure_delay_wiresized(segs, tech, widths, assignment,
+                                                     method, opts.threshold, opts.rlc)
+                                 .mean;
+        before_total += before;
+        after_total += after;
+        t.add_row({std::to_string(i), std::to_string(total_length(tree)),
+                   fmt_ns(before), fmt_ns(after), fmt_pct_delta(before, after)});
+        if (!opts.out_path.empty()) dump += format_tree(tree);
+    }
+    t.print(out);
+    out << "aggregate: " << fmt_ns(before_total / static_cast<double>(nets.size()))
+        << " ns -> " << fmt_ns(after_total / static_cast<double>(nets.size()))
+        << " ns (" << fmt_pct_delta(before_total, after_total) << ")\n";
+    if (!opts.out_path.empty()) {
+        std::ofstream of(opts.out_path);
+        if (!of) throw std::invalid_argument("cannot write " + opts.out_path);
+        of << dump;
+    }
+    return 0;
+}
+
+int run_simulate(const CliOptions& opts, std::ostream& out,
+                 const std::string* input_text)
+{
+    if (opts.input_path.empty() && !input_text)
+        throw std::invalid_argument("simulate requires --in <trees file>");
+    const Technology tech = technology_by_name(opts.tech, opts.driver_scale);
+    const SimMethod method = method_by_name(opts.method);
+    const std::vector<RoutingTree> trees = parse_tree_blocks(read_input(opts, input_text));
+
+    TextTable t({"tree", "nodes", "length", "mean delay (ns)", "max delay (ns)"});
+    for (std::size_t i = 0; i < trees.size(); ++i) {
+        const DelayReport d =
+            measure_delay(trees[i], tech, method, opts.threshold, opts.rlc);
+        t.add_row({std::to_string(i), std::to_string(trees[i].node_count()),
+                   std::to_string(total_length(trees[i])), fmt_ns(d.mean),
+                   fmt_ns(d.max)});
+    }
+    t.print(out);
+    return 0;
+}
+
+}  // namespace
+
+CliOptions parse_cli(const std::vector<std::string>& args)
+{
+    if (args.empty()) throw std::invalid_argument("missing command\n" + cli_usage());
+    CliOptions opts;
+    opts.command = args[0];
+    if (opts.command == "--help" || opts.command == "-h")
+        throw std::invalid_argument(cli_usage());
+    if (opts.command != "gen" && opts.command != "route" && opts.command != "flow" &&
+        opts.command != "simulate")
+        throw std::invalid_argument("unknown command: " + opts.command + '\n' +
+                                    cli_usage());
+
+    const auto need_value = [&](std::size_t i, const std::string& flag) {
+        if (i + 1 >= args.size())
+            throw std::invalid_argument(flag + " requires a value");
+        return args[i + 1];
+    };
+    const auto to_int = [](const std::string& flag, const std::string& v) {
+        try {
+            std::size_t used = 0;
+            const long n = std::stol(v, &used);
+            if (used != v.size()) throw std::invalid_argument(v);
+            return n;
+        } catch (const std::exception&) {
+            throw std::invalid_argument("bad integer for " + flag + ": " + v);
+        }
+    };
+    const auto to_double = [](const std::string& flag, const std::string& v) {
+        try {
+            std::size_t used = 0;
+            const double d = std::stod(v, &used);
+            if (used != v.size()) throw std::invalid_argument(v);
+            return d;
+        } catch (const std::exception&) {
+            throw std::invalid_argument("bad number for " + flag + ": " + v);
+        }
+    };
+
+    for (std::size_t i = 1; i < args.size(); ++i) {
+        const std::string& a = args[i];
+        if (a == "--in") opts.input_path = need_value(i++, a);
+        else if (a == "--random") opts.random_count = static_cast<int>(to_int(a, need_value(i++, a)));
+        else if (a == "--sinks") opts.sinks = static_cast<int>(to_int(a, need_value(i++, a)));
+        else if (a == "--grid") opts.grid = static_cast<Coord>(to_int(a, need_value(i++, a)));
+        else if (a == "--seed") opts.seed = static_cast<std::uint64_t>(to_int(a, need_value(i++, a)));
+        else if (a == "--algo") opts.algo = need_value(i++, a);
+        else if (a == "--tech") opts.tech = need_value(i++, a);
+        else if (a == "--driver-scale") opts.driver_scale = to_double(a, need_value(i++, a));
+        else if (a == "--widths") opts.widths = static_cast<int>(to_int(a, need_value(i++, a)));
+        else if (a == "--sizer") opts.sizer = need_value(i++, a);
+        else if (a == "--method") opts.method = need_value(i++, a);
+        else if (a == "--threshold") opts.threshold = to_double(a, need_value(i++, a));
+        else if (a == "--rlc") opts.rlc = true;
+        else if (a == "--out") opts.out_path = need_value(i++, a);
+        else throw std::invalid_argument("unknown option: " + a + '\n' + cli_usage());
+    }
+
+    if (opts.random_count < 1) throw std::invalid_argument("--random must be >= 1");
+    if (opts.sinks < 1) throw std::invalid_argument("--sinks must be >= 1");
+    if (opts.grid < 2) throw std::invalid_argument("--grid must be >= 2");
+    if (opts.widths < 1) throw std::invalid_argument("--widths must be >= 1");
+    if (opts.threshold <= 0.0 || opts.threshold >= 1.0)
+        throw std::invalid_argument("--threshold must be in (0,1)");
+    if (opts.driver_scale <= 0.0)
+        throw std::invalid_argument("--driver-scale must be positive");
+    return opts;
+}
+
+int run_cli(const CliOptions& opts, std::ostream& out, const std::string* input_text)
+{
+    if (opts.command == "gen") return run_gen(opts, out);
+    if (opts.command == "route") return run_route(opts, out, input_text);
+    if (opts.command == "flow") return run_flow(opts, out, input_text);
+    if (opts.command == "simulate") return run_simulate(opts, out, input_text);
+    throw std::invalid_argument("unknown command: " + opts.command);
+}
+
+}  // namespace cong93

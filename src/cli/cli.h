@@ -1,0 +1,67 @@
+// Command-line driver for the library: generate nets, route them, run the
+// full route+wiresize+simulate flow, or simulate serialized trees.
+//
+//   cong93 gen      --random 10 --sinks 8 [--grid 4000] [--seed 1]
+//   cong93 route    (--in nets.txt | --random N --sinks K) [--algo atree]
+//                   [--tech mcm] [--driver-scale X] [--out trees.txt]
+//   cong93 flow     like route, plus --widths R and --sizer combined
+//   cong93 simulate --in trees.txt [--method two_pole] [--threshold 0.5]
+//                   [--rlc] [--tech mcm]
+//
+// Parsing and execution are separated so both are unit-testable; main() in
+// tools/cong93_main.cpp is a thin wrapper.
+#ifndef CONG93_CLI_CLI_H
+#define CONG93_CLI_CLI_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "geom/point.h"
+
+namespace cong93 {
+
+struct CliOptions {
+    std::string command;  ///< gen | route | flow | simulate
+
+    // Input selection.
+    std::string input_path;  ///< nets/trees file; empty => --random
+    int random_count = 10;
+    int sinks = 8;
+    Coord grid = 4000;
+    std::uint64_t seed = 1;
+
+    // Routing.
+    std::string algo = "atree";  ///< atree|steiner|mst|spt|brbc05|brbc10
+    std::string out_path;        ///< optional tree dump
+
+    // Technology.
+    std::string tech = "mcm";  ///< mcm|cmos20|cmos15|cmos12|cmos05
+    double driver_scale = 1.0;
+
+    // Wiresizing (flow).
+    int widths = 4;
+    std::string sizer = "combined";  ///< combined|owsa|grewsa|bottomup
+
+    // Simulation.
+    std::string method = "two_pole";  ///< two_pole|transient
+    double threshold = 0.5;
+    bool rlc = false;
+};
+
+/// Usage text for --help and error messages.
+std::string cli_usage();
+
+/// Parses argv-style arguments (excluding the program name).  Throws
+/// std::invalid_argument with a descriptive message on bad input.
+CliOptions parse_cli(const std::vector<std::string>& args);
+
+/// Executes the command, writing human-readable output to `out`.  When
+/// `input_text` is non-null it is used instead of reading opts.input_path
+/// (for tests).  Returns a process exit code.
+int run_cli(const CliOptions& opts, std::ostream& out,
+            const std::string* input_text = nullptr);
+
+}  // namespace cong93
+
+#endif  // CONG93_CLI_CLI_H

@@ -1,0 +1,34 @@
+// Elmore delay (first moment of the impulse response) of a uniform-width
+// routing tree under the distributed RC model.  Each edge is a uniform
+// distributed RC line; the closed-form shared-resistance formulation is used
+// (an on-path edge e with resistance Re and capacitance Ce contributes
+// Re*(C_subtree(e) - Ce/2); the driver contributes Rd*C_total).
+//
+// The RPH bound of delay/rph.h dominates the Elmore delay at every sink
+// (the RPH sum uses the full source->k resistance, which is >= the shared
+// path resistance); tests rely on this ordering.
+#ifndef CONG93_DELAY_ELMORE_H
+#define CONG93_DELAY_ELMORE_H
+
+#include <vector>
+
+#include "rtree/routing_tree.h"
+#include "tech/technology.h"
+
+namespace cong93 {
+
+/// Elmore delay (seconds) at one sink node of the tree.
+double elmore_delay(const RoutingTree& tree, const Technology& tech, NodeId sink);
+
+/// Elmore delay at every sink, in tree.sinks() order.
+std::vector<double> elmore_all_sinks(const RoutingTree& tree, const Technology& tech);
+
+/// Largest sink Elmore delay.
+double elmore_max(const RoutingTree& tree, const Technology& tech);
+
+/// Mean sink Elmore delay.
+double elmore_mean(const RoutingTree& tree, const Technology& tech);
+
+}  // namespace cong93
+
+#endif  // CONG93_DELAY_ELMORE_H

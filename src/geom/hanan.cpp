@@ -1,0 +1,55 @@
+#include "geom/hanan.h"
+
+#include <algorithm>
+#include <set>
+
+namespace cong93 {
+
+namespace {
+
+std::vector<Coord> sorted_unique(std::vector<Coord> v)
+{
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+    return v;
+}
+
+}  // namespace
+
+std::vector<Coord> hanan_xs(const std::vector<Point>& terminals)
+{
+    std::vector<Coord> xs;
+    xs.reserve(terminals.size());
+    for (const Point p : terminals) xs.push_back(p.x);
+    return sorted_unique(std::move(xs));
+}
+
+std::vector<Coord> hanan_ys(const std::vector<Point>& terminals)
+{
+    std::vector<Coord> ys;
+    ys.reserve(terminals.size());
+    for (const Point p : terminals) ys.push_back(p.y);
+    return sorted_unique(std::move(ys));
+}
+
+std::vector<Point> hanan_grid(const std::vector<Point>& terminals)
+{
+    const std::vector<Coord> xs = hanan_xs(terminals);
+    const std::vector<Coord> ys = hanan_ys(terminals);
+    std::vector<Point> grid;
+    grid.reserve(xs.size() * ys.size());
+    for (const Coord x : xs)
+        for (const Coord y : ys) grid.push_back(Point{x, y});
+    return grid;
+}
+
+std::vector<Point> hanan_candidates(const std::vector<Point>& terminals)
+{
+    const std::set<Point> terms(terminals.begin(), terminals.end());
+    std::vector<Point> out;
+    for (const Point p : hanan_grid(terminals))
+        if (!terms.contains(p)) out.push_back(p);
+    return out;
+}
+
+}  // namespace cong93

@@ -1,0 +1,28 @@
+// Hanan grid construction.  Both the exact Steiner/arborescence algorithms
+// and the batched 1-Steiner heuristic restrict Steiner candidates to the
+// Hanan grid (intersections of horizontal/vertical lines through terminals),
+// which is known to contain an optimal solution for both the rectilinear
+// Steiner tree and the rectilinear Steiner arborescence problems.
+#ifndef CONG93_GEOM_HANAN_H
+#define CONG93_GEOM_HANAN_H
+
+#include <vector>
+
+#include "geom/point.h"
+
+namespace cong93 {
+
+/// Sorted, deduplicated x (resp. y) coordinates of the given terminals.
+std::vector<Coord> hanan_xs(const std::vector<Point>& terminals);
+std::vector<Coord> hanan_ys(const std::vector<Point>& terminals);
+
+/// All Hanan grid points of the terminals (|X| * |Y| points, row-major by x
+/// then y, deterministic order).
+std::vector<Point> hanan_grid(const std::vector<Point>& terminals);
+
+/// Hanan grid points that are not terminals themselves (1-Steiner candidates).
+std::vector<Point> hanan_candidates(const std::vector<Point>& terminals);
+
+}  // namespace cong93
+
+#endif  // CONG93_GEOM_HANAN_H

@@ -1,0 +1,28 @@
+#include "geom/point.h"
+
+#include <ostream>
+
+namespace cong93 {
+
+std::ostream& operator<<(std::ostream& os, Point p)
+{
+    return os << '(' << p.x << ',' << p.y << ')';
+}
+
+const char* to_string(Region r)
+{
+    switch (r) {
+    case Region::same: return "same";
+    case Region::north: return "N";
+    case Region::south: return "S";
+    case Region::east: return "E";
+    case Region::west: return "W";
+    case Region::ne: return "NE";
+    case Region::nw: return "NW";
+    case Region::se: return "SE";
+    case Region::sw: return "SW";
+    }
+    return "?";
+}
+
+}  // namespace cong93

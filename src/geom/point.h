@@ -1,0 +1,91 @@
+// Rectilinear (Manhattan) plane primitives used throughout the library.
+//
+// All routing takes place on an integer grid; grid coordinates are `Coord`
+// (32-bit signed) and accumulated lengths/costs are `Length` (64-bit signed)
+// so that quadratic costs like Σ pl_k over a 4000x4000 grid never overflow.
+#ifndef CONG93_GEOM_POINT_H
+#define CONG93_GEOM_POINT_H
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+
+namespace cong93 {
+
+using Coord = std::int32_t;
+using Length = std::int64_t;
+
+/// A point on the routing grid.
+struct Point {
+    Coord x = 0;
+    Coord y = 0;
+
+    friend constexpr bool operator==(Point a, Point b) { return a.x == b.x && a.y == b.y; }
+    friend constexpr bool operator!=(Point a, Point b) { return !(a == b); }
+    /// Lexicographic order (x, then y); used for deterministic containers.
+    friend constexpr bool operator<(Point a, Point b)
+    {
+        return a.x != b.x ? a.x < b.x : a.y < b.y;
+    }
+};
+
+std::ostream& operator<<(std::ostream& os, Point p);
+
+/// Horizontal distance |p.x - q.x|.
+constexpr Length dist_x(Point p, Point q)
+{
+    const Length d = static_cast<Length>(p.x) - q.x;
+    return d < 0 ? -d : d;
+}
+
+/// Vertical distance |p.y - q.y|.
+constexpr Length dist_y(Point p, Point q)
+{
+    const Length d = static_cast<Length>(p.y) - q.y;
+    return d < 0 ? -d : d;
+}
+
+/// Rectilinear (L1) distance.
+constexpr Length dist(Point p, Point q) { return dist_x(p, q) + dist_y(p, q); }
+
+/// L1 distance from the origin (= path length of any monotone source path in
+/// a first-quadrant arborescence rooted at the origin).
+constexpr Length dist_origin(Point p)
+{
+    const Length ax = p.x < 0 ? -static_cast<Length>(p.x) : p.x;
+    const Length ay = p.y < 0 ? -static_cast<Length>(p.y) : p.y;
+    return ax + ay;
+}
+
+/// True when p dominates q, i.e. p.x >= q.x and p.y >= q.y (Definition 4).
+constexpr bool dominates(Point p, Point q) { return p.x >= q.x && p.y >= q.y; }
+
+/// The eight open regions around a node p (Definition 3).  `same` is p itself.
+enum class Region : std::uint8_t { same, north, south, east, west, ne, nw, se, sw };
+
+/// Classify q relative to p.
+constexpr Region region_of(Point p, Point q)
+{
+    if (q.x == p.x && q.y == p.y) return Region::same;
+    if (q.x == p.x) return q.y > p.y ? Region::north : Region::south;
+    if (q.y == p.y) return q.x > p.x ? Region::east : Region::west;
+    if (q.x > p.x) return q.y > p.y ? Region::ne : Region::se;
+    return q.y > p.y ? Region::nw : Region::sw;
+}
+
+const char* to_string(Region r);
+
+struct PointHash {
+    std::size_t operator()(Point p) const noexcept
+    {
+        // 64-bit mix of the two 32-bit coordinates.
+        const std::uint64_t v =
+            (static_cast<std::uint64_t>(static_cast<std::uint32_t>(p.x)) << 32) |
+            static_cast<std::uint32_t>(p.y);
+        return std::hash<std::uint64_t>{}(v);
+    }
+};
+
+}  // namespace cong93
+
+#endif  // CONG93_GEOM_POINT_H

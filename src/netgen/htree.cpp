@@ -1,0 +1,44 @@
+#include "netgen/htree.h"
+
+#include <stdexcept>
+
+namespace cong93 {
+
+namespace {
+
+/// Draws one H from `at` (a tree node at the H's centre) with arm length
+/// `span`, recursing `levels - 1` deeper from the four corners.
+void draw_h(RoutingTree& tree, NodeId at, Coord span, int levels)
+{
+    const Point c = tree.point(at);
+    // Horizontal bar ends.
+    const NodeId left = tree.add_child(at, {static_cast<Coord>(c.x - span), c.y});
+    const NodeId right = tree.add_child(at, {static_cast<Coord>(c.x + span), c.y});
+    for (const NodeId bar : {left, right}) {
+        const Point b = tree.point(bar);
+        // Vertical bar corners.
+        const NodeId up = tree.add_child(bar, {b.x, static_cast<Coord>(b.y + span)});
+        const NodeId down = tree.add_child(bar, {b.x, static_cast<Coord>(b.y - span)});
+        for (const NodeId corner : {up, down}) {
+            if (levels == 1)
+                tree.mark_sink(corner);
+            else
+                draw_h(tree, corner, span / 2, levels - 1);
+        }
+    }
+}
+
+}  // namespace
+
+RoutingTree build_htree(int levels, Coord half_span, Point center)
+{
+    if (levels < 1) throw std::invalid_argument("build_htree: levels must be >= 1");
+    if (half_span <= 0 || half_span % (Coord{1} << levels) != 0)
+        throw std::invalid_argument(
+            "build_htree: half_span must be positive and divisible by 2^levels");
+    RoutingTree tree(center);
+    draw_h(tree, tree.root(), half_span, levels);
+    return tree;
+}
+
+}  // namespace cong93

@@ -1,0 +1,23 @@
+// Perfect H-tree generator -- the clock-distribution topology whose
+// wiresizing (Fisher and Kung) the paper's introduction cites as the only
+// prior wiresizing work.  Useful for zero-skew studies: the tree is exactly
+// symmetric, so every sink sees an identical path, and the wiresizing
+// algorithms must preserve the symmetry (and hence zero skew).
+#ifndef CONG93_NETGEN_HTREE_H
+#define CONG93_NETGEN_HTREE_H
+
+#include "rtree/routing_tree.h"
+
+namespace cong93 {
+
+/// Builds a perfect H-tree with 4^levels sink leaves.
+///
+/// The driver sits at `center`; each level draws an "H": a horizontal bar of
+/// half-width `half_span` and two vertical bars of the same half-height, and
+/// recurses from the four corners with half the span.  Coordinates stay on
+/// the grid; half_span must be divisible by 2^levels.  levels must be >= 1.
+RoutingTree build_htree(int levels, Coord half_span, Point center = {0, 0});
+
+}  // namespace cong93
+
+#endif  // CONG93_NETGEN_HTREE_H

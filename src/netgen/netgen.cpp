@@ -1,0 +1,58 @@
+#include "netgen/netgen.h"
+
+#include <set>
+#include <stdexcept>
+
+namespace cong93 {
+
+Net random_net(std::mt19937_64& rng, Coord grid, int sink_count)
+{
+    if (grid < 2 || sink_count < 1)
+        throw std::invalid_argument("random_net: bad parameters");
+    std::uniform_int_distribution<Coord> coord(0, grid);
+    std::set<Point> used;
+    const auto draw = [&] {
+        for (;;) {
+            const Point p{coord(rng), coord(rng)};
+            if (used.insert(p).second) return p;
+        }
+    };
+    Net net;
+    net.source = draw();
+    for (int i = 0; i < sink_count; ++i) net.sinks.push_back(draw());
+    return net;
+}
+
+std::vector<Net> random_nets(std::uint64_t seed, int count, Coord grid, int sink_count)
+{
+    std::mt19937_64 rng(seed);
+    std::vector<Net> nets;
+    nets.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i) nets.push_back(random_net(rng, grid, sink_count));
+    return nets;
+}
+
+Net random_corner_net(std::mt19937_64& rng, Coord grid, int sink_count)
+{
+    Net net = random_net(rng, grid, sink_count);
+    net.source = Point{0, 0};
+    // Regenerate any sink that collided with the corner.
+    for (Point& s : net.sinks) {
+        std::uniform_int_distribution<Coord> coord(1, grid);
+        while (s == net.source) s = Point{coord(rng), coord(rng)};
+    }
+    return net;
+}
+
+std::vector<Net> random_corner_nets(std::uint64_t seed, int count, Coord grid,
+                                    int sink_count)
+{
+    std::mt19937_64 rng(seed);
+    std::vector<Net> nets;
+    nets.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i)
+        nets.push_back(random_corner_net(rng, grid, sink_count));
+    return nets;
+}
+
+}  // namespace cong93

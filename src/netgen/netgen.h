@@ -1,0 +1,51 @@
+// Random net generation matching the paper's experimental setup: terminals
+// uniformly distributed over a square routing region (100mm x 100mm at 25um
+// grid pitch for the MCM experiments; 0.5mm x 0.5mm at 1um pitch for the IC
+// experiments of Section 5.4).
+#ifndef CONG93_NETGEN_NETGEN_H
+#define CONG93_NETGEN_NETGEN_H
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "rtree/routing_tree.h"
+
+namespace cong93 {
+
+/// One net with `sink_count` sinks, all terminals uniform on
+/// [0, grid] x [0, grid]; terminal positions are pairwise distinct.
+Net random_net(std::mt19937_64& rng, Coord grid, int sink_count);
+
+/// A reproducible batch of nets.
+std::vector<Net> random_nets(std::uint64_t seed, int count, Coord grid,
+                             int sink_count);
+
+/// Like random_net but with the source pinned at the region corner (0,0),
+/// making the net first-quadrant.  The paper's Table 5 wirelength ratios
+/// (A-tree within ~1-9% of 1-Steiner) are only consistent with corner-driven
+/// nets -- an interior driver forces four independent arborescence quadrants
+/// and a ~13-20% gap -- so the table/figure reproductions use this generator
+/// as primary and report interior-source results alongside.
+Net random_corner_net(std::mt19937_64& rng, Coord grid, int sink_count);
+
+/// A reproducible batch of corner-source nets.
+std::vector<Net> random_corner_nets(std::uint64_t seed, int count, Coord grid,
+                                    int sink_count);
+
+/// The MCM routing region of Table 4: 4000 x 4000 grid units (25um each).
+inline constexpr Coord kMcmGrid = 4000;
+
+/// The IC routing region of Section 5.4 at 1um pitch.  The paper prints
+/// "0.5 mm x 0.5 mm", but with the published Table 9 resistance ratios a
+/// 0.5mm region is uniformly driver-dominated (wire resistance <= 112 ohm vs
+/// scaled driver resistance >= 128 ohm) and no router differentiation is
+/// possible -- contradicting the paper's own Figure 17.  A 0.5 cm region
+/// reproduces Figure 17's shape (A-tree loses on 2.0um CMOS, wins by a
+/// growing margin on 0.5um CMOS as the driver is scaled), so we take the
+/// printed value as a cm/mm units slip.  See DESIGN.md / EXPERIMENTS.md.
+inline constexpr Coord kIcGrid = 5000;
+
+}  // namespace cong93
+
+#endif  // CONG93_NETGEN_NETGEN_H

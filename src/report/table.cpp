@@ -1,0 +1,82 @@
+#include "report/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace cong93 {
+
+TextTable::TextTable(std::vector<std::string> headers)
+{
+    if (headers.empty()) throw std::invalid_argument("TextTable: empty header");
+    rows_.push_back(std::move(headers));
+}
+
+void TextTable::add_row(std::vector<std::string> cells)
+{
+    if (cells.size() != rows_.front().size())
+        throw std::invalid_argument("TextTable: wrong cell count");
+    rows_.push_back(std::move(cells));
+}
+
+void TextTable::print(std::ostream& os) const
+{
+    std::vector<std::size_t> width(rows_.front().size(), 0);
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    const auto rule = [&] {
+        os << '+';
+        for (const std::size_t w : width) os << std::string(w + 2, '-') << '+';
+        os << '\n';
+    };
+    rule();
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+        os << '|';
+        for (std::size_t c = 0; c < rows_[r].size(); ++c)
+            os << ' ' << std::setw(static_cast<int>(width[c])) << rows_[r][c] << " |";
+        os << '\n';
+        if (r == 0) rule();
+    }
+    rule();
+}
+
+std::string TextTable::to_string() const
+{
+    std::ostringstream os;
+    print(os);
+    return os.str();
+}
+
+std::string fmt_fixed(double v, int digits)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(digits) << v;
+    return os.str();
+}
+
+std::string fmt_sci(double v, int digits)
+{
+    std::ostringstream os;
+    os << std::scientific << std::setprecision(digits) << v;
+    return os.str();
+}
+
+std::string fmt_ns(double seconds, int digits)
+{
+    return fmt_fixed(seconds * 1e9, digits);
+}
+
+std::string fmt_pct_delta(double base, double other, int digits)
+{
+    const double pct = base != 0.0 ? (other - base) / base * 100.0 : 0.0;
+    std::ostringstream os;
+    os << (pct >= 0.0 ? "+" : "") << std::fixed << std::setprecision(digits) << pct
+       << '%';
+    return os.str();
+}
+
+}  // namespace cong93

@@ -1,0 +1,37 @@
+// Minimal fixed-width table formatting shared by the benchmark binaries so
+// that every table/figure reproduction prints in a uniform, diffable style.
+#ifndef CONG93_REPORT_TABLE_H
+#define CONG93_REPORT_TABLE_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cong93 {
+
+class TextTable {
+public:
+    explicit TextTable(std::vector<std::string> headers);
+
+    /// Adds a row; must have the same number of cells as the header.
+    void add_row(std::vector<std::string> cells);
+
+    void print(std::ostream& os) const;
+    std::string to_string() const;
+
+private:
+    std::vector<std::vector<std::string>> rows_;  // rows_[0] is the header
+};
+
+/// Fixed-point formatting ("12.345").
+std::string fmt_fixed(double v, int digits = 3);
+/// Scientific formatting ("1.234e+07").
+std::string fmt_sci(double v, int digits = 2);
+/// Seconds rendered in nanoseconds ("8.07 ns" style without the unit).
+std::string fmt_ns(double seconds, int digits = 2);
+/// Signed percentage delta of `other` relative to `base` ("+12.76%").
+std::string fmt_pct_delta(double base, double other, int digits = 2);
+
+}  // namespace cong93
+
+#endif  // CONG93_REPORT_TABLE_H

@@ -1,0 +1,125 @@
+// Tree construction helpers: mid-edge splitting and parent-map import with
+// automatic L-shape embedding of non-axis-aligned edges.
+#include <map>
+#include <stdexcept>
+
+#include "geom/segment.h"
+#include "rtree/routing_tree.h"
+
+namespace cong93 {
+
+std::optional<NodeId> RoutingTree::find_or_split(Point p)
+{
+    if (const auto existing = find_node(p)) return existing;
+    // Look for an edge whose interior contains p.
+    for (std::size_t i = 1; i < nodes_.size(); ++i) {
+        Node& child = nodes_[i];
+        if (child.parent == kNoNode) continue;
+        Node& parent = nodes_[static_cast<std::size_t>(child.parent)];
+        const Seg edge(parent.p, child.p);
+        if (!edge.contains(p)) continue;
+        // Split: parent -> mid -> child.
+        Node mid;
+        mid.p = p;
+        mid.parent = child.parent;
+        mid.pl = parent.pl + dist(parent.p, p);
+        const NodeId mid_id = static_cast<NodeId>(nodes_.size());
+        const NodeId child_id = static_cast<NodeId>(i);
+        mid.children.push_back(child_id);
+        for (NodeId& c : parent.children)
+            if (c == child_id) c = mid_id;
+        child.parent = mid_id;
+        nodes_.push_back(mid);
+        return mid_id;
+    }
+    return std::nullopt;
+}
+
+void graft(RoutingTree& dst, NodeId at, const RoutingTree& src)
+{
+    if (dst.point(at) != src.point(src.root()))
+        throw std::invalid_argument("graft: attachment points differ");
+    std::vector<NodeId> map(src.node_count(), kNoNode);
+    map[static_cast<std::size_t>(src.root())] = at;
+    for (const NodeId id : src.preorder()) {
+        if (id == src.root()) continue;
+        const auto& n = src.node(id);
+        map[static_cast<std::size_t>(id)] =
+            dst.add_child(map[static_cast<std::size_t>(n.parent)], n.p);
+        if (n.is_sink) dst.mark_sink(map[static_cast<std::size_t>(id)], n.sink_cap_f);
+    }
+    if (src.node(src.root()).is_sink) dst.mark_sink(at, src.node(src.root()).sink_cap_f);
+}
+
+RoutingTree tree_from_parent_map(const Net& net, const std::vector<Point>& points,
+                                 const std::vector<int>& parent_of)
+{
+    if (points.size() != parent_of.size())
+        throw std::invalid_argument("tree_from_parent_map: size mismatch");
+    int root_idx = -1;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        if (parent_of[i] == -1) {
+            if (root_idx != -1)
+                throw std::invalid_argument("tree_from_parent_map: two roots");
+            root_idx = static_cast<int>(i);
+        }
+    }
+    if (root_idx == -1 || points[static_cast<std::size_t>(root_idx)] != net.source)
+        throw std::invalid_argument("tree_from_parent_map: root must be the source");
+
+    RoutingTree tree(net.source);
+    std::vector<NodeId> node_of(points.size(), kNoNode);
+    node_of[static_cast<std::size_t>(root_idx)] = tree.root();
+
+    // Attach points in an order where parents come first.
+    std::vector<int> pending;
+    pending.reserve(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i)
+        if (static_cast<int>(i) != root_idx) pending.push_back(static_cast<int>(i));
+    std::size_t guard = 0;
+    while (!pending.empty()) {
+        if (++guard > points.size() * points.size() + 1)
+            throw std::invalid_argument("tree_from_parent_map: cycle or bad parent");
+        std::vector<int> next;
+        for (const int i : pending) {
+            const int par = parent_of[static_cast<std::size_t>(i)];
+            if (par < 0 || par >= static_cast<int>(points.size()))
+                throw std::invalid_argument("tree_from_parent_map: bad parent index");
+            const NodeId pn = node_of[static_cast<std::size_t>(par)];
+            if (pn == kNoNode) {
+                next.push_back(i);
+                continue;
+            }
+            const Point a = points[static_cast<std::size_t>(par)];
+            const Point b = points[static_cast<std::size_t>(i)];
+            if (a == b) {
+                node_of[static_cast<std::size_t>(i)] = pn;
+            } else if (a.x == b.x || a.y == b.y) {
+                node_of[static_cast<std::size_t>(i)] = tree.add_child(pn, b);
+            } else {
+                // L-embedding: horizontal first (corner at (b.x, a.y)).
+                const NodeId corner = tree.add_child(pn, Point{b.x, a.y});
+                node_of[static_cast<std::size_t>(i)] = tree.add_child(corner, b);
+            }
+        }
+        pending.swap(next);
+    }
+
+    // Mark every net sink; sinks must coincide with some imported point.
+    for (std::size_t si = 0; si < net.sinks.size(); ++si) {
+        const Point s = net.sinks[si];
+        NodeId found = kNoNode;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            if (points[i] == s) {
+                found = node_of[i];
+                break;
+            }
+        }
+        if (found == kNoNode)
+            throw std::invalid_argument("tree_from_parent_map: sink not covered");
+        tree.mark_sink(found, net.sink_cap(si));
+    }
+    return tree;
+}
+
+}  // namespace cong93

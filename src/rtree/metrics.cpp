@@ -1,0 +1,53 @@
+#include "rtree/metrics.h"
+
+#include <algorithm>
+
+namespace cong93 {
+
+Length total_length(const RoutingTree& tree)
+{
+    Length sum = 0;
+    tree.for_each_edge([&](NodeId id) { sum += tree.edge_length(id); });
+    return sum;
+}
+
+Length sum_sink_path_lengths(const RoutingTree& tree)
+{
+    Length sum = 0;
+    for (const NodeId s : tree.sinks()) sum += tree.path_length(s);
+    return sum;
+}
+
+Length sum_all_node_path_lengths(const RoutingTree& tree)
+{
+    Length sum = 0;
+    tree.for_each_edge([&](NodeId id) {
+        const Length l = tree.edge_length(id);
+        const Length a = tree.path_length(id) - l;  // pl at the edge's head
+        sum += l * a + l * (l + 1) / 2;
+    });
+    return sum;
+}
+
+Length radius(const RoutingTree& tree)
+{
+    Length r = 0;
+    for (const NodeId s : tree.sinks()) r = std::max(r, tree.path_length(s));
+    return r;
+}
+
+Length net_radius(const Net& net)
+{
+    Length r = 0;
+    for (const Point s : net.sinks) r = std::max(r, dist(net.source, s));
+    return r;
+}
+
+double mdrt_cost(const RoutingTree& tree, double alpha, double beta, double gamma)
+{
+    return alpha * static_cast<double>(total_length(tree)) +
+           beta * static_cast<double>(sum_sink_path_lengths(tree)) +
+           gamma * static_cast<double>(sum_all_node_path_lengths(tree));
+}
+
+}  // namespace cong93

@@ -1,0 +1,37 @@
+// Geometric cost functions of the MDRT formulation (Eq. 8):
+//   length(T)            -- total wirelength, the OST objective (drives t1)
+//   Σ_{sinks k} pl_k(T)  -- the SPT objective (drives t2)
+//   Σ_{nodes k} pl_k(T)  -- sum over *all grid points* of the tree, the QMST
+//                           objective (drives t3)
+// All values are exact 64-bit integers in grid units.
+#ifndef CONG93_RTREE_METRICS_H
+#define CONG93_RTREE_METRICS_H
+
+#include "rtree/routing_tree.h"
+
+namespace cong93 {
+
+/// Total wirelength of the tree in grid units.
+Length total_length(const RoutingTree& tree);
+
+/// Σ over sinks of the source-to-sink path length.
+Length sum_sink_path_lengths(const RoutingTree& tree);
+
+/// Σ over every grid node of the tree of its source path length (the QMST
+/// cost).  Each edge of length l starting at path length a contributes
+/// Σ_{j=1..l} (a+j) = l*a + l(l+1)/2; the source contributes 0.
+Length sum_all_node_path_lengths(const RoutingTree& tree);
+
+/// Longest source-to-sink path length (tree radius).
+Length radius(const RoutingTree& tree);
+
+/// Largest rectilinear source-to-sink distance of the net (lower bound on
+/// any tree's radius).
+Length net_radius(const Net& net);
+
+/// MDRT objective alpha*length + beta*Σ_sinks pl + gamma*Σ_nodes pl (Eq. 8).
+double mdrt_cost(const RoutingTree& tree, double alpha, double beta, double gamma);
+
+}  // namespace cong93
+
+#endif  // CONG93_RTREE_METRICS_H

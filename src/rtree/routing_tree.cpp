@@ -1,0 +1,100 @@
+#include "rtree/routing_tree.h"
+
+#include <stdexcept>
+
+namespace cong93 {
+
+std::vector<Point> Net::terminals() const
+{
+    std::vector<Point> t;
+    t.reserve(sinks.size() + 1);
+    t.push_back(source);
+    t.insert(t.end(), sinks.begin(), sinks.end());
+    return t;
+}
+
+RoutingTree::RoutingTree(Point source)
+{
+    Node n;
+    n.p = source;
+    nodes_.push_back(n);
+}
+
+NodeId RoutingTree::add_child(NodeId parent, Point p)
+{
+    const Node& u = node(parent);
+    if (u.p.x != p.x && u.p.y != p.y)
+        throw std::invalid_argument("add_child: edge must be axis-parallel");
+    if (u.p == p) throw std::invalid_argument("add_child: zero-length edge");
+    Node n;
+    n.p = p;
+    n.parent = parent;
+    n.pl = u.pl + dist(u.p, p);
+    const NodeId id = static_cast<NodeId>(nodes_.size());
+    nodes_.push_back(n);
+    nodes_[static_cast<std::size_t>(parent)].children.push_back(id);
+    return id;
+}
+
+NodeId RoutingTree::attach_path(NodeId from, const std::vector<Point>& waypoints)
+{
+    NodeId cur = from;
+    for (const Point w : waypoints) {
+        if (w == node(cur).p) continue;  // skip zero-length legs
+        cur = add_child(cur, w);
+    }
+    return cur;
+}
+
+void RoutingTree::mark_sink(NodeId id, double cap_f)
+{
+    Node& n = nodes_.at(static_cast<std::size_t>(id));
+    n.is_sink = true;
+    n.sink_cap_f = cap_f;
+}
+
+void RoutingTree::mark_segment_boundary(NodeId id)
+{
+    nodes_.at(static_cast<std::size_t>(id)).segment_boundary = true;
+}
+
+std::optional<NodeId> RoutingTree::find_node(Point p) const
+{
+    for (std::size_t i = 0; i < nodes_.size(); ++i)
+        if (nodes_[i].p == p) return static_cast<NodeId>(i);
+    return std::nullopt;
+}
+
+Length RoutingTree::edge_length(NodeId id) const
+{
+    const Node& n = node(id);
+    if (n.parent == kNoNode) return 0;
+    return dist(n.p, node(n.parent).p);
+}
+
+std::vector<NodeId> RoutingTree::sinks() const
+{
+    std::vector<NodeId> out;
+    for (std::size_t i = 0; i < nodes_.size(); ++i)
+        if (nodes_[i].is_sink) out.push_back(static_cast<NodeId>(i));
+    return out;
+}
+
+std::vector<NodeId> RoutingTree::preorder() const
+{
+    std::vector<NodeId> order;
+    order.reserve(nodes_.size());
+    std::vector<NodeId> stack{root()};
+    while (!stack.empty()) {
+        const NodeId id = stack.back();
+        stack.pop_back();
+        order.push_back(id);
+        const Node& n = node(id);
+        // Push children in reverse so the traversal visits them in order.
+        for (auto it = n.children.rbegin(); it != n.children.rend(); ++it)
+            stack.push_back(*it);
+    }
+    return order;
+}
+
+}  // namespace cong93

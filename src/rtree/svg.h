@@ -1,0 +1,33 @@
+// Standalone SVG rendering of routing trees -- wires, terminals, and
+// (optionally) wire widths, with stroke widths proportional to the assigned
+// normalized widths.  Output is a self-contained SVG document string.
+#ifndef CONG93_RTREE_SVG_H
+#define CONG93_RTREE_SVG_H
+
+#include <string>
+#include <vector>
+
+#include "rtree/segments.h"
+
+namespace cong93 {
+
+struct SvgOptions {
+    double pixels = 640.0;        ///< longest image dimension in px
+    double margin = 20.0;         ///< border in px
+    double base_stroke = 2.0;     ///< stroke width of a W1 wire in px
+    bool label_terminals = true;  ///< draw source/sink markers
+};
+
+/// Uniform-width rendering.
+std::string to_svg(const RoutingTree& tree, const SvgOptions& options = {});
+
+/// Wiresized rendering: `norm_widths[i]` is segment i's normalized width
+/// (e.g. `widths[assignment[i]]` from a wiresizing result); each segment's
+/// stroke is scaled by it.
+std::string to_svg_wiresized(const SegmentDecomposition& segs,
+                             const std::vector<double>& norm_widths,
+                             const SvgOptions& options = {});
+
+}  // namespace cong93
+
+#endif  // CONG93_RTREE_SVG_H

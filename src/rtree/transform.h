@@ -1,0 +1,36 @@
+// Tree transformations.
+//
+// * subdivide_edges -- inserts artificial segment-boundary nodes so that no
+//   wire segment is longer than `max_piece`; this realizes the paper's
+//   Section 2.2 remark that the segment-based wiresizing formulation
+//   "can easily be generalized to handle the case where variable wire width
+//   is allowed within a segment by introducing artificial non-trivial nodes
+//   along each segment".
+// * simplify -- the inverse: removes trivial pass-through nodes (collinear,
+//   degree-2, non-sink, non-boundary), producing the canonical minimal node
+//   set for a tree's geometry.
+// * same_geometry -- equality of the wired point sets of two trees
+//   (representation independent).
+#ifndef CONG93_RTREE_TRANSFORM_H
+#define CONG93_RTREE_TRANSFORM_H
+
+#include "rtree/routing_tree.h"
+
+namespace cong93 {
+
+/// Copy of `tree` where every edge between consecutive *segment boundaries*
+/// has length <= max_piece; inserted nodes are marked segment boundaries so
+/// that wiresizing sees the finer granularity.  max_piece must be >= 1.
+RoutingTree subdivide_edges(const RoutingTree& input, Length max_piece);
+
+/// Copy of `tree` without trivial pass-through nodes; sink marks and forced
+/// boundaries are preserved (boundary nodes are NOT removed).
+RoutingTree simplify(const RoutingTree& tree);
+
+/// True when both trees wire exactly the same set of grid points (counting
+/// multiplicity is NOT considered; overlapping wires collapse).
+bool same_geometry(const RoutingTree& a, const RoutingTree& b);
+
+}  // namespace cong93
+
+#endif  // CONG93_RTREE_TRANSFORM_H

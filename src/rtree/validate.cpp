@@ -1,0 +1,82 @@
+#include "rtree/validate.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace cong93 {
+
+std::vector<std::string> validate_structure(const RoutingTree& tree)
+{
+    std::vector<std::string> errors;
+    const auto err = [&errors](const std::string& msg) { errors.push_back(msg); };
+
+    std::size_t reachable = 0;
+    for (const NodeId id : tree.preorder()) ++reachable, (void)id;
+    if (reachable != tree.node_count()) err("not all nodes reachable from the root");
+
+    for (std::size_t i = 0; i < tree.node_count(); ++i) {
+        const NodeId id = static_cast<NodeId>(i);
+        const auto& n = tree.node(id);
+        if (id == tree.root()) {
+            if (n.parent != kNoNode) err("root has a parent");
+            if (n.pl != 0) err("root path length nonzero");
+            continue;
+        }
+        if (n.parent == kNoNode) {
+            err("non-root node without parent");
+            continue;
+        }
+        const auto& p = tree.node(n.parent);
+        if (p.p.x != n.p.x && p.p.y != n.p.y) {
+            std::ostringstream os;
+            os << "edge not axis-parallel at node " << id;
+            err(os.str());
+        }
+        if (p.p == n.p) err("zero-length edge");
+        if (n.pl != p.pl + dist(p.p, n.p)) err("cached path length inconsistent");
+        if (std::count(p.children.begin(), p.children.end(), id) != 1)
+            err("parent/child link inconsistent");
+    }
+    return errors;
+}
+
+bool spans_net(const RoutingTree& tree, const Net& net)
+{
+    if (tree.point(tree.root()) != net.source) return false;
+    for (const Point s : net.sinks) {
+        bool found = false;
+        for (const NodeId id : tree.sinks()) {
+            if (tree.point(id) == s) {
+                found = true;
+                break;
+            }
+        }
+        if (!found) return false;
+    }
+    return true;
+}
+
+bool is_atree(const RoutingTree& tree)
+{
+    const Point src = tree.point(tree.root());
+    for (std::size_t i = 0; i < tree.node_count(); ++i) {
+        const NodeId id = static_cast<NodeId>(i);
+        if (tree.path_length(id) != dist(src, tree.point(id))) return false;
+    }
+    return true;
+}
+
+void require_valid(const RoutingTree& tree, const Net& net)
+{
+    const auto errors = validate_structure(tree);
+    if (!errors.empty()) {
+        std::ostringstream os;
+        os << "invalid routing tree:";
+        for (const auto& e : errors) os << ' ' << e << ';';
+        throw std::logic_error(os.str());
+    }
+    if (!spans_net(tree, net)) throw std::logic_error("tree does not span the net");
+}
+
+}  // namespace cong93

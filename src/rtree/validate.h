@@ -1,0 +1,31 @@
+// Structural and semantic validation of routing trees.
+#ifndef CONG93_RTREE_VALIDATE_H
+#define CONG93_RTREE_VALIDATE_H
+
+#include <string>
+#include <vector>
+
+#include "rtree/routing_tree.h"
+
+namespace cong93 {
+
+/// Structural invariants: single root, consistent parent/child links, axis
+/// parallel positive-length edges, consistent cached path lengths.
+/// Returns a list of violations (empty == valid).
+std::vector<std::string> validate_structure(const RoutingTree& tree);
+
+/// True when the tree implements the net: root at net.source and every net
+/// sink is a marked sink node of the tree.
+bool spans_net(const RoutingTree& tree, const Net& net);
+
+/// True when the tree is an A-tree (Definition 1): the path from the source
+/// to *every* node is a rectilinear shortest path, i.e. pl_k equals the L1
+/// distance from the source for every node (and hence for every grid point).
+bool is_atree(const RoutingTree& tree);
+
+/// Throws std::logic_error with a joined message when validation fails.
+void require_valid(const RoutingTree& tree, const Net& net);
+
+}  // namespace cong93
+
+#endif  // CONG93_RTREE_VALIDATE_H

@@ -1,0 +1,39 @@
+// High-level delay measurement: net-level wrappers combining routing trees,
+// technologies and the simulators, matching the paper's methodology (delays
+// in Tables 5/8 and Figure 17 are the *average over sinks* of the simulated
+// 50%-threshold delay).
+#ifndef CONG93_SIM_DELAY_MEASURE_H
+#define CONG93_SIM_DELAY_MEASURE_H
+
+#include "sim/rc_tree.h"
+
+namespace cong93 {
+
+enum class SimMethod {
+    two_pole,   ///< moment-matching (the paper's simulator [18])
+    transient,  ///< backward-Euler reference
+};
+
+struct DelayReport {
+    std::vector<double> sink_delays;  ///< tree.sinks() order, seconds
+    double mean = 0.0;
+    double max = 0.0;
+};
+
+/// Delay of a uniform-width tree.  `with_inductance` switches the wire
+/// model from RC to RLC using the technology's per-unit inductance.
+DelayReport measure_delay(const RoutingTree& tree, const Technology& tech,
+                          SimMethod method = SimMethod::two_pole,
+                          double threshold = 0.5, bool with_inductance = false);
+
+/// Delay of a wiresized tree.
+DelayReport measure_delay_wiresized(const SegmentDecomposition& segs,
+                                    const Technology& tech, const WidthSet& widths,
+                                    const Assignment& assignment,
+                                    SimMethod method = SimMethod::two_pole,
+                                    double threshold = 0.5,
+                                    bool with_inductance = false);
+
+}  // namespace cong93
+
+#endif  // CONG93_SIM_DELAY_MEASURE_H

@@ -1,0 +1,23 @@
+// Moments of the RC tree transfer functions H_i(s) = Σ_q m_q(i) s^q with
+// m_0 = 1: the engine behind the two-pole simulator and the Elmore
+// cross-checks (-m_1(i) is the Elmore delay at node i).
+//
+// Standard O(n)-per-order path tracing: with "currents" I_k = C_k*m_{q-1}(k)
+// accumulated over subtrees, m_q(i) = m_q(parent) - R_i * Σ_{k in subtree(i)}
+// I_k (the ideal source ahead of Rd has m_q = 0 for q >= 1).
+#ifndef CONG93_SIM_MOMENTS_H
+#define CONG93_SIM_MOMENTS_H
+
+#include "sim/rc_tree.h"
+
+namespace cong93 {
+
+/// moments[q-1][i] = m_q(i) for q = 1..order.
+std::vector<std::vector<double>> compute_moments(const RcTree& rc, int order);
+
+/// Elmore delay at each node (= -m_1).
+std::vector<double> rc_elmore_delays(const RcTree& rc);
+
+}  // namespace cong93
+
+#endif  // CONG93_SIM_MOMENTS_H

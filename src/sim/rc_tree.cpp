@@ -1,0 +1,140 @@
+#include "sim/rc_tree.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cong93 {
+
+RcTree::RcTree(std::vector<RcNode> nodes) : nodes_(std::move(nodes))
+{
+    if (nodes_.empty()) throw std::invalid_argument("RcTree: empty");
+    if (nodes_[0].parent != -1) throw std::invalid_argument("RcTree: node 0 not root");
+    for (std::size_t i = 1; i < nodes_.size(); ++i) {
+        if (nodes_[i].parent < 0 || static_cast<std::size_t>(nodes_[i].parent) >= i)
+            throw std::invalid_argument("RcTree: parents must precede children");
+        if (nodes_[i].r_ohm <= 0.0)
+            throw std::invalid_argument("RcTree: non-positive resistance");
+    }
+}
+
+namespace {
+
+/// Appends a chain of pi-sections modelling a wire of total resistance r,
+/// capacitance c and inductance l from `from`; returns the far node index.
+int append_wire(std::vector<RcTree::RcNode>& nodes, int from, double r, double c,
+                double l, int sections)
+{
+    const int k = std::max(1, sections);
+    const double rs = r / k;
+    const double cs = c / k;
+    const double ls = l / k;
+    int cur = from;
+    for (int i = 0; i < k; ++i) {
+        nodes[static_cast<std::size_t>(cur)].c_f += cs / 2.0;
+        RcTree::RcNode n;
+        n.parent = cur;
+        n.r_ohm = rs;
+        n.c_f = cs / 2.0;
+        n.l_h = ls;
+        nodes.push_back(n);
+        cur = static_cast<int>(nodes.size()) - 1;
+    }
+    return cur;
+}
+
+}  // namespace
+
+RcTree RcTree::from_routing_tree(const RoutingTree& tree, const Technology& tech,
+                                 int sections_per_edge, bool with_inductance)
+{
+    std::vector<RcNode> nodes(1);
+    nodes[0].parent = -1;
+    nodes[0].r_ohm = tech.driver_resistance_ohm;
+
+    std::vector<int> rc_of(tree.node_count(), -1);
+    rc_of[static_cast<std::size_t>(tree.root())] = 0;
+    for (const NodeId id : tree.preorder()) {
+        if (id == tree.root()) continue;
+        const auto& n = tree.node(id);
+        const Length l = tree.edge_length(id);
+        const int from = rc_of[static_cast<std::size_t>(n.parent)];
+        const int sections = static_cast<int>(std::min<Length>(l, sections_per_edge));
+        const int end = append_wire(
+            nodes, from, tech.r_grid() * static_cast<double>(l),
+            tech.c_grid() * static_cast<double>(l),
+            with_inductance ? tech.l_grid() * static_cast<double>(l) : 0.0, sections);
+        rc_of[static_cast<std::size_t>(id)] = end;
+        if (n.is_sink)
+            nodes[static_cast<std::size_t>(end)].c_f +=
+                n.sink_cap_f >= 0.0 ? n.sink_cap_f : tech.sink_load_f;
+    }
+
+    RcTree rc(std::move(nodes));
+    for (const NodeId s : tree.sinks())
+        rc.sink_nodes_.push_back(rc_of[static_cast<std::size_t>(s)]);
+    return rc;
+}
+
+RcTree RcTree::from_wiresized_tree(const SegmentDecomposition& segs,
+                                   const Technology& tech, const WidthSet& widths,
+                                   const Assignment& assignment, int sections_per_edge,
+                                   bool with_inductance)
+{
+    if (assignment.size() != segs.count())
+        throw std::invalid_argument("RcTree: assignment size mismatch");
+
+    std::vector<RcNode> nodes(1);
+    nodes[0].parent = -1;
+    nodes[0].r_ohm = tech.driver_resistance_ohm;
+
+    const RoutingTree& tree = segs.tree();
+    std::vector<int> rc_of_tail(segs.count(), -1);
+    std::vector<int> rc_of_tree_node(tree.node_count(), -1);
+    rc_of_tree_node[static_cast<std::size_t>(tree.root())] = 0;
+
+    for (std::size_t i = 0; i < segs.count(); ++i) {
+        const WireSegment& s = segs[i];
+        const int from = s.parent == kNoSegment
+                             ? 0
+                             : rc_of_tail[static_cast<std::size_t>(s.parent)];
+        const double w = widths[assignment[i]];
+        const double l = static_cast<double>(s.length);
+        const int sections =
+            static_cast<int>(std::min<Length>(s.length, sections_per_edge));
+        // Wire inductance is taken width-independent (loop inductance varies
+        // only logarithmically with conductor width).
+        const int end = append_wire(nodes, from, tech.r_grid() * l / w,
+                                    tech.c_grid() * l * w,
+                                    with_inductance ? tech.l_grid() * l : 0.0,
+                                    sections);
+        rc_of_tail[i] = end;
+        rc_of_tree_node[static_cast<std::size_t>(s.tail)] = end;
+        if (s.tail_is_sink)
+            nodes[static_cast<std::size_t>(end)].c_f +=
+                s.tail_sink_cap_f >= 0.0 ? s.tail_sink_cap_f : tech.sink_load_f;
+    }
+
+    RcTree rc(std::move(nodes));
+    for (const NodeId s : tree.sinks()) {
+        const int idx = rc_of_tree_node[static_cast<std::size_t>(s)];
+        if (idx < 0) throw std::logic_error("RcTree: sink is not a segment tail");
+        rc.sink_nodes_.push_back(idx);
+    }
+    return rc;
+}
+
+double RcTree::total_capacitance() const
+{
+    double c = 0.0;
+    for (const RcNode& n : nodes_) c += n.c_f;
+    return c;
+}
+
+bool RcTree::has_inductance() const
+{
+    for (const RcNode& n : nodes_)
+        if (n.l_h > 0.0) return true;
+    return false;
+}
+
+}  // namespace cong93

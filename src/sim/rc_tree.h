@@ -1,0 +1,74 @@
+// Lumped RC(L)-tree netlists built from routing trees.
+//
+// The driver is modelled as an ideal step source behind Rd; each wire edge
+// becomes a chain of L-sections (series resistance, then capacitance to
+// ground), with enough sections that the discretization error of the
+// distributed line is negligible; sink loads are added at sink nodes.
+// Wire widths scale resistance by 1/w and capacitance by w.
+//
+// This is the substrate for the moment engine (sim/moments.h), the two-pole
+// simulator (sim/two_pole.h, our reimplementation of Zhou et al. [18]) and
+// the backward-Euler transient simulator (sim/transient.h, the SPICE
+// substitute used for cross-validation).
+#ifndef CONG93_SIM_RC_TREE_H
+#define CONG93_SIM_RC_TREE_H
+
+#include <vector>
+
+#include "rtree/segments.h"
+#include "tech/technology.h"
+#include "wiresize/assignment.h"
+
+namespace cong93 {
+
+class RcTree {
+public:
+    struct RcNode {
+        int parent = -1;        ///< -1 for the root (driver output node)
+        double r_ohm = 0.0;     ///< resistance to the parent (Rd for the root)
+        double c_f = 0.0;       ///< capacitance to ground at this node
+        double l_h = 0.0;       ///< inductance in series with r_ohm (RLC mode)
+    };
+
+    /// Raw construction (tests / hand-built ladders).  Node 0 must be the
+    /// root with r_ohm = driver resistance; children must follow parents.
+    explicit RcTree(std::vector<RcNode> nodes);
+
+    /// Builds the RC tree of a uniform-width routing tree.
+    /// `sections_per_edge` bounds the number of L-sections per wire edge
+    /// (each edge gets min(length, sections_per_edge) sections).
+    /// `with_inductance` adds the technology's per-unit wire inductance in
+    /// series with each section (the paper's Table 4 MCM value is 380
+    /// fH/um); the default pure-RC mode matches the paper's delay model.
+    static RcTree from_routing_tree(const RoutingTree& tree, const Technology& tech,
+                                    int sections_per_edge = 16,
+                                    bool with_inductance = false);
+
+    /// Builds the RC tree of a wiresized routing tree.
+    static RcTree from_wiresized_tree(const SegmentDecomposition& segs,
+                                      const Technology& tech, const WidthSet& widths,
+                                      const Assignment& assignment,
+                                      int sections_per_edge = 16,
+                                      bool with_inductance = false);
+
+    std::size_t size() const { return nodes_.size(); }
+    const RcNode& node(std::size_t i) const { return nodes_[i]; }
+    const std::vector<RcNode>& nodes() const { return nodes_; }
+
+    /// RC-tree node index of each sink of the originating routing tree, in
+    /// tree.sinks() order (empty for raw construction).
+    const std::vector<int>& sink_nodes() const { return sink_nodes_; }
+
+    double total_capacitance() const;
+
+    /// True when any branch carries inductance.
+    bool has_inductance() const;
+
+private:
+    std::vector<RcNode> nodes_;
+    std::vector<int> sink_nodes_;
+};
+
+}  // namespace cong93
+
+#endif  // CONG93_SIM_RC_TREE_H

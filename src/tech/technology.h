@@ -1,0 +1,65 @@
+// Technology parameter sets (paper Tables 4 and 9) and derived per-grid
+// electrical quantities.
+//
+// Conventions:
+//  * physical wire quantities are per micrometer, resistances in ohm,
+//    capacitances in farad, inductances in henry;
+//  * routing coordinates are integer grid units, `grid_pitch_um` micrometers
+//    apart, so the per-unit-grid-length wire resistance R0 and capacitance C0
+//    of the paper's Equation 2 are `r_grid()` / `c_grid()`;
+//  * wire widths are normalized to the technology's base width W1: a wire of
+//    normalized width w has resistance r_grid()/w and capacitance c_grid()*w
+//    per grid (area capacitance only, as the paper assumes).
+#ifndef CONG93_TECH_TECHNOLOGY_H
+#define CONG93_TECH_TECHNOLOGY_H
+
+#include <string>
+#include <vector>
+
+namespace cong93 {
+
+struct Technology {
+    std::string name;
+    double driver_resistance_ohm = 0.0;      ///< Rd
+    double unit_wire_resistance_ohm = 0.0;   ///< R0 per um at base width W1
+    double unit_wire_capacitance_f = 0.0;    ///< C0 per um at base width W1
+    double sink_load_f = 0.0;                ///< Ck (uniform loading cap per sink)
+    double unit_wire_inductance_h = 0.0;     ///< L0 per um (0 when unused)
+    double grid_pitch_um = 1.0;              ///< physical length of one grid unit
+    double base_width_um = 1.0;              ///< W1, the minimum wire width
+
+    /// Wire resistance of one grid unit at base width (ohm).
+    double r_grid() const { return unit_wire_resistance_ohm * grid_pitch_um; }
+    /// Wire capacitance of one grid unit at base width (farad).
+    double c_grid() const { return unit_wire_capacitance_f * grid_pitch_um; }
+    /// Wire inductance of one grid unit (henry).
+    double l_grid() const { return unit_wire_inductance_h * grid_pitch_um; }
+
+    /// The paper's "resistance ratio" Rd/R0, in micrometers of wire whose
+    /// resistance equals the driver's.  Large ratio => wirelength-dominated
+    /// regime; small ratio => distributed regime.
+    double resistance_ratio_um() const
+    {
+        return driver_resistance_ohm / unit_wire_resistance_ohm;
+    }
+
+    /// Copy with the driver transistor scaled `factor` times wider
+    /// (driver resistance divided by `factor`), as in Section 5.4.
+    Technology with_driver_scale(double factor) const;
+};
+
+/// Advanced MCM technology of Table 4 (25 um grid over 100mm x 100mm; W1=15um).
+Technology mcm_technology();
+
+/// The four CMOS IC technologies of Table 9 (minimum-size drivers).
+Technology cmos_2000nm();
+Technology cmos_1500nm();
+Technology cmos_1200nm();
+Technology cmos_500nm();
+
+/// All four Table 9 technologies in the paper's order.
+std::vector<Technology> table9_technologies();
+
+}  // namespace cong93
+
+#endif  // CONG93_TECH_TECHNOLOGY_H

@@ -1,0 +1,78 @@
+#include "wiresize/bottom_up.h"
+
+#include <limits>
+#include <vector>
+
+namespace cong93 {
+
+BottomUpResult bottom_up_wiresize(const WiresizeContext& ctx)
+{
+    // The delay contribution of T_SS(i) as a function of the upstream
+    // resistance R decomposes exactly as D(R) = A + R*B with
+    //   B = c0*w*l + tail_cap + Σ_child B_child        (downstream capacitance)
+    //   A = r0*c0*l(l+1)/2 + (r0*l/w)*(tail_cap + Σ B_child)
+    //       + Σ_child A_child                          (internal RC products)
+    // A bottom-up DP that is *independent of the ancestors* (the approach the
+    // paper's Section 4.1 warns about) must pick each subtree's widths by
+    // evaluating this at a guessed upstream resistance; the only
+    // ancestor-free guess is the driver resistance alone, R = Rd.
+    const std::size_t n = ctx.segment_count();
+    const int r = ctx.width_count();
+    const double rd = ctx.tech().driver_resistance_ohm;
+    const double r0 = ctx.tech().r_grid();
+    const double c0 = ctx.tech().c_grid();
+
+    std::vector<std::vector<double>> a(n, std::vector<double>(static_cast<std::size_t>(r)));
+    std::vector<std::vector<double>> b(n, std::vector<double>(static_cast<std::size_t>(r)));
+    // best_le[i][k]: min over k' <= k of A + Rd*B, with the argmin width.
+    std::vector<std::vector<int>> arg_le(n, std::vector<int>(static_cast<std::size_t>(r)));
+
+    for (std::size_t i = n; i-- > 0;) {  // children have larger indices
+        const double l = static_cast<double>(ctx.segs()[i].length);
+        const double tc = ctx.tail_cap(i);
+        for (int k = 0; k < r; ++k) {
+            const double w = ctx.widths()[k];
+            double b_child = 0.0;
+            double a_child = 0.0;
+            for (const int c : ctx.segs()[i].children) {
+                const std::size_t ci = static_cast<std::size_t>(c);
+                const int pick = arg_le[ci][static_cast<std::size_t>(k)];
+                b_child += b[ci][static_cast<std::size_t>(pick)];
+                a_child += a[ci][static_cast<std::size_t>(pick)];
+            }
+            b[i][static_cast<std::size_t>(k)] = c0 * w * l + tc + b_child;
+            a[i][static_cast<std::size_t>(k)] = r0 * c0 * l * (l + 1.0) / 2.0 +
+                                                (r0 * l / w) * (tc + b_child) +
+                                                a_child;
+        }
+        double best = std::numeric_limits<double>::infinity();
+        int arg = 0;
+        for (int k = 0; k < r; ++k) {
+            const double v =
+                a[i][static_cast<std::size_t>(k)] + rd * b[i][static_cast<std::size_t>(k)];
+            if (v < best) {
+                best = v;
+                arg = k;
+            }
+            arg_le[i][static_cast<std::size_t>(k)] = arg;
+        }
+    }
+
+    BottomUpResult res;
+    res.assignment.assign(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+        const int parent = ctx.segs()[i].parent;
+        const int cap = parent == kNoSegment
+                            ? r - 1
+                            : res.assignment[static_cast<std::size_t>(parent)];
+        res.assignment[i] = arg_le[i][static_cast<std::size_t>(cap)];
+        if (parent == kNoSegment)
+            res.dp_estimate +=
+                a[i][static_cast<std::size_t>(res.assignment[i])] +
+                rd * b[i][static_cast<std::size_t>(res.assignment[i])];
+    }
+    res.delay = ctx.delay(res.assignment);
+    return res;
+}
+
+}  // namespace cong93

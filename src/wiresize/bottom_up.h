@@ -1,0 +1,29 @@
+// The "simple bottom-up dynamic programming" wiresizer the paper warns
+// about (Section 4.1, last paragraph): each subtree's width assignment is
+// determined *independently of its ancestors* -- the upstream resistance is
+// approximated by the driver resistance alone.  The paper states such
+// assignments "are in general relatively poor in quality"; we implement it
+// to reproduce that negative claim (see bench_table6_wiresizing).
+//
+// DP: D[i][k] = best subtree delay contribution of T_SS(i) with stem width
+// index exactly k, computed with R_in fixed to Rd at every stem; children
+// restricted to monotone widths <= k.  The returned assignment is evaluated
+// with the *exact* delay (Eq. 9) for comparison.
+#ifndef CONG93_WIRESIZE_BOTTOM_UP_H
+#define CONG93_WIRESIZE_BOTTOM_UP_H
+
+#include "wiresize/delay_eval.h"
+
+namespace cong93 {
+
+struct BottomUpResult {
+    Assignment assignment;
+    double delay = 0.0;       ///< exact delay of the chosen assignment
+    double dp_estimate = 0.0; ///< the (ancestor-blind) objective the DP minimized
+};
+
+BottomUpResult bottom_up_wiresize(const WiresizeContext& ctx);
+
+}  // namespace cong93
+
+#endif  // CONG93_WIRESIZE_BOTTOM_UP_H

@@ -1,0 +1,66 @@
+#include "wiresize/combined.h"
+
+namespace cong93 {
+
+double CombinedResult::avg_choices_per_segment() const
+{
+    if (lower_bounds.empty()) return 0.0;
+    double sum = 0.0;
+    for (std::size_t i = 0; i < lower_bounds.size(); ++i)
+        sum += static_cast<double>(upper_bounds[i] - lower_bounds[i] + 1);
+    return sum / static_cast<double>(lower_bounds.size());
+}
+
+CombinedResult grewsa_owsa(const WiresizeContext& ctx)
+{
+    const GrewsaResult lo = grewsa_from_min(ctx);
+    const GrewsaResult hi = grewsa_from_max(ctx);
+
+    CombinedResult res;
+    res.lower_bounds = lo.assignment;
+    res.upper_bounds = hi.assignment;
+    res.bounds_tight = lo.assignment == hi.assignment;
+
+    const OwsaResult o = owsa_bounded(ctx, res.lower_bounds, res.upper_bounds);
+    res.assignment = o.assignment;
+    res.delay = o.delay;
+    res.assignments_examined = o.assignments_examined;
+    res.owsa_calls = o.calls;
+    return res;
+}
+
+double delay_lower_bound(const WiresizeContext& ctx, const Assignment& lower,
+                         const Assignment& upper)
+{
+    // Eq. 51-54: capacitive factors (w multiplies C0) take the lower-bound
+    // width, resistive factors (w divides R0) take the upper-bound width.
+    const auto& segs = ctx.segs();
+    const auto& ws = ctx.widths();
+    const double rd = ctx.tech().driver_resistance_ohm;
+    const double r0 = ctx.tech().r_grid();
+    const double c0 = ctx.tech().c_grid();
+
+    // Upstream Σ l_a / w_a using upper widths (smallest possible resistance).
+    std::vector<double> a_up(segs.count(), 0.0);
+    for (std::size_t i = 0; i < segs.count(); ++i) {
+        const int p = segs[i].parent;
+        if (p == kNoSegment) continue;
+        a_up[i] = a_up[static_cast<std::size_t>(p)] +
+                  static_cast<double>(segs[static_cast<std::size_t>(p)].length) /
+                      ws[upper[static_cast<std::size_t>(p)]];
+    }
+
+    double bound = 0.0;
+    for (std::size_t i = 0; i < segs.count(); ++i) {
+        const double l = static_cast<double>(segs[i].length);
+        const double w_lo = ws[lower[i]];
+        const double w_hi = ws[upper[i]];
+        bound += rd * c0 * w_lo * l;                                  // t1
+        bound += r0 * (a_up[i] + l / w_hi) * ctx.tail_cap(i);         // t2
+        bound += r0 * c0 * (l * (l + 1.0) / 2.0 + a_up[i] * w_lo * l);  // t3
+        bound += rd * ctx.tail_cap(i);                                // t4
+    }
+    return bound;
+}
+
+}  // namespace cong93

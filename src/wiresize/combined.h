@@ -1,0 +1,40 @@
+// GREWSA-OWSA -- the combined optimal wiresizing algorithm (Section 4.3).
+//
+// GREWSA from the all-minimum assignment yields per-segment lower bounds on
+// the optimal widths; from the all-maximum assignment, upper bounds
+// (dominance property, Theorem 7).  OWSA then enumerates only assignments
+// inside the window.  In most cases the bounds coincide and OWSA examines a
+// single assignment.
+#ifndef CONG93_WIRESIZE_COMBINED_H
+#define CONG93_WIRESIZE_COMBINED_H
+
+#include "wiresize/grewsa.h"
+#include "wiresize/owsa.h"
+
+namespace cong93 {
+
+struct CombinedResult {
+    Assignment assignment;            ///< the optimal assignment
+    double delay = 0.0;
+    Assignment lower_bounds;          ///< GREWSA-from-min fixpoint
+    Assignment upper_bounds;          ///< GREWSA-from-max fixpoint
+    std::int64_t assignments_examined = 0;  ///< by the bounded OWSA stage
+    std::int64_t owsa_calls = 0;
+    bool bounds_tight = false;        ///< lower == upper everywhere
+
+    /// Average number of admissible widths per segment (Table 7, last rows).
+    double avg_choices_per_segment() const;
+};
+
+CombinedResult grewsa_owsa(const WiresizeContext& ctx);
+
+/// Delay lower bound for the optimal assignment from the GREWSA bounds
+/// (Eq. 51-54): each term evaluated with the most favourable admissible
+/// width.  Together with min(t(f_lower), t(f_upper)) this brackets the
+/// optimum without running OWSA.
+double delay_lower_bound(const WiresizeContext& ctx, const Assignment& lower,
+                         const Assignment& upper);
+
+}  // namespace cong93
+
+#endif  // CONG93_WIRESIZE_COMBINED_H

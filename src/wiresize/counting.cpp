@@ -1,0 +1,36 @@
+#include "wiresize/counting.h"
+
+#include <cmath>
+#include <vector>
+
+namespace cong93 {
+
+double exhaustive_assignment_count(std::size_t segments, int r)
+{
+    return std::pow(static_cast<double>(r), static_cast<double>(segments));
+}
+
+double monotone_assignment_count(const SegmentDecomposition& segs, int r)
+{
+    // m[i][k] = number of monotone assignments of T_SS(i) with the stem width
+    // index exactly k; cumulative M[i][k] = Σ_{j<=k} m[i][j].
+    const std::size_t n = segs.count();
+    std::vector<std::vector<double>> cum(n, std::vector<double>(static_cast<std::size_t>(r), 0.0));
+    // Children have larger indices than parents.
+    for (std::size_t i = n; i-- > 0;) {
+        double running = 0.0;
+        for (int k = 0; k < r; ++k) {
+            double prod = 1.0;
+            for (const int c : segs[i].children)
+                prod *= cum[static_cast<std::size_t>(c)][static_cast<std::size_t>(k)];
+            running += prod;
+            cum[i][static_cast<std::size_t>(k)] = running;
+        }
+    }
+    double total = 1.0;
+    for (const int root : segs.roots())
+        total *= cum[static_cast<std::size_t>(root)][static_cast<std::size_t>(r - 1)];
+    return total;
+}
+
+}  // namespace cong93

@@ -1,0 +1,21 @@
+// Assignment-space counting for Table 7: how many candidate assignments the
+// naive methods would examine.
+#ifndef CONG93_WIRESIZE_COUNTING_H
+#define CONG93_WIRESIZE_COUNTING_H
+
+#include "rtree/segments.h"
+
+namespace cong93 {
+
+/// r^n -- the exhaustive enumeration count (as double; it overflows int64
+/// already at the paper's sizes).
+double exhaustive_assignment_count(std::size_t segments, int r);
+
+/// Number of *monotone* assignments of the tree ("exhaustive enumeration
+/// with MP" in Table 7), via the tree DP
+///   M(seg, k) = Σ_{j=1..k} Π_children M(child, j).
+double monotone_assignment_count(const SegmentDecomposition& segs, int r);
+
+}  // namespace cong93
+
+#endif  // CONG93_WIRESIZE_COUNTING_H

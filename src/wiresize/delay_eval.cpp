@@ -1,0 +1,156 @@
+#include "wiresize/delay_eval.h"
+
+#include <stdexcept>
+
+namespace cong93 {
+
+WiresizeContext::WiresizeContext(const SegmentDecomposition& segs,
+                                 const Technology& tech, WidthSet widths)
+    : segs_(&segs), tech_(&tech), widths_(std::move(widths))
+{
+    tail_cap_.resize(segs.count(), 0.0);
+    for (std::size_t i = 0; i < segs.count(); ++i) {
+        const WireSegment& s = segs[i];
+        if (s.tail_is_sink)
+            tail_cap_[i] = s.tail_sink_cap_f >= 0.0 ? s.tail_sink_cap_f
+                                                    : tech.sink_load_f;
+    }
+    down_cap_ = segs.downstream_sink_cap(tech.sink_load_f);
+}
+
+namespace {
+
+/// Accumulated upstream resistances R_in per segment (Rd at the stems).
+std::vector<double> upstream_resistance(const SegmentDecomposition& segs,
+                                        const Technology& tech, const WidthSet& ws,
+                                        const Assignment& a)
+{
+    std::vector<double> rin(segs.count(), 0.0);
+    const double r0 = tech.r_grid();
+    for (std::size_t i = 0; i < segs.count(); ++i) {
+        const WireSegment& s = segs[i];
+        const double above = s.parent == kNoSegment
+                                 ? tech.driver_resistance_ohm
+                                 : rin[static_cast<std::size_t>(s.parent)] +
+                                       r0 *
+                                           static_cast<double>(
+                                               segs[static_cast<std::size_t>(s.parent)].length) /
+                                           ws[a[static_cast<std::size_t>(s.parent)]];
+        rin[i] = above;
+    }
+    return rin;
+}
+
+}  // namespace
+
+double WiresizeContext::delay(const Assignment& a) const
+{
+    if (a.size() != segment_count())
+        throw std::invalid_argument("WiresizeContext::delay: bad assignment size");
+    const double r0 = tech_->r_grid();
+    const double c0 = tech_->c_grid();
+    const std::vector<double> rin = upstream_resistance(*segs_, *tech_, widths_, a);
+
+    double total = 0.0;
+    for (std::size_t i = 0; i < segment_count(); ++i) {
+        const double l = static_cast<double>((*segs_)[i].length);
+        const double w = widths_[a[i]];
+        total += rin[i] * c0 * w * l + r0 * c0 * l * (l + 1.0) / 2.0;
+        total += (rin[i] + r0 * l / w) * tail_cap_[i];
+    }
+    return total;
+}
+
+WiresizeContext::Terms WiresizeContext::terms(const Assignment& a) const
+{
+    const double rd = tech_->driver_resistance_ohm;
+    const double r0 = tech_->r_grid();
+    const double c0 = tech_->c_grid();
+    const std::vector<double> rin = upstream_resistance(*segs_, *tech_, widths_, a);
+
+    Terms t;
+    for (std::size_t i = 0; i < segment_count(); ++i) {
+        const double l = static_cast<double>((*segs_)[i].length);
+        const double w = widths_[a[i]];
+        t.t1 += rd * c0 * w * l;
+        // Upstream *wire* resistance seen by this segment's start.
+        const double a_up = (rin[i] - rd) / r0;  // Σ l_a / w_a over ancestors
+        t.t2 += (a_up * r0 + r0 * l / w) * tail_cap_[i];
+        t.t3 += r0 * c0 * l * (l + 1.0) / 2.0 + r0 * a_up * c0 * w * l;
+        t.t4 += rd * tail_cap_[i];
+    }
+    return t;
+}
+
+double WiresizeContext::delay_bruteforce(const Assignment& a) const
+{
+    const double r0 = tech_->r_grid();
+    const double c0 = tech_->c_grid();
+    const std::vector<double> rin = upstream_resistance(*segs_, *tech_, widths_, a);
+
+    double total = 0.0;
+    for (std::size_t i = 0; i < segment_count(); ++i) {
+        const Length l = (*segs_)[i].length;
+        const double w = widths_[a[i]];
+        for (Length j = 1; j <= l; ++j) {
+            const double r = rin[i] + r0 * static_cast<double>(j) / w;
+            total += r * c0 * w;
+        }
+        total += (rin[i] + r0 * static_cast<double>(l) / w) * tail_cap_[i];
+    }
+    return total;
+}
+
+WiresizeContext::ThetaPhi WiresizeContext::theta_phi(const Assignment& a,
+                                                     std::size_t i) const
+{
+    const double rd = tech_->driver_resistance_ohm;
+    const double r0 = tech_->r_grid();
+    const double c0 = tech_->c_grid();
+
+    // A_i = Σ_{ancestors} l_a / w_a.
+    double a_up = 0.0;
+    for (int p = (*segs_)[i].parent; p != kNoSegment;
+         p = (*segs_)[static_cast<std::size_t>(p)].parent) {
+        a_up += static_cast<double>((*segs_)[static_cast<std::size_t>(p)].length) /
+                widths_[a[static_cast<std::size_t>(p)]];
+    }
+
+    // Σ_{strict descendants} w_d * l_d, via one subtree walk.
+    double wire_below = 0.0;
+    std::vector<int> stack(( *segs_)[i].children.begin(), (*segs_)[i].children.end());
+    while (!stack.empty()) {
+        const int d = stack.back();
+        stack.pop_back();
+        wire_below += widths_[a[static_cast<std::size_t>(d)]] *
+                      static_cast<double>((*segs_)[static_cast<std::size_t>(d)].length);
+        for (const int c : (*segs_)[static_cast<std::size_t>(d)].children)
+            stack.push_back(c);
+    }
+
+    ThetaPhi tp;
+    const double l = static_cast<double>((*segs_)[i].length);
+    tp.theta = c0 * l * (rd + r0 * a_up);
+    tp.phi = r0 * l * (down_cap_[i] + c0 * wire_below);
+    const double w = widths_[a[i]];
+    tp.psi = delay(a) - tp.theta * w - tp.phi / w;
+    return tp;
+}
+
+int WiresizeContext::locally_optimal_width(const Assignment& a, std::size_t i,
+                                           int max_idx) const
+{
+    const ThetaPhi tp = theta_phi(a, i);
+    int best = 0;
+    double best_val = tp.theta * widths_[0] + tp.phi / widths_[0];
+    for (int k = 1; k <= max_idx; ++k) {
+        const double v = tp.theta * widths_[k] + tp.phi / widths_[k];
+        if (v < best_val) {
+            best = k;
+            best_val = v;
+        }
+    }
+    return best;
+}
+
+}  // namespace cong93

@@ -1,0 +1,74 @@
+// Exact RPH delay of a wiresized routing tree (Eq. 9-13), evaluated per
+// segment in closed form, plus the Theta/Phi decomposition (Eq. 43-46) used
+// for O(1)-per-candidate local refinement.
+//
+// For a segment S_i of length l and normalized width w, with accumulated
+// upstream resistance R_in = Rd + r0 * Σ_{a in ans} l_a/w_a:
+//   * its own grid nodes contribute  R_in*c0*w*l + r0*c0*l(l+1)/2
+//     (the second term is width-independent: within a segment w cancels);
+//   * its tail load C contributes    (R_in + r0*l/w) * C;
+//   * downstream segments see        R_in' = R_in + r0*l/w.
+// Summed over all segments this equals Eq. 9 at grid granularity, including
+// the constant t4.
+#ifndef CONG93_WIRESIZE_DELAY_EVAL_H
+#define CONG93_WIRESIZE_DELAY_EVAL_H
+
+#include "tech/technology.h"
+#include "wiresize/assignment.h"
+
+namespace cong93 {
+
+/// Precomputed per-net data shared by every wiresizing algorithm.
+class WiresizeContext {
+public:
+    WiresizeContext(const SegmentDecomposition& segs, const Technology& tech,
+                    WidthSet widths);
+
+    const SegmentDecomposition& segs() const { return *segs_; }
+    const Technology& tech() const { return *tech_; }
+    const WidthSet& widths() const { return widths_; }
+    int width_count() const { return widths_.count(); }
+    std::size_t segment_count() const { return segs_->count(); }
+
+    /// Loading capacitance at segment i's tail (0 when not a sink).
+    double tail_cap(std::size_t i) const { return tail_cap_[i]; }
+    /// Σ of loading capacitance at or below segment i (farad).
+    double downstream_sink_cap(std::size_t i) const { return down_cap_[i]; }
+
+    /// Exact t(T) of Eq. 9 for the assignment, in seconds.
+    double delay(const Assignment& a) const;
+
+    /// The t1..t4 terms of Eq. 10-13.
+    struct Terms {
+        double t1 = 0, t2 = 0, t3 = 0, t4 = 0;
+        double total() const { return t1 + t2 + t3 + t4; }
+    };
+    Terms terms(const Assignment& a) const;
+
+    /// Grid-node-level reference implementation (tests only).
+    double delay_bruteforce(const Assignment& a) const;
+
+    /// t = psi + theta*w_i + phi/w_i as a function of segment i's width
+    /// (Eq. 43-46), for the other widths fixed by `a`.
+    struct ThetaPhi {
+        double theta = 0;
+        double phi = 0;
+        double psi = 0;
+    };
+    ThetaPhi theta_phi(const Assignment& a, std::size_t i) const;
+
+    /// Width index in [0, max_idx] minimizing theta*w + phi/w (ties -> the
+    /// narrowest width).  This is the paper's local refinement operation.
+    int locally_optimal_width(const Assignment& a, std::size_t i, int max_idx) const;
+
+private:
+    const SegmentDecomposition* segs_;
+    const Technology* tech_;
+    WidthSet widths_;
+    std::vector<double> tail_cap_;
+    std::vector<double> down_cap_;
+};
+
+}  // namespace cong93
+
+#endif  // CONG93_WIRESIZE_DELAY_EVAL_H

@@ -1,0 +1,146 @@
+#include "wiresize/owsa.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace cong93 {
+
+namespace {
+
+class OwsaSolver {
+public:
+    OwsaSolver(const WiresizeContext& ctx, const Assignment& lower,
+               const Assignment& upper)
+        : ctx_(&ctx), lower_(&lower), upper_(&upper)
+    {
+        const std::size_t n = ctx.segment_count();
+        current_.assign(n, 0);
+        subtree_.resize(n);
+        pinnable_.assign(n, true);
+        // Children have larger indices than parents: accumulate bottom-up.
+        for (std::size_t i = n; i-- > 0;) {
+            subtree_[i].push_back(static_cast<int>(i));
+            pinnable_[i] = lower[i] == 0;
+            for (const int c : ctx.segs()[i].children) {
+                subtree_[i].insert(subtree_[i].end(),
+                                   subtree_[static_cast<std::size_t>(c)].begin(),
+                                   subtree_[static_cast<std::size_t>(c)].end());
+                pinnable_[i] = pinnable_[i] && pinnable_[static_cast<std::size_t>(c)];
+            }
+        }
+    }
+
+    OwsaResult run()
+    {
+        double total = 0.0;
+        for (const int root : ctx_->segs().roots())
+            total += solve(static_cast<std::size_t>(root), ctx_->width_count() - 1,
+                           ctx_->tech().driver_resistance_ohm);
+        OwsaResult res;
+        res.assignment = current_;
+        res.delay = total;
+        res.calls = calls_;
+        res.assignments_examined = 1 + branching_calls_;
+        return res;
+    }
+
+private:
+    /// Delay contribution of segment i itself at width index k given the
+    /// accumulated upstream resistance.
+    double contribution(std::size_t i, int k, double r_in) const
+    {
+        const double r0 = ctx_->tech().r_grid();
+        const double c0 = ctx_->tech().c_grid();
+        const double l = static_cast<double>(ctx_->segs()[i].length);
+        const double w = ctx_->widths()[k];
+        return r_in * c0 * w * l + r0 * c0 * l * (l + 1.0) / 2.0 +
+               (r_in + r0 * l / w) * ctx_->tail_cap(i);
+    }
+
+    /// Optimal delay contribution of T_SS(i) with stem width index <= kmax;
+    /// leaves the best subtree widths in current_.
+    double solve(std::size_t i, int kmax, double r_in)
+    {
+        ++calls_;
+        const int k_lo = (*lower_)[i];
+        const int k_hi = std::min(kmax, (*upper_)[i]);
+        if (k_lo > k_hi)
+            throw std::logic_error("owsa: incompatible width windows");
+        if (k_hi > k_lo) ++branching_calls_;
+
+        double best = std::numeric_limits<double>::infinity();
+        std::vector<int> best_widths;  // snapshot of current_ over subtree_[i]
+        for (int k = k_lo; k <= k_hi; ++k) {
+            current_[i] = k;
+            double d;
+            if (k == 0 && pinnable_[i]) {
+                // The paper's Table 2 base case: stem at W1 forces the whole
+                // subtree to the minimum width -- evaluate in closed form
+                // instead of recursing (this is what makes N(n,2) = O(n)).
+                d = eval_pinned_min(i, r_in);
+                for (const int s : subtree_[i])
+                    current_[static_cast<std::size_t>(s)] = 0;
+            } else {
+                const double r_next =
+                    r_in + ctx_->tech().r_grid() *
+                               static_cast<double>(ctx_->segs()[i].length) /
+                               ctx_->widths()[k];
+                d = contribution(i, k, r_in);
+                for (const int c : ctx_->segs()[i].children)
+                    d += solve(static_cast<std::size_t>(c), k, r_next);
+            }
+            if (d < best) {
+                best = d;
+                best_widths.clear();
+                for (const int s : subtree_[i])
+                    best_widths.push_back(current_[static_cast<std::size_t>(s)]);
+            }
+        }
+        // Restore the winning subtree assignment.
+        for (std::size_t j = 0; j < subtree_[i].size(); ++j)
+            current_[static_cast<std::size_t>(subtree_[i][j])] = best_widths[j];
+        return best;
+    }
+
+    /// Delay contribution of T_SS(i) with every segment at the minimum
+    /// width, given the upstream resistance (no recursion, no call counting).
+    double eval_pinned_min(std::size_t i, double r_in) const
+    {
+        double d = contribution(i, 0, r_in);
+        const double r_next = r_in + ctx_->tech().r_grid() *
+                                         static_cast<double>(ctx_->segs()[i].length) /
+                                         ctx_->widths()[0];
+        for (const int c : ctx_->segs()[i].children)
+            d += eval_pinned_min(static_cast<std::size_t>(c), r_next);
+        return d;
+    }
+
+    const WiresizeContext* ctx_;
+    const Assignment* lower_;
+    const Assignment* upper_;
+    Assignment current_;
+    std::vector<std::vector<int>> subtree_;
+    std::vector<bool> pinnable_;
+    std::int64_t calls_ = 0;
+    std::int64_t branching_calls_ = 0;
+};
+
+}  // namespace
+
+OwsaResult owsa(const WiresizeContext& ctx)
+{
+    const Assignment lower = min_assignment(ctx.segment_count());
+    const Assignment upper = max_assignment(ctx.segment_count(), ctx.width_count());
+    return owsa_bounded(ctx, lower, upper);
+}
+
+OwsaResult owsa_bounded(const WiresizeContext& ctx, const Assignment& lower,
+                        const Assignment& upper)
+{
+    if (lower.size() != ctx.segment_count() || upper.size() != ctx.segment_count())
+        throw std::invalid_argument("owsa_bounded: bad bound sizes");
+    OwsaSolver solver(ctx, lower, upper);
+    return solver.run();
+}
+
+}  // namespace cong93

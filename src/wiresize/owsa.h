@@ -1,0 +1,44 @@
+// OWSA -- the Optimal WireSizing Algorithm (Section 4.1, Table 2).
+//
+// Exploits two facts: (i) every optimal assignment is monotone (Theorem 4),
+// and (ii) once a stem and all its ancestors are fixed, the child single-stem
+// subtrees can be optimized independently.  The recursion enumerates the stem
+// width top-down (children restricted to narrower-or-equal widths) and is
+// O(n^{r-1}) in the worst case (Theorem 5) -- exponentially better than the
+// O(r^n) brute force.
+//
+// `owsa_bounded` additionally restricts each segment's width to a
+// [lower, upper] index window; with the GREWSA bounds of Section 4.2 this is
+// the combined GREWSA-OWSA algorithm.
+#ifndef CONG93_WIRESIZE_OWSA_H
+#define CONG93_WIRESIZE_OWSA_H
+
+#include <cstdint>
+
+#include "wiresize/delay_eval.h"
+
+namespace cong93 {
+
+struct OwsaResult {
+    Assignment assignment;
+    double delay = 0.0;
+    /// Number of OWSA invocations -- the paper's N(n, r) of Theorem 5.
+    std::int64_t calls = 0;
+    /// "Assignments examined": 1 + the number of invocations that had more
+    /// than one admissible stem width (matches Table 7's accounting, where a
+    /// fully-pinned GREWSA-OWSA run examines exactly one assignment).
+    std::int64_t assignments_examined = 0;
+};
+
+/// Exact optimal monotone assignment over all widths of the context.
+OwsaResult owsa(const WiresizeContext& ctx);
+
+/// Exact optimal assignment with per-segment index windows
+/// lower[i] <= a[i] <= upper[i]; the windows must themselves permit a
+/// monotone assignment (GREWSA bounds always do).
+OwsaResult owsa_bounded(const WiresizeContext& ctx, const Assignment& lower,
+                        const Assignment& upper);
+
+}  // namespace cong93
+
+#endif  // CONG93_WIRESIZE_OWSA_H

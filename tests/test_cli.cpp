@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "cli/cli.h"
+#include "netgen/netgen.h"
+#include "rtree/io.h"
+
+namespace cong93 {
+namespace {
+
+CliOptions parse(std::initializer_list<const char*> args)
+{
+    return parse_cli(std::vector<std::string>(args.begin(), args.end()));
+}
+
+TEST(CliParse, Defaults)
+{
+    const CliOptions o = parse({"route"});
+    EXPECT_EQ(o.command, "route");
+    EXPECT_EQ(o.algo, "atree");
+    EXPECT_EQ(o.tech, "mcm");
+    EXPECT_EQ(o.random_count, 10);
+    EXPECT_EQ(o.sinks, 8);
+    EXPECT_DOUBLE_EQ(o.threshold, 0.5);
+    EXPECT_FALSE(o.rlc);
+}
+
+TEST(CliParse, AllFlags)
+{
+    const CliOptions o = parse({"flow", "--random", "3", "--sinks", "5", "--grid",
+                                "100", "--seed", "7", "--algo", "steiner", "--tech",
+                                "cmos05", "--driver-scale", "4", "--widths", "3",
+                                "--sizer", "owsa", "--method", "transient",
+                                "--threshold", "0.9", "--rlc", "--out", "x.txt"});
+    EXPECT_EQ(o.command, "flow");
+    EXPECT_EQ(o.random_count, 3);
+    EXPECT_EQ(o.sinks, 5);
+    EXPECT_EQ(o.grid, 100);
+    EXPECT_EQ(o.seed, 7u);
+    EXPECT_EQ(o.algo, "steiner");
+    EXPECT_EQ(o.tech, "cmos05");
+    EXPECT_DOUBLE_EQ(o.driver_scale, 4.0);
+    EXPECT_EQ(o.widths, 3);
+    EXPECT_EQ(o.sizer, "owsa");
+    EXPECT_EQ(o.method, "transient");
+    EXPECT_DOUBLE_EQ(o.threshold, 0.9);
+    EXPECT_TRUE(o.rlc);
+    EXPECT_EQ(o.out_path, "x.txt");
+}
+
+TEST(CliParse, Errors)
+{
+    EXPECT_THROW(parse({}), std::invalid_argument);
+    EXPECT_THROW(parse({"bogus"}), std::invalid_argument);
+    EXPECT_THROW(parse({"route", "--unknown"}), std::invalid_argument);
+    EXPECT_THROW(parse({"route", "--sinks"}), std::invalid_argument);
+    EXPECT_THROW(parse({"route", "--sinks", "abc"}), std::invalid_argument);
+    EXPECT_THROW(parse({"route", "--sinks", "0"}), std::invalid_argument);
+    EXPECT_THROW(parse({"route", "--threshold", "1.5"}), std::invalid_argument);
+    EXPECT_THROW(parse({"route", "--driver-scale", "-1"}), std::invalid_argument);
+    EXPECT_THROW(parse({"--help"}), std::invalid_argument);  // usage via throw
+}
+
+TEST(CliRun, GenProducesParsableNets)
+{
+    CliOptions o = parse({"gen", "--random", "4", "--sinks", "3", "--grid", "50"});
+    std::ostringstream out;
+    EXPECT_EQ(run_cli(o, out), 0);
+    const auto nets = parse_nets(out.str());
+    ASSERT_EQ(nets.size(), 4u);
+    for (const Net& n : nets) EXPECT_EQ(n.sinks.size(), 3u);
+}
+
+TEST(CliRun, RouteGeneratedNets)
+{
+    CliOptions o = parse({"route", "--random", "3", "--sinks", "4", "--seed", "9"});
+    std::ostringstream out;
+    EXPECT_EQ(run_cli(o, out), 0);
+    EXPECT_NE(out.str().find("mean delay"), std::string::npos);
+    // Three data rows.
+    EXPECT_NE(out.str().find(" 2 |"), std::string::npos);
+}
+
+TEST(CliRun, RouteFromNetText)
+{
+    const std::string nets = format_nets(random_nets(3, 2, 200, 4));
+    CliOptions o = parse({"route", "--in", "ignored.txt", "--algo", "mst"});
+    std::ostringstream out;
+    EXPECT_EQ(run_cli(o, out, &nets), 0);
+    EXPECT_NE(out.str().find(" 1 |"), std::string::npos);
+}
+
+TEST(CliRun, FlowReportsGain)
+{
+    CliOptions o = parse({"flow", "--random", "2", "--sinks", "6", "--widths", "3"});
+    std::ostringstream out;
+    EXPECT_EQ(run_cli(o, out), 0);
+    EXPECT_NE(out.str().find("aggregate:"), std::string::npos);
+    EXPECT_NE(out.str().find("wiresized delay"), std::string::npos);
+}
+
+TEST(CliRun, FlowSizers)
+{
+    for (const char* sizer : {"combined", "owsa", "grewsa", "bottomup"}) {
+        CliOptions o = parse({"flow", "--random", "1", "--sinks", "4", "--sizer",
+                              sizer});
+        std::ostringstream out;
+        EXPECT_EQ(run_cli(o, out), 0) << sizer;
+    }
+    CliOptions bad = parse({"flow", "--random", "1", "--sizer", "nope"});
+    std::ostringstream out;
+    EXPECT_THROW(run_cli(bad, out), std::invalid_argument);
+}
+
+TEST(CliRun, RouteDumpThenSimulate)
+{
+    // Full round trip: route generated nets to a tree dump, then simulate it.
+    const std::string nets_text = format_nets(random_nets(4, 2, 300, 4));
+    const std::string dump_path =
+        testing::TempDir() + "/cong93_cli_trees.txt";
+    {
+        std::ostringstream tmp;
+        CliOptions route =
+            parse({"route", "--in", "x", "--out", dump_path.c_str()});
+        ASSERT_EQ(run_cli(route, tmp, &nets_text), 0);
+    }
+    std::ifstream in(dump_path);
+    ASSERT_TRUE(in.good());
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::string trees = buf.str();
+    EXPECT_NE(trees.find("tree"), std::string::npos);
+
+    CliOptions sim = parse({"simulate", "--in", "x"});
+    std::ostringstream out;
+    EXPECT_EQ(run_cli(sim, out, &trees), 0);
+    EXPECT_NE(out.str().find("mean delay"), std::string::npos);
+    EXPECT_NE(out.str().find(" 1 |"), std::string::npos);  // two trees simulated
+}
+
+TEST(CliRun, SimulateRequiresInput)
+{
+    CliOptions o = parse({"simulate"});
+    std::ostringstream out;
+    EXPECT_THROW(run_cli(o, out), std::invalid_argument);
+}
+
+TEST(CliRun, AllAlgorithmsRoute)
+{
+    for (const char* algo : {"atree", "steiner", "mst", "spt", "brbc05", "brbc10"}) {
+        CliOptions o = parse({"route", "--random", "1", "--sinks", "5", "--algo",
+                              algo});
+        std::ostringstream out;
+        EXPECT_EQ(run_cli(o, out), 0) << algo;
+    }
+}
+
+TEST(CliRun, AllTechnologies)
+{
+    for (const char* tech : {"mcm", "cmos20", "cmos15", "cmos12", "cmos05"}) {
+        CliOptions o = parse({"route", "--random", "1", "--sinks", "4", "--tech",
+                              tech, "--driver-scale", "4"});
+        std::ostringstream out;
+        EXPECT_EQ(run_cli(o, out), 0) << tech;
+    }
+    CliOptions bad = parse({"route", "--random", "1", "--tech", "ttl"});
+    std::ostringstream out;
+    EXPECT_THROW(run_cli(bad, out), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cong93

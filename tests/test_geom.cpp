@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include "geom/hanan.h"
+#include "geom/point.h"
+#include "geom/segment.h"
+
+namespace cong93 {
+namespace {
+
+TEST(Point, Distances)
+{
+    const Point a{3, 4};
+    const Point b{-2, 10};
+    EXPECT_EQ(dist_x(a, b), 5);
+    EXPECT_EQ(dist_y(a, b), 6);
+    EXPECT_EQ(dist(a, b), 11);
+    EXPECT_EQ(dist(a, a), 0);
+    EXPECT_EQ(dist_origin(Point{-3, -4}), 7);
+}
+
+TEST(Point, Domination)
+{
+    EXPECT_TRUE(dominates(Point{2, 3}, Point{2, 3}));
+    EXPECT_TRUE(dominates(Point{2, 3}, Point{1, 3}));
+    EXPECT_FALSE(dominates(Point{2, 3}, Point{3, 3}));
+    EXPECT_FALSE(dominates(Point{2, 3}, Point{1, 4}));
+}
+
+TEST(Point, Regions)
+{
+    const Point p{0, 0};
+    EXPECT_EQ(region_of(p, Point{0, 0}), Region::same);
+    EXPECT_EQ(region_of(p, Point{0, 2}), Region::north);
+    EXPECT_EQ(region_of(p, Point{0, -2}), Region::south);
+    EXPECT_EQ(region_of(p, Point{2, 0}), Region::east);
+    EXPECT_EQ(region_of(p, Point{-2, 0}), Region::west);
+    EXPECT_EQ(region_of(p, Point{1, 1}), Region::ne);
+    EXPECT_EQ(region_of(p, Point{-1, 1}), Region::nw);
+    EXPECT_EQ(region_of(p, Point{1, -1}), Region::se);
+    EXPECT_EQ(region_of(p, Point{-1, -1}), Region::sw);
+}
+
+TEST(Seg, ConstructionAndContains)
+{
+    const Seg h(Point{5, 2}, Point{1, 2});
+    EXPECT_TRUE(h.horizontal());
+    EXPECT_EQ(h.lo(), (Point{1, 2}));
+    EXPECT_EQ(h.hi(), (Point{5, 2}));
+    EXPECT_EQ(h.length(), 4);
+    EXPECT_TRUE(h.contains(Point{3, 2}));
+    EXPECT_TRUE(h.contains(Point{1, 2}));
+    EXPECT_FALSE(h.contains(Point{0, 2}));
+    EXPECT_FALSE(h.contains(Point{3, 3}));
+    EXPECT_THROW(Seg(Point{0, 0}, Point{1, 1}), std::invalid_argument);
+}
+
+TEST(Seg, DegenerateSegment)
+{
+    const Seg s(Point{2, 2});
+    EXPECT_TRUE(s.degenerate());
+    EXPECT_TRUE(s.contains(Point{2, 2}));
+    EXPECT_FALSE(s.contains(Point{2, 3}));
+    EXPECT_EQ(s.length(), 0);
+}
+
+TEST(Seg, NearestDominatedHorizontal)
+{
+    const Seg s(Point{0, 3}, Point{10, 3});
+    // p above and inside the x-span: nearest is directly below p.
+    EXPECT_EQ(s.nearest_dominated(Point{4, 7}), (Point{4, 3}));
+    // p above and to the right of the span: nearest is the right endpoint.
+    EXPECT_EQ(s.nearest_dominated(Point{15, 7}), (Point{10, 3}));
+    // p below the row: no dominated point.
+    EXPECT_FALSE(s.nearest_dominated(Point{4, 2}).has_value());
+    // p left of the span: no dominated point.
+    EXPECT_FALSE(s.nearest_dominated(Point{-1, 7}).has_value());
+    // p on the segment: distance 0.
+    EXPECT_EQ(s.nearest_dominated(Point{4, 3}), (Point{4, 3}));
+}
+
+TEST(Seg, NearestDominatedVertical)
+{
+    const Seg s(Point{5, 0}, Point{5, 8});
+    EXPECT_EQ(s.nearest_dominated(Point{9, 4}), (Point{5, 4}));
+    EXPECT_EQ(s.nearest_dominated(Point{9, 12}), (Point{5, 8}));
+    EXPECT_FALSE(s.nearest_dominated(Point{4, 4}).has_value());
+}
+
+TEST(Seg, VerticalGate)
+{
+    const Seg v(Point{3, 2}, Point{3, 8});
+    EXPECT_TRUE(v.hits_vertical_gate(3, 0, 3));   // covers y=2
+    EXPECT_TRUE(v.hits_vertical_gate(3, 5, 100));
+    EXPECT_FALSE(v.hits_vertical_gate(3, 9, 12));
+    EXPECT_FALSE(v.hits_vertical_gate(4, 0, 100));
+    EXPECT_FALSE(v.hits_vertical_gate(3, 5, 5));  // empty gate
+
+    const Seg h(Point{0, 5}, Point{10, 5});
+    EXPECT_TRUE(h.hits_vertical_gate(7, 5, 6));
+    EXPECT_FALSE(h.hits_vertical_gate(7, 6, 9));   // row below gate
+    EXPECT_FALSE(h.hits_vertical_gate(11, 0, 10)); // column outside span
+    // Half-open: y_hi itself excluded.
+    EXPECT_FALSE(h.hits_vertical_gate(7, 2, 5));
+}
+
+TEST(Seg, HorizontalGate)
+{
+    const Seg h(Point{2, 3}, Point{8, 3});
+    EXPECT_TRUE(h.hits_horizontal_gate(3, 0, 3));
+    EXPECT_FALSE(h.hits_horizontal_gate(3, 9, 12));
+    EXPECT_FALSE(h.hits_horizontal_gate(4, 0, 10));
+    const Seg v(Point{5, 0}, Point{5, 10});
+    EXPECT_TRUE(v.hits_horizontal_gate(4, 5, 6));
+    EXPECT_FALSE(v.hits_horizontal_gate(4, 6, 9));
+    EXPECT_FALSE(v.hits_horizontal_gate(11, 0, 10));
+}
+
+TEST(Seg, Intersects)
+{
+    const Seg h(Point{0, 5}, Point{10, 5});
+    const Seg v(Point{4, 0}, Point{4, 9});
+    EXPECT_TRUE(h.intersects(v));
+    EXPECT_TRUE(v.intersects(h));
+    EXPECT_FALSE(h.intersects(Seg(Point{0, 6}, Point{10, 6})));
+    EXPECT_TRUE(h.intersects(Seg(Point{10, 5}, Point{20, 5})));  // touch
+    EXPECT_FALSE(h.intersects(Seg(Point{11, 5}, Point{20, 5})));
+}
+
+TEST(Leg, MakeLeg)
+{
+    const Leg west = make_leg(Point{5, 3}, Point{1, 3});
+    EXPECT_EQ(west.dx, -1);
+    EXPECT_EQ(west.dy, 0);
+    EXPECT_EQ(west.len, 4);
+    EXPECT_EQ(west.to(), (Point{1, 3}));
+    EXPECT_EQ(west.at(2), (Point{3, 3}));
+
+    const Leg north = make_leg(Point{0, 0}, Point{0, 7});
+    EXPECT_EQ(north.dy, 1);
+    EXPECT_EQ(north.len, 7);
+    EXPECT_THROW(make_leg(Point{0, 0}, Point{1, 1}), std::invalid_argument);
+}
+
+TEST(Leg, FirstHitVerticalSegment)
+{
+    const Leg west = make_leg(Point{10, 3}, Point{0, 3});
+    // Vertical segment crossing the leg's row.
+    EXPECT_EQ(first_hit(west, Seg(Point{6, 0}, Point{6, 5})), 4);
+    // Vertical segment not covering the row.
+    EXPECT_FALSE(first_hit(west, Seg(Point{6, 4}, Point{6, 9})).has_value());
+    // Behind the leg.
+    EXPECT_FALSE(first_hit(west, Seg(Point{11, 0}, Point{11, 5})).has_value());
+    // At the origin of the leg: excluded (t >= 1).
+    EXPECT_FALSE(first_hit(west, Seg(Point{10, 0}, Point{10, 3})).has_value());
+}
+
+TEST(Leg, FirstHitCollinear)
+{
+    const Leg west = make_leg(Point{10, 3}, Point{0, 3});
+    // Collinear horizontal segment: first entry from the east side.
+    EXPECT_EQ(first_hit(west, Seg(Point{2, 3}, Point{7, 3})), 3);
+    // Overlapping the origin: first hit at t=1.
+    EXPECT_EQ(first_hit(west, Seg(Point{8, 3}, Point{12, 3})), 1);
+    EXPECT_FALSE(first_hit(west, Seg(Point{2, 4}, Point{7, 4})).has_value());
+}
+
+TEST(Leg, FirstHitSouthward)
+{
+    const Leg south = make_leg(Point{4, 10}, Point{4, 0});
+    EXPECT_EQ(first_hit(south, Seg(Point{0, 6}, Point{9, 6})), 4);
+    EXPECT_EQ(first_hit(south, Seg(Point{4, 2}, Point{4, 5})), 5);
+    EXPECT_FALSE(first_hit(south, Seg(Point{5, 0}, Point{5, 9})).has_value());
+}
+
+TEST(Hanan, GridAndCandidates)
+{
+    const std::vector<Point> terms{{0, 0}, {2, 5}, {7, 1}};
+    const auto xs = hanan_xs(terms);
+    const auto ys = hanan_ys(terms);
+    EXPECT_EQ(xs, (std::vector<Coord>{0, 2, 7}));
+    EXPECT_EQ(ys, (std::vector<Coord>{0, 1, 5}));
+    const auto grid = hanan_grid(terms);
+    EXPECT_EQ(grid.size(), 9u);
+    const auto cands = hanan_candidates(terms);
+    EXPECT_EQ(cands.size(), 6u);
+    for (const Point c : cands)
+        for (const Point t : terms) EXPECT_NE(c, t);
+}
+
+TEST(Hanan, Duplicates)
+{
+    const std::vector<Point> terms{{1, 1}, {1, 1}, {1, 4}};
+    EXPECT_EQ(hanan_xs(terms).size(), 1u);
+    EXPECT_EQ(hanan_grid(terms).size(), 2u);
+}
+
+}  // namespace
+}  // namespace cong93

@@ -1,0 +1,122 @@
+// Edge cases of the move engine and forest surgery: degenerate H2 corners,
+// truncated legs, materialization on other trees' nodes, and error paths.
+#include <gtest/gtest.h>
+
+#include "atree/atree.h"
+#include "atree/exact_rsa.h"
+#include "atree/forest.h"
+#include "rtree/metrics.h"
+#include "rtree/validate.h"
+
+namespace cong93 {
+namespace {
+
+int root_at(const Forest& f, Point p)
+{
+    for (const int r : f.roots())
+        if (f.node(r).p == p) return r;
+    ADD_FAILURE() << "no root at (" << p.x << ',' << p.y << ')';
+    return -1;
+}
+
+TEST(MoveEdge, ApplyPathRejectsNonRoot)
+{
+    Forest f(Point{0, 0}, {{4, 4}});
+    const int r = root_at(f, Point{4, 4});
+    const auto res = f.apply_path(r, {Point{4, 2}});
+    ASSERT_FALSE(res.merged);
+    // The old root is no longer a root; paths from it must be rejected.
+    EXPECT_THROW(f.apply_path(r, {Point{4, 0}}), std::invalid_argument);
+}
+
+TEST(MoveEdge, ZeroLengthPathIsNoOp)
+{
+    Forest f(Point{0, 0}, {{3, 3}});
+    const int r = root_at(f, Point{3, 3});
+    const auto res = f.apply_path(r, {Point{3, 3}});
+    EXPECT_FALSE(res.merged);
+    EXPECT_EQ(res.end_node, r);
+    EXPECT_EQ(f.total_length(), 0);
+    EXPECT_EQ(f.roots().size(), 2u);
+}
+
+TEST(MoveEdge, PathLandingOnOtherRootMerges)
+{
+    // Walking exactly onto another single-node arborescence merges there and
+    // the target stays the root.
+    Forest f(Point{0, 0}, {{5, 0}, {9, 0}});
+    const auto res = f.apply_path(root_at(f, Point{9, 0}), {Point{5, 0}});
+    EXPECT_TRUE(res.merged);
+    EXPECT_EQ(res.end_point, (Point{5, 0}));
+    ASSERT_EQ(f.roots().size(), 2u);  // origin + merged tree rooted at (5,0)
+    bool root5 = false;
+    for (const int r : f.roots()) root5 = root5 || f.node(r).p == (Point{5, 0});
+    EXPECT_TRUE(root5);
+}
+
+TEST(MoveEdge, TruncationAtIntermediateTree)
+{
+    // A leg passing through a third tree's territory stops at first contact.
+    Forest f(Point{0, 0}, {{10, 5}, {6, 5}, {2, 5}});
+    // Walk the (10,5) root west toward x=0: must stop at (6,5).
+    const auto res = f.apply_path(root_at(f, Point{10, 5}), {Point{0, 5}});
+    EXPECT_TRUE(res.merged);
+    EXPECT_EQ(res.end_point, (Point{6, 5}));
+    EXPECT_EQ(f.total_length(), 4);
+}
+
+TEST(MoveEdge, DominatedPairCollapsesToSingleLeg)
+{
+    // Two sinks where one dominates the other: the engine should route the
+    // dominating one through (or to) the dominated one, not duplicate wire.
+    const Net net{{0, 0}, {{3, 3}, {6, 6}}};
+    const AtreeResult r = build_atree(net);
+    EXPECT_EQ(r.cost, 12);  // single monotone chain
+    EXPECT_TRUE(r.all_safe());
+}
+
+TEST(MoveEdge, CrossPairNeedsSteinerCorner)
+{
+    // Classic H2 shape: (2,3) and (3,2) meet at (2,2).
+    const Net net{{0, 0}, {{2, 3}, {3, 2}}};
+    const AtreeResult r = build_atree(net);
+    require_valid(r.tree, net);
+    EXPECT_EQ(r.cost, 6);
+    // The corner (2,2) exists in the tree.
+    EXPECT_TRUE(r.tree.find_node(Point{2, 2}).has_value());
+}
+
+TEST(MoveEdge, ManyCoincidentRows)
+{
+    // Several sinks sharing rows/columns with the source: exercised merges
+    // along shared corridors.
+    const Net net{{0, 0}, {{0, 5}, {5, 0}, {5, 5}, {0, 9}, {9, 0}}};
+    const AtreeResult r = build_atree(net);
+    require_valid(r.tree, net);
+    EXPECT_TRUE(is_atree(r.tree));
+    // Optimal: both axis corridors (9 each) plus a 5-unit branch to (5,5)
+    // shared off one corridor = 23; the algorithm finds it.
+    EXPECT_EQ(r.cost, 23);
+    EXPECT_EQ(r.cost, exact_rsa_cost(net));
+}
+
+TEST(MoveEdge, EngineStopsWhenSingleTree)
+{
+    Forest f(Point{0, 0}, {{2, 1}});
+    MoveEngine engine(f, HeuristicPolicy::farthest_corner);
+    EXPECT_TRUE(engine.step());
+    EXPECT_FALSE(engine.step());  // done; no further moves
+    EXPECT_TRUE(f.single_tree());
+    EXPECT_EQ(engine.safe_moves() + engine.heuristic_moves(), 1);
+}
+
+TEST(MoveEdge, MaterializeErrorsOnOffTreePoint)
+{
+    Forest f(Point{0, 0}, {{4, 4}});
+    // covers() is the public probe; a point off every tree is not covered.
+    EXPECT_FALSE(f.covers(Point{1, 3}));
+    EXPECT_TRUE(f.covers(Point{4, 4}));
+}
+
+}  // namespace
+}  // namespace cong93

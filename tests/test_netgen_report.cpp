@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "netgen/netgen.h"
+#include "report/table.h"
+
+namespace cong93 {
+namespace {
+
+TEST(Netgen, Reproducible)
+{
+    const auto a = random_nets(1234, 5, kMcmGrid, 8);
+    const auto b = random_nets(1234, 5, kMcmGrid, 8);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].source, b[i].source);
+        EXPECT_EQ(a[i].sinks, b[i].sinks);
+    }
+    const auto c = random_nets(1235, 5, kMcmGrid, 8);
+    EXPECT_NE(a[0].sinks, c[0].sinks);
+}
+
+TEST(Netgen, TerminalsDistinctAndInRange)
+{
+    std::mt19937_64 rng(5);
+    for (int trial = 0; trial < 20; ++trial) {
+        const Net net = random_net(rng, 100, 16);
+        std::set<Point> pts;
+        pts.insert(net.source);
+        for (const Point s : net.sinks) {
+            EXPECT_TRUE(pts.insert(s).second) << "duplicate terminal";
+            EXPECT_GE(s.x, 0);
+            EXPECT_LE(s.x, 100);
+            EXPECT_GE(s.y, 0);
+            EXPECT_LE(s.y, 100);
+        }
+        EXPECT_EQ(net.terminal_count(), 17u);
+    }
+}
+
+TEST(Netgen, RejectsBadParameters)
+{
+    std::mt19937_64 rng(5);
+    EXPECT_THROW(random_net(rng, 1, 4), std::invalid_argument);
+    EXPECT_THROW(random_net(rng, 100, 0), std::invalid_argument);
+}
+
+TEST(Report, TableLayout)
+{
+    TextTable t({"algo", "delay"});
+    t.add_row({"A-tree", "8.07"});
+    t.add_row({"1-Steiner", "9.10"});
+    const std::string s = t.to_string();
+    EXPECT_NE(s.find("A-tree"), std::string::npos);
+    EXPECT_NE(s.find("delay"), std::string::npos);
+    // Header separator present.
+    EXPECT_GE(std::count(s.begin(), s.end(), '+'), 6);
+    EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Report, Formatting)
+{
+    EXPECT_EQ(fmt_fixed(3.14159, 2), "3.14");
+    EXPECT_EQ(fmt_ns(8.07e-9, 2), "8.07");
+    EXPECT_EQ(fmt_pct_delta(100.0, 112.76), "+12.76%");
+    EXPECT_EQ(fmt_pct_delta(100.0, 90.0, 1), "-10.0%");
+    EXPECT_NE(fmt_sci(1.324e7).find("e+07"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cong93

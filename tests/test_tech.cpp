@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include "tech/technology.h"
+
+namespace cong93 {
+namespace {
+
+TEST(Technology, McmTable4Values)
+{
+    const Technology t = mcm_technology();
+    EXPECT_DOUBLE_EQ(t.driver_resistance_ohm, 25.0);
+    EXPECT_DOUBLE_EQ(t.unit_wire_resistance_ohm, 0.008);
+    EXPECT_DOUBLE_EQ(t.unit_wire_capacitance_f, 0.060e-15);
+    EXPECT_DOUBLE_EQ(t.sink_load_f, 1000e-15);
+    EXPECT_DOUBLE_EQ(t.unit_wire_inductance_h, 380e-15);
+    EXPECT_DOUBLE_EQ(t.grid_pitch_um, 25.0);
+    // Per-grid derived quantities.
+    EXPECT_DOUBLE_EQ(t.r_grid(), 0.2);
+    EXPECT_DOUBLE_EQ(t.c_grid(), 1.5e-15);
+}
+
+TEST(Technology, ResistanceRatioTable9)
+{
+    // Table 9's bottom row: Rd/R0 in units of 1e6 um.
+    EXPECT_NEAR(cmos_2000nm().resistance_ratio_um() / 1e6, 0.144, 0.001);
+    EXPECT_NEAR(cmos_1500nm().resistance_ratio_um() / 1e6, 0.095, 0.001);
+    EXPECT_NEAR(cmos_1200nm().resistance_ratio_um() / 1e6, 0.078, 0.001);
+    EXPECT_NEAR(cmos_500nm().resistance_ratio_um() / 1e6, 0.014, 0.001);
+}
+
+TEST(Technology, DriverScaling)
+{
+    const Technology t = cmos_2000nm();
+    const Technology t4 = t.with_driver_scale(4.0);
+    const Technology t10 = t.with_driver_scale(10.0);
+    EXPECT_NEAR(t4.driver_resistance_ohm, 742.5, 1e-9);
+    EXPECT_NEAR(t10.driver_resistance_ohm, 297.0, 1e-9);
+    // Scaling the driver reduces the resistance ratio proportionally.
+    EXPECT_NEAR(t4.resistance_ratio_um(), t.resistance_ratio_um() / 4.0, 1e-6);
+    // Wire parameters are untouched.
+    EXPECT_DOUBLE_EQ(t4.unit_wire_resistance_ohm, t.unit_wire_resistance_ohm);
+    EXPECT_THROW(t.with_driver_scale(0.0), std::invalid_argument);
+}
+
+TEST(Technology, Table9List)
+{
+    const auto all = table9_technologies();
+    ASSERT_EQ(all.size(), 4u);
+    EXPECT_EQ(all[0].name, "2.0um CMOS");
+    EXPECT_EQ(all[3].name, "0.5um CMOS");
+    // The paper's scaling trend: the resistance ratio shrinks with feature size.
+    EXPECT_GT(all[0].resistance_ratio_um(), all[3].resistance_ratio_um());
+}
+
+TEST(Technology, McmResistanceRatioIsSmall)
+{
+    // The MCM regime is strongly distributed: Rd/R0 = 3125 um, far below the
+    // 2um CMOS 144000 um -- this drives the paper's Table 5 conclusions.
+    EXPECT_NEAR(mcm_technology().resistance_ratio_um(), 3125.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace cong93

@@ -1,0 +1,145 @@
+// Property-based tests of the paper's wiresizing theorems over random nets,
+// technologies and width counts (parameterized sweeps).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <random>
+#include <string>
+
+#include "atree/generalized.h"
+#include "netgen/netgen.h"
+#include "wiresize/combined.h"
+#include "wiresize/counting.h"
+#include "wiresize/grewsa.h"
+#include "wiresize/owsa.h"
+
+namespace cong93 {
+namespace {
+
+struct Case {
+    std::uint64_t seed;
+    int sinks;
+    int r;
+    const char* tech_name;
+};
+
+Technology tech_by_name(const std::string& name)
+{
+    if (name == "mcm") return mcm_technology();
+    if (name == "cmos05") return cmos_500nm().with_driver_scale(8.0);
+    return cmos_1200nm().with_driver_scale(6.0);
+}
+
+class WiresizeProperty : public ::testing::TestWithParam<Case> {
+protected:
+    void SetUp() override
+    {
+        const Case c = GetParam();
+        tech_ = tech_by_name(c.tech_name);
+        const Coord grid = std::string(c.tech_name) == "mcm" ? kMcmGrid : kIcGrid;
+        std::mt19937_64 rng(c.seed);
+        net_ = random_net(rng, grid, c.sinks);
+        tree_ = build_atree_general(net_).tree;
+        segs_ = std::make_unique<SegmentDecomposition>(tree_);
+        ctx_ = std::make_unique<WiresizeContext>(*segs_, tech_,
+                                                 WidthSet::uniform_steps(c.r));
+    }
+
+    Technology tech_;
+    Net net_;
+    RoutingTree tree_{Point{0, 0}};
+    std::unique_ptr<SegmentDecomposition> segs_;
+    std::unique_ptr<WiresizeContext> ctx_;
+};
+
+TEST_P(WiresizeProperty, OptimalAssignmentIsMonotone)
+{
+    // Theorem 4.
+    const OwsaResult o = owsa(*ctx_);
+    EXPECT_TRUE(is_monotone(*segs_, o.assignment));
+}
+
+TEST_P(WiresizeProperty, GrewsaFixpointsBracketOptimum)
+{
+    // Theorem 7 (dominance property).
+    const OwsaResult o = owsa(*ctx_);
+    const GrewsaResult lo = grewsa_from_min(*ctx_);
+    const GrewsaResult hi = grewsa_from_max(*ctx_);
+    EXPECT_TRUE(dominates(o.assignment, lo.assignment));
+    EXPECT_TRUE(dominates(hi.assignment, o.assignment));
+    // Both fixpoints are realizable, so they upper-bound the optimal delay.
+    EXPECT_GE(lo.delay, o.delay * (1.0 - 1e-9));
+    EXPECT_GE(hi.delay, o.delay * (1.0 - 1e-9));
+}
+
+TEST_P(WiresizeProperty, CombinedMatchesOwsa)
+{
+    const OwsaResult o = owsa(*ctx_);
+    const CombinedResult c = grewsa_owsa(*ctx_);
+    EXPECT_NEAR(c.delay, o.delay, 1e-9 * o.delay);
+    EXPECT_LE(c.assignments_examined, o.assignments_examined);
+    EXPECT_GE(c.avg_choices_per_segment(), 1.0);
+    EXPECT_LE(c.avg_choices_per_segment(), static_cast<double>(ctx_->width_count()));
+}
+
+TEST_P(WiresizeProperty, WiresizingNeverHurts)
+{
+    const OwsaResult o = owsa(*ctx_);
+    EXPECT_LE(o.delay, ctx_->delay(min_assignment(segs_->count())) * (1.0 + 1e-9));
+}
+
+TEST_P(WiresizeProperty, DelayLowerBoundIsValid)
+{
+    const CombinedResult c = grewsa_owsa(*ctx_);
+    const double lb = delay_lower_bound(*ctx_, c.lower_bounds, c.upper_bounds);
+    EXPECT_LE(lb, c.delay * (1.0 + 1e-9));
+    EXPECT_GT(lb, 0.0);
+}
+
+TEST_P(WiresizeProperty, LocalRefinementNeverIncreasesDelay)
+{
+    Assignment a = min_assignment(segs_->count());
+    double cur = ctx_->delay(a);
+    for (int pass = 0; pass < 2; ++pass) {
+        for (std::size_t i = 0; i < segs_->count(); ++i) {
+            const int w = ctx_->locally_optimal_width(a, i, ctx_->width_count() - 1);
+            a[i] = w;
+            const double next = ctx_->delay(a);
+            EXPECT_LE(next, cur * (1.0 + 1e-9));
+            cur = next;
+        }
+    }
+}
+
+TEST_P(WiresizeProperty, MonotoneCountBetweenOwsaAndExhaustive)
+{
+    const double exh = exhaustive_assignment_count(segs_->count(), ctx_->width_count());
+    const double mono = monotone_assignment_count(*segs_, ctx_->width_count());
+    EXPECT_LE(mono, exh);
+    EXPECT_GE(mono, 1.0);
+    const OwsaResult o = owsa(*ctx_);
+    // OWSA's bound of Theorem 5.
+    EXPECT_LE(static_cast<double>(o.calls),
+              std::pow(static_cast<double>(segs_->count()),
+                       static_cast<double>(ctx_->width_count() - 1)) +
+                  static_cast<double>(segs_->count()) + 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, WiresizeProperty,
+    ::testing::Values(Case{1, 4, 2, "mcm"}, Case{2, 4, 4, "mcm"},
+                      Case{3, 8, 2, "mcm"}, Case{4, 8, 3, "mcm"},
+                      Case{5, 8, 5, "mcm"}, Case{6, 16, 2, "mcm"},
+                      Case{7, 16, 3, "mcm"}, Case{8, 16, 4, "mcm"},
+                      Case{9, 5, 3, "cmos05"}, Case{10, 8, 4, "cmos05"},
+                      Case{11, 8, 3, "cmos12"}, Case{12, 12, 2, "cmos12"},
+                      Case{13, 6, 6, "mcm"}, Case{14, 10, 6, "cmos05"}),
+    [](const ::testing::TestParamInfo<Case>& info) {
+        return std::string(info.param.tech_name) + "_s" +
+               std::to_string(info.param.sinks) + "_r" + std::to_string(info.param.r) +
+               "_seed" + std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace cong93

@@ -1,0 +1,21 @@
+// The cong93 command-line tool; all logic lives in src/cli (testable).
+#include <exception>
+#include <iostream>
+#include <vector>
+
+#include "cli/cli.h"
+
+int main(int argc, char** argv)
+{
+    try {
+        const std::vector<std::string> args(argv + 1, argv + argc);
+        const cong93::CliOptions opts = cong93::parse_cli(args);
+        return cong93::run_cli(opts, std::cout);
+    } catch (const std::invalid_argument& e) {
+        std::cerr << e.what() << '\n';
+        return 2;
+    } catch (const std::exception& e) {
+        std::cerr << "error: " << e.what() << '\n';
+        return 1;
+    }
+}
