@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_moves"
+  "../bench/bench_ablation_moves.pdb"
+  "CMakeFiles/bench_ablation_moves.dir/bench_ablation_moves.cpp.o"
+  "CMakeFiles/bench_ablation_moves.dir/bench_ablation_moves.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_moves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

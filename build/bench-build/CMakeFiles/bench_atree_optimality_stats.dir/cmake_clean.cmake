@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_atree_optimality_stats"
+  "../bench/bench_atree_optimality_stats.pdb"
+  "CMakeFiles/bench_atree_optimality_stats.dir/bench_atree_optimality_stats.cpp.o"
+  "CMakeFiles/bench_atree_optimality_stats.dir/bench_atree_optimality_stats.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_atree_optimality_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_critical_sinks"
+  "../bench/bench_critical_sinks.pdb"
+  "CMakeFiles/bench_critical_sinks.dir/bench_critical_sinks.cpp.o"
+  "CMakeFiles/bench_critical_sinks.dir/bench_critical_sinks.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_critical_sinks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig17_technology"
+  "../bench/bench_fig17_technology.pdb"
+  "CMakeFiles/bench_fig17_technology.dir/bench_fig17_technology.cpp.o"
+  "CMakeFiles/bench_fig17_technology.dir/bench_fig17_technology.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_technology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

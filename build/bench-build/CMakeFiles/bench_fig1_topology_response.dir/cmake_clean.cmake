@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_topology_response"
+  "../bench/bench_fig1_topology_response.pdb"
+  "CMakeFiles/bench_fig1_topology_response.dir/bench_fig1_topology_response.cpp.o"
+  "CMakeFiles/bench_fig1_topology_response.dir/bench_fig1_topology_response.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_topology_response.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

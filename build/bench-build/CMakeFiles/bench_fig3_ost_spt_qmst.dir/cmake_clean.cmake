@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_ost_spt_qmst"
+  "../bench/bench_fig3_ost_spt_qmst.pdb"
+  "CMakeFiles/bench_fig3_ost_spt_qmst.dir/bench_fig3_ost_spt_qmst.cpp.o"
+  "CMakeFiles/bench_fig3_ost_spt_qmst.dir/bench_fig3_ost_spt_qmst.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_ost_spt_qmst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

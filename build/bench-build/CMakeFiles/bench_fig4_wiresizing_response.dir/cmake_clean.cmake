@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_wiresizing_response"
+  "../bench/bench_fig4_wiresizing_response.pdb"
+  "CMakeFiles/bench_fig4_wiresizing_response.dir/bench_fig4_wiresizing_response.cpp.o"
+  "CMakeFiles/bench_fig4_wiresizing_response.dir/bench_fig4_wiresizing_response.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_wiresizing_response.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

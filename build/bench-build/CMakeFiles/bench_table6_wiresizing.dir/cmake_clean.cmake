@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table6_wiresizing"
+  "../bench/bench_table6_wiresizing.pdb"
+  "CMakeFiles/bench_table6_wiresizing.dir/bench_table6_wiresizing.cpp.o"
+  "CMakeFiles/bench_table6_wiresizing.dir/bench_table6_wiresizing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_wiresizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

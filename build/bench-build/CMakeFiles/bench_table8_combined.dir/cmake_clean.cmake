@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table8_combined"
+  "../bench/bench_table8_combined.pdb"
+  "CMakeFiles/bench_table8_combined.dir/bench_table8_combined.cpp.o"
+  "CMakeFiles/bench_table8_combined.dir/bench_table8_combined.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_combined.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

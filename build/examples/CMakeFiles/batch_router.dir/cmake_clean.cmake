@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_router.dir/batch_router.cpp.o"
+  "CMakeFiles/batch_router.dir/batch_router.cpp.o.d"
+  "batch_router"
+  "batch_router.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/critical_net.dir/critical_net.cpp.o"
+  "CMakeFiles/critical_net.dir/critical_net.cpp.o.d"
+  "critical_net"
+  "critical_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/critical_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htree_clock.dir/htree_clock.cpp.o"
+  "CMakeFiles/htree_clock.dir/htree_clock.cpp.o.d"
+  "htree_clock"
+  "htree_clock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htree_clock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

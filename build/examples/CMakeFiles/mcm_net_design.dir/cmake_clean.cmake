@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcm_net_design.dir/mcm_net_design.cpp.o"
+  "CMakeFiles/mcm_net_design.dir/mcm_net_design.cpp.o.d"
+  "mcm_net_design"
+  "mcm_net_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcm_net_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

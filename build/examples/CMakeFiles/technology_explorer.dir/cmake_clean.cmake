@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/technology_explorer.dir/technology_explorer.cpp.o"
+  "CMakeFiles/technology_explorer.dir/technology_explorer.cpp.o.d"
+  "technology_explorer"
+  "technology_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/technology_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wiresize_playground.dir/wiresize_playground.cpp.o"
+  "CMakeFiles/wiresize_playground.dir/wiresize_playground.cpp.o.d"
+  "wiresize_playground"
+  "wiresize_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wiresize_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

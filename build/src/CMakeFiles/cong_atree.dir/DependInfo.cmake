@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/atree/atree.cpp" "src/CMakeFiles/cong_atree.dir/atree/atree.cpp.o" "gcc" "src/CMakeFiles/cong_atree.dir/atree/atree.cpp.o.d"
+  "/root/repo/src/atree/critical.cpp" "src/CMakeFiles/cong_atree.dir/atree/critical.cpp.o" "gcc" "src/CMakeFiles/cong_atree.dir/atree/critical.cpp.o.d"
+  "/root/repo/src/atree/exact_rsa.cpp" "src/CMakeFiles/cong_atree.dir/atree/exact_rsa.cpp.o" "gcc" "src/CMakeFiles/cong_atree.dir/atree/exact_rsa.cpp.o.d"
+  "/root/repo/src/atree/forest.cpp" "src/CMakeFiles/cong_atree.dir/atree/forest.cpp.o" "gcc" "src/CMakeFiles/cong_atree.dir/atree/forest.cpp.o.d"
+  "/root/repo/src/atree/generalized.cpp" "src/CMakeFiles/cong_atree.dir/atree/generalized.cpp.o" "gcc" "src/CMakeFiles/cong_atree.dir/atree/generalized.cpp.o.d"
+  "/root/repo/src/atree/moves.cpp" "src/CMakeFiles/cong_atree.dir/atree/moves.cpp.o" "gcc" "src/CMakeFiles/cong_atree.dir/atree/moves.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cong_rtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cong_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cong_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

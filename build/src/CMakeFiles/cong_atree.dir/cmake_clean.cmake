@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cong_atree.dir/atree/atree.cpp.o"
+  "CMakeFiles/cong_atree.dir/atree/atree.cpp.o.d"
+  "CMakeFiles/cong_atree.dir/atree/critical.cpp.o"
+  "CMakeFiles/cong_atree.dir/atree/critical.cpp.o.d"
+  "CMakeFiles/cong_atree.dir/atree/exact_rsa.cpp.o"
+  "CMakeFiles/cong_atree.dir/atree/exact_rsa.cpp.o.d"
+  "CMakeFiles/cong_atree.dir/atree/forest.cpp.o"
+  "CMakeFiles/cong_atree.dir/atree/forest.cpp.o.d"
+  "CMakeFiles/cong_atree.dir/atree/generalized.cpp.o"
+  "CMakeFiles/cong_atree.dir/atree/generalized.cpp.o.d"
+  "CMakeFiles/cong_atree.dir/atree/moves.cpp.o"
+  "CMakeFiles/cong_atree.dir/atree/moves.cpp.o.d"
+  "libcong_atree.a"
+  "libcong_atree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cong_atree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

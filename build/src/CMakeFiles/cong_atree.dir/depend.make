@@ -1,0 +1,2 @@
+# Empty dependencies file for cong_atree.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/brbc.cpp" "src/CMakeFiles/cong_baseline.dir/baseline/brbc.cpp.o" "gcc" "src/CMakeFiles/cong_baseline.dir/baseline/brbc.cpp.o.d"
+  "/root/repo/src/baseline/exact_steiner.cpp" "src/CMakeFiles/cong_baseline.dir/baseline/exact_steiner.cpp.o" "gcc" "src/CMakeFiles/cong_baseline.dir/baseline/exact_steiner.cpp.o.d"
+  "/root/repo/src/baseline/mst.cpp" "src/CMakeFiles/cong_baseline.dir/baseline/mst.cpp.o" "gcc" "src/CMakeFiles/cong_baseline.dir/baseline/mst.cpp.o.d"
+  "/root/repo/src/baseline/one_steiner.cpp" "src/CMakeFiles/cong_baseline.dir/baseline/one_steiner.cpp.o" "gcc" "src/CMakeFiles/cong_baseline.dir/baseline/one_steiner.cpp.o.d"
+  "/root/repo/src/baseline/spt.cpp" "src/CMakeFiles/cong_baseline.dir/baseline/spt.cpp.o" "gcc" "src/CMakeFiles/cong_baseline.dir/baseline/spt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cong_rtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cong_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cong_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

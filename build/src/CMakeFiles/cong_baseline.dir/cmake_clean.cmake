@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cong_baseline.dir/baseline/brbc.cpp.o"
+  "CMakeFiles/cong_baseline.dir/baseline/brbc.cpp.o.d"
+  "CMakeFiles/cong_baseline.dir/baseline/exact_steiner.cpp.o"
+  "CMakeFiles/cong_baseline.dir/baseline/exact_steiner.cpp.o.d"
+  "CMakeFiles/cong_baseline.dir/baseline/mst.cpp.o"
+  "CMakeFiles/cong_baseline.dir/baseline/mst.cpp.o.d"
+  "CMakeFiles/cong_baseline.dir/baseline/one_steiner.cpp.o"
+  "CMakeFiles/cong_baseline.dir/baseline/one_steiner.cpp.o.d"
+  "CMakeFiles/cong_baseline.dir/baseline/spt.cpp.o"
+  "CMakeFiles/cong_baseline.dir/baseline/spt.cpp.o.d"
+  "libcong_baseline.a"
+  "libcong_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cong_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcong_baseline.a"
+)

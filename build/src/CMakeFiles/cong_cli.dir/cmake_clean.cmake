@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cong_cli.dir/cli/cli.cpp.o"
+  "CMakeFiles/cong_cli.dir/cli/cli.cpp.o.d"
+  "libcong_cli.a"
+  "libcong_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cong_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

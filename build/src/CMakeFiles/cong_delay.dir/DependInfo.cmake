@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/delay/elmore.cpp" "src/CMakeFiles/cong_delay.dir/delay/elmore.cpp.o" "gcc" "src/CMakeFiles/cong_delay.dir/delay/elmore.cpp.o.d"
+  "/root/repo/src/delay/rph.cpp" "src/CMakeFiles/cong_delay.dir/delay/rph.cpp.o" "gcc" "src/CMakeFiles/cong_delay.dir/delay/rph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cong_rtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cong_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cong_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cong_delay.dir/delay/elmore.cpp.o"
+  "CMakeFiles/cong_delay.dir/delay/elmore.cpp.o.d"
+  "CMakeFiles/cong_delay.dir/delay/rph.cpp.o"
+  "CMakeFiles/cong_delay.dir/delay/rph.cpp.o.d"
+  "libcong_delay.a"
+  "libcong_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cong_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

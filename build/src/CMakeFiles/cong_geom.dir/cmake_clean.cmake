@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cong_geom.dir/geom/hanan.cpp.o"
+  "CMakeFiles/cong_geom.dir/geom/hanan.cpp.o.d"
+  "CMakeFiles/cong_geom.dir/geom/point.cpp.o"
+  "CMakeFiles/cong_geom.dir/geom/point.cpp.o.d"
+  "CMakeFiles/cong_geom.dir/geom/segment.cpp.o"
+  "CMakeFiles/cong_geom.dir/geom/segment.cpp.o.d"
+  "libcong_geom.a"
+  "libcong_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cong_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

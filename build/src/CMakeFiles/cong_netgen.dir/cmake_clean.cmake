@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cong_netgen.dir/netgen/htree.cpp.o"
+  "CMakeFiles/cong_netgen.dir/netgen/htree.cpp.o.d"
+  "CMakeFiles/cong_netgen.dir/netgen/netgen.cpp.o"
+  "CMakeFiles/cong_netgen.dir/netgen/netgen.cpp.o.d"
+  "libcong_netgen.a"
+  "libcong_netgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cong_netgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

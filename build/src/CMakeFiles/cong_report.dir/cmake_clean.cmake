@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cong_report.dir/report/table.cpp.o"
+  "CMakeFiles/cong_report.dir/report/table.cpp.o.d"
+  "libcong_report.a"
+  "libcong_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cong_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

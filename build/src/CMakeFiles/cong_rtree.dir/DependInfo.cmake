@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtree/builder.cpp" "src/CMakeFiles/cong_rtree.dir/rtree/builder.cpp.o" "gcc" "src/CMakeFiles/cong_rtree.dir/rtree/builder.cpp.o.d"
+  "/root/repo/src/rtree/io.cpp" "src/CMakeFiles/cong_rtree.dir/rtree/io.cpp.o" "gcc" "src/CMakeFiles/cong_rtree.dir/rtree/io.cpp.o.d"
+  "/root/repo/src/rtree/metrics.cpp" "src/CMakeFiles/cong_rtree.dir/rtree/metrics.cpp.o" "gcc" "src/CMakeFiles/cong_rtree.dir/rtree/metrics.cpp.o.d"
+  "/root/repo/src/rtree/routing_tree.cpp" "src/CMakeFiles/cong_rtree.dir/rtree/routing_tree.cpp.o" "gcc" "src/CMakeFiles/cong_rtree.dir/rtree/routing_tree.cpp.o.d"
+  "/root/repo/src/rtree/segments.cpp" "src/CMakeFiles/cong_rtree.dir/rtree/segments.cpp.o" "gcc" "src/CMakeFiles/cong_rtree.dir/rtree/segments.cpp.o.d"
+  "/root/repo/src/rtree/svg.cpp" "src/CMakeFiles/cong_rtree.dir/rtree/svg.cpp.o" "gcc" "src/CMakeFiles/cong_rtree.dir/rtree/svg.cpp.o.d"
+  "/root/repo/src/rtree/transform.cpp" "src/CMakeFiles/cong_rtree.dir/rtree/transform.cpp.o" "gcc" "src/CMakeFiles/cong_rtree.dir/rtree/transform.cpp.o.d"
+  "/root/repo/src/rtree/validate.cpp" "src/CMakeFiles/cong_rtree.dir/rtree/validate.cpp.o" "gcc" "src/CMakeFiles/cong_rtree.dir/rtree/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cong_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cong_tech.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

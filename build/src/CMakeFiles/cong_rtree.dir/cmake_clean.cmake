@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cong_rtree.dir/rtree/builder.cpp.o"
+  "CMakeFiles/cong_rtree.dir/rtree/builder.cpp.o.d"
+  "CMakeFiles/cong_rtree.dir/rtree/io.cpp.o"
+  "CMakeFiles/cong_rtree.dir/rtree/io.cpp.o.d"
+  "CMakeFiles/cong_rtree.dir/rtree/metrics.cpp.o"
+  "CMakeFiles/cong_rtree.dir/rtree/metrics.cpp.o.d"
+  "CMakeFiles/cong_rtree.dir/rtree/routing_tree.cpp.o"
+  "CMakeFiles/cong_rtree.dir/rtree/routing_tree.cpp.o.d"
+  "CMakeFiles/cong_rtree.dir/rtree/segments.cpp.o"
+  "CMakeFiles/cong_rtree.dir/rtree/segments.cpp.o.d"
+  "CMakeFiles/cong_rtree.dir/rtree/svg.cpp.o"
+  "CMakeFiles/cong_rtree.dir/rtree/svg.cpp.o.d"
+  "CMakeFiles/cong_rtree.dir/rtree/transform.cpp.o"
+  "CMakeFiles/cong_rtree.dir/rtree/transform.cpp.o.d"
+  "CMakeFiles/cong_rtree.dir/rtree/validate.cpp.o"
+  "CMakeFiles/cong_rtree.dir/rtree/validate.cpp.o.d"
+  "libcong_rtree.a"
+  "libcong_rtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cong_rtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

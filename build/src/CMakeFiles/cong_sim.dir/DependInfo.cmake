@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/delay_measure.cpp" "src/CMakeFiles/cong_sim.dir/sim/delay_measure.cpp.o" "gcc" "src/CMakeFiles/cong_sim.dir/sim/delay_measure.cpp.o.d"
+  "/root/repo/src/sim/moments.cpp" "src/CMakeFiles/cong_sim.dir/sim/moments.cpp.o" "gcc" "src/CMakeFiles/cong_sim.dir/sim/moments.cpp.o.d"
+  "/root/repo/src/sim/rc_tree.cpp" "src/CMakeFiles/cong_sim.dir/sim/rc_tree.cpp.o" "gcc" "src/CMakeFiles/cong_sim.dir/sim/rc_tree.cpp.o.d"
+  "/root/repo/src/sim/transient.cpp" "src/CMakeFiles/cong_sim.dir/sim/transient.cpp.o" "gcc" "src/CMakeFiles/cong_sim.dir/sim/transient.cpp.o.d"
+  "/root/repo/src/sim/two_pole.cpp" "src/CMakeFiles/cong_sim.dir/sim/two_pole.cpp.o" "gcc" "src/CMakeFiles/cong_sim.dir/sim/two_pole.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cong_rtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cong_wiresize.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cong_delay.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cong_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cong_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

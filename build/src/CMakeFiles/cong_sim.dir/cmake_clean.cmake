@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cong_sim.dir/sim/delay_measure.cpp.o"
+  "CMakeFiles/cong_sim.dir/sim/delay_measure.cpp.o.d"
+  "CMakeFiles/cong_sim.dir/sim/moments.cpp.o"
+  "CMakeFiles/cong_sim.dir/sim/moments.cpp.o.d"
+  "CMakeFiles/cong_sim.dir/sim/rc_tree.cpp.o"
+  "CMakeFiles/cong_sim.dir/sim/rc_tree.cpp.o.d"
+  "CMakeFiles/cong_sim.dir/sim/transient.cpp.o"
+  "CMakeFiles/cong_sim.dir/sim/transient.cpp.o.d"
+  "CMakeFiles/cong_sim.dir/sim/two_pole.cpp.o"
+  "CMakeFiles/cong_sim.dir/sim/two_pole.cpp.o.d"
+  "libcong_sim.a"
+  "libcong_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cong_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

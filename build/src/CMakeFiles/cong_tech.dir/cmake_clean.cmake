@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cong_tech.dir/tech/technology.cpp.o"
+  "CMakeFiles/cong_tech.dir/tech/technology.cpp.o.d"
+  "libcong_tech.a"
+  "libcong_tech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cong_tech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wiresize/assignment.cpp" "src/CMakeFiles/cong_wiresize.dir/wiresize/assignment.cpp.o" "gcc" "src/CMakeFiles/cong_wiresize.dir/wiresize/assignment.cpp.o.d"
+  "/root/repo/src/wiresize/bottom_up.cpp" "src/CMakeFiles/cong_wiresize.dir/wiresize/bottom_up.cpp.o" "gcc" "src/CMakeFiles/cong_wiresize.dir/wiresize/bottom_up.cpp.o.d"
+  "/root/repo/src/wiresize/combined.cpp" "src/CMakeFiles/cong_wiresize.dir/wiresize/combined.cpp.o" "gcc" "src/CMakeFiles/cong_wiresize.dir/wiresize/combined.cpp.o.d"
+  "/root/repo/src/wiresize/counting.cpp" "src/CMakeFiles/cong_wiresize.dir/wiresize/counting.cpp.o" "gcc" "src/CMakeFiles/cong_wiresize.dir/wiresize/counting.cpp.o.d"
+  "/root/repo/src/wiresize/delay_eval.cpp" "src/CMakeFiles/cong_wiresize.dir/wiresize/delay_eval.cpp.o" "gcc" "src/CMakeFiles/cong_wiresize.dir/wiresize/delay_eval.cpp.o.d"
+  "/root/repo/src/wiresize/grewsa.cpp" "src/CMakeFiles/cong_wiresize.dir/wiresize/grewsa.cpp.o" "gcc" "src/CMakeFiles/cong_wiresize.dir/wiresize/grewsa.cpp.o.d"
+  "/root/repo/src/wiresize/owsa.cpp" "src/CMakeFiles/cong_wiresize.dir/wiresize/owsa.cpp.o" "gcc" "src/CMakeFiles/cong_wiresize.dir/wiresize/owsa.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cong_rtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cong_delay.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cong_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cong_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

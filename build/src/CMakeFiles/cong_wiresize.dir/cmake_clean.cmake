@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cong_wiresize.dir/wiresize/assignment.cpp.o"
+  "CMakeFiles/cong_wiresize.dir/wiresize/assignment.cpp.o.d"
+  "CMakeFiles/cong_wiresize.dir/wiresize/bottom_up.cpp.o"
+  "CMakeFiles/cong_wiresize.dir/wiresize/bottom_up.cpp.o.d"
+  "CMakeFiles/cong_wiresize.dir/wiresize/combined.cpp.o"
+  "CMakeFiles/cong_wiresize.dir/wiresize/combined.cpp.o.d"
+  "CMakeFiles/cong_wiresize.dir/wiresize/counting.cpp.o"
+  "CMakeFiles/cong_wiresize.dir/wiresize/counting.cpp.o.d"
+  "CMakeFiles/cong_wiresize.dir/wiresize/delay_eval.cpp.o"
+  "CMakeFiles/cong_wiresize.dir/wiresize/delay_eval.cpp.o.d"
+  "CMakeFiles/cong_wiresize.dir/wiresize/grewsa.cpp.o"
+  "CMakeFiles/cong_wiresize.dir/wiresize/grewsa.cpp.o.d"
+  "CMakeFiles/cong_wiresize.dir/wiresize/owsa.cpp.o"
+  "CMakeFiles/cong_wiresize.dir/wiresize/owsa.cpp.o.d"
+  "libcong_wiresize.a"
+  "libcong_wiresize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cong_wiresize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

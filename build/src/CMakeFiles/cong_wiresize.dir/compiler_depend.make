@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cong_wiresize.
+# This may be replaced when dependencies are built.

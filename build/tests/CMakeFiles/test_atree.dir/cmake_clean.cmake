@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_atree.dir/test_atree.cpp.o"
+  "CMakeFiles/test_atree.dir/test_atree.cpp.o.d"
+  "test_atree"
+  "test_atree.pdb"
+  "test_atree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_atree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_atree_properties.dir/test_atree_properties.cpp.o"
+  "CMakeFiles/test_atree_properties.dir/test_atree_properties.cpp.o.d"
+  "test_atree_properties"
+  "test_atree_properties.pdb"
+  "test_atree_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_atree_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

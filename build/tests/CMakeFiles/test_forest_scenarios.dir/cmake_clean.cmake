@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_forest_scenarios.dir/test_forest_scenarios.cpp.o"
+  "CMakeFiles/test_forest_scenarios.dir/test_forest_scenarios.cpp.o.d"
+  "test_forest_scenarios"
+  "test_forest_scenarios.pdb"
+  "test_forest_scenarios[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_forest_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

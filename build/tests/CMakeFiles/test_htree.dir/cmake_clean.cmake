@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_htree.dir/test_htree.cpp.o"
+  "CMakeFiles/test_htree.dir/test_htree.cpp.o.d"
+  "test_htree"
+  "test_htree.pdb"
+  "test_htree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_htree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_router_properties.dir/test_router_properties.cpp.o"
+  "CMakeFiles/test_router_properties.dir/test_router_properties.cpp.o.d"
+  "test_router_properties"
+  "test_router_properties.pdb"
+  "test_router_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_router_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_rtree.cpp" "tests/CMakeFiles/test_rtree.dir/test_rtree.cpp.o" "gcc" "tests/CMakeFiles/test_rtree.dir/test_rtree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cong_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cong_atree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cong_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cong_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cong_wiresize.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cong_delay.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cong_rtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cong_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cong_netgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cong_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cong_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_deep.dir/test_sim_deep.cpp.o"
+  "CMakeFiles/test_sim_deep.dir/test_sim_deep.cpp.o.d"
+  "test_sim_deep"
+  "test_sim_deep.pdb"
+  "test_sim_deep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_deep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sink_caps.dir/test_sink_caps.cpp.o"
+  "CMakeFiles/test_sink_caps.dir/test_sink_caps.cpp.o.d"
+  "test_sink_caps"
+  "test_sink_caps.pdb"
+  "test_sink_caps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sink_caps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_svg_ramp_widths.dir/test_svg_ramp_widths.cpp.o"
+  "CMakeFiles/test_svg_ramp_widths.dir/test_svg_ramp_widths.cpp.o.d"
+  "test_svg_ramp_widths"
+  "test_svg_ramp_widths.pdb"
+  "test_svg_ramp_widths[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_svg_ramp_widths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_svg_ramp_widths.
+# This may be replaced when dependencies are built.

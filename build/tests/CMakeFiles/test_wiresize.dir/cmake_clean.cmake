@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wiresize.dir/test_wiresize.cpp.o"
+  "CMakeFiles/test_wiresize.dir/test_wiresize.cpp.o.d"
+  "test_wiresize"
+  "test_wiresize.pdb"
+  "test_wiresize[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wiresize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wiresize_properties.dir/test_wiresize_properties.cpp.o"
+  "CMakeFiles/test_wiresize_properties.dir/test_wiresize_properties.cpp.o.d"
+  "test_wiresize_properties"
+  "test_wiresize_properties.pdb"
+  "test_wiresize_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wiresize_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_geom[1]_include.cmake")
+include("/root/repo/build/tests/test_tech[1]_include.cmake")
+include("/root/repo/build/tests/test_rtree[1]_include.cmake")
+include("/root/repo/build/tests/test_delay[1]_include.cmake")
+include("/root/repo/build/tests/test_atree[1]_include.cmake")
+include("/root/repo/build/tests/test_atree_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_exact[1]_include.cmake")
+include("/root/repo/build/tests/test_baseline[1]_include.cmake")
+include("/root/repo/build/tests/test_wiresize[1]_include.cmake")
+include("/root/repo/build/tests/test_wiresize_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_netgen_report[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_forest_scenarios[1]_include.cmake")
+include("/root/repo/build/tests/test_cli[1]_include.cmake")
+include("/root/repo/build/tests/test_sink_caps[1]_include.cmake")
+include("/root/repo/build/tests/test_router_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_deep[1]_include.cmake")
+include("/root/repo/build/tests/test_htree[1]_include.cmake")
+include("/root/repo/build/tests/test_svg_ramp_widths[1]_include.cmake")
+include("/root/repo/build/tests/test_soak[1]_include.cmake")
+include("/root/repo/build/tests/test_moves_edge_cases[1]_include.cmake")

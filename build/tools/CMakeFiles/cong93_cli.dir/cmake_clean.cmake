@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cong93_cli.dir/cong93_main.cpp.o"
+  "CMakeFiles/cong93_cli.dir/cong93_main.cpp.o.d"
+  "cong93"
+  "cong93.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cong93_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

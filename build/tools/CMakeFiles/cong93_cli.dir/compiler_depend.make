@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cong93_cli.
+# This may be replaced when dependencies are built.
