@@ -1,10 +1,29 @@
 // Algorithm scaling micro-benchmarks (google-benchmark): A-tree construction
 // vs sink count, OWSA vs width count (the O(n^{r-1}) of Theorem 5),
-// GREWSA vs sink count, and the two simulators vs tree size.
+// GREWSA vs sink count (incremental engine vs the O(n^2)-per-sweep
+// reference), batch throughput, and the two simulators vs tree size.
+//
+// After the google-benchmark suite runs, a deterministic scaling study is
+// written to BENCH_wiresize.json (net size vs wall-clock for the reference,
+// incremental and parallel-batch GREWSA paths) so the perf trajectory is
+// machine-readable across PRs.
+//
+//   --json=PATH   output path for the scaling study (default BENCH_wiresize.json)
+//   --json-only   skip the google-benchmark suite, only write the study
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
 #include "atree/generalized.h"
+#include "batch/batch.h"
+#include "bench_common.h"
 #include "netgen/netgen.h"
+#include "report/table.h"
 #include "sim/delay_measure.h"
 #include "sim/two_pole.h"
 #include "tech/technology.h"
@@ -49,7 +68,23 @@ void BM_Grewsa(benchmark::State& state)
     const WiresizeContext ctx(segs, tech, WidthSet::uniform_steps(4));
     for (auto _ : state) benchmark::DoNotOptimize(grewsa_from_min(ctx));
 }
-BENCHMARK(BM_Grewsa)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+BENCHMARK(BM_Grewsa)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_GrewsaReference(benchmark::State& state)
+{
+    // The seed evaluation path (full theta/phi/psi re-derivation per
+    // refinement): the baseline the incremental engine is measured against.
+    const int sinks = static_cast<int>(state.range(0));
+    const Technology tech = mcm_technology();
+    const Net net = random_nets(3, 1, kMcmGrid, sinks)[0];
+    const RoutingTree tree = build_atree_general(net).tree;
+    const SegmentDecomposition segs(tree);
+    const WiresizeContext ctx(segs, tech, WidthSet::uniform_steps(4));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            grewsa_reference(ctx, min_assignment(ctx.segment_count())));
+}
+BENCHMARK(BM_GrewsaReference)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
 
 void BM_GrewsaOwsa(benchmark::State& state)
 {
@@ -62,6 +97,31 @@ void BM_GrewsaOwsa(benchmark::State& state)
     for (auto _ : state) benchmark::DoNotOptimize(grewsa_owsa(ctx));
 }
 BENCHMARK(BM_GrewsaOwsa)->Arg(2)->Arg(4)->Arg(6);
+
+void BM_BatchGrewsaOwsa(benchmark::State& state)
+{
+    // Whole-batch throughput of the thread-pool driver (one grewsa_owsa per
+    // net); threads = CONG93_THREADS or hardware concurrency.
+    const int nets_n = static_cast<int>(state.range(0));
+    const Technology tech = mcm_technology();
+    const auto nets = random_nets(5, nets_n, kMcmGrid, 16);
+    std::vector<RoutingTree> storage;
+    std::vector<SegmentDecomposition> trees;
+    storage.reserve(nets.size());
+    trees.reserve(nets.size());
+    for (const Net& net : nets) {
+        storage.push_back(build_atree_general(net).tree);
+        trees.emplace_back(storage.back());
+    }
+    for (auto _ : state) {
+        const auto delays = batch_map<double>(trees.size(), [&](std::size_t i) {
+            const WiresizeContext ctx(trees[i], tech, WidthSet::uniform_steps(4));
+            return grewsa_owsa(ctx).delay;
+        });
+        benchmark::DoNotOptimize(delays);
+    }
+}
+BENCHMARK(BM_BatchGrewsaOwsa)->Arg(8)->Arg(32);
 
 void BM_TwoPoleSim(benchmark::State& state)
 {
@@ -85,7 +145,150 @@ void BM_TransientSim(benchmark::State& state)
 }
 BENCHMARK(BM_TransientSim)->Arg(8)->Arg(32);
 
+// ---------------------------------------------------------------------------
+// BENCH_wiresize.json scaling study
+// ---------------------------------------------------------------------------
+
+/// Best-of-k wall-clock of fn(), with k sized so the total stays ~50ms.
+template <typename Fn>
+double time_best(Fn&& fn)
+{
+    const double warmup = bench::time_seconds(fn);
+    const int reps = std::clamp(static_cast<int>(0.05 / std::max(warmup, 1e-9)), 2, 15);
+    double best = warmup;
+    for (int i = 0; i < reps; ++i) best = std::min(best, bench::time_seconds(fn));
+    return best;
+}
+
+struct ScalingRow {
+    int sinks = 0;
+    std::size_t segments = 0;
+    double reference_s = 0.0;
+    double incremental_s = 0.0;
+    bool fixpoint_identical = false;
+    double speedup() const
+    {
+        return incremental_s > 0.0 ? reference_s / incremental_s : 0.0;
+    }
+};
+
+bool write_scaling_json(const std::string& path)
+{
+    constexpr int kR = 4;
+    const Technology tech = mcm_technology();
+
+    std::vector<ScalingRow> rows;
+    for (const int sinks : {12, 25, 50, 100, 200}) {
+        const Net net = random_nets(1993, 1, kMcmGrid, sinks)[0];
+        const RoutingTree tree = build_atree_general(net).tree;
+        const SegmentDecomposition segs(tree);
+        const WiresizeContext ctx(segs, tech, WidthSet::uniform_steps(kR));
+
+        ScalingRow row;
+        row.sinks = sinks;
+        row.segments = segs.count();
+        GrewsaResult ref, inc;
+        row.reference_s = time_best(
+            [&] { ref = grewsa_reference(ctx, min_assignment(segs.count())); });
+        row.incremental_s = time_best([&] { inc = grewsa_from_min(ctx); });
+        row.fixpoint_identical =
+            ref.assignment == inc.assignment && ref.delay == inc.delay;
+        rows.push_back(row);
+        std::cout << "grewsa scaling: " << row.segments << " segments  reference "
+                  << fmt_sci(row.reference_s, 2) << "s  incremental "
+                  << fmt_sci(row.incremental_s, 2) << "s  speedup "
+                  << fmt_fixed(row.speedup(), 1) << "x  identical "
+                  << (row.fixpoint_identical ? "yes" : "NO") << '\n';
+    }
+
+    // Batch throughput: the full grewsa_owsa flow over a fixed batch,
+    // serial vs thread pool, verifying bit-identical results.
+    constexpr int kBatchNets = 32;
+    constexpr int kBatchSinks = 16;
+    const auto nets = random_nets(7, kBatchNets, kMcmGrid, kBatchSinks);
+    std::vector<RoutingTree> storage;
+    std::vector<SegmentDecomposition> trees;
+    storage.reserve(nets.size());
+    trees.reserve(nets.size());
+    for (const Net& net : nets) {
+        storage.push_back(build_atree_general(net).tree);
+        trees.emplace_back(storage.back());
+    }
+    const auto run_batch = [&](int threads) {
+        return batch_map<double>(
+            trees.size(),
+            [&](std::size_t i) {
+                const WiresizeContext ctx(trees[i], tech,
+                                          WidthSet::uniform_steps(kR));
+                return grewsa_owsa(ctx).delay;
+            },
+            threads);
+    };
+    const int threads = default_thread_count();
+    std::vector<double> serial_delays, parallel_delays;
+    const double serial_s = time_best([&] { serial_delays = run_batch(1); });
+    const double parallel_s =
+        time_best([&] { parallel_delays = run_batch(threads); });
+    const bool batch_identical = serial_delays == parallel_delays;
+    std::cout << "batch grewsa_owsa: " << kBatchNets << " nets  serial "
+              << fmt_sci(serial_s, 2) << "s  parallel(" << threads << " threads) "
+              << fmt_sci(parallel_s, 2) << "s  identical "
+              << (batch_identical ? "yes" : "NO") << '\n';
+
+    std::ofstream out(path);
+    if (!out) {
+        std::cerr << "cannot write " << path << '\n';
+        return false;
+    }
+    out << "{\n"
+        << "  \"benchmark\": \"wiresize_scaling\",\n"
+        << "  \"generated_by\": \"bench_micro_scaling\",\n"
+        << "  \"technology\": \"mcm\",\n"
+        << "  \"widths_r\": " << kR << ",\n"
+        << "  \"grewsa\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const ScalingRow& r = rows[i];
+        out << "    {\"sinks\": " << r.sinks << ", \"segments\": " << r.segments
+            << ", \"reference_s\": " << fmt_sci(r.reference_s, 4)
+            << ", \"incremental_s\": " << fmt_sci(r.incremental_s, 4)
+            << ", \"speedup\": " << fmt_fixed(r.speedup(), 2)
+            << ", \"fixpoint_identical\": "
+            << (r.fixpoint_identical ? "true" : "false") << "}"
+            << (i + 1 < rows.size() ? "," : "") << '\n';
+    }
+    out << "  ],\n"
+        << "  \"batch\": {\"nets\": " << kBatchNets
+        << ", \"sinks\": " << kBatchSinks << ", \"threads\": " << threads
+        << ", \"serial_s\": " << fmt_sci(serial_s, 4)
+        << ", \"parallel_s\": " << fmt_sci(parallel_s, 4)
+        << ", \"identical\": " << (batch_identical ? "true" : "false") << "}\n"
+        << "}\n";
+    std::cout << "wrote " << path << '\n';
+    return true;
+}
+
 }  // namespace
 }  // namespace cong93
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv)
+{
+    std::string json_path = "BENCH_wiresize.json";
+    bool json_only = false;
+    std::vector<char*> keep;
+    for (int i = 0; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--json=", 7) == 0)
+            json_path = argv[i] + 7;
+        else if (std::strcmp(argv[i], "--json-only") == 0)
+            json_only = true;
+        else
+            keep.push_back(argv[i]);
+    }
+    if (!json_only) {
+        int kargc = static_cast<int>(keep.size());
+        benchmark::Initialize(&kargc, keep.data());
+        if (benchmark::ReportUnrecognizedArguments(kargc, keep.data())) return 1;
+        benchmark::RunSpecifiedBenchmarks();
+        benchmark::Shutdown();
+    }
+    return cong93::write_scaling_json(json_path) ? 0 : 1;
+}

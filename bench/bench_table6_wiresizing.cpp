@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "atree/generalized.h"
+#include "batch/batch.h"
 #include "bench_common.h"
 #include "netgen/netgen.h"
 #include "report/table.h"
@@ -43,23 +44,47 @@ void run()
                       "GREWSA-OWSA (s)"});
 
     for (int r = 2; r <= 6; ++r) {
+        struct NetResult {
+            double d_none = 0, d_lo = 0, d_hi = 0, d_owsa = 0, d_comb = 0, d_bu = 0;
+            double t_lo = 0, t_hi = 0, t_owsa = 0, t_comb = 0;
+        };
+        // Independent per-net work fans out over the batch pool; delays are
+        // reduced serially in index order below, so the delay table is
+        // byte-identical to a serial run (runtimes are wall-clock and vary
+        // run to run regardless of threading).
+        const std::vector<NetResult> per_net =
+            batch_map<NetResult>(trees.size(), [&](std::size_t ni) {
+                const auto& segs = trees[ni];
+                const WiresizeContext ctx(segs, tech, WidthSet::uniform_steps(r));
+                NetResult res;
+                res.d_none = ctx.delay(min_assignment(segs.count()));
+                GrewsaResult lo, hi;
+                OwsaResult ow;
+                CombinedResult comb;
+                res.t_lo = bench::time_seconds([&] { lo = grewsa_from_min(ctx); });
+                res.t_hi = bench::time_seconds([&] { hi = grewsa_from_max(ctx); });
+                res.t_owsa = bench::time_seconds([&] { ow = owsa(ctx); });
+                res.t_comb = bench::time_seconds([&] { comb = grewsa_owsa(ctx); });
+                res.d_lo = lo.delay;
+                res.d_hi = hi.delay;
+                res.d_owsa = ow.delay;
+                res.d_comb = comb.delay;
+                res.d_bu = bottom_up_wiresize(ctx).delay;
+                return res;
+            });
         double d_none = 0, d_lo = 0, d_hi = 0, d_owsa = 0, d_comb = 0, d_bu = 0;
         double t_lo = 0, t_hi = 0, t_owsa = 0, t_comb = 0;
-        for (const auto& segs : trees) {
-            const WiresizeContext ctx(segs, tech, WidthSet::uniform_steps(r));
-            d_none += ctx.delay(min_assignment(segs.count()));
-            GrewsaResult lo, hi;
-            OwsaResult ow;
-            CombinedResult comb;
-            t_lo += bench::time_seconds([&] { lo = grewsa_from_min(ctx); });
-            t_hi += bench::time_seconds([&] { hi = grewsa_from_max(ctx); });
-            t_owsa += bench::time_seconds([&] { ow = owsa(ctx); });
-            t_comb += bench::time_seconds([&] { comb = grewsa_owsa(ctx); });
-            d_lo += lo.delay;
-            d_hi += hi.delay;
-            d_owsa += ow.delay;
-            d_comb += comb.delay;
-            d_bu += bottom_up_wiresize(ctx).delay;
+        for (const NetResult& res : per_net) {
+            d_none += res.d_none;
+            d_lo += res.d_lo;
+            d_hi += res.d_hi;
+            d_owsa += res.d_owsa;
+            d_comb += res.d_comb;
+            d_bu += res.d_bu;
+            t_lo += res.t_lo;
+            t_hi += res.t_hi;
+            t_owsa += res.t_owsa;
+            t_comb += res.t_comb;
         }
         const double n = static_cast<double>(trees.size());
         delay_t.add_row({std::to_string(r), fmt_ns(d_none / n, 4), fmt_ns(d_lo / n, 4),

@@ -6,6 +6,7 @@
 #include "atree/generalized.h"
 #include "baseline/brbc.h"
 #include "baseline/one_steiner.h"
+#include "batch/batch.h"
 #include "bench_common.h"
 #include "netgen/netgen.h"
 #include "report/table.h"
@@ -32,25 +33,45 @@ void run()
     for (const int sinks : {4, 8, 16}) {
         const auto nets =
             random_nets(1993 + sinks, bench::kNetsPerConfig, kMcmGrid, sinks);
+        struct NetResult {
+            double sized = 0, steiner = 0, brbc05 = 0, brbc10 = 0;
+        };
+        // Per-net flows are independent: fan out over the batch pool and
+        // reduce serially in index order (byte-identical to a serial run).
+        const std::vector<NetResult> per_net =
+            batch_map<NetResult>(nets.size(), [&](std::size_t ni) {
+                const Net& net = nets[ni];
+                const RoutingTree atree = build_atree_general(net).tree;
+                const SegmentDecomposition segs(atree);
+                const WiresizeContext ctx(segs, tech,
+                                          WidthSet::uniform_steps(kWidths));
+                const CombinedResult sized = grewsa_owsa(ctx);
+                NetResult res;
+                res.sized = measure_delay_wiresized(segs, tech, ctx.widths(),
+                                                    sized.assignment,
+                                                    SimMethod::two_pole,
+                                                    bench::kPaperThreshold)
+                                .mean;
+                res.steiner =
+                    measure_delay(build_one_steiner(net).tree, tech,
+                                  SimMethod::two_pole, bench::kPaperThreshold)
+                        .mean;
+                res.brbc05 =
+                    measure_delay(build_brbc(net, 0.5), tech, SimMethod::two_pole,
+                                  bench::kPaperThreshold)
+                        .mean;
+                res.brbc10 =
+                    measure_delay(build_brbc(net, 1.0), tech, SimMethod::two_pole,
+                                  bench::kPaperThreshold)
+                        .mean;
+                return res;
+            });
         double d_sized = 0, d_steiner = 0, d_brbc05 = 0, d_brbc10 = 0;
-        for (const Net& net : nets) {
-            const RoutingTree atree = build_atree_general(net).tree;
-            const SegmentDecomposition segs(atree);
-            const WiresizeContext ctx(segs, tech, WidthSet::uniform_steps(kWidths));
-            const CombinedResult sized = grewsa_owsa(ctx);
-            d_sized += measure_delay_wiresized(segs, tech, ctx.widths(),
-                                               sized.assignment, SimMethod::two_pole,
-                                               bench::kPaperThreshold)
-                           .mean;
-            d_steiner += measure_delay(build_one_steiner(net).tree, tech,
-                                       SimMethod::two_pole, bench::kPaperThreshold)
-                             .mean;
-            d_brbc05 += measure_delay(build_brbc(net, 0.5), tech,
-                                      SimMethod::two_pole, bench::kPaperThreshold)
-                            .mean;
-            d_brbc10 += measure_delay(build_brbc(net, 1.0), tech,
-                                      SimMethod::two_pole, bench::kPaperThreshold)
-                            .mean;
+        for (const NetResult& res : per_net) {
+            d_sized += res.sized;
+            d_steiner += res.steiner;
+            d_brbc05 += res.brbc05;
+            d_brbc10 += res.brbc10;
         }
         const double n = bench::kNetsPerConfig;
         std::vector<std::string> row{std::to_string(sinks), fmt_ns(d_sized / n)};

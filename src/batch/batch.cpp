@@ -1,0 +1,94 @@
+#include "batch/batch.h"
+
+#include <cstdlib>
+#include <string>
+
+namespace cong93 {
+
+int default_thread_count()
+{
+    if (const char* env = std::getenv("CONG93_THREADS")) {
+        try {
+            const int n = std::stoi(env);
+            return n <= 0 ? 1 : n;
+        } catch (...) {
+            // fall through to hardware_concurrency
+        }
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+std::uint64_t net_seed(std::uint64_t base, std::size_t index)
+{
+    // splitmix64: decorrelates adjacent indices so per-net RNG streams are
+    // independent regardless of how the batch is scheduled.
+    std::uint64_t z = base + 0x9e3779b97f4a7c15ULL * (index + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+ThreadPool::ThreadPool(int threads)
+{
+    if (threads <= 0) threads = default_thread_count();
+    workers_.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t)
+        workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> job)
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        queue_.push(std::move(job));
+        ++in_flight_;
+    }
+    work_cv_.notify_one();
+}
+
+void ThreadPool::wait_idle()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty()) return;  // stop_ set and drained
+            job = std::move(queue_.front());
+            queue_.pop();
+        }
+        job();
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            --in_flight_;
+        }
+        idle_cv_.notify_all();
+    }
+}
+
+void parallel_for_index(ThreadPool& pool, std::size_t n,
+                        const std::function<void(std::size_t)>& fn)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        pool.submit([&fn, i] { fn(i); });
+    pool.wait_idle();
+}
+
+}  // namespace cong93

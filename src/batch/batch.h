@@ -1,0 +1,89 @@
+// Parallel batch driver for per-net work (thread pool + deterministic
+// fan-out/fan-in helpers).
+//
+// Nets are independent: topology construction, wiresizing and simulation of
+// one net never read another net's state, so a batch of nets parallelizes
+// trivially.  Determinism is preserved by construction:
+//   * work is addressed by index -- worker threads write only their own
+//     output slot, and reductions happen serially in index order after the
+//     barrier, so parallel and serial runs produce byte-identical results;
+//   * any per-net randomness must be seeded from net_seed(base, index)
+//     (a splitmix64 hash), never from a shared RNG whose consumption order
+//     would depend on scheduling.
+//
+// Thread count resolution: the CONG93_THREADS environment variable when set
+// (<= 0 or 1 forces serial execution), else std::thread::hardware_concurrency.
+#ifndef CONG93_BATCH_BATCH_H
+#define CONG93_BATCH_BATCH_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace cong93 {
+
+/// Threads to use for batch work (see header comment for resolution order).
+int default_thread_count();
+
+/// Deterministic per-item RNG seed, independent of execution order.
+std::uint64_t net_seed(std::uint64_t base, std::size_t index);
+
+/// Fixed-size worker pool.  Jobs may be submitted from any thread; the
+/// destructor drains the queue before joining.
+class ThreadPool {
+public:
+    /// threads <= 0 resolves to default_thread_count().
+    explicit ThreadPool(int threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    int thread_count() const { return static_cast<int>(workers_.size()); }
+
+    void submit(std::function<void()> job);
+
+    /// Blocks until every submitted job has finished.
+    void wait_idle();
+
+private:
+    void worker_loop();
+
+    std::vector<std::thread> workers_;
+    std::queue<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable work_cv_;   // signalled on submit / stop
+    std::condition_variable idle_cv_;   // signalled when a job finishes
+    std::size_t in_flight_ = 0;
+    bool stop_ = false;
+};
+
+/// Runs fn(i) for every i in [0, n) on the pool and waits for completion.
+/// fn must only write state owned by index i.
+void parallel_for_index(ThreadPool& pool, std::size_t n,
+                        const std::function<void(std::size_t)>& fn);
+
+/// Maps fn over [0, n), returning results in index order.  With threads == 1
+/// (or n < 2) this runs serially on the calling thread; output is identical
+/// either way.  R must be default-constructible.
+template <typename R, typename Fn>
+std::vector<R> batch_map(std::size_t n, Fn&& fn, int threads = 0)
+{
+    if (threads <= 0) threads = default_thread_count();
+    std::vector<R> out(n);
+    if (threads <= 1 || n < 2) {
+        for (std::size_t i = 0; i < n; ++i) out[i] = fn(i);
+        return out;
+    }
+    ThreadPool pool(threads);
+    parallel_for_index(pool, n, [&](std::size_t i) { out[i] = fn(i); });
+    return out;
+}
+
+}  // namespace cong93
+
+#endif  // CONG93_BATCH_BATCH_H

@@ -104,6 +104,15 @@ double WiresizeContext::delay_bruteforce(const Assignment& a) const
 WiresizeContext::ThetaPhi WiresizeContext::theta_phi(const Assignment& a,
                                                      std::size_t i) const
 {
+    ThetaPhi tp = theta_phi_fast(a, i);
+    const double w = widths_[a[i]];
+    tp.psi = delay(a) - tp.theta * w - tp.phi / w;
+    return tp;
+}
+
+WiresizeContext::ThetaPhi WiresizeContext::theta_phi_fast(const Assignment& a,
+                                                          std::size_t i) const
+{
     const double rd = tech_->driver_resistance_ohm;
     const double r0 = tech_->r_grid();
     const double c0 = tech_->c_grid();
@@ -132,15 +141,13 @@ WiresizeContext::ThetaPhi WiresizeContext::theta_phi(const Assignment& a,
     const double l = static_cast<double>((*segs_)[i].length);
     tp.theta = c0 * l * (rd + r0 * a_up);
     tp.phi = r0 * l * (down_cap_[i] + c0 * wire_below);
-    const double w = widths_[a[i]];
-    tp.psi = delay(a) - tp.theta * w - tp.phi / w;
     return tp;
 }
 
 int WiresizeContext::locally_optimal_width(const Assignment& a, std::size_t i,
                                            int max_idx) const
 {
-    const ThetaPhi tp = theta_phi(a, i);
+    const ThetaPhi tp = theta_phi_fast(a, i);
     int best = 0;
     double best_val = tp.theta * widths_[0] + tp.phi / widths_[0];
     for (int k = 1; k <= max_idx; ++k) {

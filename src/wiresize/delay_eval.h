@@ -57,6 +57,10 @@ public:
     };
     ThetaPhi theta_phi(const Assignment& a, std::size_t i) const;
 
+    /// Like theta_phi but leaves psi = 0: the argmin over widths only needs
+    /// theta and phi, and filling psi costs a full O(n) delay() evaluation.
+    ThetaPhi theta_phi_fast(const Assignment& a, std::size_t i) const;
+
     /// Width index in [0, max_idx] minimizing theta*w + phi/w (ties -> the
     /// narrowest width).  This is the paper's local refinement operation.
     int locally_optimal_width(const Assignment& a, std::size_t i, int max_idx) const;

@@ -26,8 +26,18 @@ struct GrewsaResult {
     std::int64_t refinements = 0;     ///< local refinements that changed a width
 };
 
-/// Runs GREWSA from the given initial assignment.
+/// Runs GREWSA from the given initial assignment.  Refinements are evaluated
+/// through the IncrementalDelayEngine (O(depth) per candidate instead of
+/// O(n)), so a full run costs ~O(n * depth * sweeps) rather than O(n^2 *
+/// sweeps).  Produces bit-identical fixpoints to grewsa_reference for
+/// integer width multipliers (see incremental.h).
 GrewsaResult grewsa(const WiresizeContext& ctx, Assignment initial);
+
+/// The pre-optimization O(n^2)-per-sweep implementation: every local
+/// refinement re-derives theta/phi (and psi, via a full delay evaluation)
+/// from scratch.  Kept as the equivalence oracle and the speedup baseline
+/// for bench_micro_scaling.
+GrewsaResult grewsa_reference(const WiresizeContext& ctx, Assignment initial);
 
 /// Convenience: GREWSA from the all-minimum-width assignment f_lower.
 GrewsaResult grewsa_from_min(const WiresizeContext& ctx);

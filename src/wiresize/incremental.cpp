@@ -1,0 +1,130 @@
+#include "wiresize/incremental.h"
+
+#include <stdexcept>
+
+namespace cong93 {
+
+IncrementalDelayEngine::IncrementalDelayEngine(const WiresizeContext& ctx,
+                                               Assignment initial)
+    : ctx_(&ctx), a_(std::move(initial))
+{
+    if (a_.size() != ctx.segment_count())
+        throw std::invalid_argument("IncrementalDelayEngine: bad assignment size");
+    wire_below_.assign(a_.size(), 0.0);
+    rebuild();
+}
+
+void IncrementalDelayEngine::reset(Assignment a)
+{
+    if (a.size() != ctx_->segment_count())
+        throw std::invalid_argument("IncrementalDelayEngine::reset: bad size");
+    a_ = std::move(a);
+    rebuild();
+}
+
+void IncrementalDelayEngine::rebuild()
+{
+    const SegmentDecomposition& segs = ctx_->segs();
+    const WidthSet& ws = ctx_->widths();
+    // Children have larger indices than parents: accumulate bottom-up.
+    for (std::size_t i = segs.count(); i-- > 0;) {
+        double below = 0.0;
+        for (const int c : segs[i].children) {
+            const std::size_t ci = static_cast<std::size_t>(c);
+            below += ws[a_[ci]] * static_cast<double>(segs[ci].length) +
+                     wire_below_[ci];
+        }
+        wire_below_[i] = below;
+    }
+    delay_ = ctx_->delay(a_);
+}
+
+double IncrementalDelayEngine::upstream_length_over_width(std::size_t i) const
+{
+    const SegmentDecomposition& segs = ctx_->segs();
+    const WidthSet& ws = ctx_->widths();
+    double a_up = 0.0;
+    for (int p = segs[i].parent; p != kNoSegment;
+         p = segs[static_cast<std::size_t>(p)].parent) {
+        a_up += static_cast<double>(segs[static_cast<std::size_t>(p)].length) /
+                ws[a_[static_cast<std::size_t>(p)]];
+    }
+    return a_up;
+}
+
+WiresizeContext::ThetaPhi IncrementalDelayEngine::theta_phi(std::size_t i) const
+{
+    const double rd = ctx_->tech().driver_resistance_ohm;
+    const double r0 = ctx_->tech().r_grid();
+    const double c0 = ctx_->tech().c_grid();
+    const double l = static_cast<double>(ctx_->segs()[i].length);
+
+    WiresizeContext::ThetaPhi tp;
+    tp.theta = c0 * l * (rd + r0 * upstream_length_over_width(i));
+    tp.phi = r0 * l * (ctx_->downstream_sink_cap(i) + c0 * wire_below_[i]);
+    const double w = ctx_->widths()[a_[i]];
+    tp.psi = delay_ - tp.theta * w - tp.phi / w;
+    return tp;
+}
+
+void IncrementalDelayEngine::apply_width(std::size_t i, int k)
+{
+    const int old = a_[i];
+    if (k == old) return;
+    const SegmentDecomposition& segs = ctx_->segs();
+    const WidthSet& ws = ctx_->widths();
+    const double w_old = ws[old];
+    const double w_new = ws[k];
+    const double l = static_cast<double>(segs[i].length);
+
+    // O(1) delay delta through the Theta/Phi decomposition at i.
+    const double r0 = ctx_->tech().r_grid();
+    const double c0 = ctx_->tech().c_grid();
+    const double theta =
+        c0 * l * (ctx_->tech().driver_resistance_ohm +
+                  r0 * upstream_length_over_width(i));
+    const double phi =
+        r0 * l * (ctx_->downstream_sink_cap(i) + c0 * wire_below_[i]);
+    delay_ += theta * (w_new - w_old) + phi * (1.0 / w_new - 1.0 / w_old);
+
+    // Root-path propagation of the downstream weighted wire cap.
+    const double d_wl = (w_new - w_old) * l;
+    for (int p = segs[i].parent; p != kNoSegment;
+         p = segs[static_cast<std::size_t>(p)].parent)
+        wire_below_[static_cast<std::size_t>(p)] += d_wl;
+
+    a_[i] = k;
+}
+
+int IncrementalDelayEngine::locally_optimal_width(std::size_t i, int max_idx) const
+{
+    const double rd = ctx_->tech().driver_resistance_ohm;
+    const double r0 = ctx_->tech().r_grid();
+    const double c0 = ctx_->tech().c_grid();
+    const double l = static_cast<double>(ctx_->segs()[i].length);
+    const double theta = c0 * l * (rd + r0 * upstream_length_over_width(i));
+    const double phi =
+        r0 * l * (ctx_->downstream_sink_cap(i) + c0 * wire_below_[i]);
+
+    const WidthSet& ws = ctx_->widths();
+    int best = 0;
+    double best_val = theta * ws[0] + phi / ws[0];
+    for (int k = 1; k <= max_idx; ++k) {
+        const double v = theta * ws[k] + phi / ws[k];
+        if (v < best_val) {
+            best = k;
+            best_val = v;
+        }
+    }
+    return best;
+}
+
+bool IncrementalDelayEngine::refine(std::size_t i, int max_idx)
+{
+    const int k = locally_optimal_width(i, max_idx);
+    if (k == a_[i]) return false;
+    apply_width(i, k);
+    return true;
+}
+
+}  // namespace cong93

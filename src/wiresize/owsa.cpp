@@ -17,16 +17,37 @@ public:
         current_.assign(n, 0);
         subtree_.resize(n);
         pinnable_.assign(n, true);
+        a_min_.assign(n, 0.0);
+        b_min_.assign(n, 0.0);
+        const double r0 = ctx.tech().r_grid();
+        const double c0 = ctx.tech().c_grid();
+        const double w0 = ctx.widths()[0];
         // Children have larger indices than parents: accumulate bottom-up.
         for (std::size_t i = n; i-- > 0;) {
             subtree_[i].push_back(static_cast<int>(i));
             pinnable_[i] = lower[i] == 0;
+            // Delay contribution of T_SS(i) with every width pinned to W1 is
+            // linear in the upstream resistance: D_i(R) = A_i + R*B_i with
+            //   B_i = c0*w0*l + tail_cap + Sigma_child B_c   (downstream cap)
+            //   A_i = r0*c0*l(l+1)/2 + (r0*l/w0)*(tail_cap + Sigma B_c)
+            //         + Sigma_child A_c
+            // so each pinned-min candidate is evaluated in O(1) instead of
+            // re-walking the subtree (delta evaluation: consecutive
+            // enumeration states differ only in one stem width).
+            double b_child = 0.0, a_child = 0.0;
             for (const int c : ctx.segs()[i].children) {
-                subtree_[i].insert(subtree_[i].end(),
-                                   subtree_[static_cast<std::size_t>(c)].begin(),
-                                   subtree_[static_cast<std::size_t>(c)].end());
-                pinnable_[i] = pinnable_[i] && pinnable_[static_cast<std::size_t>(c)];
+                const std::size_t ci = static_cast<std::size_t>(c);
+                subtree_[i].insert(subtree_[i].end(), subtree_[ci].begin(),
+                                   subtree_[ci].end());
+                pinnable_[i] = pinnable_[i] && pinnable_[ci];
+                b_child += b_min_[ci];
+                a_child += a_min_[ci];
             }
+            const double l = static_cast<double>(ctx.segs()[i].length);
+            const double tc = ctx.tail_cap(i);
+            b_min_[i] = c0 * w0 * l + tc + b_child;
+            a_min_[i] = r0 * c0 * l * (l + 1.0) / 2.0 +
+                        (r0 * l / w0) * (tc + b_child) + a_child;
         }
     }
 
@@ -103,16 +124,11 @@ private:
     }
 
     /// Delay contribution of T_SS(i) with every segment at the minimum
-    /// width, given the upstream resistance (no recursion, no call counting).
+    /// width, given the upstream resistance: the cached linear form
+    /// A_i + r_in * B_i (no recursion, no call counting).
     double eval_pinned_min(std::size_t i, double r_in) const
     {
-        double d = contribution(i, 0, r_in);
-        const double r_next = r_in + ctx_->tech().r_grid() *
-                                         static_cast<double>(ctx_->segs()[i].length) /
-                                         ctx_->widths()[0];
-        for (const int c : ctx_->segs()[i].children)
-            d += eval_pinned_min(static_cast<std::size_t>(c), r_next);
-        return d;
+        return a_min_[i] + r_in * b_min_[i];
     }
 
     const WiresizeContext* ctx_;
@@ -121,6 +137,8 @@ private:
     Assignment current_;
     std::vector<std::vector<int>> subtree_;
     std::vector<bool> pinnable_;
+    std::vector<double> a_min_;  ///< pinned-min linear form: D(R) = A + R*B
+    std::vector<double> b_min_;
     std::int64_t calls_ = 0;
     std::int64_t branching_calls_ = 0;
 };
