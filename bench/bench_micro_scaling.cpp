@@ -3,26 +3,33 @@
 // GREWSA vs sink count (incremental engine vs the O(n^2)-per-sweep
 // reference), batch throughput, and the two simulators vs tree size.
 //
-// After the google-benchmark suite runs, a deterministic scaling study is
-// written to BENCH_wiresize.json (net size vs wall-clock for the reference,
-// incremental and parallel-batch GREWSA paths) so the perf trajectory is
-// machine-readable across PRs.
+// After the google-benchmark suite runs, two deterministic scaling studies
+// are written so the perf trajectory is machine-readable across PRs:
+// BENCH_wiresize.json (net size vs wall-clock for the reference, incremental
+// and parallel-batch GREWSA paths) and BENCH_atree.json (A-tree construction
+// wall-clock, Mode::reference full-rescan vs Mode::indexed cached queries,
+// with bit-identity checks for both heuristic policies).
 //
-//   --json=PATH   output path for the scaling study (default BENCH_wiresize.json)
-//   --json-only   skip the google-benchmark suite, only write the study
+//   --json=PATH        output path for the wiresize study (default BENCH_wiresize.json)
+//   --atree-json=PATH  output path for the A-tree study (default BENCH_atree.json)
+//   --json-only        skip the google-benchmark suite, only write the studies
+//   --smoke            small-size studies only (CI smoke job)
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "atree/atree.h"
 #include "atree/generalized.h"
 #include "batch/batch.h"
 #include "bench_common.h"
 #include "netgen/netgen.h"
+#include "rtree/io.h"
 #include "report/table.h"
 #include "sim/delay_measure.h"
 #include "sim/two_pole.h"
@@ -45,6 +52,22 @@ void BM_AtreeBuild(benchmark::State& state)
     }
 }
 BENCHMARK(BM_AtreeBuild)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_AtreeBuildReference(benchmark::State& state)
+{
+    // The seed query path (full segment rescan per root per step): the
+    // baseline the indexed engine is measured against.
+    const int sinks = static_cast<int>(state.range(0));
+    const auto nets = random_nets(1, 16, kMcmGrid, sinks);
+    AtreeOptions opts;
+    opts.mode = Mode::reference;
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(build_atree_general(nets[i % nets.size()], opts));
+        ++i;
+    }
+}
+BENCHMARK(BM_AtreeBuildReference)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
 
 void BM_Owsa(benchmark::State& state)
 {
@@ -150,10 +173,13 @@ BENCHMARK(BM_TransientSim)->Arg(8)->Arg(32);
 // ---------------------------------------------------------------------------
 
 /// Best-of-k wall-clock of fn(), with k sized so the total stays ~50ms.
+/// Runs that already take over a second are measured once (the slow
+/// reference baselines at large sizes would otherwise dominate the study).
 template <typename Fn>
 double time_best(Fn&& fn)
 {
     const double warmup = bench::time_seconds(fn);
+    if (warmup > 1.0) return warmup;
     const int reps = std::clamp(static_cast<int>(0.05 / std::max(warmup, 1e-9)), 2, 15);
     double best = warmup;
     for (int i = 0; i < reps; ++i) best = std::min(best, bench::time_seconds(fn));
@@ -267,19 +293,163 @@ bool write_scaling_json(const std::string& path)
     return true;
 }
 
+// ---------------------------------------------------------------------------
+// BENCH_atree.json scaling study
+// ---------------------------------------------------------------------------
+
+struct AtreeRow {
+    int sinks = 0;
+    double reference_s = 0.0;
+    double indexed_s = 0.0;
+    bool identical = false;
+    double speedup() const
+    {
+        return indexed_s > 0.0 ? reference_s / indexed_s : 0.0;
+    }
+};
+
+bool results_identical(const AtreeResult& a, const AtreeResult& b)
+{
+    return format_tree(a.tree) == format_tree(b.tree) &&
+           a.safe_moves == b.safe_moves && a.heuristic_moves == b.heuristic_moves &&
+           a.cost == b.cost && a.sb_total == b.sb_total &&
+           a.qmst_cost == b.qmst_cost && a.sb_qmst_total == b.sb_qmst_total;
+}
+
+AtreeRow time_atree_modes(const Net& net, HeuristicPolicy policy, int sinks)
+{
+    AtreeOptions ref_opts, idx_opts;
+    ref_opts.policy = idx_opts.policy = policy;
+    ref_opts.mode = Mode::reference;
+    idx_opts.mode = Mode::indexed;
+
+    AtreeRow row;
+    row.sinks = sinks;
+    std::optional<AtreeResult> ref, idx;
+    row.reference_s = time_best([&] { ref = build_atree(net, ref_opts); });
+    row.indexed_s = time_best([&] { idx = build_atree(net, idx_opts); });
+    row.identical = results_identical(*ref, *idx);
+    return row;
+}
+
+bool write_atree_json(const std::string& path, bool smoke)
+{
+    // Corner-source nets keep all sinks in one quadrant, so a single A-tree
+    // construction carries the whole net -- the harshest case for the
+    // reference's full-rescan query path.
+    const std::vector<int> sizes =
+        smoke ? std::vector<int>{12, 25} : std::vector<int>{12, 25, 50, 100, 200, 400};
+
+    std::vector<AtreeRow> rows;
+    for (const int sinks : sizes) {
+        const Net net = random_corner_nets(93, 1, kMcmGrid, sinks)[0];
+        const AtreeRow row =
+            time_atree_modes(net, HeuristicPolicy::farthest_corner, sinks);
+        rows.push_back(row);
+        std::cout << "atree scaling: " << row.sinks << " sinks  reference "
+                  << fmt_sci(row.reference_s, 2) << "s  indexed "
+                  << fmt_sci(row.indexed_s, 2) << "s  speedup "
+                  << fmt_fixed(row.speedup(), 1) << "x  identical "
+                  << (row.identical ? "yes" : "NO") << '\n';
+    }
+
+    // The min_suboptimality policy adds the per-pair df estimate to each
+    // heuristic move; cross-check identity (and timing) at moderate sizes.
+    std::vector<AtreeRow> minsb_rows;
+    for (const int sinks : sizes) {
+        if (sinks > 100) continue;
+        const Net net = random_corner_nets(93, 1, kMcmGrid, sinks)[0];
+        const AtreeRow row =
+            time_atree_modes(net, HeuristicPolicy::min_suboptimality, sinks);
+        minsb_rows.push_back(row);
+        std::cout << "atree min_sb:  " << row.sinks << " sinks  reference "
+                  << fmt_sci(row.reference_s, 2) << "s  indexed "
+                  << fmt_sci(row.indexed_s, 2) << "s  speedup "
+                  << fmt_fixed(row.speedup(), 1) << "x  identical "
+                  << (row.identical ? "yes" : "NO") << '\n';
+    }
+
+    // Batch throughput: whole A-tree constructions over a fixed batch of
+    // general nets, serial vs thread pool, verifying identical trees.
+    constexpr int kBatchNets = 16;
+    constexpr int kBatchSinks = 24;
+    const auto nets = random_nets(17, kBatchNets, kMcmGrid, kBatchSinks);
+    const auto run_batch = [&](int threads) {
+        return batch_map<std::string>(
+            nets.size(),
+            [&](std::size_t i) { return format_tree(build_atree_general(nets[i]).tree); },
+            threads);
+    };
+    const int threads = default_thread_count();
+    std::vector<std::string> serial_trees, parallel_trees;
+    const double serial_s = time_best([&] { serial_trees = run_batch(1); });
+    const double parallel_s =
+        time_best([&] { parallel_trees = run_batch(threads); });
+    const bool batch_identical = serial_trees == parallel_trees;
+    std::cout << "batch atree: " << kBatchNets << " nets  serial "
+              << fmt_sci(serial_s, 2) << "s  parallel(" << threads << " threads) "
+              << fmt_sci(parallel_s, 2) << "s  identical "
+              << (batch_identical ? "yes" : "NO") << '\n';
+
+    std::ofstream out(path);
+    if (!out) {
+        std::cerr << "cannot write " << path << '\n';
+        return false;
+    }
+    const auto write_rows = [&](const std::vector<AtreeRow>& rs) {
+        for (std::size_t i = 0; i < rs.size(); ++i) {
+            const AtreeRow& r = rs[i];
+            out << "    {\"sinks\": " << r.sinks
+                << ", \"reference_s\": " << fmt_sci(r.reference_s, 4)
+                << ", \"indexed_s\": " << fmt_sci(r.indexed_s, 4)
+                << ", \"speedup\": " << fmt_fixed(r.speedup(), 2)
+                << ", \"identical\": " << (r.identical ? "true" : "false") << "}"
+                << (i + 1 < rs.size() ? "," : "") << '\n';
+        }
+    };
+    out << "{\n"
+        << "  \"benchmark\": \"atree_scaling\",\n"
+        << "  \"generated_by\": \"bench_micro_scaling\",\n"
+        << "  \"nets\": \"corner_source_seed93\",\n"
+        << "  \"atree\": [\n";
+    write_rows(rows);
+    out << "  ],\n"
+        << "  \"min_suboptimality_identity\": [\n";
+    write_rows(minsb_rows);
+    out << "  ],\n"
+        << "  \"batch\": {\"nets\": " << kBatchNets
+        << ", \"sinks\": " << kBatchSinks << ", \"threads\": " << threads
+        << ", \"serial_s\": " << fmt_sci(serial_s, 4)
+        << ", \"parallel_s\": " << fmt_sci(parallel_s, 4)
+        << ", \"identical\": " << (batch_identical ? "true" : "false") << "}\n"
+        << "}\n";
+    std::cout << "wrote " << path << '\n';
+
+    bool all_identical = batch_identical;
+    for (const AtreeRow& r : rows) all_identical = all_identical && r.identical;
+    for (const AtreeRow& r : minsb_rows) all_identical = all_identical && r.identical;
+    return all_identical;
+}
+
 }  // namespace
 }  // namespace cong93
 
 int main(int argc, char** argv)
 {
     std::string json_path = "BENCH_wiresize.json";
+    std::string atree_json_path = "BENCH_atree.json";
     bool json_only = false;
+    bool smoke = false;
     std::vector<char*> keep;
     for (int i = 0; i < argc; ++i) {
         if (std::strncmp(argv[i], "--json=", 7) == 0)
             json_path = argv[i] + 7;
+        else if (std::strncmp(argv[i], "--atree-json=", 13) == 0)
+            atree_json_path = argv[i] + 13;
         else if (std::strcmp(argv[i], "--json-only") == 0)
             json_only = true;
+        else if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
         else
             keep.push_back(argv[i]);
     }
@@ -290,5 +460,7 @@ int main(int argc, char** argv)
         benchmark::RunSpecifiedBenchmarks();
         benchmark::Shutdown();
     }
-    return cong93::write_scaling_json(json_path) ? 0 : 1;
+    const bool wiresize_ok = cong93::write_scaling_json(json_path);
+    const bool atree_ok = cong93::write_atree_json(atree_json_path, smoke);
+    return wiresize_ok && atree_ok ? 0 : 1;
 }

@@ -60,7 +60,7 @@ AtreeResult build_atree(const Net& net, const AtreeOptions& options)
     }
 
     Forest forest(Point{0, 0}, sinks);
-    MoveEngine engine(forest, options.policy, options.use_safe_moves);
+    MoveEngine engine(forest, options.policy, options.use_safe_moves, options.mode);
     engine.run();
 
     AtreeResult res{forest_to_tree(forest, net, net.source)};

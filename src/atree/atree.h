@@ -20,6 +20,9 @@ struct AtreeOptions {
     /// Ablation switch: false degenerates the algorithm to heuristic moves
     /// only (the plain Rao et al. construction).  Always true in the paper.
     bool use_safe_moves = true;
+    /// Query engine: `indexed` (spatial index + cached root queries) or
+    /// `reference` (the seed full-rescan path).  Bit-identical results.
+    Mode mode = Mode::indexed;
 };
 
 struct AtreeResult {

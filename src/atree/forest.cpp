@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <unordered_set>
 
 namespace cong93 {
 
@@ -13,18 +14,22 @@ Forest::Forest(Point source, const std::vector<Point>& sinks)
     nodes_.back().terminal = true;
     roots_.push_back(source_node_);
     tree_roots_.push_back(source_node_);
+    std::unordered_set<Point, PointHash> seen;
+    seen.insert(source);
     for (const Point s : sinks) {
         if (s.x < 0 || s.y < 0)
             throw std::invalid_argument("Forest: sinks must lie in the first quadrant");
         if (s == source) continue;
-        bool dup = false;
-        for (const NodeRec& n : nodes_) dup = dup || n.p == s;
-        if (dup) continue;
+        if (!seen.insert(s).second) continue;  // duplicate sink collapsed
         const int tree = static_cast<int>(tree_roots_.size());
         const int id = new_node(s, tree);
         nodes_.back().terminal = true;
         roots_.push_back(id);
         tree_roots_.push_back(id);
+    }
+    for (const int rid : roots_) {
+        index_.add(Seg(nodes_[static_cast<std::size_t>(rid)].p), rid);
+        root_by_point_.emplace(nodes_[static_cast<std::size_t>(rid)].p, rid);
     }
 }
 
@@ -35,6 +40,12 @@ int Forest::new_node(Point p, int tree)
     n.tree = tree;
     nodes_.push_back(n);
     return static_cast<int>(nodes_.size()) - 1;
+}
+
+int Forest::root_at(Point p) const
+{
+    const auto it = root_by_point_.find(p);
+    return it == root_by_point_.end() ? -1 : it->second;
 }
 
 namespace {
@@ -56,6 +67,51 @@ void for_each_forest_seg(const std::vector<Forest::NodeRec>& nodes, Fn&& fn)
 }  // namespace
 
 Forest::RootQuery Forest::analyze(int root_id) const
+{
+    const NodeRec& pn = node(root_id);
+    const Point p = pn.p;
+    RootQuery q;
+
+    // df / mf via the region-pruned index sweep (Definition 7; edge interiors
+    // count, own tree excluded).
+    index_.nearest_dominated(
+        p, [&](int owner) { return node(owner).tree != pn.tree; }, q.df,
+        q.mf_west, q.mf_south);
+
+    // dx / mx and dy / my (Definition 6).  The reference scan runs the
+    // Definition 5 blocking test for *every* NW/SE root; since the answer is
+    // the (distance, coordinate)-smallest unblocked candidate, sorting the
+    // candidates by that key and taking the first unblocked one gives the
+    // identical result with typically one or two O(log n) gate probes.
+    std::vector<std::pair<std::pair<Length, Coord>, Point>> nw, se;
+    for (const int rid : roots_) {
+        if (rid == root_id) continue;
+        const NodeRec& rn = node(rid);
+        if (rn.tree == pn.tree) continue;
+        const Point r = rn.p;
+        if (r.x < p.x && r.y > p.y)
+            nw.push_back({{dist_x(p, r), r.y}, r});
+        else if (r.x > p.x && r.y < p.y)
+            se.push_back({{dist_y(p, r), r.x}, r});
+    }
+    std::sort(nw.begin(), nw.end());
+    for (const auto& [key, r] : nw) {
+        if (index_.hits_vertical_gate(r.x, p.y, r.y)) continue;
+        q.dx = key.first;
+        q.mx = r;
+        break;
+    }
+    std::sort(se.begin(), se.end());
+    for (const auto& [key, r] : se) {
+        if (index_.hits_horizontal_gate(r.y, p.x, r.x)) continue;
+        q.dy = key.first;
+        q.my = r;
+        break;
+    }
+    return q;
+}
+
+Forest::RootQuery Forest::analyze_reference(int root_id) const
 {
     const NodeRec& pn = node(root_id);
     const Point p = pn.p;
@@ -122,6 +178,18 @@ Forest::RootQuery Forest::analyze(int root_id) const
 std::optional<std::pair<Length, int>> Forest::first_contact(const Leg& leg,
                                                             int own_tree) const
 {
+    const auto hit = index_.first_contact(
+        leg, [&](int owner) { return node(owner).tree != own_tree; });
+    if (!hit) return std::nullopt;
+    // Arborescences are pairwise point-disjoint (they merge on first
+    // contact), so the earliest contact point determines a unique tree and
+    // any owner achieving the minimum t reports it.
+    return std::make_pair(hit->first, node(hit->second).tree);
+}
+
+std::optional<std::pair<Length, int>> Forest::first_contact_reference(
+    const Leg& leg, int own_tree) const
+{
     std::optional<std::pair<Length, int>> best;
     for_each_forest_seg(nodes_, [&](const Seg& seg, int tree) {
         if (tree == own_tree) return;
@@ -135,7 +203,8 @@ int Forest::materialize(Point p, int tree_id)
 {
     for (std::size_t i = 0; i < nodes_.size(); ++i)
         if (nodes_[i].tree == tree_id && nodes_[i].p == p) return static_cast<int>(i);
-    // Split the edge of tree_id whose interior contains p.
+    // Split the edge of tree_id whose interior contains p.  The union of
+    // forest points is unchanged, so the segment index needs no update.
     for (std::size_t i = 0; i < nodes_.size(); ++i) {
         NodeRec& child = nodes_[i];
         if (child.tree != tree_id || child.parent < 0) continue;
@@ -195,9 +264,12 @@ Forest::PathResult Forest::apply_path(int from_root, const std::vector<Point>& w
     }
 
     PathResult res;
+    res.prev_root = from_root;
+    res.prev_point = start.p;
     if (chain.empty()) {  // zero-length move
         res.end_node = from_root;
         res.end_point = start.p;
+        res.new_root = from_root;
         return res;
     }
     res.end_point = chain.back();
@@ -216,29 +288,52 @@ Forest::PathResult Forest::apply_path(int from_root, const std::vector<Point>& w
         const int mid = new_node(chain[i], final_tree);
         nodes_[static_cast<std::size_t>(mid)].parent = parent;
         nodes_[static_cast<std::size_t>(parent)].children.push_back(mid);
+        res.added_segs.push_back(Seg(chain[i], chain[i + 1]));
+        index_.add(res.added_segs.back(), mid);
         parent = mid;
     }
     nodes_[static_cast<std::size_t>(from_root)].parent = parent;
     nodes_[static_cast<std::size_t>(parent)].children.push_back(from_root);
+    res.added_segs.push_back(Seg(res.prev_point, chain.front()));
+    index_.add(res.added_segs.back(), from_root);
 
+    root_by_point_.erase(res.prev_point);
     if (merged_tree >= 0) {
         set_tree(from_root, merged_tree);
         tree_roots_[static_cast<std::size_t>(own_tree)] = -1;
         roots_.erase(std::find(roots_.begin(), roots_.end(), from_root));
         res.merged = true;
         res.end_node = far_node;
+        res.new_root = tree_roots_[static_cast<std::size_t>(merged_tree)];
     } else {
         // The far end is the new root of from_root's tree.
         nodes_[static_cast<std::size_t>(far_node)].parent = -1;
         tree_roots_[static_cast<std::size_t>(own_tree)] = far_node;
         *std::find(roots_.begin(), roots_.end(), from_root) = far_node;
+        root_by_point_.emplace(res.end_point, far_node);
         res.end_node = far_node;
+        res.new_root = far_node;
     }
     return res;
 }
 
 Length Forest::nearest_dominated_dist(Point p, int exclude_tree1,
                                       int exclude_tree2) const
+{
+    Length best = kInfLen;
+    std::optional<Point> west, south;
+    index_.nearest_dominated(
+        p,
+        [&](int owner) {
+            const int t = node(owner).tree;
+            return t != exclude_tree1 && t != exclude_tree2;
+        },
+        best, west, south);
+    return best;
+}
+
+Length Forest::nearest_dominated_dist_reference(Point p, int exclude_tree1,
+                                                int exclude_tree2) const
 {
     Length best = kInfLen;
     for_each_forest_seg(nodes_, [&](const Seg& seg, int tree) {
@@ -249,7 +344,9 @@ Length Forest::nearest_dominated_dist(Point p, int exclude_tree1,
     return best;
 }
 
-bool Forest::covers(Point p) const
+bool Forest::covers(Point p) const { return index_.covers(p); }
+
+bool Forest::covers_reference(Point p) const
 {
     bool found = false;
     for_each_forest_seg(nodes_, [&](const Seg& seg, int) {

@@ -11,14 +11,23 @@
 // points, as the paper does), edge splitting when a path lands mid-segment,
 // and truncation of new paths at their first contact with another
 // arborescence.
+//
+// Every geometric query exists in two forms: the default one, served by an
+// append-only spatial segment index (atree/seg_index.h) that prunes by
+// region, and a `*_reference` twin preserving the seed implementation's
+// full scan over all forest segments.  The two are exactly equivalent (the
+// randomized suite in tests/test_forest_index.cpp asserts it); the reference
+// forms remain as the oracle and as the baseline for BENCH_atree.json.
 #ifndef CONG93_ATREE_FOREST_H
 #define CONG93_ATREE_FOREST_H
 
 #include <limits>
 #include <optional>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "atree/seg_index.h"
 #include "geom/point.h"
 #include "geom/segment.h"
 
@@ -64,8 +73,13 @@ public:
     /// Root node id of the arborescence containing `id`.
     int root_of_tree(int tree_id) const { return tree_roots_.at(static_cast<std::size_t>(tree_id)); }
 
-    /// Computes dx/dy/df and the m-points for a root node.
+    /// Root node id exactly at p, or -1 (O(1) hash lookup).
+    int root_at(Point p) const;
+
+    /// Computes dx/dy/df and the m-points for a root node (indexed path).
     RootQuery analyze(int root_id) const;
+    /// Seed implementation: full scan over every forest segment per query.
+    RootQuery analyze_reference(int root_id) const;
 
     /// Result of applying a path.
     struct PathResult {
@@ -73,6 +87,15 @@ public:
         bool merged = false;  ///< true when the path reached another tree
         Point end_point;      ///< where the path actually ended (may be a
                               ///< truncation point before the requested target)
+        int new_root = -1;    ///< root of the tree containing the path after
+                              ///< the move: end_node when a new root was
+                              ///< created, the surviving root on a merge, and
+                              ///< from_root for rejected zero-length paths
+        int prev_root = -1;   ///< from_root (no longer a root unless the path
+                              ///< had zero length)
+        Point prev_point;     ///< from_root's position
+        std::vector<Seg> added_segs;  ///< new edge geometry, one Seg per leg
+                                      ///< piece (empty for zero-length paths)
     };
 
     /// Adds the rectilinear path from root `from_root` through `waypoints`
@@ -87,24 +110,35 @@ public:
 
     /// True if point p lies on any arborescence (node or edge interior).
     bool covers(Point p) const;
+    bool covers_reference(Point p) const;
 
     /// L1 distance from p to the nearest forest point dominated by p,
     /// ignoring the given trees (kInfLen when none exists).  Used to estimate
     /// df(p', F_{k+1}) for a prospective H2 corner p'.
     Length nearest_dominated_dist(Point p, int exclude_tree1 = -1,
                                   int exclude_tree2 = -1) const;
+    Length nearest_dominated_dist_reference(Point p, int exclude_tree1 = -1,
+                                            int exclude_tree2 = -1) const;
+
+    /// First contact of the leg with any tree other than `own_tree`, as
+    /// (distance along the leg, tree id).  Public so the equivalence suite
+    /// can cross-check the two implementations directly.
+    std::optional<std::pair<Length, int>> first_contact(const Leg& leg,
+                                                        int own_tree) const;
+    std::optional<std::pair<Length, int>> first_contact_reference(
+        const Leg& leg, int own_tree) const;
 
 private:
     int new_node(Point p, int tree);
     /// Node exactly at p on tree `tree_id`, splitting an edge if needed.
     int materialize(Point p, int tree_id);
     void set_tree(int node_id, int tree_id);  // relabel a whole subtree
-    /// First contact of the leg with any tree other than `own_tree`.
-    std::optional<std::pair<Length, int>> first_contact(const Leg& leg, int own_tree) const;
 
     std::vector<NodeRec> nodes_;
     std::vector<int> roots_;       ///< node ids
     std::vector<int> tree_roots_;  ///< tree id -> root node id (-1 once absorbed)
+    std::unordered_map<Point, int, PointHash> root_by_point_;
+    SegIndex index_;
     int source_node_ = -1;
     Length total_length_ = 0;
 };

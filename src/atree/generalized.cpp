@@ -2,6 +2,8 @@
 
 #include <array>
 #include <stdexcept>
+#include <unordered_map>
+#include <utility>
 
 #include "rtree/metrics.h"
 
@@ -120,18 +122,25 @@ AtreeResult build_atree_general(const Net& net, const AtreeOptions& options)
     }
 
     // Verify coverage (a sink exactly at the source is marked on the root).
+    // One hash pass over the nodes replaces the former per-sink full scan:
+    // for each point, keep the last node id at it and whether any node there
+    // is already a sink (matching the scan's semantics exactly).
+    std::unordered_map<Point, std::pair<NodeId, bool>, PointHash> at;
+    at.reserve(combined.node_count());
+    for (std::size_t i = 0; i < combined.node_count(); ++i) {
+        const NodeId id = static_cast<NodeId>(i);
+        auto [it, fresh] = at.try_emplace(combined.point(id), id, false);
+        if (!fresh) it->second.first = id;
+        it->second.second = it->second.second || combined.node(id).is_sink;
+    }
     for (const Point s : net.sinks) {
-        bool marked = false;
-        NodeId at_point = kNoNode;
-        for (std::size_t i = 0; i < combined.node_count(); ++i) {
-            const NodeId id = static_cast<NodeId>(i);
-            if (combined.point(id) != s) continue;
-            at_point = id;
-            marked = marked || combined.node(id).is_sink;
-        }
-        if (at_point == kNoNode)
+        const auto it = at.find(s);
+        if (it == at.end())
             throw std::logic_error("build_atree_general: sink missing");
-        if (!marked) combined.mark_sink(at_point);
+        if (!it->second.second) {
+            combined.mark_sink(it->second.first);
+            it->second.second = true;
+        }
     }
 
     total.tree = combined;

@@ -24,8 +24,26 @@ Length sigma_qmst(Point p, Length d)
     return d * (static_cast<Length>(p.x) + p.y) - d * (d - 1) / 2;
 }
 
-MoveEngine::MoveEngine(Forest& forest, HeuristicPolicy policy, bool use_safe_moves)
-    : forest_(&forest), policy_(policy), use_safe_moves_(use_safe_moves)
+namespace {
+
+/// The safe-move scan order: farthest root from the origin first, ties by
+/// descending point order.  Root points are pairwise distinct, so this is a
+/// strict total order and any sorted sequence of roots is unique.
+bool farther_first(const Forest& f, int a, int b)
+{
+    const Point pa = f.node(a).p;
+    const Point pb = f.node(b).p;
+    if (dist_origin(pa) != dist_origin(pb))
+        return dist_origin(pa) > dist_origin(pb);
+    return pb < pa;
+}
+
+}  // namespace
+
+MoveEngine::MoveEngine(Forest& forest, HeuristicPolicy policy, bool use_safe_moves,
+                       Mode mode)
+    : forest_(&forest), policy_(policy), use_safe_moves_(use_safe_moves),
+      mode_(mode)
 {
 }
 
@@ -39,6 +57,95 @@ void MoveEngine::record(MoveRecord rec)
         ++safe_moves_;
     }
     log_.push_back(rec);
+}
+
+Forest::RootQuery MoveEngine::query(int root_id)
+{
+    if (mode_ == Mode::reference) return forest_->analyze_reference(root_id);
+    if (const auto it = cache_.find(root_id); it != cache_.end())
+        return it->second;
+    const Forest::RootQuery q = forest_->analyze(root_id);
+    cache_.emplace(root_id, q);
+    return q;
+}
+
+std::vector<int> MoveEngine::scan_order()
+{
+    if (mode_ == Mode::reference) {
+        std::vector<int> roots = forest_->roots();
+        std::sort(roots.begin(), roots.end(),
+                  [&](int a, int b) { return farther_first(*forest_, a, b); });
+        return roots;
+    }
+    if (!order_ready_) {
+        order_ = forest_->roots();
+        std::sort(order_.begin(), order_.end(),
+                  [&](int a, int b) { return farther_first(*forest_, a, b); });
+        order_ready_ = true;
+    }
+    return order_;
+}
+
+void MoveEngine::note_path(const Forest::PathResult& pr)
+{
+    if (mode_ == Mode::reference) return;
+    if (pr.added_segs.empty()) return;  // rejected zero-length path: no change
+
+    cache_.erase(pr.prev_root);
+    if (order_ready_) {
+        const auto it = std::find(order_.begin(), order_.end(), pr.prev_root);
+        if (it != order_.end()) order_.erase(it);
+    }
+    if (pr.merged) {
+        // The surviving root's arborescence just absorbed another tree: its
+        // df/mf now exclude the absorbed geometry, so re-derive from scratch.
+        cache_.erase(pr.new_root);
+    } else if (order_ready_) {
+        order_.insert(
+            std::lower_bound(order_.begin(), order_.end(), pr.new_root,
+                             [&](int a, int b) { return farther_first(*forest_, a, b); }),
+            pr.new_root);
+    }
+
+    // Dirty sweep: a cached query stays valid unless the move could have
+    // touched it.  Geometry is append-only and tree relabels keep every
+    // other root's candidate sets intact, so the only hazards are
+    //   * a new segment with a dominated point within the cached df
+    //     (closer mf, or an equal-distance tie that shifts mf_west/mf_south),
+    //   * a new segment crossing the cached mx/my blocking gate,
+    //   * the moved root having been the cached mx/my,
+    //   * a new root appearing NW/SE within the cached dx/dy (ties included).
+    std::vector<int> doomed;
+    for (const auto& [rid, q] : cache_) {
+        const Point p = forest_->node(rid).p;
+        bool hit = false;
+        for (const Seg& s : pr.added_segs) {
+            const auto cand = s.nearest_dominated(p);
+            if (cand && dist(p, *cand) <= q.df) {
+                hit = true;
+                break;
+            }
+            if (q.mx && s.hits_vertical_gate(q.mx->x, p.y, q.mx->y)) {
+                hit = true;
+                break;
+            }
+            if (q.my && s.hits_horizontal_gate(q.my->y, p.x, q.my->x)) {
+                hit = true;
+                break;
+            }
+        }
+        if (!hit && q.mx && *q.mx == pr.prev_point) hit = true;
+        if (!hit && q.my && *q.my == pr.prev_point) hit = true;
+        if (!hit && !pr.merged) {
+            const Point rn = forest_->node(pr.new_root).p;
+            if (rn.x < p.x && rn.y > p.y && dist_x(p, rn) <= q.dx)
+                hit = true;
+            else if (rn.x > p.x && rn.y < p.y && dist_y(p, rn) <= q.dy)
+                hit = true;
+        }
+        if (hit) doomed.push_back(rid);
+    }
+    for (const int rid : doomed) cache_.erase(rid);
 }
 
 bool MoveEngine::step()
@@ -62,19 +169,11 @@ void MoveEngine::run()
 
 bool MoveEngine::try_safe_move()
 {
-    // Deterministic scan order: farthest root from the origin first.
-    std::vector<int> roots = forest_->roots();
-    std::sort(roots.begin(), roots.end(), [&](int a, int b) {
-        const Point pa = forest_->node(a).p;
-        const Point pb = forest_->node(b).p;
-        if (dist_origin(pa) != dist_origin(pb))
-            return dist_origin(pa) > dist_origin(pb);
-        return pb < pa;
-    });
+    const std::vector<int> roots = scan_order();
 
     for (const int rid : roots) {
         const Point p = forest_->node(rid).p;
-        const Forest::RootQuery q = forest_->analyze(rid);
+        const Forest::RootQuery q = query(rid);
         if (q.df >= kInfLen) continue;  // the origin; it never moves
 
         if (q.dx >= q.df && q.dy >= q.df) {
@@ -82,6 +181,7 @@ bool MoveEngine::try_safe_move()
             const Point target = *q.mf_west;
             const Point corner{p.x, target.y};
             const auto res = forest_->apply_path(rid, {corner, target});
+            note_path(res);
             MoveRecord rec;
             rec.type = MoveType::s1;
             rec.from1 = p;
@@ -96,6 +196,7 @@ bool MoveEngine::try_safe_move()
             if (len < 1) continue;  // degenerate; treat as no safe move from p
             const Point target{p.x, static_cast<Coord>(p.y - len)};
             const auto res = forest_->apply_path(rid, {target});
+            note_path(res);
             MoveRecord rec;
             rec.type = MoveType::s2;
             rec.from1 = p;
@@ -110,6 +211,7 @@ bool MoveEngine::try_safe_move()
             if (len < 1) continue;
             const Point target{static_cast<Coord>(p.x - len), p.y};
             const auto res = forest_->apply_path(rid, {target});
+            note_path(res);
             MoveRecord rec;
             rec.type = MoveType::s3;
             rec.from1 = p;
@@ -144,7 +246,7 @@ void MoveEngine::heuristic_move()
         Cand c;
         c.root = rid;
         c.p = forest_->node(rid).p;
-        c.q = forest_->analyze(rid);
+        c.q = query(rid);
         if (c.q.df >= kInfLen) continue;  // the origin cannot be moved
         cands.push_back(c);
     }
@@ -179,9 +281,12 @@ void MoveEngine::heuristic_move()
             const Length score = dist_origin(corner);
             Length sb = 0;
             if (policy_ == HeuristicPolicy::min_suboptimality) {
-                const Length df_est = forest_->nearest_dominated_dist(
-                    corner, forest_->node(cands[i].root).tree,
-                    forest_->node(cands[j].root).tree);
+                const int t1 = forest_->node(cands[i].root).tree;
+                const int t2 = forest_->node(cands[j].root).tree;
+                const Length df_est =
+                    mode_ == Mode::reference
+                        ? forest_->nearest_dominated_dist_reference(corner, t1, t2)
+                        : forest_->nearest_dominated_dist(corner, t1, t2);
                 sb = std::max<Length>(
                     0, dist(corner, cands[i].p) + dist(corner, cands[j].p) +
                            (df_est >= kInfLen ? 0 : df_est) -
@@ -207,6 +312,7 @@ void MoveEngine::heuristic_move()
         const Point target = *c.q.mf_west;
         const Point corner{c.p.x, target.y};
         const auto res = forest_->apply_path(c.root, {corner, target});
+        note_path(res);
         MoveRecord rec;
         rec.type = MoveType::h1;
         rec.from1 = c.p;
@@ -232,6 +338,7 @@ void MoveEngine::heuristic_move()
     rec.to = corner;
 
     const auto res1 = forest_->apply_path(c1.root, {corner});
+    note_path(res1);
     const Length added1 = dist(c1.p, res1.end_point);
     Length added2 = 0;
     bool leg2_done = false;
@@ -239,20 +346,20 @@ void MoveEngine::heuristic_move()
     // cleanly (possibly as a no-op when corner == c1.p).
     if (res1.end_point == corner && !res1.merged) {
         const auto res2 = forest_->apply_path(c2.root, {corner});
+        note_path(res2);
         added2 = dist(c2.p, res2.end_point);
         leg2_done = true;
     }
     rec.added = added1 + added2;
 
     // SB(pi) = d(p',p1) + d(p',p2) + df(p', F_{k+1}) - LB(p1) - LB(p2),
-    // adapted to truncated/degenerate outcomes (see Section 3.4).
+    // adapted to truncated/degenerate outcomes (see Section 3.4).  A root
+    // sits exactly at the corner only when one ended up there -- an O(1)
+    // point lookup rather than a scan over all roots.
     Length df_after = 0;
-    const auto& roots_now = forest_->roots();
-    int corner_root = -1;
-    for (const int rid : roots_now)
-        if (forest_->node(rid).p == corner) corner_root = rid;
+    const int corner_root = forest_->root_at(corner);
     if (corner_root >= 0) {
-        const Forest::RootQuery q = forest_->analyze(corner_root);
+        const Forest::RootQuery q = query(corner_root);
         if (q.df < kInfLen) df_after = q.df;
     }
     Length sb = added1 + added2 + df_after - lower_bound_of(c1.q);

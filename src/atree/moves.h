@@ -6,9 +6,20 @@
 // bound SB(pi) (Section 3.4) is accumulated: cost(T) - Σ SB is a valid lower
 // bound on the optimal arborescence cost, and likewise for the QMST cost via
 // sigma_qmst.
+//
+// The engine runs in one of two modes.  `Mode::indexed` (the default) keeps
+// a per-root cache of Forest::analyze results and a maintained
+// farthest-first scan order: each applied path reports the geometry and root
+// changes it made, and only cached queries those changes could affect are
+// dropped, so a step re-analyzes O(affected) roots instead of all of them.
+// `Mode::reference` preserves the seed behavior -- re-sort all roots and
+// re-derive every query from a full segment scan on every step (mirroring
+// PR 1's grewsa_reference convention).  Both modes make identical move
+// sequences and produce bit-identical forests.
 #ifndef CONG93_ATREE_MOVES_H
 #define CONG93_ATREE_MOVES_H
 
+#include <unordered_map>
 #include <vector>
 
 #include "atree/forest.h"
@@ -27,6 +38,13 @@ enum class HeuristicPolicy {
     min_suboptimality,
 };
 
+/// Which query path drives the engine (see the header comment).
+enum class Mode {
+    indexed,    ///< spatial index + cached root queries with dirty-set
+                ///< invalidation (default)
+    reference,  ///< the seed full-rescan path, kept as the oracle/baseline
+};
+
 struct MoveRecord {
     MoveType type;
     Point from1;          ///< the moved root p (or p1 for H2)
@@ -41,13 +59,16 @@ struct MoveRecord {
 /// (Lemma 3): Σ_{i=0..d-1} (p.x + p.y - i).
 Length sigma_qmst(Point p, Length d);
 
-/// Drives a Forest to completion one move at a time.
+/// Drives a Forest to completion one move at a time.  The engine assumes it
+/// is the only mutator of the forest once stepping begins (external
+/// apply_path calls would invalidate the indexed mode's cache).
 class MoveEngine {
 public:
     /// `use_safe_moves = false` degenerates to the pure heuristic
     /// construction of Rao et al. (an ablation; the paper's algorithm always
     /// prefers safe moves).
-    MoveEngine(Forest& forest, HeuristicPolicy policy, bool use_safe_moves = true);
+    MoveEngine(Forest& forest, HeuristicPolicy policy, bool use_safe_moves = true,
+               Mode mode = Mode::indexed);
 
     /// Performs one move.  Returns false when the forest is already a single
     /// arborescence (no move performed).
@@ -66,10 +87,23 @@ private:
     bool try_safe_move();
     void heuristic_move();
     void record(MoveRecord rec);
+    /// The root query for `root_id`: cached (indexed) or freshly re-derived
+    /// from the full scan (reference).
+    Forest::RootQuery query(int root_id);
+    /// Roots in the safe-move scan order (farthest from the origin first).
+    std::vector<int> scan_order();
+    /// Absorbs an applied path into the cache/order bookkeeping: drops the
+    /// moved root, inserts the new one, and invalidates every cached query
+    /// the new geometry or root change could affect.
+    void note_path(const Forest::PathResult& pr);
 
     Forest* forest_;
     HeuristicPolicy policy_;
     bool use_safe_moves_;
+    Mode mode_;
+    std::unordered_map<int, Forest::RootQuery> cache_;
+    std::vector<int> order_;  ///< maintained scan order (indexed mode)
+    bool order_ready_ = false;
     std::vector<MoveRecord> log_;
     int safe_moves_ = 0;
     int heuristic_moves_ = 0;

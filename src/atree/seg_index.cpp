@@ -1,0 +1,70 @@
+#include "atree/seg_index.h"
+
+namespace cong93 {
+
+void SegIndex::Line::insert(Coord lo, Coord hi, int owner)
+{
+    const auto it = std::upper_bound(
+        by_lo.begin(), by_lo.end(), lo,
+        [](Coord v, const Entry& e) { return v < e.lo; });
+    const std::size_t at = static_cast<std::size_t>(it - by_lo.begin());
+    by_lo.insert(it, Entry{lo, hi, owner});
+    prefix_max_hi.resize(by_lo.size());
+    for (std::size_t i = at; i < by_lo.size(); ++i)
+        prefix_max_hi[i] =
+            i == 0 ? by_lo[i].hi : std::max(prefix_max_hi[i - 1], by_lo[i].hi);
+}
+
+bool SegIndex::Line::overlaps(Coord lo, Coord hi) const
+{
+    // An interval e meets [lo, hi] iff e.lo <= hi and e.hi >= lo; among the
+    // prefix with e.lo <= hi the max high endpoint decides.
+    const auto it = std::upper_bound(
+        by_lo.begin(), by_lo.end(), hi,
+        [](Coord v, const Entry& e) { return v < e.lo; });
+    if (it == by_lo.begin()) return false;
+    return prefix_max_hi[static_cast<std::size_t>(it - by_lo.begin()) - 1] >= lo;
+}
+
+void SegIndex::add(const Seg& s, int owner)
+{
+    if (s.vertical())  // degenerate points file as zero-length columns
+        cols_[s.lo().x].insert(s.lo().y, s.hi().y, owner);
+    else
+        rows_[s.lo().y].insert(s.lo().x, s.hi().x, owner);
+}
+
+bool SegIndex::hits_vertical_gate(Coord x, Coord y_lo, Coord y_hi) const
+{
+    if (y_lo >= y_hi) return false;
+    if (const auto it = cols_.find(x);
+        it != cols_.end() && it->second.overlaps(y_lo, y_hi - 1))
+        return true;
+    for (auto it = rows_.lower_bound(y_lo); it != rows_.end() && it->first < y_hi;
+         ++it)
+        if (it->second.stabbed(x)) return true;
+    return false;
+}
+
+bool SegIndex::hits_horizontal_gate(Coord y, Coord x_lo, Coord x_hi) const
+{
+    if (x_lo >= x_hi) return false;
+    if (const auto it = rows_.find(y);
+        it != rows_.end() && it->second.overlaps(x_lo, x_hi - 1))
+        return true;
+    for (auto it = cols_.lower_bound(x_lo); it != cols_.end() && it->first < x_hi;
+         ++it)
+        if (it->second.stabbed(y)) return true;
+    return false;
+}
+
+bool SegIndex::covers(Point p) const
+{
+    if (const auto it = cols_.find(p.x);
+        it != cols_.end() && it->second.stabbed(p.y))
+        return true;
+    const auto it = rows_.find(p.y);
+    return it != rows_.end() && it->second.stabbed(p.x);
+}
+
+}  // namespace cong93

@@ -1,0 +1,184 @@
+// Spatial index over the forest's segment geometry (the query-acceleration
+// layer behind Forest::analyze and friends).
+//
+// Geometry is decomposed into per-line intervals: every vertical segment (and
+// every degenerate point) becomes a y-interval filed under its column, every
+// horizontal segment an x-interval filed under its row.  Each line keeps its
+// intervals sorted by low endpoint together with a prefix maximum of the high
+// endpoints, so "does anything on this line touch [a, b]?" is one binary
+// search.  Region queries (nearest dominated point, first contact along a
+// leg) walk lines outward from the query point and stop as soon as the axis
+// distance alone exceeds the best candidate, so they touch only the geometry
+// near the answer instead of every segment in the forest.
+//
+// The index is append-only: edge *splits* never change the union of forest
+// points and tree *relabels* are resolved through the `owner` node id carried
+// by every interval (the caller maps owner -> current tree id), so neither
+// operation touches the index.  Degenerate entries for nodes that later gain
+// edges stay behind harmlessly: their points remain part of the owning
+// arborescence's geometry.
+#ifndef CONG93_ATREE_SEG_INDEX_H
+#define CONG93_ATREE_SEG_INDEX_H
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/segment.h"
+
+namespace cong93 {
+
+class SegIndex {
+public:
+    /// Appends a segment (owner = the forest node id whose parent edge, or
+    /// whose isolated point, this is; used for tree-id lookups by the caller).
+    void add(const Seg& s, int owner);
+
+    /// True when some indexed point r has r.x == x and y_lo <= r.y < y_hi
+    /// (Definition 5 blocking test; half-open like Seg::hits_vertical_gate).
+    bool hits_vertical_gate(Coord x, Coord y_lo, Coord y_hi) const;
+
+    /// True when some indexed point r has r.y == y and x_lo <= r.x < x_hi.
+    bool hits_horizontal_gate(Coord y, Coord x_lo, Coord x_hi) const;
+
+    /// True when p lies on any indexed segment.
+    bool covers(Point p) const;
+
+    /// Nearest-dominated-point sweep (Definition 7 support): over every
+    /// indexed interval whose owner passes `keep`, minimizes the L1 distance
+    /// from p to the interval's point set restricted to points dominated by
+    /// p.  On return `best` is the minimum distance (unchanged when nothing
+    /// qualifies closer than its initial value), `west`/`south` the westmost
+    /// (min x, then min y) and southmost (min y, then min x) minimizers --
+    /// the same tie-break Forest::analyze_reference applies.  Pass
+    /// best = kInfLen and empty optionals for a fresh query.
+    template <typename Keep>
+    void nearest_dominated(Point p, Keep&& keep, Length& best,
+                           std::optional<Point>& west,
+                           std::optional<Point>& south) const
+    {
+        const auto update = [&](Point c, Length d) {
+            if (d < best) {
+                best = d;
+                west = south = c;
+            } else if (d == best && west) {
+                if (c.x < west->x || (c.x == west->x && c.y < west->y)) west = c;
+                if (c.y < south->y || (c.y == south->y && c.x < south->x)) south = c;
+            }
+        };
+        // Columns at x <= p.x, nearest first.  Once the column offset alone
+        // exceeds the best distance no farther column can matter (not even
+        // for ties: a pruned candidate is strictly worse than the final best,
+        // because `best` only shrinks after the pruning decision).
+        for (auto it = cols_.upper_bound(p.x); it != cols_.begin();) {
+            --it;
+            const Length ddx = static_cast<Length>(p.x) - it->first;
+            if (ddx > best) break;
+            for (const Entry& e : it->second.by_lo) {
+                if (e.lo > p.y) break;  // sorted by lo: the rest start higher
+                if (!keep(e.owner)) continue;
+                const Coord y = std::min(e.hi, p.y);
+                update(Point{it->first, y}, ddx + (static_cast<Length>(p.y) - y));
+            }
+        }
+        // Rows at y <= p.y, nearest first.
+        for (auto it = rows_.upper_bound(p.y); it != rows_.begin();) {
+            --it;
+            const Length ddy = static_cast<Length>(p.y) - it->first;
+            if (ddy > best) break;
+            for (const Entry& e : it->second.by_lo) {
+                if (e.lo > p.x) break;
+                if (!keep(e.owner)) continue;
+                const Coord x = std::min(e.hi, p.x);
+                update(Point{x, it->first}, ddy + (static_cast<Length>(p.x) - x));
+            }
+        }
+    }
+
+    /// First contact of the leg with any interval whose owner passes `keep`:
+    /// the smallest t in [1, leg.len] with leg.at(t) on indexed geometry,
+    /// returned with the owner of one interval achieving it.  Lines are
+    /// walked in travel order and abandoned once farther than the best t.
+    template <typename Keep>
+    std::optional<std::pair<Length, int>> first_contact(const Leg& leg,
+                                                        Keep&& keep) const
+    {
+        if (leg.len <= 0) return std::nullopt;
+        std::optional<std::pair<Length, int>> best;
+        const auto scan_parallel = [&](const std::map<Coord, Line>& lines,
+                                       Coord fixed, Coord pos0, int dir) {
+            const auto it = lines.find(fixed);
+            if (it == lines.end()) return;
+            for (const Entry& e : it->second.by_lo) {
+                if (!keep(e.owner)) continue;
+                const auto t = leg_first_entry(pos0, dir, leg.len, e.lo, e.hi);
+                if (t && (!best || *t < best->first)) best = {{*t, e.owner}};
+            }
+        };
+        const auto scan_cross = [&](const std::map<Coord, Line>& lines,
+                                    Coord cross, Coord pos0, int dir) {
+            // Lines perpendicular to the leg, nearest first; the line at the
+            // leg origin only yields t = 0, which first-contact excludes.
+            const auto try_line = [&](Coord at, const Line& line) {
+                const Length t = dir > 0 ? static_cast<Length>(at) - pos0
+                                         : static_cast<Length>(pos0) - at;
+                if (t > leg.len || (best && t >= best->first)) return false;
+                for (const Entry& e : line.by_lo) {
+                    if (e.lo > cross) break;
+                    if (e.hi >= cross && keep(e.owner)) {
+                        best = {{t, e.owner}};
+                        break;
+                    }
+                }
+                return true;  // keep walking outward
+            };
+            if (dir > 0) {
+                for (auto it = lines.upper_bound(pos0); it != lines.end(); ++it)
+                    if (!try_line(it->first, it->second)) break;
+            } else {
+                for (auto it = lines.lower_bound(pos0); it != lines.begin();) {
+                    --it;
+                    if (!try_line(it->first, it->second)) break;
+                }
+            }
+        };
+        if (leg.dx != 0) {
+            scan_parallel(rows_, leg.from.y, leg.from.x, leg.dx);
+            scan_cross(cols_, leg.from.y, leg.from.x, leg.dx);
+        } else {
+            scan_parallel(cols_, leg.from.x, leg.from.y, leg.dy);
+            scan_cross(rows_, leg.from.x, leg.from.y, leg.dy);
+        }
+        return best;
+    }
+
+private:
+    /// Interval [lo, hi] along a line, owned by forest node `owner`.
+    struct Entry {
+        Coord lo;
+        Coord hi;
+        int owner;
+    };
+
+    /// One grid line's intervals, sorted by lo with a prefix max of hi so
+    /// overlap tests are a single binary search.
+    struct Line {
+        std::vector<Entry> by_lo;
+        std::vector<Coord> prefix_max_hi;
+
+        void insert(Coord lo, Coord hi, int owner);
+        /// Any interval meeting the closed range [lo, hi]?
+        bool overlaps(Coord lo, Coord hi) const;
+        bool stabbed(Coord v) const { return overlaps(v, v); }
+    };
+
+    std::map<Coord, Line> cols_;  ///< x -> y-intervals (vertical + degenerate)
+    std::map<Coord, Line> rows_;  ///< y -> x-intervals (horizontal)
+};
+
+}  // namespace cong93
+
+#endif  // CONG93_ATREE_SEG_INDEX_H

@@ -92,10 +92,7 @@ Leg make_leg(Point a, Point b)
     return leg;
 }
 
-namespace {
-
-/// First t in [1, len] with pos0 + dir*t inside [lo, hi], or nullopt.
-std::optional<Length> first_entry_1d(Coord pos0, int dir, Length len, Coord lo, Coord hi)
+std::optional<Length> leg_first_entry(Coord pos0, int dir, Length len, Coord lo, Coord hi)
 {
     // Position at step t is pos0 + dir*t; find the smallest such t landing in
     // the closed interval [lo, hi].
@@ -113,8 +110,6 @@ std::optional<Length> first_entry_1d(Coord pos0, int dir, Length len, Coord lo, 
     return t;
 }
 
-}  // namespace
-
 std::optional<Length> first_hit(const Leg& leg, const Seg& s)
 {
     if (leg.len <= 0) return std::nullopt;
@@ -123,19 +118,19 @@ std::optional<Length> first_hit(const Leg& leg, const Seg& s)
         const Coord y = leg.from.y;
         if (s.horizontal()) {
             if (s.lo().y != y) return std::nullopt;
-            return first_entry_1d(leg.from.x, leg.dx, leg.len, s.lo().x, s.hi().x);
+            return leg_first_entry(leg.from.x, leg.dx, leg.len, s.lo().x, s.hi().x);
         }
         if (y < s.lo().y || y > s.hi().y) return std::nullopt;
-        return first_entry_1d(leg.from.x, leg.dx, leg.len, s.lo().x, s.lo().x);
+        return leg_first_entry(leg.from.x, leg.dx, leg.len, s.lo().x, s.lo().x);
     }
     // Leg moves along column x = leg.from.x.
     const Coord x = leg.from.x;
     if (s.vertical()) {
         if (s.lo().x != x) return std::nullopt;
-        return first_entry_1d(leg.from.y, leg.dy, leg.len, s.lo().y, s.hi().y);
+        return leg_first_entry(leg.from.y, leg.dy, leg.len, s.lo().y, s.hi().y);
     }
     if (x < s.lo().x || x > s.hi().x) return std::nullopt;
-    return first_entry_1d(leg.from.y, leg.dy, leg.len, s.lo().y, s.lo().y);
+    return leg_first_entry(leg.from.y, leg.dy, leg.len, s.lo().y, s.lo().y);
 }
 
 }  // namespace cong93

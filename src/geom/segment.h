@@ -91,6 +91,13 @@ Leg make_leg(Point a, Point b);
 /// starts on its own arborescence.
 std::optional<Length> first_hit(const Leg& leg, const Seg& s);
 
+/// 1-D core of first_hit: smallest t in [1, len] with pos0 + dir*t inside the
+/// closed interval [lo, hi], or nullopt.  Shared with the spatial segment
+/// index (atree/seg_index.h), which decomposes segments into per-line
+/// intervals and needs the same leg-entry arithmetic.
+std::optional<Length> leg_first_entry(Coord pos0, int dir, Length len, Coord lo,
+                                      Coord hi);
+
 }  // namespace cong93
 
 #endif  // CONG93_GEOM_SEGMENT_H

@@ -1,0 +1,258 @@
+// Randomized equivalence suite for the indexed forest query engine
+// (atree/seg_index.h + the Forest `analyze`/`covers`/`nearest_dominated_dist`/
+// `first_contact` fast paths) against the seed `*_reference` full scans, and
+// for MoveEngine Mode::indexed vs Mode::reference bit-identity.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+#include <vector>
+
+#include "atree/atree.h"
+#include "atree/forest.h"
+#include "atree/generalized.h"
+#include "netgen/netgen.h"
+#include "rtree/io.h"
+
+namespace cong93 {
+namespace {
+
+std::vector<Point> random_sinks(std::mt19937_64& rng, int n, Coord grid)
+{
+    std::uniform_int_distribution<Coord> coord(0, grid);
+    std::vector<Point> sinks;
+    sinks.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) sinks.push_back({coord(rng), coord(rng)});
+    return sinks;
+}
+
+void expect_query_eq(const Forest::RootQuery& a, const Forest::RootQuery& b,
+                     const char* what)
+{
+    EXPECT_EQ(a.dx, b.dx) << what;
+    EXPECT_EQ(a.dy, b.dy) << what;
+    EXPECT_EQ(a.df, b.df) << what;
+    EXPECT_EQ(a.mx, b.mx) << what;
+    EXPECT_EQ(a.my, b.my) << what;
+    EXPECT_EQ(a.mf_west, b.mf_west) << what;
+    EXPECT_EQ(a.mf_south, b.mf_south) << what;
+}
+
+/// Compares every indexed query against its reference twin on the forest as
+/// it stands: analyze for every root, plus random point/leg probes.
+void cross_check(const Forest& f, std::mt19937_64& rng, Coord grid)
+{
+    for (const int rid : f.roots())
+        expect_query_eq(f.analyze(rid), f.analyze_reference(rid), "analyze");
+
+    std::uniform_int_distribution<Coord> coord(0, grid);
+    std::uniform_int_distribution<int> pick_tree(-1, static_cast<int>(f.roots().size()) - 1);
+    for (int probe = 0; probe < 24; ++probe) {
+        const Point p{coord(rng), coord(rng)};
+        EXPECT_EQ(f.covers(p), f.covers_reference(p));
+        const int picked = pick_tree(rng);
+        const int excl =
+            picked < 0 ? -1 : f.node(f.roots()[static_cast<std::size_t>(picked)]).tree;
+        EXPECT_EQ(f.nearest_dominated_dist(p, excl),
+                  f.nearest_dominated_dist_reference(p, excl));
+
+        Leg leg;
+        leg.from = p;
+        const int dir = probe % 4;
+        leg.dx = dir == 0 ? -1 : dir == 1 ? 1 : 0;
+        leg.dy = dir == 2 ? -1 : dir == 3 ? 1 : 0;
+        leg.len = 1 + coord(rng) % grid;
+        const int own = f.node(f.roots()[static_cast<std::size_t>(
+                                   probe % static_cast<int>(f.roots().size()))])
+                            .tree;
+        EXPECT_EQ(f.first_contact(leg, own), f.first_contact_reference(leg, own));
+    }
+}
+
+TEST(ForestIndex, MidConstructionEquivalence)
+{
+    std::mt19937_64 rng(93);
+    for (const int n : {3, 7, 15, 30}) {
+        for (int rep = 0; rep < 3; ++rep) {
+            const Coord grid = 60;
+            Forest f(Point{0, 0}, random_sinks(rng, n, grid));
+            MoveEngine engine(f, HeuristicPolicy::farthest_corner);
+            cross_check(f, rng, grid);
+            while (engine.step()) cross_check(f, rng, grid);
+        }
+    }
+}
+
+TEST(ForestIndex, MidConstructionEquivalenceMinSb)
+{
+    std::mt19937_64 rng(177);
+    const Coord grid = 200;
+    Forest f(Point{0, 0}, random_sinks(rng, 20, grid));
+    MoveEngine engine(f, HeuristicPolicy::min_suboptimality);
+    cross_check(f, rng, grid);
+    while (engine.step()) cross_check(f, rng, grid);
+}
+
+// ------------------------------------------------------------ bit-identity
+
+void expect_forest_eq(const Forest& a, const Forest& b)
+{
+    ASSERT_EQ(a.node_count(), b.node_count());
+    for (std::size_t i = 0; i < a.node_count(); ++i) {
+        const auto& na = a.node(static_cast<int>(i));
+        const auto& nb = b.node(static_cast<int>(i));
+        EXPECT_EQ(na.p, nb.p) << "node " << i;
+        EXPECT_EQ(na.parent, nb.parent) << "node " << i;
+        EXPECT_EQ(na.children, nb.children) << "node " << i;
+        EXPECT_EQ(na.tree, nb.tree) << "node " << i;
+        EXPECT_EQ(na.terminal, nb.terminal) << "node " << i;
+    }
+    EXPECT_EQ(a.roots(), b.roots());
+    EXPECT_EQ(a.total_length(), b.total_length());
+}
+
+void expect_log_eq(const MoveEngine& a, const MoveEngine& b)
+{
+    ASSERT_EQ(a.log().size(), b.log().size());
+    for (std::size_t i = 0; i < a.log().size(); ++i) {
+        const MoveRecord& ra = a.log()[i];
+        const MoveRecord& rb = b.log()[i];
+        EXPECT_EQ(ra.type, rb.type) << "move " << i;
+        EXPECT_EQ(ra.from1, rb.from1) << "move " << i;
+        EXPECT_EQ(ra.from2, rb.from2) << "move " << i;
+        EXPECT_EQ(ra.to, rb.to) << "move " << i;
+        EXPECT_EQ(ra.added, rb.added) << "move " << i;
+        EXPECT_EQ(ra.sb, rb.sb) << "move " << i;
+        EXPECT_EQ(ra.sb_qmst, rb.sb_qmst) << "move " << i;
+    }
+    EXPECT_EQ(a.safe_moves(), b.safe_moves());
+    EXPECT_EQ(a.heuristic_moves(), b.heuristic_moves());
+    EXPECT_EQ(a.sb_total(), b.sb_total());
+    EXPECT_EQ(a.sb_qmst_total(), b.sb_qmst_total());
+}
+
+TEST(ForestIndex, BitIdenticalConstructionBothPolicies)
+{
+    std::mt19937_64 rng(4242);
+    for (const auto policy :
+         {HeuristicPolicy::farthest_corner, HeuristicPolicy::min_suboptimality}) {
+        for (const int n : {5, 12, 40, policy == HeuristicPolicy::farthest_corner
+                                           ? 200
+                                           : 80}) {
+            const Coord grid = static_cast<Coord>(10 * n);
+            const std::vector<Point> sinks = random_sinks(rng, n, grid);
+
+            Forest fr(Point{0, 0}, sinks);
+            MoveEngine er(fr, policy, true, Mode::reference);
+            er.run();
+
+            Forest fi(Point{0, 0}, sinks);
+            MoveEngine ei(fi, policy, true, Mode::indexed);
+            ei.run();
+
+            expect_forest_eq(fr, fi);
+            expect_log_eq(er, ei);
+        }
+    }
+}
+
+TEST(ForestIndex, BitIdenticalHeuristicOnlyAblation)
+{
+    // use_safe_moves = false exercises the H1/H2 path (and the cached H2
+    // epilogue query) far more often.
+    std::mt19937_64 rng(7);
+    const std::vector<Point> sinks = random_sinks(rng, 25, 300);
+    Forest fr(Point{0, 0}, sinks);
+    MoveEngine er(fr, HeuristicPolicy::farthest_corner, false, Mode::reference);
+    er.run();
+    Forest fi(Point{0, 0}, sinks);
+    MoveEngine ei(fi, HeuristicPolicy::farthest_corner, false, Mode::indexed);
+    ei.run();
+    expect_forest_eq(fr, fi);
+    expect_log_eq(er, ei);
+}
+
+TEST(ForestIndex, BuildAtreeGeneralModeEquality)
+{
+    for (const Net& net : random_nets(31, 6, 500, 24)) {
+        for (const auto policy : {HeuristicPolicy::farthest_corner,
+                                  HeuristicPolicy::min_suboptimality}) {
+            AtreeOptions ref;
+            ref.policy = policy;
+            ref.mode = Mode::reference;
+            AtreeOptions idx;
+            idx.policy = policy;
+            idx.mode = Mode::indexed;
+            const AtreeResult a = build_atree_general(net, ref);
+            const AtreeResult b = build_atree_general(net, idx);
+            EXPECT_EQ(format_tree(a.tree), format_tree(b.tree));
+            EXPECT_EQ(a.cost, b.cost);
+            EXPECT_EQ(a.safe_moves, b.safe_moves);
+            EXPECT_EQ(a.heuristic_moves, b.heuristic_moves);
+            EXPECT_EQ(a.sb_total, b.sb_total);
+            EXPECT_EQ(a.qmst_cost, b.qmst_cost);
+            EXPECT_EQ(a.sb_qmst_total, b.sb_qmst_total);
+        }
+    }
+}
+
+// --------------------------------------------------------------- satellites
+
+TEST(ForestIndex, DuplicateSinksCollapse)
+{
+    // Duplicate terminals must collapse to one node each (the ctor dedups
+    // with a hash set rather than a quadratic scan).
+    Forest f(Point{0, 0}, {{3, 4}, {3, 4}, {0, 0}, {5, 1}, {3, 4}, {5, 1}});
+    EXPECT_EQ(f.node_count(), 3u);  // source + (3,4) + (5,1)
+    EXPECT_EQ(f.roots().size(), 3u);
+}
+
+TEST(ForestIndex, PathResultRootBookkeeping)
+{
+    Forest f(Point{0, 0}, {{4, 4}, {2, 1}});
+    const int r44 = f.root_at(Point{4, 4});
+    ASSERT_GE(r44, 0);
+
+    // Zero-length path: rejected, root unchanged.
+    const auto res0 = f.apply_path(r44, {Point{4, 4}});
+    EXPECT_FALSE(res0.merged);
+    EXPECT_TRUE(res0.added_segs.empty());
+    EXPECT_EQ(res0.new_root, r44);
+    EXPECT_EQ(f.root_at(Point{4, 4}), r44);
+
+    // Non-merge move: (4,4) -> (4,2); the new end node is the new root.
+    const auto res1 = f.apply_path(r44, {Point{4, 2}});
+    EXPECT_FALSE(res1.merged);
+    EXPECT_EQ(res1.prev_root, r44);
+    EXPECT_EQ(res1.prev_point, (Point{4, 4}));
+    EXPECT_EQ(res1.end_point, (Point{4, 2}));
+    EXPECT_EQ(res1.new_root, res1.end_node);
+    EXPECT_EQ(f.root_at(Point{4, 4}), -1);
+    EXPECT_EQ(f.root_at(Point{4, 2}), res1.new_root);
+    ASSERT_EQ(res1.added_segs.size(), 1u);
+
+    // Merge move: (2,1) -> (2,0) -> (0,0)... truncates nowhere, merges at the
+    // source leg?  Route it into the source's tree via (0,1)->(0,0): simpler,
+    // aim (2,1) at (2,0) then west to (0,0) -- contact with the origin point.
+    const int r21 = f.root_at(Point{2, 1});
+    ASSERT_GE(r21, 0);
+    const auto res2 = f.apply_path(r21, {Point{0, 1}, Point{0, 0}});
+    EXPECT_TRUE(res2.merged);
+    EXPECT_EQ(res2.new_root, f.root_of_tree(f.node(res2.end_node).tree));
+    EXPECT_EQ(f.root_at(Point{2, 1}), -1);
+}
+
+TEST(ForestIndex, CtorIndexesInitialRoots)
+{
+    // Initial single-point arborescences must be queryable through the index
+    // immediately (degenerate zero-length segments).
+    Forest f(Point{0, 0}, {{5, 5}, {3, 8}});
+    EXPECT_TRUE(f.covers(Point{5, 5}));
+    EXPECT_TRUE(f.covers(Point{0, 0}));
+    EXPECT_FALSE(f.covers(Point{4, 5}));
+    std::mt19937_64 rng(1);
+    cross_check(f, rng, 10);
+}
+
+}  // namespace
+}  // namespace cong93

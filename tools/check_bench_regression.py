@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Warn-only speedup regression check for the committed BENCH_*.json studies.
+
+Compares a freshly generated scaling study against the committed one: rows
+are matched by sink count and a warning is printed when the fresh speedup
+drops below half the committed value.  Always exits 0 -- machine variance
+between the committing host and CI runners makes a hard gate too noisy; the
+job output is the signal.
+
+Usage: check_bench_regression.py COMMITTED.json FRESH.json
+"""
+
+import json
+import sys
+
+
+def rows_by_sinks(study):
+    """All timing rows in a study, keyed by (section, sinks)."""
+    out = {}
+    for section, rows in study.items():
+        if not isinstance(rows, list):
+            continue
+        for row in rows:
+            if isinstance(row, dict) and "sinks" in row and "speedup" in row:
+                out[(section, row["sinks"])] = row
+    return out
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    try:
+        with open(argv[1]) as f:
+            committed = json.load(f)
+        with open(argv[2]) as f:
+            fresh = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"warning: cannot compare benchmarks: {e}")
+        return 0
+
+    committed_rows = rows_by_sinks(committed)
+    fresh_rows = rows_by_sinks(fresh)
+    warned = False
+    for key, crow in sorted(committed_rows.items()):
+        frow = fresh_rows.get(key)
+        if frow is None:
+            continue  # smoke runs cover a size subset; that is fine
+        section, sinks = key
+        if not frow.get("identical", frow.get("fixpoint_identical", True)):
+            print(f"warning: {section}[sinks={sinks}]: results NOT identical")
+            warned = True
+        committed_speedup = float(crow["speedup"])
+        fresh_speedup = float(frow["speedup"])
+        if committed_speedup > 0 and fresh_speedup < 0.5 * committed_speedup:
+            print(
+                f"warning: {section}[sinks={sinks}]: speedup regressed "
+                f"{committed_speedup:.2f}x -> {fresh_speedup:.2f}x"
+            )
+            warned = True
+        else:
+            print(
+                f"ok: {section}[sinks={sinks}]: committed "
+                f"{committed_speedup:.2f}x, fresh {fresh_speedup:.2f}x"
+            )
+    if not warned:
+        print("no speedup regressions detected")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
