@@ -10,10 +10,16 @@
 // wall-clock, Mode::reference full-rescan vs Mode::indexed cached queries,
 // with bit-identity checks for both heuristic policies).
 //
-//   --json=PATH        output path for the wiresize study (default BENCH_wiresize.json)
-//   --atree-json=PATH  output path for the A-tree study (default BENCH_atree.json)
-//   --json-only        skip the google-benchmark suite, only write the studies
-//   --smoke            small-size studies only (CI smoke job)
+// BENCH_pipeline.json (the route_batch throughput study: flat-kernel vs
+// pointer-walk speedups with bit-identity checks, end-to-end nets/sec at
+// 1/2/4/8 threads with byte-identity vs the serial run, and workspace-arena
+// reuse proof).
+//
+//   --json=PATH          output path for the wiresize study (default BENCH_wiresize.json)
+//   --atree-json=PATH    output path for the A-tree study (default BENCH_atree.json)
+//   --pipeline-json=PATH output path for the pipeline study (default BENCH_pipeline.json)
+//   --json-only          skip the google-benchmark suite, only write the studies
+//   --smoke              small-size studies only (CI smoke job)
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -27,7 +33,12 @@
 #include "atree/atree.h"
 #include "atree/generalized.h"
 #include "batch/batch.h"
+#include "batch/pipeline.h"
 #include "bench_common.h"
+#include "delay/elmore.h"
+#include "delay/rph.h"
+#include "sim/moments.h"
+#include "sim/rc_tree.h"
 #include "netgen/netgen.h"
 #include "rtree/io.h"
 #include "report/table.h"
@@ -431,6 +442,223 @@ bool write_atree_json(const std::string& path, bool smoke)
     return all_identical;
 }
 
+// ---------------------------------------------------------------------------
+// BENCH_pipeline.json throughput study
+// ---------------------------------------------------------------------------
+
+/// Per-call wall-clock of a microsecond-scale kernel: times a fixed inner
+/// loop (so the clock granularity does not dominate) and divides.
+template <typename Fn>
+double time_kernel(Fn&& fn)
+{
+    constexpr int kIters = 256;
+    return time_best([&] {
+               for (int i = 0; i < kIters; ++i) fn();
+           }) /
+           kIters;
+}
+
+struct KernelRow {
+    int sinks = 0;
+    const char* kernel = "";
+    double reference_s = 0.0;
+    double flat_s = 0.0;
+    bool identical = false;
+    double speedup() const
+    {
+        return flat_s > 0.0 ? reference_s / flat_s : 0.0;
+    }
+};
+
+struct PipelineRow {
+    int threads = 0;
+    double seconds = 0.0;
+    double nets_per_sec = 0.0;
+    double speedup = 0.0;
+    bool identical = false;
+};
+
+bool write_pipeline_json(const std::string& path, bool smoke)
+{
+    const Technology tech = mcm_technology();
+
+    // --- flat kernels vs the pointer-walk references --------------------
+    // The flat side is measured in its batch-serving shape: the FlatTree is
+    // compiled once into a Workspace arena and the evaluators reuse its
+    // scratch, exactly as route_batch runs them per net.  The reference side
+    // is the seed per-call pointer walk.  Identity is checked exactly (==).
+    const std::vector<int> sizes =
+        smoke ? std::vector<int>{12, 25} : std::vector<int>{12, 25, 50, 100, 200};
+    std::vector<KernelRow> kernel_rows;
+    for (const int sinks : sizes) {
+        const Net net = random_nets(4093, 1, kMcmGrid, sinks)[0];
+        const RoutingTree tree = build_atree_general(net).tree;
+        Workspace ws;
+        ws.flat.build(tree);
+
+        {
+            KernelRow row;
+            row.sinks = sinks;
+            row.kernel = "elmore";
+            const auto ref = elmore_all_sinks_reference(tree, tech);
+            row.identical = elmore_all_sinks(ws.flat, tech) == ref;
+            row.reference_s = time_kernel([&] {
+                benchmark::DoNotOptimize(elmore_all_sinks_reference(tree, tech));
+            });
+            row.flat_s = time_kernel([&] {
+                elmore_all_sinks(ws.flat, tech, ws.caps, ws.sink_delays);
+                benchmark::DoNotOptimize(ws.sink_delays.data());
+            });
+            kernel_rows.push_back(row);
+        }
+        {
+            KernelRow row;
+            row.sinks = sinks;
+            row.kernel = "rph";
+            const RphTerms ref = rph_terms_reference(tree, tech);
+            const RphTerms flat = rph_terms(ws.flat, tech);
+            row.identical = flat.t1 == ref.t1 && flat.t2 == ref.t2 &&
+                            flat.t3 == ref.t3 && flat.t4 == ref.t4;
+            row.reference_s = time_kernel([&] {
+                benchmark::DoNotOptimize(rph_terms_reference(tree, tech));
+            });
+            row.flat_s = time_kernel(
+                [&] { benchmark::DoNotOptimize(rph_terms(ws.flat, tech)); });
+            kernel_rows.push_back(row);
+        }
+        {
+            KernelRow row;
+            row.sinks = sinks;
+            row.kernel = "moments";
+            const RcTree rc = RcTree::from_routing_tree(tree, tech, 8);
+            const auto ref = compute_moments_reference(rc, 3);
+            const auto& flat = compute_moments(rc, 3, ws.moments);
+            row.identical = flat == ref;
+            row.reference_s = time_kernel([&] {
+                benchmark::DoNotOptimize(compute_moments_reference(rc, 3));
+            });
+            row.flat_s = time_kernel([&] {
+                benchmark::DoNotOptimize(compute_moments(rc, 3, ws.moments));
+            });
+            kernel_rows.push_back(row);
+        }
+        for (auto it = kernel_rows.end() - 3; it != kernel_rows.end(); ++it)
+            std::cout << "pipeline kernel: " << it->sinks << " sinks  "
+                      << it->kernel << "  reference " << fmt_sci(it->reference_s, 2)
+                      << "s  flat " << fmt_sci(it->flat_s, 2) << "s  speedup "
+                      << fmt_fixed(it->speedup(), 1) << "x  identical "
+                      << (it->identical ? "yes" : "NO") << '\n';
+    }
+
+    // --- end-to-end route_batch scaling ---------------------------------
+    // Byte-identity (hexfloat serialization) of every thread count against
+    // the serial run; speedup is bounded by the container's core count,
+    // recorded below as hardware_concurrency.
+    const int batch_nets = smoke ? 12 : 64;
+    const int batch_sinks = smoke ? 10 : 16;
+    const auto nets = random_nets(29, batch_nets, kMcmGrid, batch_sinks);
+    PipelineOptions serial_opts;
+    serial_opts.threads = 1;
+    std::vector<Workspace> serial_ws;
+    std::vector<NetRouteResult> serial_results;
+    const double serial_s = time_best(
+        [&] { serial_results = route_batch(nets, tech, serial_opts, nullptr,
+                                           &serial_ws); });
+    const std::string serial_fmt = format_results(serial_results);
+
+    std::vector<PipelineRow> pipeline_rows;
+    for (const int threads : {1, 2, 4, 8}) {
+        PipelineOptions opts;
+        opts.threads = threads;
+        std::vector<Workspace> ws;
+        std::vector<NetRouteResult> results;
+        PipelineRow row;
+        row.threads = threads;
+        row.seconds = time_best(
+            [&] { results = route_batch(nets, tech, opts, nullptr, &ws); });
+        row.nets_per_sec = static_cast<double>(nets.size()) / row.seconds;
+        row.speedup = serial_s / row.seconds;
+        row.identical = format_results(results) == serial_fmt;
+        pipeline_rows.push_back(row);
+        std::cout << "pipeline batch: " << batch_nets << " nets  threads "
+                  << threads << "  " << fmt_sci(row.seconds, 2) << "s  "
+                  << fmt_fixed(row.nets_per_sec, 0) << " nets/s  speedup "
+                  << fmt_fixed(row.speedup, 2) << "x  identical "
+                  << (row.identical ? "yes" : "NO") << '\n';
+    }
+
+    // --- workspace arena reuse proof ------------------------------------
+    // Two identical serial passes through one arena: the second pass must
+    // re-build every tree (builds doubles) without a single buffer growth.
+    std::vector<Workspace> arena;
+    PipelineStats first, second;
+    route_batch(nets, tech, serial_opts, &first, &arena);
+    route_batch(nets, tech, serial_opts, &second, &arena);
+    const bool arena_reused =
+        second.counters.tree_builds == 2 * first.counters.tree_builds &&
+        second.counters.tree_growths == first.counters.tree_growths &&
+        second.counters.moment_growths == first.counters.moment_growths &&
+        second.counters.scratch_growths == first.counters.scratch_growths;
+    std::cout << "pipeline arena: pass1 builds " << first.counters.tree_builds
+              << " growths " << first.counters.tree_growths << "  pass2 builds "
+              << second.counters.tree_builds << " growths "
+              << second.counters.tree_growths << "  reused "
+              << (arena_reused ? "yes" : "NO") << '\n';
+
+    std::ofstream out(path);
+    if (!out) {
+        std::cerr << "cannot write " << path << '\n';
+        return false;
+    }
+    out << "{\n"
+        << "  \"benchmark\": \"pipeline_throughput\",\n"
+        << "  \"generated_by\": \"bench_micro_scaling\",\n"
+        << "  \"technology\": \"mcm\",\n"
+        << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
+        << ",\n"
+        << "  \"kernels\": [\n";
+    for (std::size_t i = 0; i < kernel_rows.size(); ++i) {
+        const KernelRow& r = kernel_rows[i];
+        out << "    {\"sinks\": " << r.sinks << ", \"kernel\": \"" << r.kernel
+            << "\", \"reference_s\": " << fmt_sci(r.reference_s, 4)
+            << ", \"flat_s\": " << fmt_sci(r.flat_s, 4)
+            << ", \"speedup\": " << fmt_fixed(r.speedup(), 2)
+            << ", \"identical\": " << (r.identical ? "true" : "false") << "}"
+            << (i + 1 < kernel_rows.size() ? "," : "") << '\n';
+    }
+    out << "  ],\n"
+        << "  \"pipeline\": [\n";
+    for (std::size_t i = 0; i < pipeline_rows.size(); ++i) {
+        const PipelineRow& r = pipeline_rows[i];
+        out << "    {\"threads\": " << r.threads << ", \"nets\": " << batch_nets
+            << ", \"sinks\": " << batch_sinks
+            << ", \"seconds\": " << fmt_sci(r.seconds, 4)
+            << ", \"nets_per_sec\": " << fmt_fixed(r.nets_per_sec, 1)
+            << ", \"speedup\": " << fmt_fixed(r.speedup, 2)
+            << ", \"identical\": " << (r.identical ? "true" : "false") << "}"
+            << (i + 1 < pipeline_rows.size() ? "," : "") << '\n';
+    }
+    out << "  ],\n"
+        << "  \"arena\": {\"nets\": " << batch_nets
+        << ", \"passes\": 2, \"tree_builds\": " << second.counters.tree_builds
+        << ", \"tree_growths_first\": " << first.counters.tree_growths
+        << ", \"tree_growths_second\": " << second.counters.tree_growths
+        << ", \"moment_growths_first\": " << first.counters.moment_growths
+        << ", \"moment_growths_second\": " << second.counters.moment_growths
+        << ", \"scratch_growths_first\": " << first.counters.scratch_growths
+        << ", \"scratch_growths_second\": " << second.counters.scratch_growths
+        << ", \"reused\": " << (arena_reused ? "true" : "false") << "}\n"
+        << "}\n";
+    std::cout << "wrote " << path << '\n';
+
+    bool all_identical = arena_reused;
+    for (const KernelRow& r : kernel_rows)
+        all_identical = all_identical && r.identical;
+    for (const PipelineRow& r : pipeline_rows)
+        all_identical = all_identical && r.identical;
+    return all_identical;
+}
+
 }  // namespace
 }  // namespace cong93
 
@@ -438,6 +666,7 @@ int main(int argc, char** argv)
 {
     std::string json_path = "BENCH_wiresize.json";
     std::string atree_json_path = "BENCH_atree.json";
+    std::string pipeline_json_path = "BENCH_pipeline.json";
     bool json_only = false;
     bool smoke = false;
     std::vector<char*> keep;
@@ -446,6 +675,8 @@ int main(int argc, char** argv)
             json_path = argv[i] + 7;
         else if (std::strncmp(argv[i], "--atree-json=", 13) == 0)
             atree_json_path = argv[i] + 13;
+        else if (std::strncmp(argv[i], "--pipeline-json=", 16) == 0)
+            pipeline_json_path = argv[i] + 16;
         else if (std::strcmp(argv[i], "--json-only") == 0)
             json_only = true;
         else if (std::strcmp(argv[i], "--smoke") == 0)
@@ -462,5 +693,7 @@ int main(int argc, char** argv)
     }
     const bool wiresize_ok = cong93::write_scaling_json(json_path);
     const bool atree_ok = cong93::write_atree_json(atree_json_path, smoke);
-    return wiresize_ok && atree_ok ? 0 : 1;
+    const bool pipeline_ok =
+        cong93::write_pipeline_json(pipeline_json_path, smoke);
+    return wiresize_ok && atree_ok && pipeline_ok ? 0 : 1;
 }

@@ -1,6 +1,9 @@
 #include "batch/batch.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cstdlib>
+#include <memory>
 #include <string>
 
 namespace cong93 {
@@ -59,8 +62,14 @@ void ThreadPool::submit(std::function<void()> job)
 
 void ThreadPool::wait_idle()
 {
-    std::unique_lock<std::mutex> lock(mutex_);
-    idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+    std::exception_ptr error;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+        error = first_error_;
+        first_error_ = nullptr;
+    }
+    if (error) std::rethrow_exception(error);
 }
 
 void ThreadPool::worker_loop()
@@ -74,7 +83,14 @@ void ThreadPool::worker_loop()
             job = std::move(queue_.front());
             queue_.pop();
         }
-        job();
+        try {
+            job();
+        } catch (...) {
+            // Capture the first failure; it is rethrown on the submitting
+            // thread by wait_idle().  Later jobs still run to completion.
+            std::unique_lock<std::mutex> lock(mutex_);
+            if (!first_error_) first_error_ = std::current_exception();
+        }
         {
             std::unique_lock<std::mutex> lock(mutex_);
             --in_flight_;
@@ -86,8 +102,37 @@ void ThreadPool::worker_loop()
 void parallel_for_index(ThreadPool& pool, std::size_t n,
                         const std::function<void(std::size_t)>& fn)
 {
-    for (std::size_t i = 0; i < n; ++i)
-        pool.submit([&fn, i] { fn(i); });
+    parallel_for_slots(pool, n, [&fn](std::size_t i, int) { fn(i); });
+}
+
+void parallel_for_slots(ThreadPool& pool, std::size_t n,
+                        const std::function<void(std::size_t, int)>& fn,
+                        std::size_t chunk)
+{
+    if (n == 0) return;
+    if (chunk == 0) chunk = 1;
+    // One long-lived job per worker slot; slots pull chunks off the shared
+    // counter until the range is drained (or a worker threw, which jumps
+    // the counter past n so the other slots wind down).
+    const auto next = std::make_shared<std::atomic<std::size_t>>(0);
+    const int slots = pool.thread_count();
+    for (int s = 0; s < slots; ++s) {
+        pool.submit([&fn, n, chunk, next, s] {
+            for (;;) {
+                const std::size_t begin = next->fetch_add(chunk);
+                if (begin >= n) return;
+                const std::size_t end = std::min(n, begin + chunk);
+                for (std::size_t i = begin; i < end; ++i) {
+                    try {
+                        fn(i, s);
+                    } catch (...) {
+                        next->store(n);
+                        throw;  // captured by the pool, rethrown in wait_idle
+                    }
+                }
+            }
+        });
+    }
     pool.wait_idle();
 }
 

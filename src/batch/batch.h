@@ -11,6 +11,17 @@
 //     (a splitmix64 hash), never from a shared RNG whose consumption order
 //     would depend on scheduling.
 //
+// Scheduling is chunked-dynamic: parallel_for_slots submits one long-lived
+// job per worker slot and the slots pull index chunks off a shared atomic
+// counter, so skewed per-net costs cannot idle workers the way a static
+// partition would.  The slot id is passed to the callback, which lets a
+// caller keep one reusable Workspace per slot (see batch/workspace.h).
+//
+// Exceptions thrown by a worker are captured (first one wins), remaining
+// work is cancelled, and the exception is rethrown on the submitting thread
+// from wait_idle() / the parallel_for helpers -- a throwing job never
+// terminates the process.
+//
 // Thread count resolution: the CONG93_THREADS environment variable when set
 // (<= 0 or 1 forces serial execution), else std::thread::hardware_concurrency.
 #ifndef CONG93_BATCH_BATCH_H
@@ -18,6 +29,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -47,7 +59,8 @@ public:
 
     void submit(std::function<void()> job);
 
-    /// Blocks until every submitted job has finished.
+    /// Blocks until every submitted job has finished, then rethrows the
+    /// first exception any job threw since the last wait (if any).
     void wait_idle();
 
 private:
@@ -60,12 +73,26 @@ private:
     std::condition_variable idle_cv_;   // signalled when a job finishes
     std::size_t in_flight_ = 0;
     bool stop_ = false;
+    std::exception_ptr first_error_;    // first worker exception since last wait
 };
 
 /// Runs fn(i) for every i in [0, n) on the pool and waits for completion.
-/// fn must only write state owned by index i.
+/// fn must only write state owned by index i.  Rethrows the first worker
+/// exception on the calling thread.
 void parallel_for_index(ThreadPool& pool, std::size_t n,
                         const std::function<void(std::size_t)>& fn);
+
+/// Chunked dynamic scheduling with worker-slot identity: runs
+/// fn(index, slot) for every index in [0, n), where slot is in
+/// [0, pool.thread_count()) and is stable for the lifetime of one call --
+/// the hook for per-thread workspaces.  Indices are handed out in chunks of
+/// `chunk` (>= 1) off an atomic counter; determinism still requires that fn
+/// writes only state owned by `index` (or by `slot`).  Rethrows the first
+/// worker exception on the calling thread; once a worker throws, slots stop
+/// pulling new chunks.
+void parallel_for_slots(ThreadPool& pool, std::size_t n,
+                        const std::function<void(std::size_t, int)>& fn,
+                        std::size_t chunk = 1);
 
 /// Maps fn over [0, n), returning results in index order.  With threads == 1
 /// (or n < 2) this runs serially on the calling thread; output is identical

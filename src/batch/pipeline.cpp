@@ -1,0 +1,129 @@
+#include "batch/pipeline.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+
+#include "atree/generalized.h"
+#include "delay/elmore.h"
+#include "delay/rph.h"
+#include "netgen/netgen.h"
+#include "rtree/segments.h"
+#include "sim/rc_tree.h"
+#include "wiresize/combined.h"
+
+namespace cong93 {
+
+namespace {
+
+NetRouteResult route_net(const Net& net, const Technology& tech,
+                         const PipelineOptions& opts, Workspace& ws)
+{
+    NetRouteResult r;
+    const RoutingTree tree = build_atree_general(net).tree;
+    ws.flat.build(tree);
+    r.nodes = tree.node_count();
+    r.wirelength = ws.flat.total_length();
+    r.rph_s = rph_terms(ws.flat, tech).total();
+
+    ws.note_use(ws.caps, ws.flat.size());
+    ws.note_use(ws.sink_delays, ws.flat.sinks().size());
+    elmore_all_sinks(ws.flat, tech, ws.caps, ws.sink_delays);
+    r.elmore_max_s = ws.sink_delays.empty()
+                         ? 0.0
+                         : *std::max_element(ws.sink_delays.begin(),
+                                             ws.sink_delays.end());
+
+    if (!opts.wiresize) return r;
+    const SegmentDecomposition segs(tree);
+    r.segments = segs.count();
+    if (segs.count() == 0) return r;
+    const WiresizeContext ctx(segs, tech, WidthSet::uniform_steps(opts.widths_r));
+    CombinedResult best = grewsa_owsa(ctx);
+    r.wiresized_delay_s = best.delay;
+    r.assignment = std::move(best.assignment);
+
+    if (opts.moment_check) {
+        const RcTree rc =
+            RcTree::from_wiresized_tree(segs, tech, ctx.widths(), r.assignment,
+                                        opts.rc_sections_per_edge);
+        const auto& m = compute_moments(rc, 1, ws.moments);
+        double worst = 0.0;
+        for (const int s : rc.sink_nodes())
+            worst = std::max(worst, -m[0][static_cast<std::size_t>(s)]);
+        r.moment_elmore_max_s = worst;
+    }
+    return r;
+}
+
+}  // namespace
+
+std::vector<NetRouteResult> route_batch(const std::vector<Net>& nets,
+                                        const Technology& tech,
+                                        const PipelineOptions& opts,
+                                        PipelineStats* stats,
+                                        std::vector<Workspace>* workspaces)
+{
+    const int threads =
+        opts.threads <= 0 ? default_thread_count() : opts.threads;
+    std::vector<Workspace> local_ws;
+    std::vector<Workspace>& ws = workspaces ? *workspaces : local_ws;
+    if (ws.size() < static_cast<std::size_t>(threads))
+        ws.resize(static_cast<std::size_t>(threads));
+
+    std::vector<NetRouteResult> out(nets.size());
+    const auto t0 = std::chrono::steady_clock::now();
+    if (threads <= 1 || nets.size() < 2) {
+        for (std::size_t i = 0; i < nets.size(); ++i)
+            out[i] = route_net(nets[i], tech, opts, ws[0]);
+    } else {
+        ThreadPool pool(threads);
+        parallel_for_slots(
+            pool, nets.size(),
+            [&](std::size_t i, int slot) {
+                out[i] = route_net(nets[i], tech, opts,
+                                   ws[static_cast<std::size_t>(slot)]);
+            },
+            opts.chunk);
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+
+    if (stats) {
+        stats->threads = threads;
+        stats->seconds = std::chrono::duration<double>(t1 - t0).count();
+        stats->nets_per_sec =
+            stats->seconds > 0.0
+                ? static_cast<double>(nets.size()) / stats->seconds
+                : 0.0;
+        stats->counters = WorkspaceCounters{};
+        for (const Workspace& w : ws) stats->counters += w.counters();
+    }
+    return out;
+}
+
+std::vector<NetRouteResult> route_batch(std::uint64_t seed, int count, Coord grid,
+                                        int sink_count, const Technology& tech,
+                                        const PipelineOptions& opts,
+                                        PipelineStats* stats,
+                                        std::vector<Workspace>* workspaces)
+{
+    return route_batch(random_nets(seed, count, grid, sink_count), tech, opts,
+                       stats, workspaces);
+}
+
+std::string format_results(const std::vector<NetRouteResult>& results)
+{
+    std::ostringstream os;
+    os << std::hexfloat;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const NetRouteResult& r = results[i];
+        os << i << ' ' << r.nodes << ' ' << r.segments << ' ' << r.wirelength
+           << ' ' << r.rph_s << ' ' << r.elmore_max_s << ' '
+           << r.wiresized_delay_s << ' ' << r.moment_elmore_max_s << " [";
+        for (const int w : r.assignment) os << ' ' << w;
+        os << " ]\n";
+    }
+    return os.str();
+}
+
+}  // namespace cong93

@@ -1,0 +1,88 @@
+// Single-call high-throughput batch routing pipeline:
+//   netgen -> A-tree topology -> optimal wiresizing -> delay report.
+//
+// route_batch() fans a batch of independent nets over a thread pool with
+// chunked dynamic scheduling (parallel_for_slots), one reusable Workspace
+// per worker slot.  Results are index-addressed, so serial and parallel
+// runs are byte-identical (compare with format_results); per-net work never
+// reads another net's state.
+//
+// The per-net flow:
+//   1. build_atree_general     -- heuristic A-tree topology (PR 2's indexed
+//                                 construction engine);
+//   2. FlatTree compilation    -- into the slot's arena;
+//   3. uniform-width report    -- RPH bound + max sink Elmore delay via the
+//                                 flat kernels;
+//   4. grewsa_owsa             -- optimal wiresizing (PR 1's incremental
+//                                 engine);
+//   5. moment cross-check      -- max sink Elmore (-m_1) of the wiresized
+//                                 RC tree through the slot's MomentWorkspace
+//                                 (optional, see PipelineOptions).
+#ifndef CONG93_BATCH_PIPELINE_H
+#define CONG93_BATCH_PIPELINE_H
+
+#include <string>
+#include <vector>
+
+#include "batch/batch.h"
+#include "batch/workspace.h"
+#include "rtree/routing_tree.h"
+#include "tech/technology.h"
+#include "wiresize/assignment.h"
+
+namespace cong93 {
+
+struct PipelineOptions {
+    int widths_r = 4;     ///< wiresizing width count (Table 6's r)
+    int threads = 0;      ///< <= 0: default_thread_count()
+    std::size_t chunk = 2;  ///< dynamic-scheduling chunk size
+    bool wiresize = true; ///< run the grewsa_owsa stage
+    bool moment_check = true;  ///< run the wiresized moment cross-check
+    int rc_sections_per_edge = 8;  ///< RC discretization of the cross-check
+};
+
+/// Everything reported for one routed net.
+struct NetRouteResult {
+    std::size_t nodes = 0;
+    std::size_t segments = 0;
+    Length wirelength = 0;
+    double rph_s = 0.0;             ///< uniform-width RPH bound (Eq. 2)
+    double elmore_max_s = 0.0;      ///< uniform-width max sink Elmore delay
+    double wiresized_delay_s = 0.0; ///< grewsa_owsa optimum (0 when disabled)
+    double moment_elmore_max_s = 0.0;  ///< wiresized -m_1 max (0 when disabled)
+    Assignment assignment;          ///< optimal widths (empty when disabled)
+};
+
+struct PipelineStats {
+    int threads = 1;
+    double seconds = 0.0;
+    double nets_per_sec = 0.0;
+    WorkspaceCounters counters;  ///< aggregated over the slot workspaces
+};
+
+/// Routes every net of the batch; results are in net order regardless of
+/// thread count.  When `workspaces` is supplied its entries are reused (and
+/// it is grown to the slot count) so repeated batches stay allocation-free;
+/// each entry must not be in use by any other concurrent call.
+std::vector<NetRouteResult> route_batch(const std::vector<Net>& nets,
+                                        const Technology& tech,
+                                        const PipelineOptions& opts = {},
+                                        PipelineStats* stats = nullptr,
+                                        std::vector<Workspace>* workspaces = nullptr);
+
+/// netgen front-end: generates `count` random nets (uniform terminals on
+/// [0, grid]^2, seeded deterministically) and routes them.
+std::vector<NetRouteResult> route_batch(std::uint64_t seed, int count, Coord grid,
+                                        int sink_count, const Technology& tech,
+                                        const PipelineOptions& opts = {},
+                                        PipelineStats* stats = nullptr,
+                                        std::vector<Workspace>* workspaces = nullptr);
+
+/// Canonical full-precision serialization (hexfloat) of a result batch;
+/// equal strings <=> byte-identical results.  Used by the determinism tests
+/// and the BENCH_pipeline.json identity checks.
+std::string format_results(const std::vector<NetRouteResult>& results);
+
+}  // namespace cong93
+
+#endif  // CONG93_BATCH_PIPELINE_H

@@ -1,0 +1,90 @@
+// Per-thread reusable scratch arenas for batch routing work.
+//
+// Every stage of the per-net pipeline historically allocated fresh vectors
+// per call (preorder buffers, subtree-capacitance scratch, moment rows).
+// A Workspace owns one instance of each reusable buffer; a batch driver
+// keeps one Workspace per worker slot (see parallel_for_slots) and threads
+// it through every net the slot processes, so after warm-up the inner loop
+// runs allocation-free.
+//
+// Lifetime rules:
+//   * a Workspace is owned by exactly one worker slot for the duration of a
+//     parallel_for_slots call -- never shared between concurrent slots;
+//   * buffers only grow; shrinking is never needed because every kernel
+//     (re)sizes or clears what it reads;
+//   * contents are scratch: nothing read out of a Workspace survives the
+//     net that produced it except through the index-addressed output slot.
+//
+// counters() aggregates reuse telemetry (compilations vs capacity growths)
+// so benchmarks and tests can prove buffers are actually being reused: on a
+// warmed-up workspace, builds keep increasing while growths stay flat.
+#ifndef CONG93_BATCH_WORKSPACE_H
+#define CONG93_BATCH_WORKSPACE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "rtree/flat_tree.h"
+#include "sim/moments.h"
+
+namespace cong93 {
+
+/// Aggregated allocation telemetry of one or more Workspaces.
+struct WorkspaceCounters {
+    std::uint64_t tree_builds = 0;     ///< FlatTree compilations
+    std::uint64_t tree_growths = 0;    ///< compilations that grew the arrays
+    std::uint64_t moment_evals = 0;    ///< moment-kernel calls
+    std::uint64_t moment_growths = 0;  ///< calls that grew the moment scratch
+    std::uint64_t scratch_growths = 0; ///< growths of the plain scratch vectors
+
+    WorkspaceCounters& operator+=(const WorkspaceCounters& o)
+    {
+        tree_builds += o.tree_builds;
+        tree_growths += o.tree_growths;
+        moment_evals += o.moment_evals;
+        moment_growths += o.moment_growths;
+        scratch_growths += o.scratch_growths;
+        return *this;
+    }
+};
+
+class Workspace {
+public:
+    /// Reusable compiled-tree storage; rebuild per net with flat.build(tree).
+    FlatTree flat;
+    /// Reusable moment-engine scratch (sim/moments.h).
+    MomentWorkspace moments;
+    /// Per-node double scratch (subtree caps etc).
+    std::vector<double> caps;
+    /// Per-sink double output scratch.
+    std::vector<double> sink_delays;
+    /// Node-id scratch (preorder / sink lists).
+    std::vector<NodeId> node_scratch;
+
+    /// Notes an upcoming use of a plain scratch vector of size n, counting a
+    /// growth when the capacity does not cover it yet.  Kernels themselves
+    /// stay counter-free; callers instrument the buffers they pass in.
+    template <typename T>
+    void note_use(const std::vector<T>& v, std::size_t n)
+    {
+        if (n > v.capacity()) ++scratch_growths_;
+    }
+
+    WorkspaceCounters counters() const
+    {
+        WorkspaceCounters c;
+        c.tree_builds = flat.builds();
+        c.tree_growths = flat.growths();
+        c.moment_evals = moments.evals;
+        c.moment_growths = moments.growths;
+        c.scratch_growths = scratch_growths_;
+        return c;
+    }
+
+private:
+    std::uint64_t scratch_growths_ = 0;
+};
+
+}  // namespace cong93
+
+#endif  // CONG93_BATCH_WORKSPACE_H

@@ -9,6 +9,7 @@ namespace {
 
 /// Total capacitance (wire + loads) in the subtree rooted at each node,
 /// where a node's incoming edge capacitance is attributed to the node.
+/// Pointer-walk version over the RoutingTree (reference path).
 std::vector<double> subtree_caps(const RoutingTree& tree, const Technology& tech)
 {
     std::vector<double> cap(tree.node_count(), 0.0);
@@ -22,6 +23,28 @@ std::vector<double> subtree_caps(const RoutingTree& tree, const Technology& tech
         cap[static_cast<std::size_t>(id)] = c;
     }
     return cap;
+}
+
+/// Flat twin of subtree_caps: one reverse pass over the preorder arrays,
+/// children accumulated in original order via the CSR adjacency so the sums
+/// are bit-identical to the pointer walk.
+void subtree_caps_flat(const FlatTree& ft, const Technology& tech,
+                       std::vector<double>& cap)
+{
+    const std::size_t n = ft.size();
+    cap.resize(n);
+    const Length* el = ft.edge_length().data();
+    const std::uint8_t* sk = ft.is_sink().data();
+    const double* sc = ft.sink_cap().data();
+    const std::int32_t* cp = ft.child_ptr().data();
+    const std::int32_t* ci = ft.child_idx().data();
+    for (std::size_t i = n; i-- > 0;) {
+        double c = tech.c_grid() * static_cast<double>(el[i]);
+        if (sk[i]) c += sc[i] >= 0.0 ? sc[i] : tech.sink_load_f;
+        for (std::int32_t k = cp[i]; k < cp[i + 1]; ++k)
+            c += cap[static_cast<std::size_t>(ci[k])];
+        cap[i] = c;
+    }
 }
 
 }  // namespace
@@ -40,6 +63,39 @@ double elmore_delay(const RoutingTree& tree, const Technology& tech, NodeId sink
 }
 
 std::vector<double> elmore_all_sinks(const RoutingTree& tree, const Technology& tech)
+{
+    return elmore_all_sinks(FlatTree(tree), tech);
+}
+
+std::vector<double> elmore_all_sinks(const FlatTree& ft, const Technology& tech)
+{
+    std::vector<double> cap, out;
+    elmore_all_sinks(ft, tech, cap, out);
+    return out;
+}
+
+void elmore_all_sinks(const FlatTree& ft, const Technology& tech,
+                      std::vector<double>& cap_scratch, std::vector<double>& out)
+{
+    subtree_caps_flat(ft, tech, cap_scratch);
+    const double c_total = ft.empty() ? 0.0 : cap_scratch[0];
+    const std::int32_t* parent = ft.parent().data();
+    const Length* el = ft.edge_length().data();
+    out.clear();
+    out.reserve(ft.sinks().size());
+    for (const std::int32_t s : ft.sinks()) {
+        double t = tech.driver_resistance_ohm * c_total;
+        for (std::int32_t id = s; id != 0; id = parent[id]) {
+            const double re = tech.r_grid() * static_cast<double>(el[id]);
+            const double ce = tech.c_grid() * static_cast<double>(el[id]);
+            t += re * (cap_scratch[static_cast<std::size_t>(id)] - 0.5 * ce);
+        }
+        out.push_back(t);
+    }
+}
+
+std::vector<double> elmore_all_sinks_reference(const RoutingTree& tree,
+                                               const Technology& tech)
 {
     const std::vector<double> cap = subtree_caps(tree, tech);
     const double c_total = cap[static_cast<std::size_t>(tree.root())];

@@ -4,6 +4,13 @@
 // (an on-path edge e with resistance Re and capacitance Ce contributes
 // Re*(C_subtree(e) - Ce/2); the driver contributes Rd*C_total).
 //
+// The primary evaluators run over a FlatTree (rtree/flat_tree.h): subtree
+// capacitances are one reverse pass over the preorder arrays and root-path
+// walks read the dense parent array, with optional caller-owned scratch so a
+// batch reuses its buffers.  The pointer-walk seed implementation is kept as
+// elmore_all_sinks_reference; both produce bit-identical results (the flat
+// kernel accumulates in exactly the same order).
+//
 // The RPH bound of delay/rph.h dominates the Elmore delay at every sink
 // (the RPH sum uses the full source->k resistance, which is >= the shared
 // path resistance); tests rely on this ordering.
@@ -12,6 +19,7 @@
 
 #include <vector>
 
+#include "rtree/flat_tree.h"
 #include "rtree/routing_tree.h"
 #include "tech/technology.h"
 
@@ -22,6 +30,20 @@ double elmore_delay(const RoutingTree& tree, const Technology& tech, NodeId sink
 
 /// Elmore delay at every sink, in tree.sinks() order.
 std::vector<double> elmore_all_sinks(const RoutingTree& tree, const Technology& tech);
+
+/// Flat kernel over a compiled tree; out is in RoutingTree::sinks() order.
+std::vector<double> elmore_all_sinks(const FlatTree& ft, const Technology& tech);
+
+/// Scratch-reusing flat kernel: `cap_scratch` holds the per-node subtree
+/// capacitances on return, `out` the per-sink delays.  Neither allocates
+/// once their capacity covers the tree.
+void elmore_all_sinks(const FlatTree& ft, const Technology& tech,
+                      std::vector<double>& cap_scratch, std::vector<double>& out);
+
+/// The seed pointer-walk implementation (equivalence oracle and speedup
+/// baseline for BENCH_pipeline.json); bit-identical to the flat kernel.
+std::vector<double> elmore_all_sinks_reference(const RoutingTree& tree,
+                                               const Technology& tech);
 
 /// Largest sink Elmore delay.
 double elmore_max(const RoutingTree& tree, const Technology& tech);

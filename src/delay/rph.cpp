@@ -6,6 +6,42 @@ namespace cong93 {
 
 RphTerms rph_terms(const RoutingTree& tree, const Technology& tech)
 {
+    return rph_terms(FlatTree(tree), tech);
+}
+
+RphTerms rph_terms(const FlatTree& ft, const Technology& tech)
+{
+    const double rd = tech.driver_resistance_ohm;
+    const double r0 = tech.r_grid();
+    const double c0 = tech.c_grid();
+
+    // Integer geometric sums are exact, so any accumulation order matches
+    // the reference's metrics helpers bit for bit.
+    Length length_sum = 0;
+    Length qmst_sum = 0;
+    const Length* el = ft.edge_length().data();
+    const Length* pl = ft.path_length().data();
+    for (std::size_t i = 1; i < ft.size(); ++i) {
+        const Length l = el[i];
+        const Length a = pl[i] - l;  // pl at the edge's head
+        length_sum += l;
+        qmst_sum += l * a + l * (l + 1) / 2;
+    }
+
+    RphTerms t;
+    t.t1 = rd * c0 * static_cast<double>(length_sum);
+    t.t3 = r0 * c0 * static_cast<double>(qmst_sum);
+    const double* sc = ft.sink_cap().data();
+    for (const std::int32_t s : ft.sinks()) {
+        const double ck = sc[s] >= 0.0 ? sc[s] : tech.sink_load_f;
+        t.t2 += r0 * static_cast<double>(pl[s]) * ck;
+        t.t4 += rd * ck;
+    }
+    return t;
+}
+
+RphTerms rph_terms_reference(const RoutingTree& tree, const Technology& tech)
+{
     const double rd = tech.driver_resistance_ohm;
     const double r0 = tech.r_grid();
     const double c0 = tech.c_grid();

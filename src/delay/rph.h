@@ -10,6 +10,7 @@
 #ifndef CONG93_DELAY_RPH_H
 #define CONG93_DELAY_RPH_H
 
+#include "rtree/flat_tree.h"
 #include "rtree/routing_tree.h"
 #include "tech/technology.h"
 
@@ -26,6 +27,15 @@ struct RphTerms {
 
 /// Decomposed RPH bound of a uniform-width tree (Eq. 4-7).
 RphTerms rph_terms(const RoutingTree& tree, const Technology& tech);
+
+/// Flat kernel over a compiled tree: one pass over the preorder arrays
+/// (integer length/pl sums are exact; the sink sums accumulate in
+/// tree.sinks() order).  Bit-identical to rph_terms_reference.
+RphTerms rph_terms(const FlatTree& ft, const Technology& tech);
+
+/// The seed pointer-walk implementation (equivalence oracle and speedup
+/// baseline for BENCH_pipeline.json).
+RphTerms rph_terms_reference(const RoutingTree& tree, const Technology& tech);
 
 /// Total RPH bound t(T) of Eq. 2 (equals rph_terms(...).total()).
 double rph_delay(const RoutingTree& tree, const Technology& tech);

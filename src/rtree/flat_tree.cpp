@@ -1,0 +1,78 @@
+#include "rtree/flat_tree.h"
+
+namespace cong93 {
+
+void FlatTree::build(const RoutingTree& tree)
+{
+    ++builds_;
+    const std::size_t n = tree.node_count();
+    if (n > watermark_) {
+        ++growths_;
+        watermark_ = n;
+    }
+
+    parent_.resize(n);
+    edge_len_.resize(n);
+    path_len_.resize(n);
+    is_sink_.resize(n);
+    sink_cap_.resize(n);
+    node_of_.resize(n);
+    flat_of_.resize(n);
+
+    // Preorder DFS with a reusable explicit stack; children are pushed in
+    // reverse so they are visited -- and therefore laid out -- in order.
+    dfs_stack_.clear();
+    dfs_stack_.push_back(tree.root());
+    std::size_t fi = 0;
+    while (!dfs_stack_.empty()) {
+        const NodeId id = dfs_stack_.back();
+        dfs_stack_.pop_back();
+        node_of_[fi] = id;
+        flat_of_[static_cast<std::size_t>(id)] = static_cast<std::int32_t>(fi);
+        ++fi;
+        const auto& node = tree.node(id);
+        for (auto it = node.children.rbegin(); it != node.children.rend(); ++it)
+            dfs_stack_.push_back(*it);
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const NodeId id = node_of_[i];
+        const auto& node = tree.node(id);
+        parent_[i] = node.parent == kNoNode
+                         ? -1
+                         : flat_of_[static_cast<std::size_t>(node.parent)];
+        edge_len_[i] = tree.edge_length(id);
+        path_len_[i] = node.pl;
+        is_sink_[i] = node.is_sink ? 1 : 0;
+        sink_cap_[i] = node.sink_cap_f;
+    }
+
+    // CSR children.  Filling by ascending flat index preserves the original
+    // child order: an earlier child's whole subtree precedes a later child's
+    // in preorder, so siblings appear in child order.
+    child_ptr_.assign(n + 1, 0);
+    for (std::size_t i = 1; i < n; ++i)
+        ++child_ptr_[static_cast<std::size_t>(parent_[i]) + 1];
+    for (std::size_t i = 1; i <= n; ++i) child_ptr_[i] += child_ptr_[i - 1];
+    child_idx_.resize(n > 0 ? n - 1 : 0);
+    csr_cursor_.assign(child_ptr_.begin(), child_ptr_.end());
+    for (std::size_t i = 1; i < n; ++i)
+        child_idx_[static_cast<std::size_t>(
+            csr_cursor_[static_cast<std::size_t>(parent_[i])]++)] =
+            static_cast<std::int32_t>(i);
+
+    // Sinks in ascending-node-id order, matching RoutingTree::sinks().
+    sinks_.clear();
+    for (std::size_t id = 0; id < n; ++id)
+        if (tree.node(static_cast<NodeId>(id)).is_sink)
+            sinks_.push_back(flat_of_[id]);
+}
+
+Length FlatTree::total_length() const
+{
+    Length sum = 0;
+    for (const Length l : edge_len_) sum += l;
+    return sum;
+}
+
+}  // namespace cong93

@@ -1,0 +1,100 @@
+// Flat structure-of-arrays compilation of a RoutingTree (batch hot path).
+//
+// A RoutingTree stores one heap-allocated children vector per node; walking
+// it means pointer-chasing through scattered allocations, and every helper
+// that returns a vector (preorder(), sinks(), per-node caps) reallocates per
+// call.  A FlatTree is the same tree compiled once into parallel arrays laid
+// out in preorder:
+//
+//   * flat index == preorder position, so every subtree is a contiguous
+//     index range and bottom-up passes are a single reverse loop;
+//   * parent(), edge_length(), path_length(), is_sink(), sink_cap() are
+//     dense arrays indexed by flat index;
+//   * children are a CSR adjacency (child_ptr/child_idx) preserving the
+//     original child order, so accumulation order -- and therefore floating
+//     point results -- match the pointer-walk evaluators bit for bit;
+//   * sinks() lists flat indices in RoutingTree::sinks() order (ascending
+//     node id), so per-sink outputs line up with the reference evaluators.
+//
+// build() reuses the arrays' capacity across calls: a Workspace (see
+// batch/workspace.h) keeps one FlatTree per worker thread and recompiles it
+// for each net of a batch without touching the allocator once the high-water
+// mark is reached.  builds()/growths() count compilations and capacity
+// growth events so reuse is measurable (see BENCH_pipeline.json).
+#ifndef CONG93_RTREE_FLAT_TREE_H
+#define CONG93_RTREE_FLAT_TREE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "rtree/routing_tree.h"
+
+namespace cong93 {
+
+class FlatTree {
+public:
+    FlatTree() = default;
+    explicit FlatTree(const RoutingTree& tree) { build(tree); }
+
+    /// Compiles `tree` into the arrays, reusing existing capacity.
+    void build(const RoutingTree& tree);
+
+    std::size_t size() const { return parent_.size(); }
+    bool empty() const { return parent_.empty(); }
+
+    /// Flat index of the parent; -1 for the root (flat index 0).
+    const std::vector<std::int32_t>& parent() const { return parent_; }
+    /// Length of the wire to the parent (0 for the root).
+    const std::vector<Length>& edge_length() const { return edge_len_; }
+    /// Path length from the source, pl_k.
+    const std::vector<Length>& path_length() const { return path_len_; }
+    const std::vector<std::uint8_t>& is_sink() const { return is_sink_; }
+    /// Raw per-node sink capacitance (farad); negative selects the
+    /// technology default, exactly as RoutingTree::Node::sink_cap_f.
+    const std::vector<double>& sink_cap() const { return sink_cap_; }
+
+    /// CSR children: children of flat node i are
+    /// child_idx()[child_ptr()[i] .. child_ptr()[i+1]), in original order.
+    const std::vector<std::int32_t>& child_ptr() const { return child_ptr_; }
+    const std::vector<std::int32_t>& child_idx() const { return child_idx_; }
+
+    /// Flat indices of the sinks, in RoutingTree::sinks() order.
+    const std::vector<std::int32_t>& sinks() const { return sinks_; }
+
+    /// Mapping back to RoutingTree node ids (flat index -> node id).
+    const std::vector<NodeId>& node_of() const { return node_of_; }
+    /// Mapping from node id to flat index.
+    std::int32_t flat_of(NodeId id) const
+    {
+        return flat_of_[static_cast<std::size_t>(id)];
+    }
+
+    /// Total wirelength (exact integer sum of edge_length()).
+    Length total_length() const;
+
+    /// Number of build() calls over this object's lifetime.
+    std::uint64_t builds() const { return builds_; }
+    /// Number of builds that had to grow the arrays (capacity misses).
+    std::uint64_t growths() const { return growths_; }
+
+private:
+    std::vector<std::int32_t> parent_;
+    std::vector<Length> edge_len_;
+    std::vector<Length> path_len_;
+    std::vector<std::uint8_t> is_sink_;
+    std::vector<double> sink_cap_;
+    std::vector<std::int32_t> child_ptr_;
+    std::vector<std::int32_t> child_idx_;
+    std::vector<std::int32_t> sinks_;
+    std::vector<NodeId> node_of_;
+    std::vector<std::int32_t> flat_of_;
+    std::vector<std::int32_t> dfs_stack_;   // build-time scratch
+    std::vector<std::int32_t> csr_cursor_;  // build-time scratch
+    std::size_t watermark_ = 0;             // largest node count compiled so far
+    std::uint64_t builds_ = 0;
+    std::uint64_t growths_ = 0;
+};
+
+}  // namespace cong93
+
+#endif  // CONG93_RTREE_FLAT_TREE_H

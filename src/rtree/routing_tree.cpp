@@ -75,26 +75,38 @@ Length RoutingTree::edge_length(NodeId id) const
 std::vector<NodeId> RoutingTree::sinks() const
 {
     std::vector<NodeId> out;
+    sinks(out);
+    return out;
+}
+
+void RoutingTree::sinks(std::vector<NodeId>& out) const
+{
+    out.clear();
     for (std::size_t i = 0; i < nodes_.size(); ++i)
         if (nodes_[i].is_sink) out.push_back(static_cast<NodeId>(i));
-    return out;
 }
 
 std::vector<NodeId> RoutingTree::preorder() const
 {
     std::vector<NodeId> order;
-    order.reserve(nodes_.size());
+    preorder(order);
+    return order;
+}
+
+void RoutingTree::preorder(std::vector<NodeId>& out) const
+{
+    out.clear();
+    out.reserve(nodes_.size());
     std::vector<NodeId> stack{root()};
     while (!stack.empty()) {
         const NodeId id = stack.back();
         stack.pop_back();
-        order.push_back(id);
+        out.push_back(id);
         const Node& n = node(id);
         // Push children in reverse so the traversal visits them in order.
         for (auto it = n.children.rbegin(); it != n.children.rend(); ++it)
             stack.push_back(*it);
     }
-    return order;
 }
 
 }  // namespace cong93

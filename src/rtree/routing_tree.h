@@ -101,8 +101,15 @@ public:
     /// Ids of all sink nodes.
     std::vector<NodeId> sinks() const;
 
+    /// Buffer-reuse overload for batch hot paths: fills `out` (cleared
+    /// first) instead of allocating a fresh vector per call.
+    void sinks(std::vector<NodeId>& out) const;
+
     /// Node ids in a preorder (parent before child) traversal from the root.
     std::vector<NodeId> preorder() const;
+
+    /// Buffer-reuse overload: fills `out` (cleared first) with the preorder.
+    void preorder(std::vector<NodeId>& out) const;
 
     /// Invokes fn(child_id) for every edge (child -> parent), preorder.
     template <typename Fn>

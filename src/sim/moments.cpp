@@ -1,10 +1,83 @@
 #include "sim/moments.h"
 
 #include <stdexcept>
+#include <utility>
 
 namespace cong93 {
 
 std::vector<std::vector<double>> compute_moments(const RcTree& rc, int order)
+{
+    MomentWorkspace ws;
+    compute_moments(rc, order, ws);
+    ws.m.resize(static_cast<std::size_t>(order));
+    return std::move(ws.m);
+}
+
+const std::vector<std::vector<double>>& compute_moments(const RcTree& rc, int order,
+                                                        MomentWorkspace& ws)
+{
+    if (order < 1) throw std::invalid_argument("compute_moments: order >= 1");
+    const std::size_t n = rc.size();
+
+    ++ws.evals;
+    if (n > ws.parent.capacity() ||
+        static_cast<std::size_t>(order) > ws.m.capacity())
+        ++ws.growths;
+    ws.parent.resize(n);
+    ws.r.resize(n);
+    ws.c.resize(n);
+    ws.lh.resize(n);
+    ws.subtree.resize(n);
+    ws.subtree_pp.assign(n, 0.0);
+    if (ws.m.size() < static_cast<std::size_t>(order))
+        ws.m.resize(static_cast<std::size_t>(order));
+    for (int q = 0; q < order; ++q) ws.m[static_cast<std::size_t>(q)].resize(n);
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const RcTree::RcNode& node = rc.node(i);
+        ws.parent[i] = node.parent;
+        ws.r[i] = node.r_ohm;
+        ws.c[i] = node.c_f;
+        ws.lh[i] = node.l_h;
+    }
+
+    const std::int32_t* parent = ws.parent.data();
+    const double* r = ws.r.data();
+    const double* c = ws.c.data();
+    const double* lh = ws.lh.data();
+    double* subtree = ws.subtree.data();
+    double* subtree_pp = ws.subtree_pp.data();
+
+    for (int q = 0; q < order; ++q) {
+        // Subtree "current" sums; children follow parents in index order.
+        // m_0 = 1 everywhere, so the q == 0 currents are the raw C_k
+        // (bitwise equal to C_k * 1.0).
+        const double* prev =
+            q == 0 ? nullptr : ws.m[static_cast<std::size_t>(q - 1)].data();
+        if (prev == nullptr)
+            for (std::size_t i = 0; i < n; ++i) subtree[i] = c[i];
+        else
+            for (std::size_t i = 0; i < n; ++i) subtree[i] = c[i] * prev[i];
+        for (std::size_t i = n; i-- > 1;)
+            subtree[static_cast<std::size_t>(parent[i])] += subtree[i];
+        // Top-down: the branch drop is (R + sL) * I, i.e. at order q the R
+        // term couples to m_{q-1} currents and the L term to m_{q-2}.
+        double* cur = ws.m[static_cast<std::size_t>(q)].data();
+        cur[0] = -r[0] * subtree[0] - lh[0] * subtree_pp[0];
+        for (std::size_t i = 1; i < n; ++i)
+            cur[i] = cur[static_cast<std::size_t>(parent[i])] - r[i] * subtree[i] -
+                     lh[i] * subtree_pp[i];
+        // The accumulated currents of this order are next order's m_{q-2}
+        // currents; swapping avoids the reference's full-vector copy.
+        std::swap(ws.subtree, ws.subtree_pp);
+        subtree = ws.subtree.data();
+        subtree_pp = ws.subtree_pp.data();
+    }
+    return ws.m;
+}
+
+std::vector<std::vector<double>> compute_moments_reference(const RcTree& rc,
+                                                           int order)
 {
     if (order < 1) throw std::invalid_argument("compute_moments: order >= 1");
     const std::size_t n = rc.size();

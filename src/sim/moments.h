@@ -5,15 +5,46 @@
 // Standard O(n)-per-order path tracing: with "currents" I_k = C_k*m_{q-1}(k)
 // accumulated over subtrees, m_q(i) = m_q(parent) - R_i * Σ_{k in subtree(i)}
 // I_k (the ideal source ahead of Rd has m_q = 0 for q >= 1).
+//
+// The primary kernel runs over structure-of-arrays copies of the RcTree held
+// in a caller-owned MomentWorkspace, so a batch of nets reuses its scratch
+// (parent/R/C/L arrays, subtree-current buffers, the moment rows) instead of
+// reallocating per call.  The seed per-call-allocating implementation is
+// kept as compute_moments_reference; results are bit-identical (same
+// recursion, same accumulation order).
 #ifndef CONG93_SIM_MOMENTS_H
 #define CONG93_SIM_MOMENTS_H
+
+#include <cstdint>
 
 #include "sim/rc_tree.h"
 
 namespace cong93 {
 
+/// Reusable scratch for compute_moments; one per worker thread in a batch.
+struct MomentWorkspace {
+    std::vector<std::int32_t> parent;  ///< SoA copy of the RcTree topology
+    std::vector<double> r, c, lh;      ///< SoA copies of R/C/L per node
+    std::vector<double> subtree;       ///< Σ_subtree C_k * m_{q-1}
+    std::vector<double> subtree_pp;    ///< Σ_subtree C_k * m_{q-2}
+    std::vector<std::vector<double>> m;  ///< moment rows, reused across calls
+
+    std::uint64_t evals = 0;    ///< compute_moments calls through this scratch
+    std::uint64_t growths = 0;  ///< calls that had to grow a buffer
+};
+
 /// moments[q-1][i] = m_q(i) for q = 1..order.
 std::vector<std::vector<double>> compute_moments(const RcTree& rc, int order);
+
+/// Scratch-reusing flat kernel; the result lives in ws.m (rows beyond
+/// `order` from a previous larger call are left untouched).
+const std::vector<std::vector<double>>& compute_moments(const RcTree& rc, int order,
+                                                        MomentWorkspace& ws);
+
+/// The seed implementation (allocates every buffer per call); equivalence
+/// oracle and speedup baseline for BENCH_pipeline.json.
+std::vector<std::vector<double>> compute_moments_reference(const RcTree& rc,
+                                                           int order);
 
 /// Elmore delay at each node (= -m_1).
 std::vector<double> rc_elmore_delays(const RcTree& rc);

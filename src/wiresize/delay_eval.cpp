@@ -8,22 +8,63 @@ WiresizeContext::WiresizeContext(const SegmentDecomposition& segs,
                                  const Technology& tech, WidthSet widths)
     : segs_(&segs), tech_(&tech), widths_(std::move(widths))
 {
-    tail_cap_.resize(segs.count(), 0.0);
-    for (std::size_t i = 0; i < segs.count(); ++i) {
+    const std::size_t n = segs.count();
+    tail_cap_.resize(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
         const WireSegment& s = segs[i];
         if (s.tail_is_sink)
             tail_cap_[i] = s.tail_sink_cap_f >= 0.0 ? s.tail_sink_cap_f
                                                     : tech.sink_load_f;
     }
     down_cap_ = segs.downstream_sink_cap(tech.sink_load_f);
+
+    // Compile the segment tree into flat arrays: dense parent/length plus a
+    // CSR child adjacency that preserves the original child order (so the
+    // flat descendant walks accumulate in the same order as the pointer
+    // walks and stay bit-identical).
+    seg_parent_.resize(n);
+    seg_length_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        seg_parent_[i] = segs[i].parent;
+        seg_length_[i] = static_cast<double>(segs[i].length);
+    }
+    seg_child_ptr_.assign(n + 1, 0);
+    for (std::size_t i = 0; i < n; ++i)
+        if (seg_parent_[i] != kNoSegment)
+            ++seg_child_ptr_[static_cast<std::size_t>(seg_parent_[i]) + 1];
+    for (std::size_t i = 1; i <= n; ++i) seg_child_ptr_[i] += seg_child_ptr_[i - 1];
+    seg_child_idx_.resize(n - static_cast<std::size_t>(segs.roots().size()));
+    std::vector<std::int32_t> cursor(seg_child_ptr_);
+    for (std::size_t p = 0; p < n; ++p)
+        for (const int c : segs[p].children)
+            seg_child_idx_[static_cast<std::size_t>(cursor[p]++)] =
+                static_cast<std::int32_t>(c);
+    rin_scratch_.resize(n);
+}
+
+void WiresizeContext::upstream_resistance(const Assignment& a) const
+{
+    const double r0 = tech_->r_grid();
+    const double rd = tech_->driver_resistance_ohm;
+    double* rin = rin_scratch_.data();
+    for (std::size_t i = 0; i < seg_parent_.size(); ++i) {
+        const std::int32_t p = seg_parent_[i];
+        rin[i] = p == kNoSegment
+                     ? rd
+                     : rin[static_cast<std::size_t>(p)] +
+                           r0 * seg_length_[static_cast<std::size_t>(p)] /
+                               widths_[a[static_cast<std::size_t>(p)]];
+    }
 }
 
 namespace {
 
 /// Accumulated upstream resistances R_in per segment (Rd at the stems).
-std::vector<double> upstream_resistance(const SegmentDecomposition& segs,
-                                        const Technology& tech, const WidthSet& ws,
-                                        const Assignment& a)
+/// Seed pointer-walk version, kept for the *_reference twins.
+std::vector<double> upstream_resistance_reference(const SegmentDecomposition& segs,
+                                                  const Technology& tech,
+                                                  const WidthSet& ws,
+                                                  const Assignment& a)
 {
     std::vector<double> rin(segs.count(), 0.0);
     const double r0 = tech.r_grid();
@@ -49,7 +90,27 @@ double WiresizeContext::delay(const Assignment& a) const
         throw std::invalid_argument("WiresizeContext::delay: bad assignment size");
     const double r0 = tech_->r_grid();
     const double c0 = tech_->c_grid();
-    const std::vector<double> rin = upstream_resistance(*segs_, *tech_, widths_, a);
+    upstream_resistance(a);
+    const double* rin = rin_scratch_.data();
+
+    double total = 0.0;
+    for (std::size_t i = 0; i < segment_count(); ++i) {
+        const double l = seg_length_[i];
+        const double w = widths_[a[i]];
+        total += rin[i] * c0 * w * l + r0 * c0 * l * (l + 1.0) / 2.0;
+        total += (rin[i] + r0 * l / w) * tail_cap_[i];
+    }
+    return total;
+}
+
+double WiresizeContext::delay_reference(const Assignment& a) const
+{
+    if (a.size() != segment_count())
+        throw std::invalid_argument("WiresizeContext::delay: bad assignment size");
+    const double r0 = tech_->r_grid();
+    const double c0 = tech_->c_grid();
+    const std::vector<double> rin =
+        upstream_resistance_reference(*segs_, *tech_, widths_, a);
 
     double total = 0.0;
     for (std::size_t i = 0; i < segment_count(); ++i) {
@@ -66,7 +127,30 @@ WiresizeContext::Terms WiresizeContext::terms(const Assignment& a) const
     const double rd = tech_->driver_resistance_ohm;
     const double r0 = tech_->r_grid();
     const double c0 = tech_->c_grid();
-    const std::vector<double> rin = upstream_resistance(*segs_, *tech_, widths_, a);
+    upstream_resistance(a);
+    const double* rin = rin_scratch_.data();
+
+    Terms t;
+    for (std::size_t i = 0; i < segment_count(); ++i) {
+        const double l = seg_length_[i];
+        const double w = widths_[a[i]];
+        t.t1 += rd * c0 * w * l;
+        // Upstream *wire* resistance seen by this segment's start.
+        const double a_up = (rin[i] - rd) / r0;  // Σ l_a / w_a over ancestors
+        t.t2 += (a_up * r0 + r0 * l / w) * tail_cap_[i];
+        t.t3 += r0 * c0 * l * (l + 1.0) / 2.0 + r0 * a_up * c0 * w * l;
+        t.t4 += rd * tail_cap_[i];
+    }
+    return t;
+}
+
+WiresizeContext::Terms WiresizeContext::terms_reference(const Assignment& a) const
+{
+    const double rd = tech_->driver_resistance_ohm;
+    const double r0 = tech_->r_grid();
+    const double c0 = tech_->c_grid();
+    const std::vector<double> rin =
+        upstream_resistance_reference(*segs_, *tech_, widths_, a);
 
     Terms t;
     for (std::size_t i = 0; i < segment_count(); ++i) {
@@ -86,7 +170,8 @@ double WiresizeContext::delay_bruteforce(const Assignment& a) const
 {
     const double r0 = tech_->r_grid();
     const double c0 = tech_->c_grid();
-    const std::vector<double> rin = upstream_resistance(*segs_, *tech_, widths_, a);
+    const std::vector<double> rin =
+        upstream_resistance_reference(*segs_, *tech_, widths_, a);
 
     double total = 0.0;
     for (std::size_t i = 0; i < segment_count(); ++i) {
@@ -117,6 +202,44 @@ WiresizeContext::ThetaPhi WiresizeContext::theta_phi_fast(const Assignment& a,
     const double r0 = tech_->r_grid();
     const double c0 = tech_->c_grid();
 
+    // A_i = Σ_{ancestors} l_a / w_a, via the dense parent array.
+    double a_up = 0.0;
+    for (std::int32_t p = seg_parent_[i]; p != kNoSegment;
+         p = seg_parent_[static_cast<std::size_t>(p)]) {
+        a_up += seg_length_[static_cast<std::size_t>(p)] /
+                widths_[a[static_cast<std::size_t>(p)]];
+    }
+
+    // Σ_{strict descendants} w_d * l_d, via one CSR subtree walk in the
+    // same (right-to-left DFS) order as the reference's stack walk.
+    double wire_below = 0.0;
+    const std::int32_t* cp = seg_child_ptr_.data();
+    const std::int32_t* ci = seg_child_idx_.data();
+    walk_scratch_.clear();
+    for (std::int32_t k = cp[i]; k < cp[i + 1]; ++k) walk_scratch_.push_back(ci[k]);
+    while (!walk_scratch_.empty()) {
+        const std::int32_t d = walk_scratch_.back();
+        walk_scratch_.pop_back();
+        wire_below += widths_[a[static_cast<std::size_t>(d)]] *
+                      seg_length_[static_cast<std::size_t>(d)];
+        for (std::int32_t k = cp[d]; k < cp[d + 1]; ++k)
+            walk_scratch_.push_back(ci[k]);
+    }
+
+    ThetaPhi tp;
+    const double l = seg_length_[i];
+    tp.theta = c0 * l * (rd + r0 * a_up);
+    tp.phi = r0 * l * (down_cap_[i] + c0 * wire_below);
+    return tp;
+}
+
+WiresizeContext::ThetaPhi WiresizeContext::theta_phi_fast_reference(
+    const Assignment& a, std::size_t i) const
+{
+    const double rd = tech_->driver_resistance_ohm;
+    const double r0 = tech_->r_grid();
+    const double c0 = tech_->c_grid();
+
     // A_i = Σ_{ancestors} l_a / w_a.
     double a_up = 0.0;
     for (int p = (*segs_)[i].parent; p != kNoSegment;
@@ -127,7 +250,7 @@ WiresizeContext::ThetaPhi WiresizeContext::theta_phi_fast(const Assignment& a,
 
     // Σ_{strict descendants} w_d * l_d, via one subtree walk.
     double wire_below = 0.0;
-    std::vector<int> stack(( *segs_)[i].children.begin(), (*segs_)[i].children.end());
+    std::vector<int> stack((*segs_)[i].children.begin(), (*segs_)[i].children.end());
     while (!stack.empty()) {
         const int d = stack.back();
         stack.pop_back();

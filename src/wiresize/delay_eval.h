@@ -10,8 +10,19 @@
 //   * downstream segments see        R_in' = R_in + r0*l/w.
 // Summed over all segments this equals Eq. 9 at grid granularity, including
 // the constant t4.
+//
+// The context compiles the SegmentDecomposition once into flat
+// structure-of-arrays form (parent index, pre-cast double length, CSR
+// children); the primary delay/theta-phi kernels walk those dense arrays
+// with reusable internal scratch, while the seed pointer-walk
+// implementations are kept as *_reference twins (bit-identical: the flat
+// kernels evaluate the same expressions in the same order).  Because of the
+// internal scratch a WiresizeContext must not be shared by two threads
+// concurrently; batch drivers construct one context per net per worker.
 #ifndef CONG93_WIRESIZE_DELAY_EVAL_H
 #define CONG93_WIRESIZE_DELAY_EVAL_H
+
+#include <cstdint>
 
 #include "tech/technology.h"
 #include "wiresize/assignment.h"
@@ -28,22 +39,35 @@ public:
     const Technology& tech() const { return *tech_; }
     const WidthSet& widths() const { return widths_; }
     int width_count() const { return widths_.count(); }
-    std::size_t segment_count() const { return segs_->count(); }
+    std::size_t segment_count() const { return seg_parent_.size(); }
 
     /// Loading capacitance at segment i's tail (0 when not a sink).
     double tail_cap(std::size_t i) const { return tail_cap_[i]; }
     /// Σ of loading capacitance at or below segment i (farad).
     double downstream_sink_cap(std::size_t i) const { return down_cap_[i]; }
 
-    /// Exact t(T) of Eq. 9 for the assignment, in seconds.
+    /// Flat structure-of-arrays view of the segment tree, compiled in the
+    /// constructor (used by the IncrementalDelayEngine's hot walks).
+    const std::vector<std::int32_t>& seg_parent() const { return seg_parent_; }
+    const std::vector<double>& seg_length() const { return seg_length_; }
+    const std::vector<std::int32_t>& seg_child_ptr() const { return seg_child_ptr_; }
+    const std::vector<std::int32_t>& seg_child_idx() const { return seg_child_idx_; }
+
+    /// Exact t(T) of Eq. 9 for the assignment, in seconds (flat kernel).
     double delay(const Assignment& a) const;
 
-    /// The t1..t4 terms of Eq. 10-13.
+    /// The seed pointer-walk implementation; bit-identical to delay().
+    double delay_reference(const Assignment& a) const;
+
+    /// The t1..t4 terms of Eq. 10-13 (flat kernel).
     struct Terms {
         double t1 = 0, t2 = 0, t3 = 0, t4 = 0;
         double total() const { return t1 + t2 + t3 + t4; }
     };
     Terms terms(const Assignment& a) const;
+
+    /// The seed pointer-walk implementation; bit-identical to terms().
+    Terms terms_reference(const Assignment& a) const;
 
     /// Grid-node-level reference implementation (tests only).
     double delay_bruteforce(const Assignment& a) const;
@@ -59,18 +83,34 @@ public:
 
     /// Like theta_phi but leaves psi = 0: the argmin over widths only needs
     /// theta and phi, and filling psi costs a full O(n) delay() evaluation.
+    /// Flat kernel (dense parent walk + CSR descendant walk).
     ThetaPhi theta_phi_fast(const Assignment& a, std::size_t i) const;
+
+    /// The seed pointer-walk implementation; bit-identical to
+    /// theta_phi_fast().
+    ThetaPhi theta_phi_fast_reference(const Assignment& a, std::size_t i) const;
 
     /// Width index in [0, max_idx] minimizing theta*w + phi/w (ties -> the
     /// narrowest width).  This is the paper's local refinement operation.
     int locally_optimal_width(const Assignment& a, std::size_t i, int max_idx) const;
 
 private:
+    /// Accumulated upstream resistances R_in per segment into rin_scratch_.
+    void upstream_resistance(const Assignment& a) const;
+
     const SegmentDecomposition* segs_;
     const Technology* tech_;
     WidthSet widths_;
     std::vector<double> tail_cap_;
     std::vector<double> down_cap_;
+    // Compiled flat segment tree.
+    std::vector<std::int32_t> seg_parent_;
+    std::vector<double> seg_length_;
+    std::vector<std::int32_t> seg_child_ptr_;
+    std::vector<std::int32_t> seg_child_idx_;
+    // Reusable evaluation scratch (single-thread use per context).
+    mutable std::vector<double> rin_scratch_;
+    mutable std::vector<std::int32_t> walk_scratch_;
 };
 
 }  // namespace cong93

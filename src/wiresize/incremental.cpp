@@ -24,15 +24,16 @@ void IncrementalDelayEngine::reset(Assignment a)
 
 void IncrementalDelayEngine::rebuild()
 {
-    const SegmentDecomposition& segs = ctx_->segs();
     const WidthSet& ws = ctx_->widths();
+    const double* len = ctx_->seg_length().data();
+    const std::int32_t* cp = ctx_->seg_child_ptr().data();
+    const std::int32_t* ci = ctx_->seg_child_idx().data();
     // Children have larger indices than parents: accumulate bottom-up.
-    for (std::size_t i = segs.count(); i-- > 0;) {
+    for (std::size_t i = a_.size(); i-- > 0;) {
         double below = 0.0;
-        for (const int c : segs[i].children) {
-            const std::size_t ci = static_cast<std::size_t>(c);
-            below += ws[a_[ci]] * static_cast<double>(segs[ci].length) +
-                     wire_below_[ci];
+        for (std::int32_t k = cp[i]; k < cp[i + 1]; ++k) {
+            const std::size_t c = static_cast<std::size_t>(ci[k]);
+            below += ws[a_[c]] * len[c] + wire_below_[c];
         }
         wire_below_[i] = below;
     }
@@ -41,13 +42,13 @@ void IncrementalDelayEngine::rebuild()
 
 double IncrementalDelayEngine::upstream_length_over_width(std::size_t i) const
 {
-    const SegmentDecomposition& segs = ctx_->segs();
     const WidthSet& ws = ctx_->widths();
+    const std::int32_t* parent = ctx_->seg_parent().data();
+    const double* len = ctx_->seg_length().data();
     double a_up = 0.0;
-    for (int p = segs[i].parent; p != kNoSegment;
-         p = segs[static_cast<std::size_t>(p)].parent) {
-        a_up += static_cast<double>(segs[static_cast<std::size_t>(p)].length) /
-                ws[a_[static_cast<std::size_t>(p)]];
+    for (std::int32_t p = parent[i]; p != kNoSegment;
+         p = parent[static_cast<std::size_t>(p)]) {
+        a_up += len[static_cast<std::size_t>(p)] / ws[a_[static_cast<std::size_t>(p)]];
     }
     return a_up;
 }
@@ -57,7 +58,7 @@ WiresizeContext::ThetaPhi IncrementalDelayEngine::theta_phi(std::size_t i) const
     const double rd = ctx_->tech().driver_resistance_ohm;
     const double r0 = ctx_->tech().r_grid();
     const double c0 = ctx_->tech().c_grid();
-    const double l = static_cast<double>(ctx_->segs()[i].length);
+    const double l = ctx_->seg_length()[i];
 
     WiresizeContext::ThetaPhi tp;
     tp.theta = c0 * l * (rd + r0 * upstream_length_over_width(i));
@@ -71,11 +72,10 @@ void IncrementalDelayEngine::apply_width(std::size_t i, int k)
 {
     const int old = a_[i];
     if (k == old) return;
-    const SegmentDecomposition& segs = ctx_->segs();
     const WidthSet& ws = ctx_->widths();
     const double w_old = ws[old];
     const double w_new = ws[k];
-    const double l = static_cast<double>(segs[i].length);
+    const double l = ctx_->seg_length()[i];
 
     // O(1) delay delta through the Theta/Phi decomposition at i.
     const double r0 = ctx_->tech().r_grid();
@@ -88,9 +88,10 @@ void IncrementalDelayEngine::apply_width(std::size_t i, int k)
     delay_ += theta * (w_new - w_old) + phi * (1.0 / w_new - 1.0 / w_old);
 
     // Root-path propagation of the downstream weighted wire cap.
+    const std::int32_t* parent = ctx_->seg_parent().data();
     const double d_wl = (w_new - w_old) * l;
-    for (int p = segs[i].parent; p != kNoSegment;
-         p = segs[static_cast<std::size_t>(p)].parent)
+    for (std::int32_t p = parent[i]; p != kNoSegment;
+         p = parent[static_cast<std::size_t>(p)])
         wire_below_[static_cast<std::size_t>(p)] += d_wl;
 
     a_[i] = k;
@@ -101,7 +102,7 @@ int IncrementalDelayEngine::locally_optimal_width(std::size_t i, int max_idx) co
     const double rd = ctx_->tech().driver_resistance_ohm;
     const double r0 = ctx_->tech().r_grid();
     const double c0 = ctx_->tech().c_grid();
-    const double l = static_cast<double>(ctx_->segs()[i].length);
+    const double l = ctx_->seg_length()[i];
     const double theta = c0 * l * (rd + r0 * upstream_length_over_width(i));
     const double phi =
         r0 * l * (ctx_->downstream_sink_cap(i) + c0 * wire_below_[i]);

@@ -1,11 +1,20 @@
 #!/usr/bin/env python3
-"""Warn-only speedup regression check for the committed BENCH_*.json studies.
+"""Regression check for the committed BENCH_*.json scaling studies.
 
-Compares a freshly generated scaling study against the committed one: rows
-are matched by sink count and a warning is printed when the fresh speedup
-drops below half the committed value.  Always exits 0 -- machine variance
-between the committing host and CI runners makes a hard gate too noisy; the
-job output is the signal.
+Compares a freshly generated study against the committed one.  Two classes
+of checks with different severities:
+
+* Identity checks are HARD failures (exit 1): every ``identical`` /
+  ``fixpoint_identical`` / ``reused`` field -- in timing rows and in scalar
+  sections like ``batch`` or ``arena`` -- must be true in the fresh study.
+  These assert bit-exact equivalence of optimized kernels against their
+  reference twins (and arena reuse), which no machine variance can excuse.
+
+* Speedup comparisons stay warn-only: rows are matched by section, optional
+  kernel name, and size (``sinks`` or ``threads``), and a warning is printed
+  when the fresh speedup drops below half the committed value.  Machine
+  variance between the committing host and CI runners makes a hard speedup
+  gate too noisy; the job output is the signal.
 
 Usage: check_bench_regression.py COMMITTED.json FRESH.json
 """
@@ -14,16 +23,49 @@ import json
 import sys
 
 
-def rows_by_sinks(study):
-    """All timing rows in a study, keyed by (section, sinks)."""
+def row_key(section, row):
+    """Stable identity of a timing row: section, optional kernel, size."""
+    # Pipeline scaling rows carry both fields; threads is the row identity
+    # there (sinks is just the batch shape, which smoke runs shrink).
+    size_field = "threads" if "threads" in row else "sinks"
+    return (section, row.get("kernel", ""), size_field, row.get(size_field))
+
+
+def timing_rows(study):
+    """All timing rows in a study, keyed by row_key."""
     out = {}
     for section, rows in study.items():
         if not isinstance(rows, list):
             continue
         for row in rows:
-            if isinstance(row, dict) and "sinks" in row and "speedup" in row:
-                out[(section, row["sinks"])] = row
+            if isinstance(row, dict) and "speedup" in row and (
+                "sinks" in row or "threads" in row
+            ):
+                out[row_key(section, row)] = row
     return out
+
+
+def identity_violations(study):
+    """Every false identity-class field anywhere in the study."""
+    bad = []
+    for section, value in study.items():
+        entries = value if isinstance(value, list) else [value]
+        for entry in entries:
+            if not isinstance(entry, dict):
+                continue
+            for field in ("identical", "fixpoint_identical", "reused"):
+                if entry.get(field, True) is False:
+                    bad.append((section, entry))
+    return bad
+
+
+def describe(section, row):
+    kernel = row.get("kernel")
+    size = next(
+        (f"{f}={row[f]}" for f in ("threads", "sinks") if f in row), ""
+    )
+    parts = [p for p in (kernel, size) if p]
+    return f"{section}[{', '.join(parts)}]" if parts else section
 
 
 def main(argv):
@@ -39,30 +81,41 @@ def main(argv):
         print(f"warning: cannot compare benchmarks: {e}")
         return 0
 
-    committed_rows = rows_by_sinks(committed)
-    fresh_rows = rows_by_sinks(fresh)
+    failed = False
+    for section, entry in identity_violations(fresh):
+        field = next(
+            f
+            for f in ("identical", "fixpoint_identical", "reused")
+            if entry.get(f, True) is False
+        )
+        print(f"FAIL: {describe(section, entry)}: {field} is false")
+        failed = True
+
+    committed_rows = timing_rows(committed)
+    fresh_rows = timing_rows(fresh)
     warned = False
-    for key, crow in sorted(committed_rows.items()):
+    for key, crow in sorted(committed_rows.items(), key=str):
         frow = fresh_rows.get(key)
         if frow is None:
             continue  # smoke runs cover a size subset; that is fine
-        section, sinks = key
-        if not frow.get("identical", frow.get("fixpoint_identical", True)):
-            print(f"warning: {section}[sinks={sinks}]: results NOT identical")
-            warned = True
+        section = key[0]
         committed_speedup = float(crow["speedup"])
         fresh_speedup = float(frow["speedup"])
         if committed_speedup > 0 and fresh_speedup < 0.5 * committed_speedup:
             print(
-                f"warning: {section}[sinks={sinks}]: speedup regressed "
+                f"warning: {describe(section, frow)}: speedup regressed "
                 f"{committed_speedup:.2f}x -> {fresh_speedup:.2f}x"
             )
             warned = True
         else:
             print(
-                f"ok: {section}[sinks={sinks}]: committed "
+                f"ok: {describe(section, frow)}: committed "
                 f"{committed_speedup:.2f}x, fresh {fresh_speedup:.2f}x"
             )
+
+    if failed:
+        print("identity check FAILED")
+        return 1
     if not warned:
         print("no speedup regressions detected")
     return 0
