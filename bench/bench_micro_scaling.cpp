@@ -12,14 +12,18 @@
 //
 // BENCH_pipeline.json (the route_batch throughput study: flat-kernel vs
 // pointer-walk speedups with bit-identity checks, end-to-end nets/sec at
-// 1/2/4/8 threads with byte-identity vs the serial run, and workspace-arena
-// reuse proof).
+// 1/2/4/8 threads with byte-identity vs the serial run and a zero expected
+// failure count per row, a fault-injection determinism probe -- serial vs
+// threaded failure counts and byte-identity under a soak plan -- and the
+// workspace-arena reuse proof).
 //
 //   --json=PATH          output path for the wiresize study (default BENCH_wiresize.json)
 //   --atree-json=PATH    output path for the A-tree study (default BENCH_atree.json)
 //   --pipeline-json=PATH output path for the pipeline study (default BENCH_pipeline.json)
 //   --json-only          skip the google-benchmark suite, only write the studies
 //   --smoke              small-size studies only (CI smoke job)
+//   --skip-wiresize      do not (re)generate the wiresize study
+//   --skip-atree         do not (re)generate the A-tree study
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -476,6 +480,7 @@ struct PipelineRow {
     double nets_per_sec = 0.0;
     double speedup = 0.0;
     bool identical = false;
+    std::uint64_t failed = 0;  ///< nets below the ok rung (must be 0 here)
 };
 
 bool write_pipeline_json(const std::string& path, bool smoke)
@@ -572,20 +577,47 @@ bool write_pipeline_json(const std::string& path, bool smoke)
         opts.threads = threads;
         std::vector<Workspace> ws;
         std::vector<NetRouteResult> results;
+        PipelineStats stats;
         PipelineRow row;
         row.threads = threads;
         row.seconds = time_best(
-            [&] { results = route_batch(nets, tech, opts, nullptr, &ws); });
+            [&] { results = route_batch(nets, tech, opts, &stats, &ws); });
         row.nets_per_sec = static_cast<double>(nets.size()) / row.seconds;
         row.speedup = serial_s / row.seconds;
         row.identical = format_results(results) == serial_fmt;
+        row.failed = stats.nets_not_ok();  // any degradation here is a bug
         pipeline_rows.push_back(row);
         std::cout << "pipeline batch: " << batch_nets << " nets  threads "
                   << threads << "  " << fmt_sci(row.seconds, 2) << "s  "
                   << fmt_fixed(row.nets_per_sec, 0) << " nets/s  speedup "
                   << fmt_fixed(row.speedup, 2) << "x  identical "
-                  << (row.identical ? "yes" : "NO") << '\n';
+                  << (row.identical ? "yes" : "NO") << "  failed "
+                  << row.failed << '\n';
     }
+
+    // --- fault-injection determinism probe ------------------------------
+    // One soak plan hitting every stage, serial vs threaded: the degraded
+    // outcome set must be byte-identical (results *and* diagnostics), and
+    // the threaded failure count must equal the serial one
+    // (expected_failed).  check_bench_regression.py hard-fails on either
+    // violation.
+    const char* fault_spec =
+        "seed=7,topology=0.3,fallback=0.4,wiresize=0.3,moment=0.2,nan=0.15,"
+        "arena-cap=12@0.2";
+    PipelineOptions fault_serial;
+    fault_serial.threads = 1;
+    fault_serial.faults = FaultPlan::parse(fault_spec);
+    PipelineOptions fault_threaded = fault_serial;
+    fault_threaded.threads = 4;
+    PipelineStats fault_s1, fault_s4;
+    const auto fault_ref = route_batch(nets, tech, fault_serial, &fault_s1);
+    const auto fault_par = route_batch(nets, tech, fault_threaded, &fault_s4);
+    const bool fault_identical =
+        format_results(fault_ref) == format_results(fault_par);
+    std::cout << "pipeline faults: " << batch_nets << " nets  serial not-ok "
+              << fault_s1.nets_not_ok() << "  threaded not-ok "
+              << fault_s4.nets_not_ok() << "  events " << fault_s1.fault_events
+              << "  identical " << (fault_identical ? "yes" : "NO") << '\n';
 
     // --- workspace arena reuse proof ------------------------------------
     // Two identical serial passes through one arena: the second pass must
@@ -635,10 +667,18 @@ bool write_pipeline_json(const std::string& path, bool smoke)
             << ", \"seconds\": " << fmt_sci(r.seconds, 4)
             << ", \"nets_per_sec\": " << fmt_fixed(r.nets_per_sec, 1)
             << ", \"speedup\": " << fmt_fixed(r.speedup, 2)
-            << ", \"identical\": " << (r.identical ? "true" : "false") << "}"
+            << ", \"identical\": " << (r.identical ? "true" : "false")
+            << ", \"failed\": " << r.failed << "}"
             << (i + 1 < pipeline_rows.size() ? "," : "") << '\n';
     }
     out << "  ],\n"
+        << "  \"fault_injection\": {\"spec\": \"" << fault_spec
+        << "\", \"nets\": " << batch_nets
+        << ", \"expected_failed\": " << fault_s1.nets_not_ok()
+        << ", \"failed\": " << fault_s4.nets_not_ok()
+        << ", \"fault_events\": " << fault_s4.fault_events
+        << ", \"identical\": " << (fault_identical ? "true" : "false")
+        << "},\n"
         << "  \"arena\": {\"nets\": " << batch_nets
         << ", \"passes\": 2, \"tree_builds\": " << second.counters.tree_builds
         << ", \"tree_growths_first\": " << first.counters.tree_growths
@@ -651,11 +691,12 @@ bool write_pipeline_json(const std::string& path, bool smoke)
         << "}\n";
     std::cout << "wrote " << path << '\n';
 
-    bool all_identical = arena_reused;
+    bool all_identical = arena_reused && fault_identical &&
+                         fault_s1.nets_not_ok() == fault_s4.nets_not_ok();
     for (const KernelRow& r : kernel_rows)
         all_identical = all_identical && r.identical;
     for (const PipelineRow& r : pipeline_rows)
-        all_identical = all_identical && r.identical;
+        all_identical = all_identical && r.identical && r.failed == 0;
     return all_identical;
 }
 
@@ -669,6 +710,8 @@ int main(int argc, char** argv)
     std::string pipeline_json_path = "BENCH_pipeline.json";
     bool json_only = false;
     bool smoke = false;
+    bool skip_wiresize = false;
+    bool skip_atree = false;
     std::vector<char*> keep;
     for (int i = 0; i < argc; ++i) {
         if (std::strncmp(argv[i], "--json=", 7) == 0)
@@ -681,6 +724,10 @@ int main(int argc, char** argv)
             json_only = true;
         else if (std::strcmp(argv[i], "--smoke") == 0)
             smoke = true;
+        else if (std::strcmp(argv[i], "--skip-wiresize") == 0)
+            skip_wiresize = true;
+        else if (std::strcmp(argv[i], "--skip-atree") == 0)
+            skip_atree = true;
         else
             keep.push_back(argv[i]);
     }
@@ -691,8 +738,12 @@ int main(int argc, char** argv)
         benchmark::RunSpecifiedBenchmarks();
         benchmark::Shutdown();
     }
-    const bool wiresize_ok = cong93::write_scaling_json(json_path);
-    const bool atree_ok = cong93::write_atree_json(atree_json_path, smoke);
+    // --skip-* regenerate a study subset (e.g. BENCH_pipeline.json alone)
+    // without paying for the large A-tree construction study.
+    const bool wiresize_ok =
+        skip_wiresize || cong93::write_scaling_json(json_path);
+    const bool atree_ok =
+        skip_atree || cong93::write_atree_json(atree_json_path, smoke);
     const bool pipeline_ok =
         cong93::write_pipeline_json(pipeline_json_path, smoke);
     return wiresize_ok && atree_ok && pipeline_ok ? 0 : 1;

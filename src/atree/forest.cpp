@@ -1,15 +1,30 @@
 #include "atree/forest.h"
 
 #include <algorithm>
+#include <sstream>
 #include <stdexcept>
 #include <unordered_set>
 
 namespace cong93 {
 
+namespace {
+
+[[noreturn]] void throw_with_context(const char* what, Point offending,
+                                     std::size_t sink_count)
+{
+    std::ostringstream os;
+    os << what << " (offending point " << offending << ", net has "
+       << sink_count << " sinks)";
+    throw std::invalid_argument(os.str());
+}
+
+}  // namespace
+
 Forest::Forest(Point source, const std::vector<Point>& sinks)
 {
     if (source.x != 0 || source.y != 0)
-        throw std::invalid_argument("Forest: source must be at the origin");
+        throw_with_context("Forest: source must be at the origin", source,
+                           sinks.size());
     source_node_ = new_node(source, 0);
     nodes_.back().terminal = true;
     roots_.push_back(source_node_);
@@ -18,7 +33,8 @@ Forest::Forest(Point source, const std::vector<Point>& sinks)
     seen.insert(source);
     for (const Point s : sinks) {
         if (s.x < 0 || s.y < 0)
-            throw std::invalid_argument("Forest: sinks must lie in the first quadrant");
+            throw_with_context("Forest: sinks must lie in the first quadrant",
+                               s, sinks.size());
         if (s == source) continue;
         if (!seen.insert(s).second) continue;  // duplicate sink collapsed
         const int tree = static_cast<int>(tree_roots_.size());
@@ -222,7 +238,12 @@ int Forest::materialize(Point p, int tree_id)
         *std::find(pc.begin(), pc.end(), child_id) = mid;
         return mid;
     }
-    throw std::logic_error("Forest::materialize: point not on the target tree");
+    {
+        std::ostringstream os;
+        os << "Forest::materialize: point " << p << " not on tree " << tree_id
+           << " (forest has " << nodes_.size() << " nodes)";
+        throw std::logic_error(os.str());
+    }
 }
 
 void Forest::set_tree(int node_id, int tree_id)
@@ -240,8 +261,12 @@ void Forest::set_tree(int node_id, int tree_id)
 Forest::PathResult Forest::apply_path(int from_root, const std::vector<Point>& waypoints)
 {
     NodeRec& start = nodes_.at(static_cast<std::size_t>(from_root));
-    if (start.parent != -1)
-        throw std::invalid_argument("apply_path: from_root is not a root");
+    if (start.parent != -1) {
+        std::ostringstream os;
+        os << "apply_path: node " << from_root << " at " << start.p
+           << " is not a root (parent " << start.parent << ")";
+        throw std::invalid_argument(os.str());
+    }
     const int own_tree = start.tree;
 
     // Walk the legs, truncating at the first contact with another tree.

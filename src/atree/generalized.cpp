@@ -1,6 +1,7 @@
 #include "atree/generalized.h"
 
 #include <array>
+#include <sstream>
 #include <stdexcept>
 #include <unordered_map>
 #include <utility>
@@ -135,8 +136,14 @@ AtreeResult build_atree_general(const Net& net, const AtreeOptions& options)
     }
     for (const Point s : net.sinks) {
         const auto it = at.find(s);
-        if (it == at.end())
-            throw std::logic_error("build_atree_general: sink missing");
+        if (it == at.end()) {
+            std::ostringstream os;
+            os << "build_atree_general: sink at " << s
+               << " missing from the combined tree (net has "
+               << net.sinks.size() << " sinks, tree has "
+               << combined.node_count() << " nodes)";
+            throw std::logic_error(os.str());
+        }
         if (!it->second.second) {
             combined.mark_sink(it->second.first);
             it->second.second = true;

@@ -1,6 +1,7 @@
 #include "atree/moves.h"
 
 #include <algorithm>
+#include <sstream>
 #include <stdexcept>
 
 namespace cong93 {
@@ -163,7 +164,15 @@ void MoveEngine::run()
     std::size_t guard = 0;
     const std::size_t limit = 64 * forest_->node_count() * forest_->node_count() + 4096;
     while (step()) {
-        if (++guard > limit) throw std::logic_error("MoveEngine::run: no progress");
+        if (++guard > limit) {
+            std::ostringstream os;
+            os << "MoveEngine::run: no progress after " << guard
+               << " moves (limit " << limit << ", forest has "
+               << forest_->node_count() << " nodes, "
+               << forest_->roots().size() << " roots, farthest root at "
+               << forest_->node(scan_order().front()).p << ")";
+            throw std::logic_error(os.str());
+        }
     }
 }
 
@@ -250,7 +259,14 @@ void MoveEngine::heuristic_move()
         if (c.q.df >= kInfLen) continue;  // the origin cannot be moved
         cands.push_back(c);
     }
-    if (cands.empty()) throw std::logic_error("heuristic_move: no candidates");
+    if (cands.empty()) {
+        std::ostringstream os;
+        os << "heuristic_move: no candidates (forest has "
+           << forest_->node_count() << " nodes, " << forest_->roots().size()
+           << " roots, single_tree=" << (forest_->single_tree() ? "yes" : "no")
+           << ")";
+        throw std::logic_error(os.str());
+    }
 
     // H1 candidate: the root whose mf_west is farthest from the origin
     // (farthest_corner policy) or with the smallest SB (min_suboptimality).

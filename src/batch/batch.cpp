@@ -62,14 +62,34 @@ void ThreadPool::submit(std::function<void()> job)
 
 void ThreadPool::wait_idle()
 {
-    std::exception_ptr error;
+    std::vector<std::exception_ptr> errors;
     {
         std::unique_lock<std::mutex> lock(mutex_);
         idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
-        error = first_error_;
-        first_error_ = nullptr;
+        errors.swap(errors_);
     }
-    if (error) std::rethrow_exception(error);
+    if (errors.empty()) return;
+    if (errors.size() == 1) std::rethrow_exception(errors.front());
+
+    // Several workers failed: aggregate everything into one BatchError whose
+    // message lists every cause.  Capture order depends on scheduling, so
+    // the messages are sorted to keep the composed text deterministic for a
+    // given set of failures.
+    std::vector<std::string> messages;
+    messages.reserve(errors.size());
+    for (const std::exception_ptr& e : errors) {
+        try {
+            std::rethrow_exception(e);
+        } catch (const std::exception& ex) {
+            messages.emplace_back(ex.what());
+        } catch (...) {
+            messages.emplace_back("unknown exception");
+        }
+    }
+    std::sort(messages.begin(), messages.end());
+    std::string what = std::to_string(errors.size()) + " worker exceptions:";
+    for (const std::string& m : messages) what += "\n  " + m;
+    throw BatchError(what, std::move(errors));
 }
 
 void ThreadPool::worker_loop()
@@ -86,10 +106,10 @@ void ThreadPool::worker_loop()
         try {
             job();
         } catch (...) {
-            // Capture the first failure; it is rethrown on the submitting
-            // thread by wait_idle().  Later jobs still run to completion.
+            // Capture every failure; wait_idle() rethrows them (aggregated)
+            // on the submitting thread.  Later jobs still run to completion.
             std::unique_lock<std::mutex> lock(mutex_);
-            if (!first_error_) first_error_ = std::current_exception();
+            errors_.push_back(std::current_exception());
         }
         {
             std::unique_lock<std::mutex> lock(mutex_);

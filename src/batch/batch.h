@@ -17,10 +17,12 @@
 // partition would.  The slot id is passed to the callback, which lets a
 // caller keep one reusable Workspace per slot (see batch/workspace.h).
 //
-// Exceptions thrown by a worker are captured (first one wins), remaining
-// work is cancelled, and the exception is rethrown on the submitting thread
-// from wait_idle() / the parallel_for helpers -- a throwing job never
-// terminates the process.
+// Exceptions thrown by workers are all captured, remaining work is
+// cancelled, and they are rethrown on the submitting thread from
+// wait_idle() / the parallel_for helpers -- a throwing job never terminates
+// the process.  A single failure rethrows the original exception; multiple
+// failures rethrow a BatchError aggregating every captured cause (messages
+// sorted, so the composed text is deterministic for a given failure set).
 //
 // Thread count resolution: the CONG93_THREADS environment variable when set
 // (<= 0 or 1 forces serial execution), else std::thread::hardware_concurrency.
@@ -33,10 +35,28 @@
 #include <functional>
 #include <mutex>
 #include <queue>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
 namespace cong93 {
+
+/// Aggregate of every worker exception captured during one wait cycle.
+/// what() joins the causes' messages in sorted order; causes() exposes the
+/// original exception_ptrs for callers that need the concrete types.
+class BatchError : public std::runtime_error {
+public:
+    BatchError(const std::string& what_arg, std::vector<std::exception_ptr> causes)
+        : std::runtime_error(what_arg), causes_(std::move(causes))
+    {
+    }
+
+    const std::vector<std::exception_ptr>& causes() const { return causes_; }
+
+private:
+    std::vector<std::exception_ptr> causes_;
+};
 
 /// Threads to use for batch work (see header comment for resolution order).
 int default_thread_count();
@@ -59,8 +79,9 @@ public:
 
     void submit(std::function<void()> job);
 
-    /// Blocks until every submitted job has finished, then rethrows the
-    /// first exception any job threw since the last wait (if any).
+    /// Blocks until every submitted job has finished.  If exactly one job
+    /// threw since the last wait, its exception is rethrown; if several
+    /// threw, a BatchError aggregating all of them is thrown.
     void wait_idle();
 
 private:
@@ -73,12 +94,13 @@ private:
     std::condition_variable idle_cv_;   // signalled when a job finishes
     std::size_t in_flight_ = 0;
     bool stop_ = false;
-    std::exception_ptr first_error_;    // first worker exception since last wait
+    std::vector<std::exception_ptr> errors_;  // worker exceptions since last wait
 };
 
 /// Runs fn(i) for every i in [0, n) on the pool and waits for completion.
-/// fn must only write state owned by index i.  Rethrows the first worker
-/// exception on the calling thread.
+/// fn must only write state owned by index i.  Worker exceptions are
+/// rethrown on the calling thread (aggregated into a BatchError when more
+/// than one worker threw).
 void parallel_for_index(ThreadPool& pool, std::size_t n,
                         const std::function<void(std::size_t)>& fn);
 
@@ -87,9 +109,9 @@ void parallel_for_index(ThreadPool& pool, std::size_t n,
 /// [0, pool.thread_count()) and is stable for the lifetime of one call --
 /// the hook for per-thread workspaces.  Indices are handed out in chunks of
 /// `chunk` (>= 1) off an atomic counter; determinism still requires that fn
-/// writes only state owned by `index` (or by `slot`).  Rethrows the first
-/// worker exception on the calling thread; once a worker throws, slots stop
-/// pulling new chunks.
+/// writes only state owned by `index` (or by `slot`).  Worker exceptions
+/// are rethrown on the calling thread (a BatchError when several slots
+/// threw); once a worker throws, slots stop pulling new chunks.
 void parallel_for_slots(ThreadPool& pool, std::size_t n,
                         const std::function<void(std::size_t, int)>& fn,
                         std::size_t chunk = 1);

@@ -1,0 +1,98 @@
+// Structured error taxonomy for the batch routing pipeline.
+//
+// route_batch() isolates per-net faults instead of aborting the whole batch:
+// every net ends in a RouteStatus describing which rung of the degradation
+// ladder produced its numbers, and carries a NetDiagnostic recording every
+// fault caught along the way (stage + exception text).  Diagnostics are
+// index-addressed -- they live inside the net's own NetRouteResult slot and
+// are composed from deterministic exception messages only -- so serial and
+// parallel runs serialize byte-identically.
+//
+// The degradation ladder (see batch/pipeline.h):
+//   A-tree topology -> BRBC fallback -> SPT fallback
+//     -> uniform-width report (wiresizing skipped) -> reported-failed.
+// RouteStatus values are ordered by severity; worst() combines the rungs a
+// net actually hit (e.g. an SPT-fallback net whose wiresizing also failed
+// reports uniform_width, with both faults in the diagnostic).
+#ifndef CONG93_BATCH_ERRORS_H
+#define CONG93_BATCH_ERRORS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cong93 {
+
+/// Terminal disposition of one net of a batch, ordered by severity.
+enum class RouteStatus : std::uint8_t {
+    ok = 0,         ///< A-tree topology, full wiresize flow
+    fallback_brbc,  ///< A-tree construction failed; BRBC topology, full flow
+    fallback_spt,   ///< A-tree and BRBC failed; SPT topology, full flow
+    uniform_width,  ///< topology routed but wiresizing (or its moment
+                    ///< cross-check) failed: uniform-width report only
+    invalid_input,  ///< validate_net rejected the net; nothing was routed
+    failed,         ///< every ladder rung failed; numbers are all zero
+};
+
+const char* to_string(RouteStatus s);
+
+/// True when the net produced routed numbers (possibly degraded).
+constexpr bool is_routed(RouteStatus s)
+{
+    return s == RouteStatus::ok || s == RouteStatus::fallback_brbc ||
+           s == RouteStatus::fallback_spt || s == RouteStatus::uniform_width;
+}
+
+/// Combines two ladder rungs into the more severe one.
+constexpr RouteStatus worst(RouteStatus a, RouteStatus b)
+{
+    return static_cast<std::uint8_t>(a) < static_cast<std::uint8_t>(b) ? b : a;
+}
+
+/// Pipeline stage at which a fault was caught.
+enum class RouteStage : std::uint8_t {
+    validate,      ///< input validation / canonicalization front-end
+    topology,      ///< A-tree construction
+    fallback,      ///< BRBC / SPT fallback construction
+    compile,       ///< FlatTree compilation into the slot arena
+    report,        ///< uniform-width RPH / Elmore report
+    wiresize,      ///< grewsa_owsa optimal wiresizing
+    moment_check,  ///< wiresized moment cross-check
+};
+
+const char* to_string(RouteStage s);
+
+/// One caught fault (or canonicalization note): where, and the exception
+/// text.  Messages must be deterministic functions of the net -- never of
+/// scheduling -- so diagnostics serialize identically at any thread count.
+struct FaultEvent {
+    RouteStage stage = RouteStage::validate;
+    std::string message;
+
+    friend bool operator==(const FaultEvent& a, const FaultEvent& b)
+    {
+        return a.stage == b.stage && a.message == b.message;
+    }
+};
+
+/// Structured per-net failure record.  Owned by the net's NetRouteResult
+/// (index-addressed: no shared mutable state between worker slots).
+struct NetDiagnostic {
+    std::size_t net_index = 0;   ///< position in the batch
+    std::uint64_t net_seed = 0;  ///< net_seed(base, index) for generated
+                                 ///< batches; 0 for caller-supplied nets
+    std::vector<FaultEvent> events;  ///< in ladder order (deterministic)
+
+    bool empty() const { return events.empty(); }
+
+    void note(RouteStage stage, std::string message)
+    {
+        events.push_back(FaultEvent{stage, std::move(message)});
+    }
+};
+
+}  // namespace cong93
+
+#endif  // CONG93_BATCH_ERRORS_H

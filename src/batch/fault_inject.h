@@ -1,0 +1,79 @@
+// Deterministic fault-injection harness for the batch routing pipeline.
+//
+// A FaultPlan decides, per net index and per pipeline stage, whether to
+// force a failure: an injected construction/fallback/wiresize throw, an
+// OOM-simulating arena cap at FlatTree compilation, or NaN technology
+// parameters (which must be caught by the report stage's finiteness guard).
+// Draws are pure functions of (plan seed, stage, net index) via splitmix64
+// (net_seed), so the same plan over the same batch injects the same faults
+// at any thread count and chunk size -- the isolation invariants
+// (serial == parallel byte-identity of results *and* diagnostics) stay
+// testable under fault load.
+//
+// Gating: a plan is off by default.  Enable it programmatically through
+// PipelineOptions::faults, or for soak runs via the environment:
+//
+//   CONG93_FAULT_INJECT="seed=7,topology=0.25,fallback=0.5,wiresize=0.25,
+//                        moment=0.1,nan=0.1,arena-cap=40@0.2"
+//
+// (rates in [0,1]; `arena-cap=N@R` caps the compiled tree at N nodes for a
+// rate-R subset of nets).  parse() rejects malformed specs loudly.
+#ifndef CONG93_BATCH_FAULT_INJECT_H
+#define CONG93_BATCH_FAULT_INJECT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "batch/errors.h"
+
+namespace cong93 {
+
+struct Technology;
+
+/// Exception type of every injected fault, so tests and logs can tell
+/// injected failures from organic ones.
+class InjectedFault : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+struct FaultPlan {
+    bool enabled = false;
+    std::uint64_t seed = 0;       ///< base seed of the per-net fault draws
+
+    double topology_rate = 0.0;   ///< P[A-tree construction throw]
+    double fallback_rate = 0.0;   ///< P[BRBC fallback throw] (drives SPT/failed)
+    double wiresize_rate = 0.0;   ///< P[grewsa_owsa throw]
+    double moment_rate = 0.0;     ///< P[moment cross-check throw]
+    double nan_tech_rate = 0.0;   ///< P[NaN technology parameters]
+    double arena_cap_rate = 0.0;  ///< P[the arena cap applies to this net]
+    std::size_t arena_cap_nodes = 0;  ///< simulated arena capacity (nodes)
+
+    /// Rate configured for `stage` (report == nan-tech, compile == arena cap).
+    double rate_of(RouteStage stage) const;
+
+    /// Deterministic per-net draw for one stage; false when disabled.
+    bool fires(std::size_t net_index, RouteStage stage) const;
+
+    /// Throws InjectedFault(what) when the stage's draw fires for this net.
+    void maybe_throw(std::size_t net_index, RouteStage stage,
+                     const char* what) const;
+
+    /// Copy of `tech` with NaN unit resistance/capacitance -- indistinguishable
+    /// from a corrupted technology feed; the report stage's finiteness guard
+    /// must catch the resulting non-finite delays.
+    static Technology corrupt_nan(const Technology& tech);
+
+    /// Parses a spec string (see header comment).  An empty spec yields a
+    /// disabled plan; malformed specs throw std::invalid_argument.
+    static FaultPlan parse(const std::string& spec);
+
+    /// Plan from $CONG93_FAULT_INJECT (disabled when unset/empty).
+    static FaultPlan from_env();
+};
+
+}  // namespace cong93
+
+#endif  // CONG93_BATCH_FAULT_INJECT_H

@@ -2,13 +2,18 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <optional>
 #include <sstream>
 
 #include "atree/generalized.h"
+#include "baseline/brbc.h"
+#include "baseline/spt.h"
 #include "delay/elmore.h"
 #include "delay/rph.h"
 #include "netgen/netgen.h"
 #include "rtree/segments.h"
+#include "rtree/validate.h"
 #include "sim/rc_tree.h"
 #include "wiresize/combined.h"
 
@@ -16,53 +21,173 @@ namespace cong93 {
 
 namespace {
 
-NetRouteResult route_net(const Net& net, const Technology& tech,
-                         const PipelineOptions& opts, Workspace& ws)
+/// One net through the validate -> topology -> compile -> report ->
+/// wiresize -> cross-check ladder.  Catches std::exception at every stage
+/// and degrades (see pipeline.h); writes only `r` and the slot's workspace,
+/// so isolation holds by construction.
+NetRouteResult route_net(const Net& raw, std::size_t index,
+                         std::uint64_t diag_seed, const Technology& tech,
+                         const PipelineOptions& opts, const FaultPlan& faults,
+                         Workspace& ws)
 {
     NetRouteResult r;
-    const RoutingTree tree = build_atree_general(net).tree;
-    ws.flat.build(tree);
-    r.nodes = tree.node_count();
-    r.wirelength = ws.flat.total_length();
-    r.rph_s = rph_terms(ws.flat, tech).total();
+    r.diag.net_index = index;
+    r.diag.net_seed = diag_seed;
 
-    ws.note_use(ws.caps, ws.flat.size());
-    ws.note_use(ws.sink_delays, ws.flat.sinks().size());
-    elmore_all_sinks(ws.flat, tech, ws.caps, ws.sink_delays);
-    r.elmore_max_s = ws.sink_delays.empty()
-                         ? 0.0
-                         : *std::max_element(ws.sink_delays.begin(),
-                                             ws.sink_delays.end());
+    // 0. Input-validation front-end.
+    NetValidation v = validate_net(raw);
+    for (std::string& note : v.notes)
+        r.diag.note(RouteStage::validate, std::move(note));
+    if (!v.ok) {
+        r.diag.note(RouteStage::validate, std::move(v.error));
+        r.status = RouteStatus::invalid_input;
+        return r;
+    }
+    const Net& net = v.net;
+
+    // NaN-technology fault: route this net against corrupted parameters;
+    // the report stage's finiteness guard has to catch the fallout.
+    const Technology* t = &tech;
+    Technology corrupted;
+    if (faults.fires(index, RouteStage::report)) {
+        corrupted = FaultPlan::corrupt_nan(tech);
+        t = &corrupted;
+    }
+
+    // 1. Topology ladder: A-tree, then BRBC, then SPT.
+    std::optional<RoutingTree> tree;
+    try {
+        faults.maybe_throw(index, RouteStage::topology,
+                           "injected: A-tree construction fault");
+        tree.emplace(build_atree_general(net).tree);
+    } catch (const std::exception& e) {
+        r.diag.note(RouteStage::topology, e.what());
+    }
+    if (!tree) {
+        try {
+            faults.maybe_throw(index, RouteStage::fallback,
+                               "injected: BRBC fallback fault");
+            tree.emplace(build_brbc(net, 1.0));
+            r.status = RouteStatus::fallback_brbc;
+        } catch (const std::exception& e) {
+            r.diag.note(RouteStage::fallback, std::string("brbc: ") + e.what());
+        }
+    }
+    if (!tree) {
+        try {
+            tree.emplace(build_spt(net));
+            r.status = RouteStatus::fallback_spt;
+        } catch (const std::exception& e) {
+            r.diag.note(RouteStage::fallback, std::string("spt: ") + e.what());
+            r.status = RouteStatus::failed;
+            return r;
+        }
+    }
+
+    // 2. Compile into the slot arena, behind the OOM guards (the real
+    // per-batch cap and, for soak runs, the injected one).
+    try {
+        ws.guard_nodes(tree->node_count(), opts.max_nodes_per_net);
+        if (faults.fires(index, RouteStage::compile))
+            ws.guard_nodes(tree->node_count(), faults.arena_cap_nodes);
+        ws.flat.build(*tree);
+    } catch (const std::exception& e) {
+        r.diag.note(RouteStage::compile, e.what());
+        r.status = RouteStatus::failed;
+        return r;
+    }
+
+    // 3. Uniform-width report, finiteness-checked so corrupt technology
+    // parameters surface as a diagnosed failure instead of NaN output.
+    try {
+        const double rph = rph_terms(ws.flat, *t).total();
+        ws.note_use(ws.caps, ws.flat.size());
+        ws.note_use(ws.sink_delays, ws.flat.sinks().size());
+        elmore_all_sinks(ws.flat, *t, ws.caps, ws.sink_delays);
+        const double elmore_max =
+            ws.sink_delays.empty() ? 0.0
+                                   : *std::max_element(ws.sink_delays.begin(),
+                                                       ws.sink_delays.end());
+        if (!std::isfinite(rph) || !std::isfinite(elmore_max))
+            throw std::runtime_error(
+                "non-finite uniform-width delay (corrupt technology parameters?)");
+        r.nodes = tree->node_count();
+        r.wirelength = ws.flat.total_length();
+        r.rph_s = rph;
+        r.elmore_max_s = elmore_max;
+    } catch (const std::exception& e) {
+        r.diag.note(RouteStage::report, e.what());
+        r.status = RouteStatus::failed;
+        return r;
+    }
 
     if (!opts.wiresize) return r;
-    const SegmentDecomposition segs(tree);
-    r.segments = segs.count();
-    if (segs.count() == 0) return r;
-    const WiresizeContext ctx(segs, tech, WidthSet::uniform_steps(opts.widths_r));
-    CombinedResult best = grewsa_owsa(ctx);
-    r.wiresized_delay_s = best.delay;
-    r.assignment = std::move(best.assignment);
 
-    if (opts.moment_check) {
-        const RcTree rc =
-            RcTree::from_wiresized_tree(segs, tech, ctx.widths(), r.assignment,
-                                        opts.rc_sections_per_edge);
-        const auto& m = compute_moments(rc, 1, ws.moments);
-        double worst = 0.0;
-        for (const int s : rc.sink_nodes())
-            worst = std::max(worst, -m[0][static_cast<std::size_t>(s)]);
-        r.moment_elmore_max_s = worst;
+    // 4./5. Wiresizing and its moment cross-check.  Either failing demotes
+    // the net to the uniform-width rung: a wiresized result whose
+    // cross-check did not pass is not reported.
+    RouteStage stage = RouteStage::wiresize;
+    try {
+        faults.maybe_throw(index, RouteStage::wiresize,
+                           "injected: wiresizing fault");
+        const SegmentDecomposition segs(*tree);
+        r.segments = segs.count();
+        if (segs.count() == 0) return r;
+        const WiresizeContext ctx(segs, *t,
+                                  WidthSet::uniform_steps(opts.widths_r));
+        CombinedResult best = grewsa_owsa(ctx);
+        if (!std::isfinite(best.delay))
+            throw std::runtime_error("non-finite wiresized delay");
+        r.wiresized_delay_s = best.delay;
+        r.assignment = std::move(best.assignment);
+
+        if (opts.moment_check) {
+            stage = RouteStage::moment_check;
+            faults.maybe_throw(index, RouteStage::moment_check,
+                               "injected: moment cross-check fault");
+            const RcTree rc = RcTree::from_wiresized_tree(
+                segs, *t, ctx.widths(), r.assignment,
+                opts.rc_sections_per_edge);
+            const auto& m = compute_moments(rc, 1, ws.moments);
+            double worst_m = 0.0;
+            for (const int s : rc.sink_nodes())
+                worst_m = std::max(worst_m, -m[0][static_cast<std::size_t>(s)]);
+            if (!std::isfinite(worst_m))
+                throw std::runtime_error("non-finite moment cross-check delay");
+            r.moment_elmore_max_s = worst_m;
+        }
+    } catch (const std::exception& e) {
+        r.diag.note(stage, e.what());
+        r.status = worst(r.status, RouteStatus::uniform_width);
+        r.wiresized_delay_s = 0.0;
+        r.moment_elmore_max_s = 0.0;
+        r.assignment.clear();
     }
     return r;
 }
 
-}  // namespace
+void tally_outcomes(const std::vector<NetRouteResult>& out, PipelineStats& stats)
+{
+    for (const NetRouteResult& r : out) {
+        switch (r.status) {
+        case RouteStatus::ok: ++stats.nets_ok; break;
+        case RouteStatus::fallback_brbc:
+        case RouteStatus::fallback_spt: ++stats.nets_fallback; break;
+        case RouteStatus::uniform_width: ++stats.nets_uniform_width; break;
+        case RouteStatus::invalid_input: ++stats.nets_invalid; break;
+        case RouteStatus::failed: ++stats.nets_failed; break;
+        }
+        stats.fault_events += r.diag.events.size();
+    }
+}
 
-std::vector<NetRouteResult> route_batch(const std::vector<Net>& nets,
-                                        const Technology& tech,
-                                        const PipelineOptions& opts,
-                                        PipelineStats* stats,
-                                        std::vector<Workspace>* workspaces)
+std::vector<NetRouteResult> route_batch_impl(const std::vector<Net>& nets,
+                                             std::uint64_t diag_seed_base,
+                                             bool seeded,
+                                             const Technology& tech,
+                                             const PipelineOptions& opts,
+                                             PipelineStats* stats,
+                                             std::vector<Workspace>* workspaces)
 {
     const int threads =
         opts.threads <= 0 ? default_thread_count() : opts.threads;
@@ -71,17 +196,26 @@ std::vector<NetRouteResult> route_batch(const std::vector<Net>& nets,
     if (ws.size() < static_cast<std::size_t>(threads))
         ws.resize(static_cast<std::size_t>(threads));
 
+    // Resolve the fault plan once for the whole batch: explicit options win,
+    // then the environment, else disabled.
+    const FaultPlan faults =
+        opts.faults.enabled ? opts.faults : FaultPlan::from_env();
+
+    const auto seed_of = [&](std::size_t i) {
+        return seeded ? net_seed(diag_seed_base, i) : 0;
+    };
+
     std::vector<NetRouteResult> out(nets.size());
     const auto t0 = std::chrono::steady_clock::now();
     if (threads <= 1 || nets.size() < 2) {
         for (std::size_t i = 0; i < nets.size(); ++i)
-            out[i] = route_net(nets[i], tech, opts, ws[0]);
+            out[i] = route_net(nets[i], i, seed_of(i), tech, opts, faults, ws[0]);
     } else {
         ThreadPool pool(threads);
         parallel_for_slots(
             pool, nets.size(),
             [&](std::size_t i, int slot) {
-                out[i] = route_net(nets[i], tech, opts,
+                out[i] = route_net(nets[i], i, seed_of(i), tech, opts, faults,
                                    ws[static_cast<std::size_t>(slot)]);
             },
             opts.chunk);
@@ -97,8 +231,20 @@ std::vector<NetRouteResult> route_batch(const std::vector<Net>& nets,
                 : 0.0;
         stats->counters = WorkspaceCounters{};
         for (const Workspace& w : ws) stats->counters += w.counters();
+        tally_outcomes(out, *stats);
     }
     return out;
+}
+
+}  // namespace
+
+std::vector<NetRouteResult> route_batch(const std::vector<Net>& nets,
+                                        const Technology& tech,
+                                        const PipelineOptions& opts,
+                                        PipelineStats* stats,
+                                        std::vector<Workspace>* workspaces)
+{
+    return route_batch_impl(nets, 0, false, tech, opts, stats, workspaces);
 }
 
 std::vector<NetRouteResult> route_batch(std::uint64_t seed, int count, Coord grid,
@@ -107,8 +253,8 @@ std::vector<NetRouteResult> route_batch(std::uint64_t seed, int count, Coord gri
                                         PipelineStats* stats,
                                         std::vector<Workspace>* workspaces)
 {
-    return route_batch(random_nets(seed, count, grid, sink_count), tech, opts,
-                       stats, workspaces);
+    return route_batch_impl(random_nets(seed, count, grid, sink_count), seed,
+                            true, tech, opts, stats, workspaces);
 }
 
 std::string format_results(const std::vector<NetRouteResult>& results)
@@ -121,7 +267,19 @@ std::string format_results(const std::vector<NetRouteResult>& results)
            << ' ' << r.rph_s << ' ' << r.elmore_max_s << ' '
            << r.wiresized_delay_s << ' ' << r.moment_elmore_max_s << " [";
         for (const int w : r.assignment) os << ' ' << w;
-        os << " ]\n";
+        os << " ] " << to_string(r.status);
+        if (!r.diag.empty()) {
+            os << " {";
+            if (r.diag.net_seed != 0)
+                os << "seed=" << std::hex << r.diag.net_seed << std::dec << "; ";
+            for (std::size_t e = 0; e < r.diag.events.size(); ++e) {
+                if (e != 0) os << "; ";
+                os << to_string(r.diag.events[e].stage) << ": "
+                   << r.diag.events[e].message;
+            }
+            os << '}';
+        }
+        os << '\n';
     }
     return os.str();
 }

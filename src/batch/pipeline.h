@@ -8,16 +8,31 @@
 // reads another net's state.
 //
 // The per-net flow:
+//   0. validate_net            -- input front-end: canonicalizes duplicate /
+//                                 source-coincident sinks, rejects empty or
+//                                 overflow-scale nets (rtree/validate.h);
 //   1. build_atree_general     -- heuristic A-tree topology (PR 2's indexed
 //                                 construction engine);
-//   2. FlatTree compilation    -- into the slot's arena;
+//   2. FlatTree compilation    -- into the slot's arena (guarded by the
+//                                 workspace node cap when one is set);
 //   3. uniform-width report    -- RPH bound + max sink Elmore delay via the
-//                                 flat kernels;
+//                                 flat kernels, finiteness-checked;
 //   4. grewsa_owsa             -- optimal wiresizing (PR 1's incremental
 //                                 engine);
 //   5. moment cross-check      -- max sink Elmore (-m_1) of the wiresized
 //                                 RC tree through the slot's MomentWorkspace
 //                                 (optional, see PipelineOptions).
+//
+// Fault isolation (batch/errors.h): a failure in any per-net stage never
+// aborts the batch.  Stages degrade down a ladder --
+//
+//   A-tree -> BRBC fallback -> SPT fallback -> uniform-width -> failed --
+//
+// and each net reports the rung it ended on in NetRouteResult::status, with
+// every caught fault recorded in NetRouteResult::diag.  Only std::exception
+// failures are isolated; anything else is a programming error and still
+// propagates (aggregated by the thread pool into a BatchError).  Faults can
+// be injected deterministically for soak testing (batch/fault_inject.h).
 #ifndef CONG93_BATCH_PIPELINE_H
 #define CONG93_BATCH_PIPELINE_H
 
@@ -25,6 +40,8 @@
 #include <vector>
 
 #include "batch/batch.h"
+#include "batch/errors.h"
+#include "batch/fault_inject.h"
 #include "batch/workspace.h"
 #include "rtree/routing_tree.h"
 #include "tech/technology.h"
@@ -39,18 +56,28 @@ struct PipelineOptions {
     bool wiresize = true; ///< run the grewsa_owsa stage
     bool moment_check = true;  ///< run the wiresized moment cross-check
     int rc_sections_per_edge = 8;  ///< RC discretization of the cross-check
+    /// Arena OOM guard: reject nets whose topology exceeds this many nodes
+    /// (status failed, stage compile).  0 disables the cap.
+    std::size_t max_nodes_per_net = 0;
+    /// Deterministic fault injection (soak testing).  When this plan is
+    /// disabled, $CONG93_FAULT_INJECT is consulted instead; both off means
+    /// no injection.
+    FaultPlan faults;
 };
 
 /// Everything reported for one routed net.
 struct NetRouteResult {
+    RouteStatus status = RouteStatus::ok;  ///< ladder rung that produced this
     std::size_t nodes = 0;
     std::size_t segments = 0;
     Length wirelength = 0;
     double rph_s = 0.0;             ///< uniform-width RPH bound (Eq. 2)
     double elmore_max_s = 0.0;      ///< uniform-width max sink Elmore delay
-    double wiresized_delay_s = 0.0; ///< grewsa_owsa optimum (0 when disabled)
+    double wiresized_delay_s = 0.0; ///< grewsa_owsa optimum (0 when disabled
+                                    ///< or degraded to uniform_width)
     double moment_elmore_max_s = 0.0;  ///< wiresized -m_1 max (0 when disabled)
     Assignment assignment;          ///< optimal widths (empty when disabled)
+    NetDiagnostic diag;             ///< every fault caught for this net
 };
 
 struct PipelineStats {
@@ -58,11 +85,26 @@ struct PipelineStats {
     double seconds = 0.0;
     double nets_per_sec = 0.0;
     WorkspaceCounters counters;  ///< aggregated over the slot workspaces
+
+    // Outcome tally (reduced serially in index order after the barrier).
+    std::uint64_t nets_ok = 0;
+    std::uint64_t nets_fallback = 0;       ///< fallback_brbc + fallback_spt
+    std::uint64_t nets_uniform_width = 0;
+    std::uint64_t nets_invalid = 0;
+    std::uint64_t nets_failed = 0;
+    std::uint64_t fault_events = 0;        ///< total diagnostic events
+
+    /// Nets that ended below the full flow (degraded or worse).
+    std::uint64_t nets_not_ok() const
+    {
+        return nets_fallback + nets_uniform_width + nets_invalid + nets_failed;
+    }
 };
 
 /// Routes every net of the batch; results are in net order regardless of
-/// thread count.  When `workspaces` is supplied its entries are reused (and
-/// it is grown to the slot count) so repeated batches stay allocation-free;
+/// thread count, and a per-net failure degrades that net only (see header
+/// comment).  When `workspaces` is supplied its entries are reused (and it
+/// is grown to the slot count) so repeated batches stay allocation-free;
 /// each entry must not be in use by any other concurrent call.
 std::vector<NetRouteResult> route_batch(const std::vector<Net>& nets,
                                         const Technology& tech,
@@ -71,16 +113,18 @@ std::vector<NetRouteResult> route_batch(const std::vector<Net>& nets,
                                         std::vector<Workspace>* workspaces = nullptr);
 
 /// netgen front-end: generates `count` random nets (uniform terminals on
-/// [0, grid]^2, seeded deterministically) and routes them.
+/// [0, grid]^2, seeded deterministically) and routes them; each net's
+/// diagnostic carries net_seed(seed, index).
 std::vector<NetRouteResult> route_batch(std::uint64_t seed, int count, Coord grid,
                                         int sink_count, const Technology& tech,
                                         const PipelineOptions& opts = {},
                                         PipelineStats* stats = nullptr,
                                         std::vector<Workspace>* workspaces = nullptr);
 
-/// Canonical full-precision serialization (hexfloat) of a result batch;
-/// equal strings <=> byte-identical results.  Used by the determinism tests
-/// and the BENCH_pipeline.json identity checks.
+/// Canonical full-precision serialization (hexfloat) of a result batch,
+/// including each net's status and diagnostic events; equal strings <=>
+/// byte-identical results.  Used by the determinism tests and the
+/// BENCH_pipeline.json identity checks.
 std::string format_results(const std::vector<NetRouteResult>& results);
 
 }  // namespace cong93

@@ -22,6 +22,8 @@
 #define CONG93_BATCH_WORKSPACE_H
 
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "rtree/flat_tree.h"
@@ -36,6 +38,7 @@ struct WorkspaceCounters {
     std::uint64_t moment_evals = 0;    ///< moment-kernel calls
     std::uint64_t moment_growths = 0;  ///< calls that grew the moment scratch
     std::uint64_t scratch_growths = 0; ///< growths of the plain scratch vectors
+    std::uint64_t arena_rejects = 0;   ///< nets rejected by guard_nodes caps
 
     WorkspaceCounters& operator+=(const WorkspaceCounters& o)
     {
@@ -44,6 +47,7 @@ struct WorkspaceCounters {
         moment_evals += o.moment_evals;
         moment_growths += o.moment_growths;
         scratch_growths += o.scratch_growths;
+        arena_rejects += o.arena_rejects;
         return *this;
     }
 };
@@ -70,6 +74,20 @@ public:
         if (n > v.capacity()) ++scratch_growths_;
     }
 
+    /// OOM guard for the arenas: refuses to compile a net of `nodes` nodes
+    /// into this workspace when a cap is set and exceeded, so one absurd net
+    /// cannot balloon a slot's buffers for the rest of the process (arenas
+    /// never shrink).  Throws std::length_error and counts the reject; a cap
+    /// of 0 disables the guard.
+    void guard_nodes(std::size_t nodes, std::size_t cap)
+    {
+        if (cap == 0 || nodes <= cap) return;
+        ++arena_rejects_;
+        throw std::length_error("workspace arena cap: net has " +
+                                std::to_string(nodes) + " nodes, cap is " +
+                                std::to_string(cap));
+    }
+
     WorkspaceCounters counters() const
     {
         WorkspaceCounters c;
@@ -78,11 +96,13 @@ public:
         c.moment_evals = moments.evals;
         c.moment_growths = moments.growths;
         c.scratch_growths = scratch_growths_;
+        c.arena_rejects = arena_rejects_;
         return c;
     }
 
 private:
     std::uint64_t scratch_growths_ = 0;
+    std::uint64_t arena_rejects_ = 0;
 };
 
 }  // namespace cong93

@@ -8,6 +8,7 @@
 
 #include "atree/generalized.h"
 #include "baseline/brbc.h"
+#include "batch/pipeline.h"
 #include "baseline/mst.h"
 #include "baseline/one_steiner.h"
 #include "baseline/spt.h"
@@ -31,6 +32,7 @@ commands:
   route      route nets, print metrics (optionally dump trees with --out)
   flow       route + wiresize + simulate
   simulate   simulate serialized trees (--in trees.txt)
+  batch      fault-isolated batch pipeline: per-net status + diagnostics
 
 options:
   --in <file>          input netlist/tree file (default: generated nets)
@@ -47,6 +49,10 @@ options:
   --threshold <t>      delay threshold in (0,1) (default 0.5)
   --rlc                include wire inductance in simulations
   --out <file>         write routed trees (route/flow)
+  --threads <t>        batch worker threads (0 = CONG93_THREADS / hardware)
+  --max-nodes <n>      batch per-net arena cap in nodes (0 = uncapped)
+  --fault-inject <s>   batch fault-injection spec, e.g.
+                       "seed=7,topology=0.2,wiresize=0.2,arena-cap=40@0.1"
 )";
 }
 
@@ -209,6 +215,45 @@ int run_flow(const CliOptions& opts, std::ostream& out, const std::string* input
     return 0;
 }
 
+int run_batch(const CliOptions& opts, std::ostream& out,
+              const std::string* input_text)
+{
+    const Technology tech = technology_by_name(opts.tech, opts.driver_scale);
+    PipelineOptions popts;
+    popts.widths_r = opts.widths;
+    popts.threads = opts.threads;
+    popts.max_nodes_per_net = opts.max_nodes;
+    popts.faults = FaultPlan::parse(opts.fault_spec);
+
+    PipelineStats stats;
+    std::vector<NetRouteResult> results;
+    if (opts.input_path.empty() && !input_text) {
+        // Seeded front-end: diagnostics carry net_seed(seed, index).
+        results = route_batch(opts.seed, opts.random_count, opts.grid,
+                              opts.sinks, tech, popts, &stats);
+    } else {
+        results = route_batch(parse_nets(read_input(opts, input_text)), tech,
+                              popts, &stats);
+    }
+
+    // The result lines and the summary are deterministic at any thread
+    // count (timings deliberately excluded), so outputs can be diffed
+    // across serial/parallel runs -- the CI fault-injection smoke does.
+    out << format_results(results);
+    out << "batch: " << results.size() << " nets  ok " << stats.nets_ok
+        << "  fallback " << stats.nets_fallback << "  uniform_width "
+        << stats.nets_uniform_width << "  invalid " << stats.nets_invalid
+        << "  failed " << stats.nets_failed << "  fault_events "
+        << stats.fault_events << '\n';
+    // Degraded nets are an expected outcome under fault load; only a batch
+    // where nothing routed at all exits nonzero.
+    const bool any_routed =
+        results.empty() || stats.nets_ok + stats.nets_fallback +
+                                   stats.nets_uniform_width >
+                               0;
+    return any_routed ? 0 : 1;
+}
+
 int run_simulate(const CliOptions& opts, std::ostream& out,
                  const std::string* input_text)
 {
@@ -240,7 +285,7 @@ CliOptions parse_cli(const std::vector<std::string>& args)
     if (opts.command == "--help" || opts.command == "-h")
         throw std::invalid_argument(cli_usage());
     if (opts.command != "gen" && opts.command != "route" && opts.command != "flow" &&
-        opts.command != "simulate")
+        opts.command != "simulate" && opts.command != "batch")
         throw std::invalid_argument("unknown command: " + opts.command + '\n' +
                                     cli_usage());
 
@@ -286,6 +331,9 @@ CliOptions parse_cli(const std::vector<std::string>& args)
         else if (a == "--threshold") opts.threshold = to_double(a, need_value(i++, a));
         else if (a == "--rlc") opts.rlc = true;
         else if (a == "--out") opts.out_path = need_value(i++, a);
+        else if (a == "--threads") opts.threads = static_cast<int>(to_int(a, need_value(i++, a)));
+        else if (a == "--max-nodes") opts.max_nodes = static_cast<std::size_t>(to_int(a, need_value(i++, a)));
+        else if (a == "--fault-inject") opts.fault_spec = need_value(i++, a);
         else throw std::invalid_argument("unknown option: " + a + '\n' + cli_usage());
     }
 
@@ -297,6 +345,9 @@ CliOptions parse_cli(const std::vector<std::string>& args)
         throw std::invalid_argument("--threshold must be in (0,1)");
     if (opts.driver_scale <= 0.0)
         throw std::invalid_argument("--driver-scale must be positive");
+    if (opts.max_nodes > 0 && opts.max_nodes < 2)
+        throw std::invalid_argument("--max-nodes must be 0 or >= 2");
+    if (!opts.fault_spec.empty()) FaultPlan::parse(opts.fault_spec);  // validate
     return opts;
 }
 
@@ -306,6 +357,7 @@ int run_cli(const CliOptions& opts, std::ostream& out, const std::string* input_
     if (opts.command == "route") return run_route(opts, out, input_text);
     if (opts.command == "flow") return run_flow(opts, out, input_text);
     if (opts.command == "simulate") return run_simulate(opts, out, input_text);
+    if (opts.command == "batch") return run_batch(opts, out, input_text);
     throw std::invalid_argument("unknown command: " + opts.command);
 }
 

@@ -7,6 +7,11 @@
 //   cong93 flow     like route, plus --widths R and --sizer combined
 //   cong93 simulate --in trees.txt [--method two_pole] [--threshold 0.5]
 //                   [--rlc] [--tech mcm]
+//   cong93 batch    like route, through the fault-isolated route_batch
+//                   pipeline: [--threads T] [--max-nodes N]
+//                   [--fault-inject SPEC] -- prints the canonical per-net
+//                   result lines (status + diagnostics) and an outcome
+//                   summary, both byte-identical at any thread count
 //
 // Parsing and execution are separated so both are unit-testable; main() in
 // tools/cong93_main.cpp is a thin wrapper.
@@ -47,6 +52,11 @@ struct CliOptions {
     std::string method = "two_pole";  ///< two_pole|transient
     double threshold = 0.5;
     bool rlc = false;
+
+    // Batch pipeline.
+    int threads = 0;            ///< <= 0: CONG93_THREADS / hardware default
+    std::size_t max_nodes = 0;  ///< per-net arena cap (0 = uncapped)
+    std::string fault_spec;     ///< fault-injection plan (batch/fault_inject.h)
 };
 
 /// Usage text for --help and error messages.

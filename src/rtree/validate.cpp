@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 #include <stdexcept>
+#include <string>
+#include <unordered_set>
 
 namespace cong93 {
 
@@ -65,6 +67,74 @@ bool is_atree(const RoutingTree& tree)
         if (tree.path_length(id) != dist(src, tree.point(id))) return false;
     }
     return true;
+}
+
+namespace {
+
+bool coord_in_range(Point p)
+{
+    return p.x >= -kMaxRoutableCoord && p.x <= kMaxRoutableCoord &&
+           p.y >= -kMaxRoutableCoord && p.y <= kMaxRoutableCoord;
+}
+
+std::string describe(Point p)
+{
+    std::ostringstream os;
+    os << p;
+    return os.str();
+}
+
+}  // namespace
+
+NetValidation validate_net(const Net& net)
+{
+    NetValidation v;
+    if (net.sinks.empty()) {
+        v.ok = false;
+        v.error = "net has no sinks";
+        return v;
+    }
+    if (!coord_in_range(net.source)) {
+        v.ok = false;
+        v.error = "source " + describe(net.source) +
+                  " exceeds the routable coordinate range";
+        return v;
+    }
+
+    v.net.source = net.source;
+    std::unordered_set<Point, PointHash> seen;
+    for (std::size_t i = 0; i < net.sinks.size(); ++i) {
+        const Point s = net.sinks[i];
+        if (!coord_in_range(s)) {
+            v.ok = false;
+            v.error = "sink " + std::to_string(i) + " at " + describe(s) +
+                      " exceeds the routable coordinate range";
+            return v;
+        }
+        if (s == net.source) {
+            v.notes.push_back("dropped sink " + std::to_string(i) +
+                              " coincident with the source");
+            continue;
+        }
+        if (!seen.insert(s).second) {
+            v.notes.push_back("collapsed duplicate sink " + std::to_string(i) +
+                              " at " + describe(s));
+            continue;
+        }
+        v.net.sinks.push_back(s);
+        v.net.sink_caps.push_back(net.sink_cap(i));
+    }
+    if (v.net.sinks.empty()) {
+        v.ok = false;
+        v.error = "zero-length net: every sink coincides with the source";
+        return v;
+    }
+    // All-default load caps collapse back to the canonical empty vector so a
+    // canonicalized net serializes exactly like an untouched one.
+    bool any_cap = false;
+    for (const double c : v.net.sink_caps) any_cap = any_cap || c >= 0.0;
+    if (!any_cap) v.net.sink_caps.clear();
+    return v;
 }
 
 void require_valid(const RoutingTree& tree, const Net& net)

@@ -26,6 +26,31 @@ bool is_atree(const RoutingTree& tree);
 /// Throws std::logic_error with a joined message when validation fails.
 void require_valid(const RoutingTree& tree, const Net& net);
 
+/// Largest coordinate magnitude accepted by validate_net.  Chosen so every
+/// quantity the routers accumulate stays inside Length (int64): the QMST
+/// suboptimality terms multiply a path length (<= 4 * max coord) by a
+/// coordinate sum (<= 2 * max coord), so 2^28 keeps those products below
+/// 2^59 with headroom for summation.
+inline constexpr Coord kMaxRoutableCoord = Coord{1} << 28;
+
+/// Outcome of the batch pipeline's input-validation front-end.
+struct NetValidation {
+    bool ok = true;
+    Net net;     ///< canonicalized net (meaningful only when ok)
+    std::vector<std::string> notes;  ///< canonicalizations applied
+    std::string error;               ///< rejection reason when !ok
+};
+
+/// Validates and canonicalizes a net before routing.  Canonicalized (with a
+/// note): sinks equal to the source are dropped, duplicate sinks collapse to
+/// their first occurrence (keeping that occurrence's load cap).  Rejected
+/// (ok == false): no sinks at all, no sinks left after canonicalization
+/// (zero-length net), and any terminal coordinate beyond
+/// +-kMaxRoutableCoord whose rectilinear path products could overflow
+/// Length.  Never throws; notes/error are deterministic functions of the
+/// net.
+NetValidation validate_net(const Net& net);
+
 }  // namespace cong93
 
 #endif  // CONG93_RTREE_VALIDATE_H

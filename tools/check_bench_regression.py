@@ -10,6 +10,13 @@ of checks with different severities:
   These assert bit-exact equivalence of optimized kernels against their
   reference twins (and arena reuse), which no machine variance can excuse.
 
+* Failure counts are HARD failures too: any fresh entry carrying a
+  ``failed`` field must match its ``expected_failed`` (default 0).  Plain
+  pipeline rows must report zero nets below the ok rung; the
+  ``fault_injection`` probe must fail exactly as many nets threaded as
+  serial.  Either mismatch means the isolation layer lost determinism or
+  the routers started degrading organically -- not machine variance.
+
 * Speedup comparisons stay warn-only: rows are matched by section, optional
   kernel name, and size (``sinks`` or ``threads``), and a warning is printed
   when the fresh speedup drops below half the committed value.  Machine
@@ -59,6 +66,20 @@ def identity_violations(study):
     return bad
 
 
+def failure_violations(study):
+    """Every entry whose ``failed`` count differs from ``expected_failed``."""
+    bad = []
+    for section, value in study.items():
+        entries = value if isinstance(value, list) else [value]
+        for entry in entries:
+            if not isinstance(entry, dict) or "failed" not in entry:
+                continue
+            expected = entry.get("expected_failed", 0)
+            if entry["failed"] != expected:
+                bad.append((section, entry, expected))
+    return bad
+
+
 def describe(section, row):
     kernel = row.get("kernel")
     size = next(
@@ -89,6 +110,13 @@ def main(argv):
             if entry.get(f, True) is False
         )
         print(f"FAIL: {describe(section, entry)}: {field} is false")
+        failed = True
+
+    for section, entry, expected in failure_violations(fresh):
+        print(
+            f"FAIL: {describe(section, entry)}: failed={entry['failed']} "
+            f"(expected {expected})"
+        )
         failed = True
 
     committed_rows = timing_rows(committed)

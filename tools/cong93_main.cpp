@@ -3,6 +3,7 @@
 #include <iostream>
 #include <vector>
 
+#include "batch/batch.h"
 #include "cli/cli.h"
 
 int main(int argc, char** argv)
@@ -14,6 +15,11 @@ int main(int argc, char** argv)
     } catch (const std::invalid_argument& e) {
         std::cerr << e.what() << '\n';
         return 2;
+    } catch (const cong93::BatchError& e) {
+        // Aggregated worker failures (programming errors escaping the
+        // per-net isolation layer): list every cause.
+        std::cerr << "error: " << e.what() << '\n';
+        return 1;
     } catch (const std::exception& e) {
         std::cerr << "error: " << e.what() << '\n';
         return 1;
