@@ -12,14 +12,20 @@
 //
 // BENCH_pipeline.json (the route_batch throughput study: flat-kernel vs
 // pointer-walk speedups with bit-identity checks, end-to-end nets/sec at
-// 1/2/4/8 threads with byte-identity vs the serial run and a zero expected
-// failure count per row, a fault-injection determinism probe -- serial vs
-// threaded failure counts and byte-identity under a soak plan -- and the
-// workspace-arena reuse proof).
+// 1/2/4/8 threads with byte-identity vs the serial run, a zero expected
+// failure count and a compiles_per_net == 1.0 witness per row, a
+// fault-injection determinism probe -- serial vs threaded failure counts and
+// byte-identity under a soak plan -- and the workspace-arena reuse proof).
+//
+// BENCH_metrics.json (the canonical-IR consumer study: the five tree
+// metrics, RC-tree construction, the two simulators, and the SVG renderer,
+// each timed flat vs its cong_oracles pointer-walk twin with exact identity
+// checks).
 //
 //   --json=PATH          output path for the wiresize study (default BENCH_wiresize.json)
 //   --atree-json=PATH    output path for the A-tree study (default BENCH_atree.json)
 //   --pipeline-json=PATH output path for the pipeline study (default BENCH_pipeline.json)
+//   --metrics-json=PATH  output path for the IR-consumer study (default BENCH_metrics.json)
 //   --json-only          skip the google-benchmark suite, only write the studies
 //   --smoke              small-size studies only (CI smoke job)
 //   --skip-wiresize      do not (re)generate the wiresize study
@@ -44,9 +50,13 @@
 #include "sim/moments.h"
 #include "sim/rc_tree.h"
 #include "netgen/netgen.h"
+#include "rtree/flat_tree.h"
 #include "rtree/io.h"
+#include "rtree/metrics.h"
+#include "rtree/svg.h"
 #include "report/table.h"
 #include "sim/delay_measure.h"
+#include "sim/transient.h"
 #include "sim/two_pole.h"
 #include "tech/technology.h"
 #include "wiresize/combined.h"
@@ -481,7 +491,140 @@ struct PipelineRow {
     double speedup = 0.0;
     bool identical = false;
     std::uint64_t failed = 0;  ///< nets below the ok rung (must be 0 here)
+    double compiles_per_net = 0.0;  ///< must be exactly 1.0 on a clean batch
 };
+
+// ---------------------------------------------------------------------------
+// BENCH_metrics.json: canonical-IR consumers vs their pointer-walk oracles
+// ---------------------------------------------------------------------------
+
+bool write_metrics_json(const std::string& path, bool smoke)
+{
+    // Every downstream layer ported to the FlatTree IR, measured against its
+    // cong_oracles twin on the same nets with exact (==) identity checks:
+    // the five tree metrics, RC-tree construction, the two simulators, and
+    // the SVG renderer (byte identity).
+    const Technology tech = mcm_technology();
+    const std::vector<int> sizes =
+        smoke ? std::vector<int>{12, 25} : std::vector<int>{12, 25, 50, 100, 200};
+
+    std::vector<KernelRow> rows;
+    for (const int sinks : sizes) {
+        const Net net = random_nets(9203, 1, kMcmGrid, sinks)[0];
+        const RoutingTree tree = build_atree_general(net).tree;
+        const FlatTree ft(tree);
+
+        const auto add = [&](const char* kernel, bool identical, auto&& ref_fn,
+                             auto&& flat_fn) {
+            KernelRow row;
+            row.sinks = sinks;
+            row.kernel = kernel;
+            row.identical = identical;
+            row.reference_s = time_kernel(ref_fn);
+            row.flat_s = time_kernel(flat_fn);
+            rows.push_back(row);
+            std::cout << "metrics kernel: " << sinks << " sinks  " << kernel
+                      << "  reference " << fmt_sci(row.reference_s, 2)
+                      << "s  flat " << fmt_sci(row.flat_s, 2) << "s  speedup "
+                      << fmt_fixed(row.speedup(), 1) << "x  identical "
+                      << (identical ? "yes" : "NO") << '\n';
+        };
+
+        add("total_length", total_length(ft) == total_length_reference(tree),
+            [&] { benchmark::DoNotOptimize(total_length_reference(tree)); },
+            [&] { benchmark::DoNotOptimize(total_length(ft)); });
+        add("sink_path_lengths",
+            sum_sink_path_lengths(ft) == sum_sink_path_lengths_reference(tree),
+            [&] { benchmark::DoNotOptimize(sum_sink_path_lengths_reference(tree)); },
+            [&] { benchmark::DoNotOptimize(sum_sink_path_lengths(ft)); });
+        add("all_node_path_lengths",
+            sum_all_node_path_lengths(ft) ==
+                sum_all_node_path_lengths_reference(tree),
+            [&] {
+                benchmark::DoNotOptimize(sum_all_node_path_lengths_reference(tree));
+            },
+            [&] { benchmark::DoNotOptimize(sum_all_node_path_lengths(ft)); });
+        add("radius", radius(ft) == radius_reference(tree),
+            [&] { benchmark::DoNotOptimize(radius_reference(tree)); },
+            [&] { benchmark::DoNotOptimize(radius(ft)); });
+        add("mdrt_cost",
+            mdrt_cost(ft, 1.0, 0.5, 0.25) ==
+                mdrt_cost_reference(tree, 1.0, 0.5, 0.25),
+            [&] { benchmark::DoNotOptimize(mdrt_cost_reference(tree, 1.0, 0.5, 0.25)); },
+            [&] { benchmark::DoNotOptimize(mdrt_cost(ft, 1.0, 0.5, 0.25)); });
+
+        // RC construction and the simulators: the flat-built and the
+        // pointer-walk-built RC trees must be indistinguishable all the way
+        // through the waveform outputs.
+        const RcTree rc_flat = RcTree::from_flat_tree(ft, tech);
+        const RcTree rc_ref = RcTree::from_routing_tree_reference(tree, tech);
+        bool rc_identical = rc_flat.size() == rc_ref.size() &&
+                            rc_flat.sink_nodes() == rc_ref.sink_nodes();
+        for (std::size_t i = 0; rc_identical && i < rc_flat.size(); ++i)
+            rc_identical = rc_flat.node(i).parent == rc_ref.node(i).parent &&
+                           rc_flat.node(i).r_ohm == rc_ref.node(i).r_ohm &&
+                           rc_flat.node(i).c_f == rc_ref.node(i).c_f &&
+                           rc_flat.node(i).l_h == rc_ref.node(i).l_h;
+        add("rc_build", rc_identical,
+            [&] {
+                benchmark::DoNotOptimize(
+                    RcTree::from_routing_tree_reference(tree, tech));
+            },
+            [&] { benchmark::DoNotOptimize(RcTree::from_flat_tree(ft, tech)); });
+        add("two_pole",
+            two_pole_sink_delays(rc_flat) == two_pole_sink_delays(rc_ref),
+            [&] { benchmark::DoNotOptimize(two_pole_sink_delays(rc_ref)); },
+            [&] { benchmark::DoNotOptimize(two_pole_sink_delays(rc_flat)); });
+        if (sinks <= 50) {
+            // Backward Euler is O(timesteps * nodes); per-call timing keeps
+            // the study wall-clock bounded, and larger nets add no coverage.
+            KernelRow row;
+            row.sinks = sinks;
+            row.kernel = "transient";
+            row.identical =
+                transient_sink_delays(rc_flat) == transient_sink_delays(rc_ref);
+            row.reference_s = time_best(
+                [&] { benchmark::DoNotOptimize(transient_sink_delays(rc_ref)); });
+            row.flat_s = time_best(
+                [&] { benchmark::DoNotOptimize(transient_sink_delays(rc_flat)); });
+            rows.push_back(row);
+            std::cout << "metrics kernel: " << sinks << " sinks  transient"
+                      << "  reference " << fmt_sci(row.reference_s, 2)
+                      << "s  flat " << fmt_sci(row.flat_s, 2) << "s  identical "
+                      << (row.identical ? "yes" : "NO") << '\n';
+        }
+        add("svg", to_svg(ft) == to_svg_reference(tree),
+            [&] { benchmark::DoNotOptimize(to_svg_reference(tree)); },
+            [&] { benchmark::DoNotOptimize(to_svg(ft)); });
+    }
+
+    std::ofstream out(path);
+    if (!out) {
+        std::cerr << "cannot write " << path << '\n';
+        return false;
+    }
+    out << "{\n"
+        << "  \"benchmark\": \"flat_ir_consumers\",\n"
+        << "  \"generated_by\": \"bench_micro_scaling\",\n"
+        << "  \"technology\": \"mcm\",\n"
+        << "  \"kernels\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const KernelRow& r = rows[i];
+        out << "    {\"sinks\": " << r.sinks << ", \"kernel\": \"" << r.kernel
+            << "\", \"reference_s\": " << fmt_sci(r.reference_s, 4)
+            << ", \"flat_s\": " << fmt_sci(r.flat_s, 4)
+            << ", \"speedup\": " << fmt_fixed(r.speedup(), 2)
+            << ", \"identical\": " << (r.identical ? "true" : "false") << "}"
+            << (i + 1 < rows.size() ? "," : "") << '\n';
+    }
+    out << "  ]\n"
+        << "}\n";
+    std::cout << "wrote " << path << '\n';
+
+    bool all_identical = true;
+    for (const KernelRow& r : rows) all_identical = all_identical && r.identical;
+    return all_identical;
+}
 
 bool write_pipeline_json(const std::string& path, bool smoke)
 {
@@ -586,13 +729,15 @@ bool write_pipeline_json(const std::string& path, bool smoke)
         row.speedup = serial_s / row.seconds;
         row.identical = format_results(results) == serial_fmt;
         row.failed = stats.nets_not_ok();  // any degradation here is a bug
+        row.compiles_per_net = stats.compiles_per_net;
         pipeline_rows.push_back(row);
         std::cout << "pipeline batch: " << batch_nets << " nets  threads "
                   << threads << "  " << fmt_sci(row.seconds, 2) << "s  "
                   << fmt_fixed(row.nets_per_sec, 0) << " nets/s  speedup "
                   << fmt_fixed(row.speedup, 2) << "x  identical "
                   << (row.identical ? "yes" : "NO") << "  failed "
-                  << row.failed << '\n';
+                  << row.failed << "  compiles/net "
+                  << fmt_fixed(row.compiles_per_net, 2) << '\n';
     }
 
     // --- fault-injection determinism probe ------------------------------
@@ -668,7 +813,8 @@ bool write_pipeline_json(const std::string& path, bool smoke)
             << ", \"nets_per_sec\": " << fmt_fixed(r.nets_per_sec, 1)
             << ", \"speedup\": " << fmt_fixed(r.speedup, 2)
             << ", \"identical\": " << (r.identical ? "true" : "false")
-            << ", \"failed\": " << r.failed << "}"
+            << ", \"failed\": " << r.failed
+            << ", \"compiles_per_net\": " << fmt_fixed(r.compiles_per_net, 2) << "}"
             << (i + 1 < pipeline_rows.size() ? "," : "") << '\n';
     }
     out << "  ],\n"
@@ -696,7 +842,8 @@ bool write_pipeline_json(const std::string& path, bool smoke)
     for (const KernelRow& r : kernel_rows)
         all_identical = all_identical && r.identical;
     for (const PipelineRow& r : pipeline_rows)
-        all_identical = all_identical && r.identical && r.failed == 0;
+        all_identical = all_identical && r.identical && r.failed == 0 &&
+                        r.compiles_per_net <= 1.0;
     return all_identical;
 }
 
@@ -708,6 +855,7 @@ int main(int argc, char** argv)
     std::string json_path = "BENCH_wiresize.json";
     std::string atree_json_path = "BENCH_atree.json";
     std::string pipeline_json_path = "BENCH_pipeline.json";
+    std::string metrics_json_path = "BENCH_metrics.json";
     bool json_only = false;
     bool smoke = false;
     bool skip_wiresize = false;
@@ -720,6 +868,8 @@ int main(int argc, char** argv)
             atree_json_path = argv[i] + 13;
         else if (std::strncmp(argv[i], "--pipeline-json=", 16) == 0)
             pipeline_json_path = argv[i] + 16;
+        else if (std::strncmp(argv[i], "--metrics-json=", 15) == 0)
+            metrics_json_path = argv[i] + 15;
         else if (std::strcmp(argv[i], "--json-only") == 0)
             json_only = true;
         else if (std::strcmp(argv[i], "--smoke") == 0)
@@ -744,7 +894,9 @@ int main(int argc, char** argv)
         skip_wiresize || cong93::write_scaling_json(json_path);
     const bool atree_ok =
         skip_atree || cong93::write_atree_json(atree_json_path, smoke);
+    const bool metrics_ok =
+        cong93::write_metrics_json(metrics_json_path, smoke);
     const bool pipeline_ok =
         cong93::write_pipeline_json(pipeline_json_path, smoke);
-    return wiresize_ok && atree_ok && pipeline_ok ? 0 : 1;
+    return wiresize_ok && atree_ok && metrics_ok && pipeline_ok ? 0 : 1;
 }

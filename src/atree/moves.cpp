@@ -60,9 +60,25 @@ void MoveEngine::record(MoveRecord rec)
     log_.push_back(rec);
 }
 
+namespace {
+
+[[noreturn]] void require_oracles()
+{
+    throw std::logic_error(
+        "MoveEngine: Mode::reference requires CONG93_BUILD_ORACLES=ON");
+}
+
+}  // namespace
+
 Forest::RootQuery MoveEngine::query(int root_id)
 {
-    if (mode_ == Mode::reference) return forest_->analyze_reference(root_id);
+    if (mode_ == Mode::reference) {
+#ifdef CONG93_HAVE_ORACLES
+        return forest_->analyze_reference(root_id);
+#else
+        require_oracles();
+#endif
+    }
     if (const auto it = cache_.find(root_id); it != cache_.end())
         return it->second;
     const Forest::RootQuery q = forest_->analyze(root_id);
@@ -299,10 +315,16 @@ void MoveEngine::heuristic_move()
             if (policy_ == HeuristicPolicy::min_suboptimality) {
                 const int t1 = forest_->node(cands[i].root).tree;
                 const int t2 = forest_->node(cands[j].root).tree;
+#ifdef CONG93_HAVE_ORACLES
                 const Length df_est =
                     mode_ == Mode::reference
                         ? forest_->nearest_dominated_dist_reference(corner, t1, t2)
                         : forest_->nearest_dominated_dist(corner, t1, t2);
+#else
+                if (mode_ == Mode::reference) require_oracles();
+                const Length df_est =
+                    forest_->nearest_dominated_dist(corner, t1, t2);
+#endif
                 sb = std::max<Length>(
                     0, dist(corner, cands[i].p) + dist(corner, cands[j].p) +
                            (df_est >= kInfLen ? 0 : df_est) -

@@ -130,11 +130,12 @@ NetRouteResult route_net(const Net& raw, std::size_t index,
     try {
         faults.maybe_throw(index, RouteStage::wiresize,
                            "injected: wiresizing fault");
-        const SegmentDecomposition segs(*tree);
-        r.segments = segs.count();
-        if (segs.count() == 0) return r;
-        const WiresizeContext ctx(segs, *t,
+        // The segment arrays derive from the stage-2 compile: one FlatTree
+        // per net feeds report, wiresizing, and the moment cross-check.
+        const WiresizeContext ctx(ws.flat, *t,
                                   WidthSet::uniform_steps(opts.widths_r));
+        r.segments = ctx.segment_count();
+        if (ctx.segment_count() == 0) return r;
         CombinedResult best = grewsa_owsa(ctx);
         if (!std::isfinite(best.delay))
             throw std::runtime_error("non-finite wiresized delay");
@@ -145,9 +146,8 @@ NetRouteResult route_net(const Net& raw, std::size_t index,
             stage = RouteStage::moment_check;
             faults.maybe_throw(index, RouteStage::moment_check,
                                "injected: moment cross-check fault");
-            const RcTree rc = RcTree::from_wiresized_tree(
-                segs, *t, ctx.widths(), r.assignment,
-                opts.rc_sections_per_edge);
+            const RcTree rc = RcTree::from_wiresized_flat(
+                ctx, r.assignment, opts.rc_sections_per_edge);
             const auto& m = compute_moments(rc, 1, ws.moments);
             double worst_m = 0.0;
             for (const int s : rc.sink_nodes())
@@ -205,6 +205,9 @@ std::vector<NetRouteResult> route_batch_impl(const std::vector<Net>& nets,
         return seeded ? net_seed(diag_seed_base, i) : 0;
     };
 
+    std::uint64_t builds_before = 0;
+    for (const Workspace& w : ws) builds_before += w.counters().tree_builds;
+
     std::vector<NetRouteResult> out(nets.size());
     const auto t0 = std::chrono::steady_clock::now();
     if (threads <= 1 || nets.size() < 2) {
@@ -231,6 +234,11 @@ std::vector<NetRouteResult> route_batch_impl(const std::vector<Net>& nets,
                 : 0.0;
         stats->counters = WorkspaceCounters{};
         for (const Workspace& w : ws) stats->counters += w.counters();
+        stats->compiles_per_net =
+            nets.empty() ? 0.0
+                         : static_cast<double>(stats->counters.tree_builds -
+                                               builds_before) /
+                               static_cast<double>(nets.size());
         tally_outcomes(out, *stats);
     }
     return out;

@@ -18,10 +18,17 @@
 //   3. uniform-width report    -- RPH bound + max sink Elmore delay via the
 //                                 flat kernels, finiteness-checked;
 //   4. grewsa_owsa             -- optimal wiresizing (PR 1's incremental
-//                                 engine);
+//                                 engine) over a WiresizeContext whose
+//                                 segment arrays derive from the stage-2
+//                                 compile (no second tree walk);
 //   5. moment cross-check      -- max sink Elmore (-m_1) of the wiresized
-//                                 RC tree through the slot's MomentWorkspace
+//                                 RC tree (built from the same context)
+//                                 through the slot's MomentWorkspace
 //                                 (optional, see PipelineOptions).
+//
+// Each net's FlatTree is compiled into its slot arena exactly once (stage
+// 2); every downstream stage consumes that compile.  PipelineStats::
+// compiles_per_net counter-verifies it per batch.
 //
 // Fault isolation (batch/errors.h): a failure in any per-net stage never
 // aborts the batch.  Stages degrade down a ladder --
@@ -85,6 +92,11 @@ struct PipelineStats {
     double seconds = 0.0;
     double nets_per_sec = 0.0;
     WorkspaceCounters counters;  ///< aggregated over the slot workspaces
+    /// FlatTree compilations per net in this batch (tree_builds delta over
+    /// the slot workspaces / net count).  Every consumer stage shares the
+    /// stage-2 compile, so a clean batch measures exactly 1.0; nets that
+    /// fail before the compile stage can only pull it below 1.0.
+    double compiles_per_net = 0.0;
 
     // Outcome tally (reduced serially in index order after the barrier).
     std::uint64_t nets_ok = 0;

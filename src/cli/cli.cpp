@@ -151,11 +151,14 @@ int run_route(const CliOptions& opts, std::ostream& out,
     std::string dump;
     for (std::size_t i = 0; i < nets.size(); ++i) {
         const RoutingTree tree = route_net(nets[i], opts.algo);
+        // One compile per net; metrics and simulation share it.
+        const FlatTree ft(tree);
+        const NetSummary s = summarize_net(ft);
         const DelayReport d =
-            measure_delay(tree, tech, method, opts.threshold, opts.rlc);
+            measure_delay(ft, tech, method, opts.threshold, opts.rlc);
         t.add_row({std::to_string(i), std::to_string(nets[i].sinks.size()),
-                   std::to_string(total_length(tree)), std::to_string(radius(tree)),
-                   std::to_string(sum_sink_path_lengths(tree)), fmt_ns(d.mean),
+                   std::to_string(s.length), std::to_string(s.radius),
+                   std::to_string(s.sum_sink_path_lengths), fmt_ns(d.mean),
                    fmt_ns(d.max)});
         if (!opts.out_path.empty()) dump += format_tree(tree);
     }
@@ -182,8 +185,10 @@ int run_flow(const CliOptions& opts, std::ostream& out, const std::string* input
     std::string dump;
     for (std::size_t i = 0; i < nets.size(); ++i) {
         const RoutingTree tree = route_net(nets[i], opts.algo);
-        const SegmentDecomposition segs(tree);
-        const WiresizeContext ctx(segs, tech, widths);
+        // One compile per net; the wiresizing context, both delay
+        // measurements, and the length column all derive from it.
+        const FlatTree ft(tree);
+        const WiresizeContext ctx(ft, tech, widths);
         Assignment assignment;
         if (opts.sizer == "combined") assignment = grewsa_owsa(ctx).assignment;
         else if (opts.sizer == "owsa") assignment = owsa(ctx).assignment;
@@ -193,13 +198,13 @@ int run_flow(const CliOptions& opts, std::ostream& out, const std::string* input
         else throw std::invalid_argument("unknown sizer: " + opts.sizer);
 
         const double before =
-            measure_delay(tree, tech, method, opts.threshold, opts.rlc).mean;
-        const double after = measure_delay_wiresized(segs, tech, widths, assignment,
-                                                     method, opts.threshold, opts.rlc)
+            measure_delay(ft, tech, method, opts.threshold, opts.rlc).mean;
+        const double after = measure_delay_wiresized(ctx, assignment, method,
+                                                     opts.threshold, opts.rlc)
                                  .mean;
         before_total += before;
         after_total += after;
-        t.add_row({std::to_string(i), std::to_string(total_length(tree)),
+        t.add_row({std::to_string(i), std::to_string(total_length(ft)),
                    fmt_ns(before), fmt_ns(after), fmt_pct_delta(before, after)});
         if (!opts.out_path.empty()) dump += format_tree(tree);
     }
@@ -265,11 +270,11 @@ int run_simulate(const CliOptions& opts, std::ostream& out,
 
     TextTable t({"tree", "nodes", "length", "mean delay (ns)", "max delay (ns)"});
     for (std::size_t i = 0; i < trees.size(); ++i) {
-        const DelayReport d =
-            measure_delay(trees[i], tech, method, opts.threshold, opts.rlc);
-        t.add_row({std::to_string(i), std::to_string(trees[i].node_count()),
-                   std::to_string(total_length(trees[i])), fmt_ns(d.mean),
-                   fmt_ns(d.max)});
+        const FlatTree ft(trees[i]);
+        const NetSummary s = summarize_net(ft);
+        const DelayReport d = measure_delay(ft, tech, method, opts.threshold, opts.rlc);
+        t.add_row({std::to_string(i), std::to_string(s.nodes),
+                   std::to_string(s.length), fmt_ns(d.mean), fmt_ns(d.max)});
     }
     t.print(out);
     return 0;

@@ -8,26 +8,10 @@ namespace cong93 {
 namespace {
 
 /// Total capacitance (wire + loads) in the subtree rooted at each node,
-/// where a node's incoming edge capacitance is attributed to the node.
-/// Pointer-walk version over the RoutingTree (reference path).
-std::vector<double> subtree_caps(const RoutingTree& tree, const Technology& tech)
-{
-    std::vector<double> cap(tree.node_count(), 0.0);
-    const std::vector<NodeId> order = tree.preorder();
-    for (auto it = order.rbegin(); it != order.rend(); ++it) {
-        const NodeId id = *it;
-        const auto& n = tree.node(id);
-        double c = tech.c_grid() * static_cast<double>(tree.edge_length(id));
-        if (n.is_sink) c += n.sink_cap_f >= 0.0 ? n.sink_cap_f : tech.sink_load_f;
-        for (const NodeId ch : n.children) c += cap[static_cast<std::size_t>(ch)];
-        cap[static_cast<std::size_t>(id)] = c;
-    }
-    return cap;
-}
-
-/// Flat twin of subtree_caps: one reverse pass over the preorder arrays,
-/// children accumulated in original order via the CSR adjacency so the sums
-/// are bit-identical to the pointer walk.
+/// where a node's incoming edge capacitance is attributed to the node: one
+/// reverse pass over the preorder arrays, children accumulated in original
+/// order via the CSR adjacency so the sums are bit-identical to the
+/// pointer-walk oracle (cong_oracles).
 void subtree_caps_flat(const FlatTree& ft, const Technology& tech,
                        std::vector<double>& cap)
 {
@@ -51,12 +35,16 @@ void subtree_caps_flat(const FlatTree& ft, const Technology& tech,
 
 double elmore_delay(const RoutingTree& tree, const Technology& tech, NodeId sink)
 {
-    const std::vector<double> cap = subtree_caps(tree, tech);
-    const double c_total = cap[static_cast<std::size_t>(tree.root())];
+    const FlatTree ft(tree);
+    std::vector<double> cap;
+    subtree_caps_flat(ft, tech, cap);
+    const double c_total = ft.empty() ? 0.0 : cap[0];
     double t = tech.driver_resistance_ohm * c_total;
-    for (NodeId id = sink; id != tree.root(); id = tree.node(id).parent) {
-        const double re = tech.r_grid() * static_cast<double>(tree.edge_length(id));
-        const double ce = tech.c_grid() * static_cast<double>(tree.edge_length(id));
+    const std::int32_t* parent = ft.parent().data();
+    const Length* el = ft.edge_length().data();
+    for (std::int32_t id = ft.flat_of(sink); id != 0; id = parent[id]) {
+        const double re = tech.r_grid() * static_cast<double>(el[id]);
+        const double ce = tech.c_grid() * static_cast<double>(el[id]);
         t += re * (cap[static_cast<std::size_t>(id)] - 0.5 * ce);
     }
     return t;
@@ -92,24 +80,6 @@ void elmore_all_sinks(const FlatTree& ft, const Technology& tech,
         }
         out.push_back(t);
     }
-}
-
-std::vector<double> elmore_all_sinks_reference(const RoutingTree& tree,
-                                               const Technology& tech)
-{
-    const std::vector<double> cap = subtree_caps(tree, tech);
-    const double c_total = cap[static_cast<std::size_t>(tree.root())];
-    std::vector<double> out;
-    for (const NodeId s : tree.sinks()) {
-        double t = tech.driver_resistance_ohm * c_total;
-        for (NodeId id = s; id != tree.root(); id = tree.node(id).parent) {
-            const double re = tech.r_grid() * static_cast<double>(tree.edge_length(id));
-            const double ce = tech.c_grid() * static_cast<double>(tree.edge_length(id));
-            t += re * (cap[static_cast<std::size_t>(id)] - 0.5 * ce);
-        }
-        out.push_back(t);
-    }
-    return out;
 }
 
 double elmore_max(const RoutingTree& tree, const Technology& tech)

@@ -1,7 +1,5 @@
 #include "delay/rph.h"
 
-#include "rtree/metrics.h"
-
 namespace cong93 {
 
 RphTerms rph_terms(const RoutingTree& tree, const Technology& tech)
@@ -35,24 +33,6 @@ RphTerms rph_terms(const FlatTree& ft, const Technology& tech)
     for (const std::int32_t s : ft.sinks()) {
         const double ck = sc[s] >= 0.0 ? sc[s] : tech.sink_load_f;
         t.t2 += r0 * static_cast<double>(pl[s]) * ck;
-        t.t4 += rd * ck;
-    }
-    return t;
-}
-
-RphTerms rph_terms_reference(const RoutingTree& tree, const Technology& tech)
-{
-    const double rd = tech.driver_resistance_ohm;
-    const double r0 = tech.r_grid();
-    const double c0 = tech.c_grid();
-
-    RphTerms t;
-    t.t1 = rd * c0 * static_cast<double>(total_length(tree));
-    t.t3 = r0 * c0 * static_cast<double>(sum_all_node_path_lengths(tree));
-    for (const NodeId s : tree.sinks()) {
-        const double ck =
-            tree.node(s).sink_cap_f >= 0.0 ? tree.node(s).sink_cap_f : tech.sink_load_f;
-        t.t2 += r0 * static_cast<double>(tree.path_length(s)) * ck;
         t.t4 += rd * ck;
     }
     return t;

@@ -34,7 +34,8 @@ RphTerms rph_terms(const RoutingTree& tree, const Technology& tech);
 RphTerms rph_terms(const FlatTree& ft, const Technology& tech);
 
 /// The seed pointer-walk implementation (equivalence oracle and speedup
-/// baseline for BENCH_pipeline.json).
+/// baseline for BENCH_pipeline.json).  Defined only in the cong_oracles
+/// target (CONG93_BUILD_ORACLES=ON).
 RphTerms rph_terms_reference(const RoutingTree& tree, const Technology& tech);
 
 /// Total RPH bound t(T) of Eq. 2 (equals rph_terms(...).total()).

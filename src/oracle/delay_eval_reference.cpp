@@ -1,0 +1,114 @@
+// Seed pointer-walk WiresizeContext evaluation paths, preserved as the
+// equivalence oracles for the flat kernels in wiresize/delay_eval.cpp.
+// They walk the originating SegmentDecomposition, so they require a
+// legacy-built context (segs() throws for flat-built ones).  Built only
+// into the cong_oracles target (CONG93_BUILD_ORACLES=ON).
+#include "wiresize/delay_eval.h"
+
+#include <stdexcept>
+
+namespace cong93 {
+
+namespace {
+
+/// Accumulated upstream resistances R_in per segment (Rd at the stems).
+/// Seed pointer-walk version, kept for the *_reference twins.
+std::vector<double> upstream_resistance_reference(const SegmentDecomposition& segs,
+                                                  const Technology& tech,
+                                                  const WidthSet& ws,
+                                                  const Assignment& a)
+{
+    std::vector<double> rin(segs.count(), 0.0);
+    const double r0 = tech.r_grid();
+    for (std::size_t i = 0; i < segs.count(); ++i) {
+        const WireSegment& s = segs[i];
+        const double above = s.parent == kNoSegment
+                                 ? tech.driver_resistance_ohm
+                                 : rin[static_cast<std::size_t>(s.parent)] +
+                                       r0 *
+                                           static_cast<double>(
+                                               segs[static_cast<std::size_t>(s.parent)].length) /
+                                           ws[a[static_cast<std::size_t>(s.parent)]];
+        rin[i] = above;
+    }
+    return rin;
+}
+
+}  // namespace
+
+double WiresizeContext::delay_reference(const Assignment& a) const
+{
+    if (a.size() != segment_count())
+        throw std::invalid_argument("WiresizeContext::delay: bad assignment size");
+    const double r0 = tech_->r_grid();
+    const double c0 = tech_->c_grid();
+    const std::vector<double> rin =
+        upstream_resistance_reference(segs(), *tech_, widths_, a);
+
+    double total = 0.0;
+    for (std::size_t i = 0; i < segment_count(); ++i) {
+        const double l = static_cast<double>(segs()[i].length);
+        const double w = widths_[a[i]];
+        total += rin[i] * c0 * w * l + r0 * c0 * l * (l + 1.0) / 2.0;
+        total += (rin[i] + r0 * l / w) * tail_cap_[i];
+    }
+    return total;
+}
+
+WiresizeContext::Terms WiresizeContext::terms_reference(const Assignment& a) const
+{
+    const double rd = tech_->driver_resistance_ohm;
+    const double r0 = tech_->r_grid();
+    const double c0 = tech_->c_grid();
+    const std::vector<double> rin =
+        upstream_resistance_reference(segs(), *tech_, widths_, a);
+
+    Terms t;
+    for (std::size_t i = 0; i < segment_count(); ++i) {
+        const double l = static_cast<double>(segs()[i].length);
+        const double w = widths_[a[i]];
+        t.t1 += rd * c0 * w * l;
+        // Upstream *wire* resistance seen by this segment's start.
+        const double a_up = (rin[i] - rd) / r0;  // Σ l_a / w_a over ancestors
+        t.t2 += (a_up * r0 + r0 * l / w) * tail_cap_[i];
+        t.t3 += r0 * c0 * l * (l + 1.0) / 2.0 + r0 * a_up * c0 * w * l;
+        t.t4 += rd * tail_cap_[i];
+    }
+    return t;
+}
+
+WiresizeContext::ThetaPhi WiresizeContext::theta_phi_fast_reference(
+    const Assignment& a, std::size_t i) const
+{
+    const double rd = tech_->driver_resistance_ohm;
+    const double r0 = tech_->r_grid();
+    const double c0 = tech_->c_grid();
+
+    // A_i = Σ_{ancestors} l_a / w_a.
+    double a_up = 0.0;
+    for (int p = segs()[i].parent; p != kNoSegment;
+         p = segs()[static_cast<std::size_t>(p)].parent) {
+        a_up += static_cast<double>(segs()[static_cast<std::size_t>(p)].length) /
+                widths_[a[static_cast<std::size_t>(p)]];
+    }
+
+    // Σ_{strict descendants} w_d * l_d, via one subtree walk.
+    double wire_below = 0.0;
+    std::vector<int> stack(segs()[i].children.begin(), segs()[i].children.end());
+    while (!stack.empty()) {
+        const int d = stack.back();
+        stack.pop_back();
+        wire_below += widths_[a[static_cast<std::size_t>(d)]] *
+                      static_cast<double>(segs()[static_cast<std::size_t>(d)].length);
+        for (const int c : segs()[static_cast<std::size_t>(d)].children)
+            stack.push_back(c);
+    }
+
+    ThetaPhi tp;
+    const double l = static_cast<double>(segs()[i].length);
+    tp.theta = c0 * l * (rd + r0 * a_up);
+    tp.phi = r0 * l * (down_cap_[i] + c0 * wire_below);
+    return tp;
+}
+
+}  // namespace cong93

@@ -1,0 +1,50 @@
+// Seed GREWSA sweep: every local refinement re-derives theta/phi (and psi,
+// via a full O(n) delay evaluation) from scratch.  Equivalence oracle and
+// speedup baseline for the IncrementalDelayEngine-backed grewsa().  Built
+// only into the cong_oracles target (CONG93_BUILD_ORACLES=ON).
+#include "wiresize/grewsa.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace cong93 {
+
+GrewsaResult grewsa_reference(const WiresizeContext& ctx, Assignment initial)
+{
+    if (initial.size() != ctx.segment_count())
+        throw std::invalid_argument("grewsa_reference: bad initial assignment size");
+
+    GrewsaResult res;
+    res.assignment = std::move(initial);
+    const int r = ctx.width_count();
+
+    const int max_sweeps = static_cast<int>(ctx.segment_count()) * r + 8;
+    bool changed = true;
+    while (changed && res.sweeps < max_sweeps) {
+        changed = false;
+        ++res.sweeps;
+        for (std::size_t i = 0; i < ctx.segment_count(); ++i) {
+            // The seed evaluation path: theta_phi fills psi through a full
+            // O(n) delay() call the argmin below never reads.
+            const WiresizeContext::ThetaPhi tp = ctx.theta_phi(res.assignment, i);
+            int w = 0;
+            double best_val = tp.theta * ctx.widths()[0] + tp.phi / ctx.widths()[0];
+            for (int k = 1; k <= r - 1; ++k) {
+                const double v = tp.theta * ctx.widths()[k] + tp.phi / ctx.widths()[k];
+                if (v < best_val) {
+                    w = k;
+                    best_val = v;
+                }
+            }
+            if (w != res.assignment[i]) {
+                res.assignment[i] = w;
+                ++res.refinements;
+                changed = true;
+            }
+        }
+    }
+    res.delay = ctx.delay(res.assignment);
+    return res;
+}
+
+}  // namespace cong93

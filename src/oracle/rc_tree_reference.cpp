@@ -1,0 +1,70 @@
+// Seed pointer-walk RC netlist builder, preserved as the equivalence oracle
+// for RcTree::from_flat_tree.  Built only into the cong_oracles target
+// (CONG93_BUILD_ORACLES=ON).
+#include "sim/rc_tree.h"
+
+#include <algorithm>
+
+namespace cong93 {
+
+namespace {
+
+/// Appends a chain of pi-sections modelling a wire of total resistance r,
+/// capacitance c and inductance l from `from`; returns the far node index.
+int append_wire(std::vector<RcTree::RcNode>& nodes, int from, double r, double c,
+                double l, int sections)
+{
+    const int k = std::max(1, sections);
+    const double rs = r / k;
+    const double cs = c / k;
+    const double ls = l / k;
+    int cur = from;
+    for (int i = 0; i < k; ++i) {
+        nodes[static_cast<std::size_t>(cur)].c_f += cs / 2.0;
+        RcTree::RcNode n;
+        n.parent = cur;
+        n.r_ohm = rs;
+        n.c_f = cs / 2.0;
+        n.l_h = ls;
+        nodes.push_back(n);
+        cur = static_cast<int>(nodes.size()) - 1;
+    }
+    return cur;
+}
+
+}  // namespace
+
+RcTree RcTree::from_routing_tree_reference(const RoutingTree& tree,
+                                           const Technology& tech,
+                                           int sections_per_edge,
+                                           bool with_inductance)
+{
+    std::vector<RcNode> nodes(1);
+    nodes[0].parent = -1;
+    nodes[0].r_ohm = tech.driver_resistance_ohm;
+
+    std::vector<int> rc_of(tree.node_count(), -1);
+    rc_of[static_cast<std::size_t>(tree.root())] = 0;
+    for (const NodeId id : tree.preorder()) {
+        if (id == tree.root()) continue;
+        const auto& n = tree.node(id);
+        const Length l = tree.edge_length(id);
+        const int from = rc_of[static_cast<std::size_t>(n.parent)];
+        const int sections = static_cast<int>(std::min<Length>(l, sections_per_edge));
+        const int end = append_wire(
+            nodes, from, tech.r_grid() * static_cast<double>(l),
+            tech.c_grid() * static_cast<double>(l),
+            with_inductance ? tech.l_grid() * static_cast<double>(l) : 0.0, sections);
+        rc_of[static_cast<std::size_t>(id)] = end;
+        if (n.is_sink)
+            nodes[static_cast<std::size_t>(end)].c_f +=
+                n.sink_cap_f >= 0.0 ? n.sink_cap_f : tech.sink_load_f;
+    }
+
+    RcTree rc(std::move(nodes));
+    for (const NodeId s : tree.sinks())
+        rc.sink_nodes_.push_back(rc_of[static_cast<std::size_t>(s)]);
+    return rc;
+}
+
+}  // namespace cong93

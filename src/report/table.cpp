@@ -6,7 +6,20 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "rtree/metrics.h"
+
 namespace cong93 {
+
+NetSummary summarize_net(const FlatTree& ft)
+{
+    NetSummary s;
+    s.nodes = ft.size();
+    s.sinks = ft.sinks().size();
+    s.length = total_length(ft);
+    s.radius = radius(ft);
+    s.sum_sink_path_lengths = sum_sink_path_lengths(ft);
+    return s;
+}
 
 TextTable::TextTable(std::vector<std::string> headers)
 {

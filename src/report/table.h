@@ -1,11 +1,14 @@
 // Minimal fixed-width table formatting shared by the benchmark binaries so
-// that every table/figure reproduction prints in a uniform, diffable style.
+// that every table/figure reproduction prints in a uniform, diffable style,
+// plus the per-net metric summary the CLI tables share.
 #ifndef CONG93_REPORT_TABLE_H
 #define CONG93_REPORT_TABLE_H
 
 #include <iosfwd>
 #include <string>
 #include <vector>
+
+#include "rtree/flat_tree.h"
 
 namespace cong93 {
 
@@ -31,6 +34,17 @@ std::string fmt_sci(double v, int digits = 2);
 std::string fmt_ns(double seconds, int digits = 2);
 /// Signed percentage delta of `other` relative to `base` ("+12.76%").
 std::string fmt_pct_delta(double base, double other, int digits = 2);
+
+/// Per-net metric summary of a compiled tree (the analysis IR), one flat
+/// pass per metric; the shared substance of the CLI route/simulate tables.
+struct NetSummary {
+    std::size_t nodes = 0;
+    std::size_t sinks = 0;
+    Length length = 0;
+    Length radius = 0;
+    Length sum_sink_path_lengths = 0;
+};
+NetSummary summarize_net(const FlatTree& ft);
 
 }  // namespace cong93
 

@@ -16,6 +16,8 @@ void FlatTree::build(const RoutingTree& tree)
     path_len_.resize(n);
     is_sink_.resize(n);
     sink_cap_.resize(n);
+    point_.resize(n);
+    seg_boundary_.resize(n);
     node_of_.resize(n);
     flat_of_.resize(n);
 
@@ -45,6 +47,8 @@ void FlatTree::build(const RoutingTree& tree)
         path_len_[i] = node.pl;
         is_sink_[i] = node.is_sink ? 1 : 0;
         sink_cap_[i] = node.sink_cap_f;
+        point_[i] = node.p;
+        seg_boundary_[i] = node.segment_boundary ? 1 : 0;
     }
 
     // CSR children.  Filling by ascending flat index preserves the original

@@ -52,6 +52,11 @@ public:
     /// Raw per-node sink capacitance (farad); negative selects the
     /// technology default, exactly as RoutingTree::Node::sink_cap_f.
     const std::vector<double>& sink_cap() const { return sink_cap_; }
+    /// Grid position of each node (needed by rendering and by segment
+    /// extraction, which must see turns).
+    const std::vector<Point>& point() const { return point_; }
+    /// Forced segment boundaries, RoutingTree::Node::segment_boundary.
+    const std::vector<std::uint8_t>& seg_boundary() const { return seg_boundary_; }
 
     /// CSR children: children of flat node i are
     /// child_idx()[child_ptr()[i] .. child_ptr()[i+1]), in original order.
@@ -83,6 +88,8 @@ private:
     std::vector<Length> path_len_;
     std::vector<std::uint8_t> is_sink_;
     std::vector<double> sink_cap_;
+    std::vector<Point> point_;
+    std::vector<std::uint8_t> seg_boundary_;
     std::vector<std::int32_t> child_ptr_;
     std::vector<std::int32_t> child_idx_;
     std::vector<std::int32_t> sinks_;

@@ -4,37 +4,53 @@
 
 namespace cong93 {
 
+Length total_length(const FlatTree& ft) { return ft.total_length(); }
+
 Length total_length(const RoutingTree& tree)
 {
+    return total_length(FlatTree(tree));
+}
+
+Length sum_sink_path_lengths(const FlatTree& ft)
+{
     Length sum = 0;
-    tree.for_each_edge([&](NodeId id) { sum += tree.edge_length(id); });
+    const Length* pl = ft.path_length().data();
+    for (const std::int32_t s : ft.sinks()) sum += pl[s];
     return sum;
 }
 
 Length sum_sink_path_lengths(const RoutingTree& tree)
 {
+    return sum_sink_path_lengths(FlatTree(tree));
+}
+
+Length sum_all_node_path_lengths(const FlatTree& ft)
+{
     Length sum = 0;
-    for (const NodeId s : tree.sinks()) sum += tree.path_length(s);
+    const Length* el = ft.edge_length().data();
+    const Length* pl = ft.path_length().data();
+    for (std::size_t i = 1; i < ft.size(); ++i) {
+        const Length l = el[i];
+        const Length a = pl[i] - l;  // pl at the edge's head
+        sum += l * a + l * (l + 1) / 2;
+    }
     return sum;
 }
 
 Length sum_all_node_path_lengths(const RoutingTree& tree)
 {
-    Length sum = 0;
-    tree.for_each_edge([&](NodeId id) {
-        const Length l = tree.edge_length(id);
-        const Length a = tree.path_length(id) - l;  // pl at the edge's head
-        sum += l * a + l * (l + 1) / 2;
-    });
-    return sum;
+    return sum_all_node_path_lengths(FlatTree(tree));
 }
 
-Length radius(const RoutingTree& tree)
+Length radius(const FlatTree& ft)
 {
     Length r = 0;
-    for (const NodeId s : tree.sinks()) r = std::max(r, tree.path_length(s));
+    const Length* pl = ft.path_length().data();
+    for (const std::int32_t s : ft.sinks()) r = std::max(r, pl[s]);
     return r;
 }
+
+Length radius(const RoutingTree& tree) { return radius(FlatTree(tree)); }
 
 Length net_radius(const Net& net)
 {
@@ -43,11 +59,16 @@ Length net_radius(const Net& net)
     return r;
 }
 
+double mdrt_cost(const FlatTree& ft, double alpha, double beta, double gamma)
+{
+    return alpha * static_cast<double>(total_length(ft)) +
+           beta * static_cast<double>(sum_sink_path_lengths(ft)) +
+           gamma * static_cast<double>(sum_all_node_path_lengths(ft));
+}
+
 double mdrt_cost(const RoutingTree& tree, double alpha, double beta, double gamma)
 {
-    return alpha * static_cast<double>(total_length(tree)) +
-           beta * static_cast<double>(sum_sink_path_lengths(tree)) +
-           gamma * static_cast<double>(sum_all_node_path_lengths(tree));
+    return mdrt_cost(FlatTree(tree), alpha, beta, gamma);
 }
 
 }  // namespace cong93

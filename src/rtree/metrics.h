@@ -4,25 +4,38 @@
 //   Σ_{nodes k} pl_k(T)  -- sum over *all grid points* of the tree, the QMST
 //                           objective (drives t3)
 // All values are exact 64-bit integers in grid units.
+//
+// The primary evaluators run over the compiled FlatTree (the analysis IR):
+// each metric is a single pass over the dense preorder arrays -- no
+// allocation, no pointer chasing, no recursion.  The RoutingTree overloads
+// are thin shims that compile-then-delegate; the seed pointer-walk bodies
+// survive as `*_reference` oracles in the cong_oracles target
+// (CONG93_BUILD_ORACLES) and are bit-identical because every sum here is an
+// exact integer accumulation.
 #ifndef CONG93_RTREE_METRICS_H
 #define CONG93_RTREE_METRICS_H
 
+#include "rtree/flat_tree.h"
 #include "rtree/routing_tree.h"
 
 namespace cong93 {
 
 /// Total wirelength of the tree in grid units.
+Length total_length(const FlatTree& ft);
 Length total_length(const RoutingTree& tree);
 
 /// Σ over sinks of the source-to-sink path length.
+Length sum_sink_path_lengths(const FlatTree& ft);
 Length sum_sink_path_lengths(const RoutingTree& tree);
 
 /// Σ over every grid node of the tree of its source path length (the QMST
 /// cost).  Each edge of length l starting at path length a contributes
 /// Σ_{j=1..l} (a+j) = l*a + l(l+1)/2; the source contributes 0.
+Length sum_all_node_path_lengths(const FlatTree& ft);
 Length sum_all_node_path_lengths(const RoutingTree& tree);
 
 /// Longest source-to-sink path length (tree radius).
+Length radius(const FlatTree& ft);
 Length radius(const RoutingTree& tree);
 
 /// Largest rectilinear source-to-sink distance of the net (lower bound on
@@ -30,7 +43,17 @@ Length radius(const RoutingTree& tree);
 Length net_radius(const Net& net);
 
 /// MDRT objective alpha*length + beta*Σ_sinks pl + gamma*Σ_nodes pl (Eq. 8).
+double mdrt_cost(const FlatTree& ft, double alpha, double beta, double gamma);
 double mdrt_cost(const RoutingTree& tree, double alpha, double beta, double gamma);
+
+// Seed pointer-walk twins, defined only in the cong_oracles target
+// (CONG93_BUILD_ORACLES=ON).  Equivalence oracles for tests and benches.
+Length total_length_reference(const RoutingTree& tree);
+Length sum_sink_path_lengths_reference(const RoutingTree& tree);
+Length sum_all_node_path_lengths_reference(const RoutingTree& tree);
+Length radius_reference(const RoutingTree& tree);
+double mdrt_cost_reference(const RoutingTree& tree, double alpha, double beta,
+                           double gamma);
 
 }  // namespace cong93
 

@@ -37,6 +37,23 @@ bool is_nontrivial(const RoutingTree& tree, NodeId id)
     return !(in == out);
 }
 
+bool is_nontrivial(const FlatTree& ft, std::int32_t fi)
+{
+    const auto i = static_cast<std::size_t>(fi);
+    if (fi == 0) return true;  // source (flat index 0 is the root)
+    if (ft.is_sink()[i]) return true;
+    if (ft.seg_boundary()[i]) return true;  // artificial non-trivial node
+    const std::int32_t* cp = ft.child_ptr().data();
+    if (cp[fi + 1] - cp[fi] != 1) return true;  // branch or leaf
+    // Turning node?
+    const Point* pt = ft.point().data();
+    const std::int32_t par = ft.parent()[i];
+    const std::int32_t ch = ft.child_idx()[static_cast<std::size_t>(cp[fi])];
+    const Dir in = direction(pt[par], pt[fi]);
+    const Dir out = direction(pt[fi], pt[ch]);
+    return !(in == out);
+}
+
 SegmentDecomposition::SegmentDecomposition(const RoutingTree& tree) : tree_(&tree)
 {
     // Walk from the root; each child edge of a non-trivial node starts a

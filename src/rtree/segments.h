@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "rtree/flat_tree.h"
 #include "rtree/routing_tree.h"
 
 namespace cong93 {
@@ -57,6 +58,9 @@ private:
 
 /// True when the node is non-trivial in `tree` (source/sink/branch/turn).
 bool is_nontrivial(const RoutingTree& tree, NodeId id);
+
+/// Same predicate over the compiled IR (`fi` is a flat index).
+bool is_nontrivial(const FlatTree& ft, std::int32_t fi);
 
 }  // namespace cong93
 

@@ -13,12 +13,11 @@ struct Mapper {
     double margin = 20.0;
     Coord min_x = 0, min_y = 0, max_x = 0, max_y = 0;
 
-    Mapper(const RoutingTree& tree, const SvgOptions& opt)
+    Mapper(const FlatTree& ft, const SvgOptions& opt)
     {
-        min_x = max_x = tree.point(tree.root()).x;
-        min_y = max_y = tree.point(tree.root()).y;
-        for (std::size_t i = 0; i < tree.node_count(); ++i) {
-            const Point p = tree.point(static_cast<NodeId>(i));
+        min_x = max_x = ft.point()[0].x;
+        min_y = max_y = ft.point()[0].y;
+        for (const Point p : ft.point()) {
             min_x = std::min(min_x, p.x);
             max_x = std::max(max_x, p.x);
             min_y = std::min(min_y, p.y);
@@ -55,16 +54,18 @@ void emit_line(std::ostringstream& os, const Mapper& m, Point a, Point b,
        << "\"/>\n";
 }
 
-void emit_terminals(std::ostringstream& os, const Mapper& m, const RoutingTree& tree)
+/// Terminal markers in ascending node-id order (the seed renderer iterated
+/// node ids), mapped through flat_of so the bytes match exactly.
+void emit_terminals(std::ostringstream& os, const Mapper& m, const FlatTree& ft)
 {
-    for (std::size_t i = 0; i < tree.node_count(); ++i) {
-        const NodeId id = static_cast<NodeId>(i);
-        const auto& n = tree.node(id);
-        if (id == tree.root()) {
-            os << "<rect x=\"" << m.x(n.p.x) - 5 << "\" y=\"" << m.y(n.p.y) - 5
+    for (std::size_t id = 0; id < ft.size(); ++id) {
+        const std::int32_t fi = ft.flat_of(static_cast<NodeId>(id));
+        const Point p = ft.point()[static_cast<std::size_t>(fi)];
+        if (fi == 0) {
+            os << "<rect x=\"" << m.x(p.x) - 5 << "\" y=\"" << m.y(p.y) - 5
                << "\" width=\"10\" height=\"10\" fill=\"#c03020\"/>\n";
-        } else if (n.is_sink) {
-            os << "<circle cx=\"" << m.x(n.p.x) << "\" cy=\"" << m.y(n.p.y)
+        } else if (ft.is_sink()[static_cast<std::size_t>(fi)]) {
+            os << "<circle cx=\"" << m.x(p.x) << "\" cy=\"" << m.y(p.y)
                << "\" r=\"4\" fill=\"#209040\"/>\n";
         }
     }
@@ -72,18 +73,23 @@ void emit_terminals(std::ostringstream& os, const Mapper& m, const RoutingTree& 
 
 }  // namespace
 
-std::string to_svg(const RoutingTree& tree, const SvgOptions& options)
+std::string to_svg(const FlatTree& ft, const SvgOptions& options)
 {
-    const Mapper m(tree, options);
+    const Mapper m(ft, options);
     std::ostringstream os;
     emit_header(os, m);
-    tree.for_each_edge([&](NodeId id) {
-        emit_line(os, m, tree.point(tree.node(id).parent), tree.point(id),
-                  options.base_stroke);
-    });
-    if (options.label_terminals) emit_terminals(os, m, tree);
+    const std::int32_t* parent = ft.parent().data();
+    const Point* pt = ft.point().data();
+    for (std::size_t fi = 1; fi < ft.size(); ++fi)
+        emit_line(os, m, pt[parent[fi]], pt[fi], options.base_stroke);
+    if (options.label_terminals) emit_terminals(os, m, ft);
     os << "</svg>\n";
     return os.str();
+}
+
+std::string to_svg(const RoutingTree& tree, const SvgOptions& options)
+{
+    return to_svg(FlatTree(tree), options);
 }
 
 std::string to_svg_wiresized(const SegmentDecomposition& segs,
@@ -92,24 +98,26 @@ std::string to_svg_wiresized(const SegmentDecomposition& segs,
 {
     if (norm_widths.size() != segs.count())
         throw std::invalid_argument("to_svg_wiresized: width count mismatch");
-    const RoutingTree& tree = segs.tree();
-    const Mapper m(tree, options);
+    const FlatTree ft(segs.tree());
+    const Mapper m(ft, options);
     std::ostringstream os;
     emit_header(os, m);
 
     // Map each tree edge to its segment's width: walk each segment's chain
-    // from tail to head.
-    std::vector<double> edge_width(tree.node_count(), options.base_stroke);
+    // from tail to head along the flat parent array.
+    std::vector<double> edge_width(ft.size(), options.base_stroke);
+    const std::int32_t* parent = ft.parent().data();
     for (std::size_t si = 0; si < segs.count(); ++si) {
         const double w = options.base_stroke * norm_widths[si];
-        for (NodeId n = segs[si].tail; n != segs[si].head; n = tree.node(n).parent)
-            edge_width[static_cast<std::size_t>(n)] = w;
+        const std::int32_t head = ft.flat_of(segs[si].head);
+        for (std::int32_t f = ft.flat_of(segs[si].tail); f != head; f = parent[f])
+            edge_width[static_cast<std::size_t>(f)] = w;
     }
-    tree.for_each_edge([&](NodeId id) {
-        emit_line(os, m, tree.point(tree.node(id).parent), tree.point(id),
-                  edge_width[static_cast<std::size_t>(id)]);
-    });
-    if (options.label_terminals) emit_terminals(os, m, tree);
+    const Point* pt = ft.point().data();
+    for (std::size_t fi = 1; fi < ft.size(); ++fi)
+        emit_line(os, m, pt[parent[fi]], pt[fi],
+                  edge_width[fi]);
+    if (options.label_terminals) emit_terminals(os, m, ft);
     os << "</svg>\n";
     return os.str();
 }

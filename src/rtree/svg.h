@@ -1,12 +1,19 @@
 // Standalone SVG rendering of routing trees -- wires, terminals, and
 // (optionally) wire widths, with stroke widths proportional to the assigned
 // normalized widths.  Output is a self-contained SVG document string.
+//
+// Rendering consumes the compiled FlatTree (the analysis IR): edges are
+// emitted in flat preorder (== the pointer walk's for_each_edge order) and
+// terminal markers in ascending node-id order via flat_of(), so the native
+// flat path is byte-identical to the seed pointer walk (preserved as
+// to_svg_reference in the cong_oracles target).
 #ifndef CONG93_RTREE_SVG_H
 #define CONG93_RTREE_SVG_H
 
 #include <string>
 #include <vector>
 
+#include "rtree/flat_tree.h"
 #include "rtree/segments.h"
 
 namespace cong93 {
@@ -18,7 +25,10 @@ struct SvgOptions {
     bool label_terminals = true;  ///< draw source/sink markers
 };
 
-/// Uniform-width rendering.
+/// Uniform-width rendering over the compiled IR.
+std::string to_svg(const FlatTree& ft, const SvgOptions& options = {});
+
+/// Shim: compiles the tree, then delegates to the flat renderer.
 std::string to_svg(const RoutingTree& tree, const SvgOptions& options = {});
 
 /// Wiresized rendering: `norm_widths[i]` is segment i's normalized width
@@ -26,6 +36,11 @@ std::string to_svg(const RoutingTree& tree, const SvgOptions& options = {});
 /// stroke is scaled by it.
 std::string to_svg_wiresized(const SegmentDecomposition& segs,
                              const std::vector<double>& norm_widths,
+                             const SvgOptions& options = {});
+
+/// Seed pointer-walk renderer, defined only in the cong_oracles target
+/// (CONG93_BUILD_ORACLES=ON); byte-identity oracle for the flat path.
+std::string to_svg_reference(const RoutingTree& tree,
                              const SvgOptions& options = {});
 
 }  // namespace cong93

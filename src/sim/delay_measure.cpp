@@ -31,11 +31,17 @@ DelayReport measure(const RcTree& rc, SimMethod method, double threshold)
 
 }  // namespace
 
+DelayReport measure_delay(const FlatTree& ft, const Technology& tech,
+                          SimMethod method, double threshold, bool with_inductance)
+{
+    return measure(RcTree::from_flat_tree(ft, tech, 16, with_inductance), method,
+                   threshold);
+}
+
 DelayReport measure_delay(const RoutingTree& tree, const Technology& tech,
                           SimMethod method, double threshold, bool with_inductance)
 {
-    return measure(RcTree::from_routing_tree(tree, tech, 16, with_inductance), method,
-                   threshold);
+    return measure_delay(FlatTree(tree), tech, method, threshold, with_inductance);
 }
 
 DelayReport measure_delay_wiresized(const SegmentDecomposition& segs,
@@ -46,6 +52,14 @@ DelayReport measure_delay_wiresized(const SegmentDecomposition& segs,
     return measure(
         RcTree::from_wiresized_tree(segs, tech, widths, assignment, 16, with_inductance),
         method, threshold);
+}
+
+DelayReport measure_delay_wiresized(const WiresizeContext& ctx,
+                                    const Assignment& assignment, SimMethod method,
+                                    double threshold, bool with_inductance)
+{
+    return measure(RcTree::from_wiresized_flat(ctx, assignment, 16, with_inductance),
+                   method, threshold);
 }
 
 }  // namespace cong93

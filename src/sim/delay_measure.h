@@ -20,8 +20,14 @@ struct DelayReport {
     double max = 0.0;
 };
 
-/// Delay of a uniform-width tree.  `with_inductance` switches the wire
-/// model from RC to RLC using the technology's per-unit inductance.
+/// Delay of a uniform-width compiled tree (the analysis IR).
+/// `with_inductance` switches the wire model from RC to RLC using the
+/// technology's per-unit inductance.
+DelayReport measure_delay(const FlatTree& ft, const Technology& tech,
+                          SimMethod method = SimMethod::two_pole,
+                          double threshold = 0.5, bool with_inductance = false);
+
+/// Shim: compiles the tree, then delegates to the flat overload.
 DelayReport measure_delay(const RoutingTree& tree, const Technology& tech,
                           SimMethod method = SimMethod::two_pole,
                           double threshold = 0.5, bool with_inductance = false);
@@ -29,6 +35,14 @@ DelayReport measure_delay(const RoutingTree& tree, const Technology& tech,
 /// Delay of a wiresized tree.
 DelayReport measure_delay_wiresized(const SegmentDecomposition& segs,
                                     const Technology& tech, const WidthSet& widths,
+                                    const Assignment& assignment,
+                                    SimMethod method = SimMethod::two_pole,
+                                    double threshold = 0.5,
+                                    bool with_inductance = false);
+
+/// Delay of a wiresized net via a flat-built WiresizeContext (no
+/// SegmentDecomposition involved); bit-identical to the overload above.
+DelayReport measure_delay_wiresized(const WiresizeContext& ctx,
                                     const Assignment& assignment,
                                     SimMethod method = SimMethod::two_pole,
                                     double threshold = 0.5,

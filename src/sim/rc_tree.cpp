@@ -44,35 +44,46 @@ int append_wire(std::vector<RcTree::RcNode>& nodes, int from, double r, double c
 
 }  // namespace
 
-RcTree RcTree::from_routing_tree(const RoutingTree& tree, const Technology& tech,
-                                 int sections_per_edge, bool with_inductance)
+RcTree RcTree::from_flat_tree(const FlatTree& ft, const Technology& tech,
+                              int sections_per_edge, bool with_inductance)
 {
     std::vector<RcNode> nodes(1);
     nodes[0].parent = -1;
     nodes[0].r_ohm = tech.driver_resistance_ohm;
 
-    std::vector<int> rc_of(tree.node_count(), -1);
-    rc_of[static_cast<std::size_t>(tree.root())] = 0;
-    for (const NodeId id : tree.preorder()) {
-        if (id == tree.root()) continue;
-        const auto& n = tree.node(id);
-        const Length l = tree.edge_length(id);
-        const int from = rc_of[static_cast<std::size_t>(n.parent)];
+    // Flat order is preorder, so every parent's RC end node exists before
+    // its children are appended -- the same visit order (and therefore the
+    // same node numbering and arithmetic) as the seed pointer walk.
+    const std::int32_t* parent = ft.parent().data();
+    const Length* el = ft.edge_length().data();
+    const std::uint8_t* sk = ft.is_sink().data();
+    const double* sc = ft.sink_cap().data();
+    std::vector<int> rc_of(ft.size(), -1);
+    if (!ft.empty()) rc_of[0] = 0;
+    for (std::size_t i = 1; i < ft.size(); ++i) {
+        const Length l = el[i];
+        const int from = rc_of[static_cast<std::size_t>(parent[i])];
         const int sections = static_cast<int>(std::min<Length>(l, sections_per_edge));
         const int end = append_wire(
             nodes, from, tech.r_grid() * static_cast<double>(l),
             tech.c_grid() * static_cast<double>(l),
             with_inductance ? tech.l_grid() * static_cast<double>(l) : 0.0, sections);
-        rc_of[static_cast<std::size_t>(id)] = end;
-        if (n.is_sink)
+        rc_of[i] = end;
+        if (sk[i])
             nodes[static_cast<std::size_t>(end)].c_f +=
-                n.sink_cap_f >= 0.0 ? n.sink_cap_f : tech.sink_load_f;
+                sc[i] >= 0.0 ? sc[i] : tech.sink_load_f;
     }
 
     RcTree rc(std::move(nodes));
-    for (const NodeId s : tree.sinks())
+    for (const std::int32_t s : ft.sinks())
         rc.sink_nodes_.push_back(rc_of[static_cast<std::size_t>(s)]);
     return rc;
+}
+
+RcTree RcTree::from_routing_tree(const RoutingTree& tree, const Technology& tech,
+                                 int sections_per_edge, bool with_inductance)
+{
+    return from_flat_tree(FlatTree(tree), tech, sections_per_edge, with_inductance);
 }
 
 RcTree RcTree::from_wiresized_tree(const SegmentDecomposition& segs,
@@ -117,6 +128,58 @@ RcTree RcTree::from_wiresized_tree(const SegmentDecomposition& segs,
     RcTree rc(std::move(nodes));
     for (const NodeId s : tree.sinks()) {
         const int idx = rc_of_tree_node[static_cast<std::size_t>(s)];
+        if (idx < 0) throw std::logic_error("RcTree: sink is not a segment tail");
+        rc.sink_nodes_.push_back(idx);
+    }
+    return rc;
+}
+
+RcTree RcTree::from_wiresized_flat(const WiresizeContext& ctx,
+                                   const Assignment& assignment,
+                                   int sections_per_edge, bool with_inductance)
+{
+    if (ctx.flat() == nullptr)
+        throw std::logic_error(
+            "RcTree::from_wiresized_flat: context was not built from a FlatTree");
+    if (assignment.size() != ctx.segment_count())
+        throw std::invalid_argument("RcTree: assignment size mismatch");
+    const FlatTree& ft = *ctx.flat();
+    const Technology& tech = ctx.tech();
+    const WidthSet& widths = ctx.widths();
+
+    std::vector<RcNode> nodes(1);
+    nodes[0].parent = -1;
+    nodes[0].r_ohm = tech.driver_resistance_ohm;
+
+    // Same segment order, arithmetic, and tail-cap resolution as
+    // from_wiresized_tree; segment tails are tracked by flat node index.
+    std::vector<int> rc_of_tail(ctx.segment_count(), -1);
+    std::vector<int> rc_of_flat(ft.size(), -1);
+    if (!ft.empty()) rc_of_flat[0] = 0;
+
+    for (std::size_t i = 0; i < ctx.segment_count(); ++i) {
+        const std::int32_t p = ctx.seg_parent()[i];
+        const int from =
+            p == kNoSegment ? 0 : rc_of_tail[static_cast<std::size_t>(p)];
+        const double w = widths[assignment[i]];
+        const double l = ctx.seg_length()[i];
+        const int sections = static_cast<int>(
+            std::min<Length>(static_cast<Length>(l), sections_per_edge));
+        // Wire inductance is taken width-independent (loop inductance varies
+        // only logarithmically with conductor width).
+        const int end = append_wire(nodes, from, tech.r_grid() * l / w,
+                                    tech.c_grid() * l * w,
+                                    with_inductance ? tech.l_grid() * l : 0.0,
+                                    sections);
+        rc_of_tail[i] = end;
+        rc_of_flat[static_cast<std::size_t>(ctx.seg_tail_flat()[i])] = end;
+        if (ctx.tail_is_sink()[i])
+            nodes[static_cast<std::size_t>(end)].c_f += ctx.tail_cap(i);
+    }
+
+    RcTree rc(std::move(nodes));
+    for (const std::int32_t s : ft.sinks()) {
+        const int idx = rc_of_flat[static_cast<std::size_t>(s)];
         if (idx < 0) throw std::logic_error("RcTree: sink is not a segment tail");
         rc.sink_nodes_.push_back(idx);
     }

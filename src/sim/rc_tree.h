@@ -15,9 +15,11 @@
 
 #include <vector>
 
+#include "rtree/flat_tree.h"
 #include "rtree/segments.h"
 #include "tech/technology.h"
 #include "wiresize/assignment.h"
+#include "wiresize/delay_eval.h"
 
 namespace cong93 {
 
@@ -34,19 +36,40 @@ public:
     /// root with r_ohm = driver resistance; children must follow parents.
     explicit RcTree(std::vector<RcNode> nodes);
 
-    /// Builds the RC tree of a uniform-width routing tree.
-    /// `sections_per_edge` bounds the number of L-sections per wire edge
-    /// (each edge gets min(length, sections_per_edge) sections).
+    /// Builds the RC tree of a uniform-width compiled tree (the analysis
+    /// IR).  `sections_per_edge` bounds the number of L-sections per wire
+    /// edge (each edge gets min(length, sections_per_edge) sections).
     /// `with_inductance` adds the technology's per-unit wire inductance in
     /// series with each section (the paper's Table 4 MCM value is 380
     /// fH/um); the default pure-RC mode matches the paper's delay model.
+    static RcTree from_flat_tree(const FlatTree& ft, const Technology& tech,
+                                 int sections_per_edge = 16,
+                                 bool with_inductance = false);
+
+    /// Shim: compiles the tree, then delegates to from_flat_tree.
     static RcTree from_routing_tree(const RoutingTree& tree, const Technology& tech,
                                     int sections_per_edge = 16,
                                     bool with_inductance = false);
 
+    /// Seed pointer-walk builder, defined only in the cong_oracles target
+    /// (CONG93_BUILD_ORACLES=ON); equivalence oracle for from_flat_tree.
+    static RcTree from_routing_tree_reference(const RoutingTree& tree,
+                                              const Technology& tech,
+                                              int sections_per_edge = 16,
+                                              bool with_inductance = false);
+
     /// Builds the RC tree of a wiresized routing tree.
     static RcTree from_wiresized_tree(const SegmentDecomposition& segs,
                                       const Technology& tech, const WidthSet& widths,
+                                      const Assignment& assignment,
+                                      int sections_per_edge = 16,
+                                      bool with_inductance = false);
+
+    /// Builds the RC tree of a wiresized net from a flat-built
+    /// WiresizeContext (uses its segment arrays and originating FlatTree;
+    /// throws std::logic_error for a SegmentDecomposition-built context).
+    /// Bit-identical to from_wiresized_tree on the same net.
+    static RcTree from_wiresized_flat(const WiresizeContext& ctx,
                                       const Assignment& assignment,
                                       int sections_per_edge = 16,
                                       bool with_inductance = false);

@@ -28,14 +28,16 @@ BottomUpResult bottom_up_wiresize(const WiresizeContext& ctx)
     std::vector<std::vector<int>> arg_le(n, std::vector<int>(static_cast<std::size_t>(r)));
 
     for (std::size_t i = n; i-- > 0;) {  // children have larger indices
-        const double l = static_cast<double>(ctx.segs()[i].length);
+        const double l = ctx.seg_length()[i];
         const double tc = ctx.tail_cap(i);
         for (int k = 0; k < r; ++k) {
             const double w = ctx.widths()[k];
             double b_child = 0.0;
             double a_child = 0.0;
-            for (const int c : ctx.segs()[i].children) {
-                const std::size_t ci = static_cast<std::size_t>(c);
+            const auto& cp = ctx.seg_child_ptr();
+            for (std::int32_t ck = cp[i]; ck < cp[i + 1]; ++ck) {
+                const std::size_t ci = static_cast<std::size_t>(
+                    ctx.seg_child_idx()[static_cast<std::size_t>(ck)]);
                 const int pick = arg_le[ci][static_cast<std::size_t>(k)];
                 b_child += b[ci][static_cast<std::size_t>(pick)];
                 a_child += a[ci][static_cast<std::size_t>(pick)];
@@ -61,7 +63,7 @@ BottomUpResult bottom_up_wiresize(const WiresizeContext& ctx)
     BottomUpResult res;
     res.assignment.assign(n, 0);
     for (std::size_t i = 0; i < n; ++i) {
-        const int parent = ctx.segs()[i].parent;
+        const int parent = ctx.seg_parent()[i];
         const int cap = parent == kNoSegment
                             ? r - 1
                             : res.assignment[static_cast<std::size_t>(parent)];

@@ -34,25 +34,25 @@ double delay_lower_bound(const WiresizeContext& ctx, const Assignment& lower,
 {
     // Eq. 51-54: capacitive factors (w multiplies C0) take the lower-bound
     // width, resistive factors (w divides R0) take the upper-bound width.
-    const auto& segs = ctx.segs();
+    const std::size_t n = ctx.segment_count();
     const auto& ws = ctx.widths();
     const double rd = ctx.tech().driver_resistance_ohm;
     const double r0 = ctx.tech().r_grid();
     const double c0 = ctx.tech().c_grid();
 
     // Upstream Σ l_a / w_a using upper widths (smallest possible resistance).
-    std::vector<double> a_up(segs.count(), 0.0);
-    for (std::size_t i = 0; i < segs.count(); ++i) {
-        const int p = segs[i].parent;
+    std::vector<double> a_up(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::int32_t p = ctx.seg_parent()[i];
         if (p == kNoSegment) continue;
         a_up[i] = a_up[static_cast<std::size_t>(p)] +
-                  static_cast<double>(segs[static_cast<std::size_t>(p)].length) /
+                  ctx.seg_length()[static_cast<std::size_t>(p)] /
                       ws[upper[static_cast<std::size_t>(p)]];
     }
 
     double bound = 0.0;
-    for (std::size_t i = 0; i < segs.count(); ++i) {
-        const double l = static_cast<double>(segs[i].length);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double l = ctx.seg_length()[i];
         const double w_lo = ws[lower[i]];
         const double w_hi = ws[upper[i]];
         bound += rd * c0 * w_lo * l;                                  // t1

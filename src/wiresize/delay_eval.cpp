@@ -10,36 +10,118 @@ WiresizeContext::WiresizeContext(const SegmentDecomposition& segs,
 {
     const std::size_t n = segs.count();
     tail_cap_.resize(n, 0.0);
+    tail_is_sink_.resize(n, 0);
+    seg_parent_.resize(n);
+    seg_length_.resize(n);
     for (std::size_t i = 0; i < n; ++i) {
         const WireSegment& s = segs[i];
         if (s.tail_is_sink)
             tail_cap_[i] = s.tail_sink_cap_f >= 0.0 ? s.tail_sink_cap_f
                                                     : tech.sink_load_f;
+        tail_is_sink_[i] = s.tail_is_sink ? 1 : 0;
+        seg_parent_[i] = s.parent;
+        seg_length_[i] = static_cast<double>(s.length);
     }
-    down_cap_ = segs.downstream_sink_cap(tech.sink_load_f);
+    seg_roots_.reserve(segs.roots().size());
+    for (const int r : segs.roots())
+        seg_roots_.push_back(static_cast<std::int32_t>(r));
+    finish_compile();
+}
 
-    // Compile the segment tree into flat arrays: dense parent/length plus a
-    // CSR child adjacency that preserves the original child order (so the
-    // flat descendant walks accumulate in the same order as the pointer
-    // walks and stay bit-identical).
-    seg_parent_.resize(n);
-    seg_length_.resize(n);
-    for (std::size_t i = 0; i < n; ++i) {
-        seg_parent_[i] = segs[i].parent;
-        seg_length_[i] = static_cast<double>(segs[i].length);
+WiresizeContext::WiresizeContext(const FlatTree& ft, const Technology& tech,
+                                 WidthSet widths)
+    : ft_(&ft), tech_(&tech), widths_(std::move(widths))
+{
+    // Extract the segment tree straight from the compiled IR, replicating
+    // SegmentDecomposition's stack DFS exactly -- children pushed in order
+    // and popped LIFO -- so segment indices, parent links, and child order
+    // (and therefore every downstream accumulation) match the pointer-walk
+    // decomposition bit for bit.
+    struct Item {
+        std::int32_t start;     // non-trivial node the segment hangs from
+        std::int32_t first;     // first node along the segment
+        std::int32_t parent_seg;
+    };
+    const std::int32_t* cp = ft.child_ptr().data();
+    const std::int32_t* ci = ft.child_idx().data();
+    const Length* pl = ft.path_length().data();
+    const std::uint8_t* sk = ft.is_sink().data();
+    const double* sc = ft.sink_cap().data();
+
+    std::vector<Item> stack;
+    if (!ft.empty())
+        for (std::int32_t k = cp[0]; k < cp[1]; ++k)
+            stack.push_back({0, ci[k], kNoSegment});
+
+    while (!stack.empty()) {
+        const Item it = stack.back();
+        stack.pop_back();
+
+        std::int32_t cur = it.first;
+        while (!is_nontrivial(ft, cur))
+            cur = ci[cp[cur]];  // extend through the single trivial child
+
+        const Length len = pl[static_cast<std::size_t>(cur)] -
+                           pl[static_cast<std::size_t>(it.start)];
+        if (len <= 0)
+            throw std::logic_error("SegmentDecomposition: non-positive segment");
+
+        const auto idx = static_cast<std::int32_t>(seg_parent_.size());
+        seg_parent_.push_back(it.parent_seg);
+        seg_length_.push_back(static_cast<double>(len));
+        seg_tail_flat_.push_back(cur);
+        const bool sink = sk[static_cast<std::size_t>(cur)] != 0;
+        tail_is_sink_.push_back(sink ? 1 : 0);
+        tail_cap_.push_back(
+            sink ? (sc[static_cast<std::size_t>(cur)] >= 0.0
+                        ? sc[static_cast<std::size_t>(cur)]
+                        : tech.sink_load_f)
+                 : 0.0);
+        if (it.parent_seg == kNoSegment) seg_roots_.push_back(idx);
+
+        for (std::int32_t k = cp[cur]; k < cp[cur + 1]; ++k)
+            stack.push_back({cur, ci[k], idx});
     }
+    finish_compile();
+}
+
+void WiresizeContext::finish_compile()
+{
+    const std::size_t n = seg_parent_.size();
+    // CSR child adjacency.  Counting by ascending segment index preserves
+    // the decomposition's child order (children are appended in creation
+    // order, which is ascending-index).
     seg_child_ptr_.assign(n + 1, 0);
     for (std::size_t i = 0; i < n; ++i)
         if (seg_parent_[i] != kNoSegment)
             ++seg_child_ptr_[static_cast<std::size_t>(seg_parent_[i]) + 1];
     for (std::size_t i = 1; i <= n; ++i) seg_child_ptr_[i] += seg_child_ptr_[i - 1];
-    seg_child_idx_.resize(n - static_cast<std::size_t>(segs.roots().size()));
+    seg_child_idx_.resize(n - seg_roots_.size());
     std::vector<std::int32_t> cursor(seg_child_ptr_);
-    for (std::size_t p = 0; p < n; ++p)
-        for (const int c : segs[p].children)
-            seg_child_idx_[static_cast<std::size_t>(cursor[p]++)] =
+    for (std::size_t c = 0; c < n; ++c)
+        if (seg_parent_[c] != kNoSegment)
+            seg_child_idx_[static_cast<std::size_t>(
+                cursor[static_cast<std::size_t>(seg_parent_[c])]++)] =
                 static_cast<std::int32_t>(c);
+
+    // Loading capacitance at or below each segment: reverse accumulation
+    // with children visited in CSR (== child list) order.
+    down_cap_.assign(n, 0.0);
+    for (std::size_t i = n; i-- > 0;) {
+        double c = tail_cap_[i];
+        for (std::int32_t k = seg_child_ptr_[i]; k < seg_child_ptr_[i + 1]; ++k)
+            c += down_cap_[static_cast<std::size_t>(seg_child_idx_[static_cast<std::size_t>(k)])];
+        down_cap_[i] = c;
+    }
     rin_scratch_.resize(n);
+}
+
+const SegmentDecomposition& WiresizeContext::segs() const
+{
+    if (segs_ == nullptr)
+        throw std::logic_error(
+            "WiresizeContext::segs: context was built from a FlatTree");
+    return *segs_;
 }
 
 void WiresizeContext::upstream_resistance(const Assignment& a) const
@@ -57,33 +139,6 @@ void WiresizeContext::upstream_resistance(const Assignment& a) const
     }
 }
 
-namespace {
-
-/// Accumulated upstream resistances R_in per segment (Rd at the stems).
-/// Seed pointer-walk version, kept for the *_reference twins.
-std::vector<double> upstream_resistance_reference(const SegmentDecomposition& segs,
-                                                  const Technology& tech,
-                                                  const WidthSet& ws,
-                                                  const Assignment& a)
-{
-    std::vector<double> rin(segs.count(), 0.0);
-    const double r0 = tech.r_grid();
-    for (std::size_t i = 0; i < segs.count(); ++i) {
-        const WireSegment& s = segs[i];
-        const double above = s.parent == kNoSegment
-                                 ? tech.driver_resistance_ohm
-                                 : rin[static_cast<std::size_t>(s.parent)] +
-                                       r0 *
-                                           static_cast<double>(
-                                               segs[static_cast<std::size_t>(s.parent)].length) /
-                                           ws[a[static_cast<std::size_t>(s.parent)]];
-        rin[i] = above;
-    }
-    return rin;
-}
-
-}  // namespace
-
 double WiresizeContext::delay(const Assignment& a) const
 {
     if (a.size() != segment_count())
@@ -96,25 +151,6 @@ double WiresizeContext::delay(const Assignment& a) const
     double total = 0.0;
     for (std::size_t i = 0; i < segment_count(); ++i) {
         const double l = seg_length_[i];
-        const double w = widths_[a[i]];
-        total += rin[i] * c0 * w * l + r0 * c0 * l * (l + 1.0) / 2.0;
-        total += (rin[i] + r0 * l / w) * tail_cap_[i];
-    }
-    return total;
-}
-
-double WiresizeContext::delay_reference(const Assignment& a) const
-{
-    if (a.size() != segment_count())
-        throw std::invalid_argument("WiresizeContext::delay: bad assignment size");
-    const double r0 = tech_->r_grid();
-    const double c0 = tech_->c_grid();
-    const std::vector<double> rin =
-        upstream_resistance_reference(*segs_, *tech_, widths_, a);
-
-    double total = 0.0;
-    for (std::size_t i = 0; i < segment_count(); ++i) {
-        const double l = static_cast<double>((*segs_)[i].length);
         const double w = widths_[a[i]];
         total += rin[i] * c0 * w * l + r0 * c0 * l * (l + 1.0) / 2.0;
         total += (rin[i] + r0 * l / w) * tail_cap_[i];
@@ -144,38 +180,16 @@ WiresizeContext::Terms WiresizeContext::terms(const Assignment& a) const
     return t;
 }
 
-WiresizeContext::Terms WiresizeContext::terms_reference(const Assignment& a) const
-{
-    const double rd = tech_->driver_resistance_ohm;
-    const double r0 = tech_->r_grid();
-    const double c0 = tech_->c_grid();
-    const std::vector<double> rin =
-        upstream_resistance_reference(*segs_, *tech_, widths_, a);
-
-    Terms t;
-    for (std::size_t i = 0; i < segment_count(); ++i) {
-        const double l = static_cast<double>((*segs_)[i].length);
-        const double w = widths_[a[i]];
-        t.t1 += rd * c0 * w * l;
-        // Upstream *wire* resistance seen by this segment's start.
-        const double a_up = (rin[i] - rd) / r0;  // Σ l_a / w_a over ancestors
-        t.t2 += (a_up * r0 + r0 * l / w) * tail_cap_[i];
-        t.t3 += r0 * c0 * l * (l + 1.0) / 2.0 + r0 * a_up * c0 * w * l;
-        t.t4 += rd * tail_cap_[i];
-    }
-    return t;
-}
-
 double WiresizeContext::delay_bruteforce(const Assignment& a) const
 {
     const double r0 = tech_->r_grid();
     const double c0 = tech_->c_grid();
-    const std::vector<double> rin =
-        upstream_resistance_reference(*segs_, *tech_, widths_, a);
+    upstream_resistance(a);
+    const double* rin = rin_scratch_.data();
 
     double total = 0.0;
     for (std::size_t i = 0; i < segment_count(); ++i) {
-        const Length l = (*segs_)[i].length;
+        const auto l = static_cast<Length>(seg_length_[i]);
         const double w = widths_[a[i]];
         for (Length j = 1; j <= l; ++j) {
             const double r = rin[i] + r0 * static_cast<double>(j) / w;
@@ -228,40 +242,6 @@ WiresizeContext::ThetaPhi WiresizeContext::theta_phi_fast(const Assignment& a,
 
     ThetaPhi tp;
     const double l = seg_length_[i];
-    tp.theta = c0 * l * (rd + r0 * a_up);
-    tp.phi = r0 * l * (down_cap_[i] + c0 * wire_below);
-    return tp;
-}
-
-WiresizeContext::ThetaPhi WiresizeContext::theta_phi_fast_reference(
-    const Assignment& a, std::size_t i) const
-{
-    const double rd = tech_->driver_resistance_ohm;
-    const double r0 = tech_->r_grid();
-    const double c0 = tech_->c_grid();
-
-    // A_i = Σ_{ancestors} l_a / w_a.
-    double a_up = 0.0;
-    for (int p = (*segs_)[i].parent; p != kNoSegment;
-         p = (*segs_)[static_cast<std::size_t>(p)].parent) {
-        a_up += static_cast<double>((*segs_)[static_cast<std::size_t>(p)].length) /
-                widths_[a[static_cast<std::size_t>(p)]];
-    }
-
-    // Σ_{strict descendants} w_d * l_d, via one subtree walk.
-    double wire_below = 0.0;
-    std::vector<int> stack((*segs_)[i].children.begin(), (*segs_)[i].children.end());
-    while (!stack.empty()) {
-        const int d = stack.back();
-        stack.pop_back();
-        wire_below += widths_[a[static_cast<std::size_t>(d)]] *
-                      static_cast<double>((*segs_)[static_cast<std::size_t>(d)].length);
-        for (const int c : (*segs_)[static_cast<std::size_t>(d)].children)
-            stack.push_back(c);
-    }
-
-    ThetaPhi tp;
-    const double l = static_cast<double>((*segs_)[i].length);
     tp.theta = c0 * l * (rd + r0 * a_up);
     tp.phi = r0 * l * (down_cap_[i] + c0 * wire_below);
     return tp;

@@ -11,19 +11,26 @@
 // Summed over all segments this equals Eq. 9 at grid granularity, including
 // the constant t4.
 //
-// The context compiles the SegmentDecomposition once into flat
-// structure-of-arrays form (parent index, pre-cast double length, CSR
-// children); the primary delay/theta-phi kernels walk those dense arrays
-// with reusable internal scratch, while the seed pointer-walk
-// implementations are kept as *_reference twins (bit-identical: the flat
-// kernels evaluate the same expressions in the same order).  Because of the
-// internal scratch a WiresizeContext must not be shared by two threads
-// concurrently; batch drivers construct one context per net per worker.
+// The context holds the segment tree in flat structure-of-arrays form
+// (parent index, pre-cast double length, CSR children).  It can be compiled
+// two ways with bit-identical arrays:
+//   * from a SegmentDecomposition (the seed path, kept for the standalone
+//     Table 6/8 studies and the oracles), or
+//   * directly from a compiled FlatTree -- the analysis IR -- replicating
+//     the decomposition's stack-DFS discovery order exactly, so the batch
+//     pipeline never re-derives the pointer tree.
+// The primary delay/theta-phi kernels walk the dense arrays with reusable
+// internal scratch; the seed pointer-walk implementations survive as
+// *_reference twins in the cong_oracles target (CONG93_BUILD_ORACLES).
+// Because of the internal scratch a WiresizeContext must not be shared by
+// two threads concurrently; batch drivers construct one context per net per
+// worker.
 #ifndef CONG93_WIRESIZE_DELAY_EVAL_H
 #define CONG93_WIRESIZE_DELAY_EVAL_H
 
 #include <cstdint>
 
+#include "rtree/flat_tree.h"
 #include "tech/technology.h"
 #include "wiresize/assignment.h"
 
@@ -35,7 +42,16 @@ public:
     WiresizeContext(const SegmentDecomposition& segs, const Technology& tech,
                     WidthSet widths);
 
-    const SegmentDecomposition& segs() const { return *segs_; }
+    /// Compiles the segment arrays straight from the analysis IR; no
+    /// SegmentDecomposition (and no RoutingTree walk) is involved.
+    WiresizeContext(const FlatTree& ft, const Technology& tech, WidthSet widths);
+
+    /// The originating SegmentDecomposition; only available when the context
+    /// was built from one (throws for flat-built contexts).
+    const SegmentDecomposition& segs() const;
+    /// The originating FlatTree, or nullptr when built from a
+    /// SegmentDecomposition.
+    const FlatTree* flat() const { return ft_; }
     const Technology& tech() const { return *tech_; }
     const WidthSet& widths() const { return widths_; }
     int width_count() const { return widths_.count(); }
@@ -47,16 +63,27 @@ public:
     double downstream_sink_cap(std::size_t i) const { return down_cap_[i]; }
 
     /// Flat structure-of-arrays view of the segment tree, compiled in the
-    /// constructor (used by the IncrementalDelayEngine's hot walks).
+    /// constructor.  These are the only segment data the production
+    /// algorithms (grewsa/owsa/bottom-up/incremental) touch.
     const std::vector<std::int32_t>& seg_parent() const { return seg_parent_; }
     const std::vector<double>& seg_length() const { return seg_length_; }
     const std::vector<std::int32_t>& seg_child_ptr() const { return seg_child_ptr_; }
     const std::vector<std::int32_t>& seg_child_idx() const { return seg_child_idx_; }
+    /// Indices of the segments incident on the source, in discovery order
+    /// (== SegmentDecomposition::roots()).
+    const std::vector<std::int32_t>& seg_roots() const { return seg_roots_; }
+    /// Whether segment i's tail is a sink.
+    const std::vector<std::uint8_t>& tail_is_sink() const { return tail_is_sink_; }
+    /// Flat node index of segment i's tail; only filled for flat-built
+    /// contexts (empty otherwise).
+    const std::vector<std::int32_t>& seg_tail_flat() const { return seg_tail_flat_; }
 
     /// Exact t(T) of Eq. 9 for the assignment, in seconds (flat kernel).
     double delay(const Assignment& a) const;
 
     /// The seed pointer-walk implementation; bit-identical to delay().
+    /// Defined only in the cong_oracles target (CONG93_BUILD_ORACLES=ON) and
+    /// only valid on a SegmentDecomposition-built context.
     double delay_reference(const Assignment& a) const;
 
     /// The t1..t4 terms of Eq. 10-13 (flat kernel).
@@ -66,7 +93,8 @@ public:
     };
     Terms terms(const Assignment& a) const;
 
-    /// The seed pointer-walk implementation; bit-identical to terms().
+    /// The seed pointer-walk implementation; bit-identical to terms()
+    /// (cong_oracles only).
     Terms terms_reference(const Assignment& a) const;
 
     /// Grid-node-level reference implementation (tests only).
@@ -87,7 +115,7 @@ public:
     ThetaPhi theta_phi_fast(const Assignment& a, std::size_t i) const;
 
     /// The seed pointer-walk implementation; bit-identical to
-    /// theta_phi_fast().
+    /// theta_phi_fast() (cong_oracles only).
     ThetaPhi theta_phi_fast_reference(const Assignment& a, std::size_t i) const;
 
     /// Width index in [0, max_idx] minimizing theta*w + phi/w (ties -> the
@@ -97,8 +125,12 @@ public:
 private:
     /// Accumulated upstream resistances R_in per segment into rin_scratch_.
     void upstream_resistance(const Assignment& a) const;
+    /// CSR + downstream-cap compilation shared by both constructors (runs
+    /// after seg_parent_/seg_length_/tail_cap_/tail_is_sink_ are filled).
+    void finish_compile();
 
-    const SegmentDecomposition* segs_;
+    const SegmentDecomposition* segs_ = nullptr;
+    const FlatTree* ft_ = nullptr;
     const Technology* tech_;
     WidthSet widths_;
     std::vector<double> tail_cap_;
@@ -108,6 +140,9 @@ private:
     std::vector<double> seg_length_;
     std::vector<std::int32_t> seg_child_ptr_;
     std::vector<std::int32_t> seg_child_idx_;
+    std::vector<std::int32_t> seg_roots_;
+    std::vector<std::uint8_t> tail_is_sink_;
+    std::vector<std::int32_t> seg_tail_flat_;
     // Reusable evaluation scratch (single-thread use per context).
     mutable std::vector<double> rin_scratch_;
     mutable std::vector<std::int32_t> walk_scratch_;

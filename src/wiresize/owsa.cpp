@@ -35,15 +35,17 @@ public:
             // re-walking the subtree (delta evaluation: consecutive
             // enumeration states differ only in one stem width).
             double b_child = 0.0, a_child = 0.0;
-            for (const int c : ctx.segs()[i].children) {
-                const std::size_t ci = static_cast<std::size_t>(c);
+            const auto& cp = ctx.seg_child_ptr();
+            for (std::int32_t k = cp[i]; k < cp[i + 1]; ++k) {
+                const std::size_t ci =
+                    static_cast<std::size_t>(ctx.seg_child_idx()[static_cast<std::size_t>(k)]);
                 subtree_[i].insert(subtree_[i].end(), subtree_[ci].begin(),
                                    subtree_[ci].end());
                 pinnable_[i] = pinnable_[i] && pinnable_[ci];
                 b_child += b_min_[ci];
                 a_child += a_min_[ci];
             }
-            const double l = static_cast<double>(ctx.segs()[i].length);
+            const double l = ctx.seg_length()[i];
             const double tc = ctx.tail_cap(i);
             b_min_[i] = c0 * w0 * l + tc + b_child;
             a_min_[i] = r0 * c0 * l * (l + 1.0) / 2.0 +
@@ -54,7 +56,7 @@ public:
     OwsaResult run()
     {
         double total = 0.0;
-        for (const int root : ctx_->segs().roots())
+        for (const std::int32_t root : ctx_->seg_roots())
             total += solve(static_cast<std::size_t>(root), ctx_->width_count() - 1,
                            ctx_->tech().driver_resistance_ohm);
         OwsaResult res;
@@ -72,7 +74,7 @@ private:
     {
         const double r0 = ctx_->tech().r_grid();
         const double c0 = ctx_->tech().c_grid();
-        const double l = static_cast<double>(ctx_->segs()[i].length);
+        const double l = ctx_->seg_length()[i];
         const double w = ctx_->widths()[k];
         return r_in * c0 * w * l + r0 * c0 * l * (l + 1.0) / 2.0 +
                (r_in + r0 * l / w) * ctx_->tail_cap(i);
@@ -103,12 +105,14 @@ private:
                     current_[static_cast<std::size_t>(s)] = 0;
             } else {
                 const double r_next =
-                    r_in + ctx_->tech().r_grid() *
-                               static_cast<double>(ctx_->segs()[i].length) /
+                    r_in + ctx_->tech().r_grid() * ctx_->seg_length()[i] /
                                ctx_->widths()[k];
                 d = contribution(i, k, r_in);
-                for (const int c : ctx_->segs()[i].children)
-                    d += solve(static_cast<std::size_t>(c), k, r_next);
+                const auto& cp = ctx_->seg_child_ptr();
+                for (std::int32_t ck = cp[i]; ck < cp[i + 1]; ++ck)
+                    d += solve(static_cast<std::size_t>(
+                                   ctx_->seg_child_idx()[static_cast<std::size_t>(ck)]),
+                               k, r_next);
             }
             if (d < best) {
                 best = d;

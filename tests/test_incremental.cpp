@@ -132,6 +132,7 @@ TEST(ThetaPhiFast, ExactlyMatchesThetaPhi)
     }
 }
 
+#ifdef CONG93_HAVE_ORACLES
 TEST(Grewsa, BitIdenticalToReference)
 {
     for (const std::uint64_t seed : {1u, 2u, 3u, 4u}) {
@@ -150,6 +151,7 @@ TEST(Grewsa, BitIdenticalToReference)
         }
     }
 }
+#endif  // CONG93_HAVE_ORACLES
 
 TEST(Grewsa, DominanceBracketPreserved)
 {

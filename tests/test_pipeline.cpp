@@ -107,8 +107,11 @@ TEST(RoutingTree, BufferReuseOverloadsMatch)
 }
 
 // ---------------------------------------------------------------------------
-// Flat kernels vs reference twins (bit-identical)
+// Flat kernels vs reference twins (bit-identical); the twins live in the
+// cong_oracles target, so this section needs CONG93_BUILD_ORACLES=ON.
 // ---------------------------------------------------------------------------
+
+#ifdef CONG93_HAVE_ORACLES
 
 TEST(FlatKernels, ElmoreBitIdenticalToReference)
 {
@@ -201,6 +204,8 @@ TEST(FlatKernels, GrewsaFixpointBitIdenticalToReference)
         EXPECT_EQ(fast.sweeps, ref.sweeps);
     }
 }
+
+#endif  // CONG93_HAVE_ORACLES
 
 // ---------------------------------------------------------------------------
 // Thread pool: exception propagation & dynamic scheduling

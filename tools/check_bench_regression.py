@@ -17,6 +17,12 @@ of checks with different severities:
   serial.  Either mismatch means the isolation layer lost determinism or
   the routers started degrading organically -- not machine variance.
 
+* Compile counts are HARD failures: any fresh entry carrying a
+  ``compiles_per_net`` field must not exceed 1.0.  The batch pipeline
+  compiles each net's FlatTree exactly once and every downstream stage
+  shares that compile; a higher rate means a consumer regressed into
+  re-deriving the IR.
+
 * Speedup comparisons stay warn-only: rows are matched by section, optional
   kernel name, and size (``sinks`` or ``threads``), and a warning is printed
   when the fresh speedup drops below half the committed value.  Machine
@@ -80,6 +86,19 @@ def failure_violations(study):
     return bad
 
 
+def compile_rate_violations(study):
+    """Every entry whose ``compiles_per_net`` exceeds one compile per net."""
+    bad = []
+    for section, value in study.items():
+        entries = value if isinstance(value, list) else [value]
+        for entry in entries:
+            if not isinstance(entry, dict):
+                continue
+            if float(entry.get("compiles_per_net", 0.0)) > 1.0:
+                bad.append((section, entry))
+    return bad
+
+
 def describe(section, row):
     kernel = row.get("kernel")
     size = next(
@@ -116,6 +135,13 @@ def main(argv):
         print(
             f"FAIL: {describe(section, entry)}: failed={entry['failed']} "
             f"(expected {expected})"
+        )
+        failed = True
+
+    for section, entry in compile_rate_violations(fresh):
+        print(
+            f"FAIL: {describe(section, entry)}: "
+            f"compiles_per_net={entry['compiles_per_net']} (limit 1.0)"
         )
         failed = True
 
