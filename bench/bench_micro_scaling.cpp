@@ -22,10 +22,17 @@
 // each timed flat vs its cong_oracles pointer-walk twin with exact identity
 // checks).
 //
+// BENCH_simd.json (the vectorized-kernel study: per-kernel speedup of the
+// active vector ISA over the scalar anchor in relaxed and strict modes with
+// ULP/bit-identity flags, plus the lane-batched route_batch throughput with
+// pack occupancy).  The oracle-anchored studies above run under a scalar
+// dispatch pin so their exact-identity checks keep comparing seed bits.
+//
 //   --json=PATH          output path for the wiresize study (default BENCH_wiresize.json)
 //   --atree-json=PATH    output path for the A-tree study (default BENCH_atree.json)
 //   --pipeline-json=PATH output path for the pipeline study (default BENCH_pipeline.json)
 //   --metrics-json=PATH  output path for the IR-consumer study (default BENCH_metrics.json)
+//   --simd-json=PATH     output path for the SIMD study (default BENCH_simd.json)
 //   --json-only          skip the google-benchmark suite, only write the studies
 //   --smoke              small-size studies only (CI smoke job)
 //   --skip-wiresize      do not (re)generate the wiresize study
@@ -33,8 +40,11 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <iostream>
 #include <optional>
 #include <string>
@@ -58,6 +68,8 @@
 #include "sim/delay_measure.h"
 #include "sim/transient.h"
 #include "sim/two_pole.h"
+#include "simd/dispatch.h"
+#include "simd/kernels.h"
 #include "tech/technology.h"
 #include "wiresize/combined.h"
 #include "wiresize/grewsa.h"
@@ -503,7 +515,9 @@ bool write_metrics_json(const std::string& path, bool smoke)
     // Every downstream layer ported to the FlatTree IR, measured against its
     // cong_oracles twin on the same nets with exact (==) identity checks:
     // the five tree metrics, RC-tree construction, the two simulators, and
-    // the SVG renderer (byte identity).
+    // the SVG renderer (byte identity).  Scalar dispatch pin: the oracles
+    // are the seed kernels, which only the scalar ISA reproduces bitwise.
+    ScopedSimdMode scalar_pin(SimdMode::scalar);
     const Technology tech = mcm_technology();
     const std::vector<int> sizes =
         smoke ? std::vector<int>{12, 25} : std::vector<int>{12, 25, 50, 100, 200};
@@ -628,6 +642,11 @@ bool write_metrics_json(const std::string& path, bool smoke)
 
 bool write_pipeline_json(const std::string& path, bool smoke)
 {
+    // Scalar dispatch pin, for the same reason as write_metrics_json: this
+    // study's identity columns are defined against the seed oracles, and its
+    // timing rows are the scalar-anchor trajectory that BENCH_simd.json
+    // reports vectorized speedups over.
+    ScopedSimdMode scalar_pin(SimdMode::scalar);
     const Technology tech = mcm_technology();
 
     // --- flat kernels vs the pointer-walk references --------------------
@@ -847,6 +866,210 @@ bool write_pipeline_json(const std::string& path, bool smoke)
     return all_identical;
 }
 
+// ---------------------------------------------------------------------------
+// BENCH_simd.json: vectorized kernels vs the scalar anchor
+// ---------------------------------------------------------------------------
+
+/// Distance in representable doubles; 0 for bit-equal values.
+std::uint64_t ulps_between(double a, double b)
+{
+    if (a == b) return 0;
+    if (!std::isfinite(a) || !std::isfinite(b)) return ~std::uint64_t{0};
+    std::int64_t ia, ib;
+    std::memcpy(&ia, &a, sizeof a);
+    std::memcpy(&ib, &b, sizeof b);
+    if (ia < 0) ia = std::numeric_limits<std::int64_t>::min() - ia;
+    if (ib < 0) ib = std::numeric_limits<std::int64_t>::min() - ib;
+    return static_cast<std::uint64_t>(ia > ib ? ia - ib : ib - ia);
+}
+
+constexpr std::uint64_t kSimdMaxUlps = 256;
+
+struct SimdKernelRow {
+    int sinks = 0;
+    const char* kernel = "";
+    const char* mode = "";  ///< "relaxed" (ULP gate) or "strict" (bit gate)
+    double scalar_s = 0.0;
+    double vector_s = 0.0;
+    bool ok = false;
+    double speedup() const
+    {
+        return vector_s > 0.0 ? scalar_s / vector_s : 0.0;
+    }
+};
+
+bool write_simd_json(const std::string& path, bool smoke)
+{
+    const Technology tech = mcm_technology();
+    const SimdIsa isa = resolve_simd_isa(SimdMode::auto_detect);
+    // On a host without a compiled-in vector ISA the "vector" rows re-run
+    // the scalar kernels; the file still records isa=scalar so the
+    // regression checker and readers know no speedup claim is being made.
+    const std::vector<int> sizes =
+        smoke ? std::vector<int>{12, 25} : std::vector<int>{12, 25, 50, 100, 200};
+
+    std::vector<SimdKernelRow> rows;
+    for (const int sinks : sizes) {
+        const Net net = random_nets(4093, 1, kMcmGrid, sinks)[0];
+        const RoutingTree tree = build_atree_general(net).tree;
+        Workspace ws;
+        ws.flat.build(tree);
+        const RcTree rc = RcTree::from_routing_tree(tree, tech, 8);
+
+        // Scalar anchor: results and per-call wall-clock under a scalar pin.
+        std::vector<double> elmore_seed;
+        RphTerms rph_seed;
+        std::vector<std::vector<double>> moments_seed;
+        double elmore_s, rph_s, moments_s;
+        {
+            ScopedSimdMode pin(SimdMode::scalar);
+            elmore_all_sinks(ws.flat, tech, ws.caps, ws.sink_delays);
+            elmore_seed = ws.sink_delays;
+            rph_seed = rph_terms(ws.flat, tech);
+            moments_seed = compute_moments(rc, 3);
+            elmore_s = time_kernel([&] {
+                elmore_all_sinks(ws.flat, tech, ws.caps, ws.sink_delays);
+                benchmark::DoNotOptimize(ws.sink_delays.data());
+            });
+            rph_s = time_kernel(
+                [&] { benchmark::DoNotOptimize(rph_terms(ws.flat, tech)); });
+            moments_s = time_kernel([&] {
+                benchmark::DoNotOptimize(compute_moments(rc, 3, ws.moments));
+            });
+        }
+
+        const auto run_mode = [&](bool strict) {
+            ScopedSimdMode pin(SimdMode::auto_detect, strict);
+            const char* mode = strict ? "strict" : "relaxed";
+            const auto gate = [&](double seed, double got) {
+                return strict ? seed == got
+                              : ulps_between(seed, got) <= kSimdMaxUlps;
+            };
+            {
+                SimdKernelRow row{sinks, "elmore", mode, elmore_s, 0.0, true};
+                elmore_all_sinks(ws.flat, tech, ws.caps, ws.sink_delays);
+                row.ok = ws.sink_delays.size() == elmore_seed.size();
+                for (std::size_t i = 0; row.ok && i < elmore_seed.size(); ++i)
+                    row.ok = gate(elmore_seed[i], ws.sink_delays[i]);
+                row.vector_s = time_kernel([&] {
+                    elmore_all_sinks(ws.flat, tech, ws.caps, ws.sink_delays);
+                    benchmark::DoNotOptimize(ws.sink_delays.data());
+                });
+                rows.push_back(row);
+            }
+            {
+                SimdKernelRow row{sinks, "rph", mode, rph_s, 0.0, true};
+                const RphTerms t = rph_terms(ws.flat, tech);
+                row.ok = t.t1 == rph_seed.t1 && t.t3 == rph_seed.t3 &&
+                         gate(rph_seed.t2, t.t2) && gate(rph_seed.t4, t.t4);
+                row.vector_s = time_kernel(
+                    [&] { benchmark::DoNotOptimize(rph_terms(ws.flat, tech)); });
+                rows.push_back(row);
+            }
+            {
+                SimdKernelRow row{sinks, "moments", mode, moments_s, 0.0, true};
+                const auto& m = compute_moments(rc, 3, ws.moments);
+                row.ok = m.size() == moments_seed.size();
+                for (std::size_t q = 0; row.ok && q < m.size(); ++q)
+                    for (std::size_t i = 0; row.ok && i < m[q].size(); ++i)
+                        row.ok = gate(moments_seed[q][i], m[q][i]);
+                row.vector_s = time_kernel([&] {
+                    benchmark::DoNotOptimize(compute_moments(rc, 3, ws.moments));
+                });
+                rows.push_back(row);
+            }
+            for (auto it = rows.end() - 3; it != rows.end(); ++it)
+                std::cout << "simd kernel: " << it->sinks << " sinks  "
+                          << it->kernel << ' ' << it->mode << "  scalar "
+                          << fmt_sci(it->scalar_s, 2) << "s  "
+                          << simd_isa_name(isa) << ' '
+                          << fmt_sci(it->vector_s, 2) << "s  speedup "
+                          << fmt_fixed(it->speedup(), 2) << "x  ok "
+                          << (it->ok ? "yes" : "NO") << '\n';
+        };
+        run_mode(false);
+        run_mode(true);
+    }
+
+    // --- lane-batched small-net throughput ------------------------------
+    // Serial route_batch over many small nets, scalar anchor vs the relaxed
+    // vectorized mode whose report stage runs lane packs.  Statuses must
+    // match and the delay columns stay ULP-bounded; occupancy tracks how
+    // full the packs ran.
+    const int lb_nets = smoke ? 24 : 256;
+    const int lb_sinks = 6;
+    const auto lb = random_nets(31, lb_nets, kMcmGrid, lb_sinks);
+    PipelineOptions lb_opts;
+    lb_opts.threads = 1;
+    std::vector<NetRouteResult> lb_seed, lb_vec;
+    double lb_scalar_s, lb_vector_s;
+    {
+        ScopedSimdMode pin(SimdMode::scalar);
+        lb_scalar_s =
+            time_best([&] { lb_seed = route_batch(lb, tech, lb_opts); });
+    }
+    PipelineStats lb_stats;
+    std::vector<Workspace> lb_ws;
+    {
+        ScopedSimdMode pin(SimdMode::auto_detect, false);
+        lb_vector_s = time_best(
+            [&] { lb_vec = route_batch(lb, tech, lb_opts, &lb_stats, &lb_ws); });
+    }
+    bool lb_ok = lb_seed.size() == lb_vec.size();
+    for (std::size_t i = 0; lb_ok && i < lb_seed.size(); ++i)
+        lb_ok = lb_seed[i].status == lb_vec[i].status &&
+                ulps_between(lb_seed[i].elmore_max_s, lb_vec[i].elmore_max_s) <=
+                    kSimdMaxUlps &&
+                ulps_between(lb_seed[i].rph_s, lb_vec[i].rph_s) <= kSimdMaxUlps;
+    const double lb_speedup = lb_vector_s > 0.0 ? lb_scalar_s / lb_vector_s : 0.0;
+    std::cout << "simd lane batch: " << lb_nets << " nets  scalar "
+              << fmt_sci(lb_scalar_s, 2) << "s  " << simd_isa_name(isa) << ' '
+              << fmt_sci(lb_vector_s, 2) << "s  speedup "
+              << fmt_fixed(lb_speedup, 2) << "x  packs "
+              << lb_stats.counters.lane_packs << "  occupancy "
+              << fmt_fixed(lb_stats.counters.lane_occupancy(), 2) << "  ok "
+              << (lb_ok ? "yes" : "NO") << '\n';
+
+    std::ofstream out(path);
+    if (!out) {
+        std::cerr << "cannot write " << path << '\n';
+        return false;
+    }
+    out << "{\n"
+        << "  \"benchmark\": \"simd_kernels\",\n"
+        << "  \"generated_by\": \"bench_micro_scaling\",\n"
+        << "  \"technology\": \"mcm\",\n"
+        << "  \"isa\": \"" << simd_isa_name(isa) << "\",\n"
+        << "  \"lane_width\": " << simdk::lane_width(isa) << ",\n"
+        << "  \"kernels\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const SimdKernelRow& r = rows[i];
+        out << "    {\"sinks\": " << r.sinks << ", \"kernel\": \"" << r.kernel
+            << "\", \"mode\": \"" << r.mode
+            << "\", \"scalar_s\": " << fmt_sci(r.scalar_s, 4)
+            << ", \"vector_s\": " << fmt_sci(r.vector_s, 4)
+            << ", \"speedup\": " << fmt_fixed(r.speedup(), 2)
+            << ", \"ulp_ok\": " << (r.ok ? "true" : "false") << "}"
+            << (i + 1 < rows.size() ? "," : "") << '\n';
+    }
+    out << "  ],\n"
+        << "  \"lane_batch\": {\"nets\": " << lb_nets
+        << ", \"sinks\": " << lb_sinks
+        << ", \"scalar_s\": " << fmt_sci(lb_scalar_s, 4)
+        << ", \"vector_s\": " << fmt_sci(lb_vector_s, 4)
+        << ", \"speedup\": " << fmt_fixed(lb_speedup, 2)
+        << ", \"lane_packs\": " << lb_stats.counters.lane_packs
+        << ", \"lane_occupancy\": "
+        << fmt_fixed(lb_stats.counters.lane_occupancy(), 3)
+        << ", \"ulp_ok\": " << (lb_ok ? "true" : "false") << "}\n"
+        << "}\n";
+    std::cout << "wrote " << path << '\n';
+
+    bool all_ok = lb_ok;
+    for (const SimdKernelRow& r : rows) all_ok = all_ok && r.ok;
+    return all_ok;
+}
+
 }  // namespace
 }  // namespace cong93
 
@@ -856,6 +1079,7 @@ int main(int argc, char** argv)
     std::string atree_json_path = "BENCH_atree.json";
     std::string pipeline_json_path = "BENCH_pipeline.json";
     std::string metrics_json_path = "BENCH_metrics.json";
+    std::string simd_json_path = "BENCH_simd.json";
     bool json_only = false;
     bool smoke = false;
     bool skip_wiresize = false;
@@ -870,6 +1094,8 @@ int main(int argc, char** argv)
             pipeline_json_path = argv[i] + 16;
         else if (std::strncmp(argv[i], "--metrics-json=", 15) == 0)
             metrics_json_path = argv[i] + 15;
+        else if (std::strncmp(argv[i], "--simd-json=", 12) == 0)
+            simd_json_path = argv[i] + 12;
         else if (std::strcmp(argv[i], "--json-only") == 0)
             json_only = true;
         else if (std::strcmp(argv[i], "--smoke") == 0)
@@ -898,5 +1124,7 @@ int main(int argc, char** argv)
         cong93::write_metrics_json(metrics_json_path, smoke);
     const bool pipeline_ok =
         cong93::write_pipeline_json(pipeline_json_path, smoke);
-    return wiresize_ok && atree_ok && metrics_ok && pipeline_ok ? 0 : 1;
+    const bool simd_ok = cong93::write_simd_json(simd_json_path, smoke);
+    return wiresize_ok && atree_ok && metrics_ok && pipeline_ok && simd_ok ? 0
+                                                                           : 1;
 }

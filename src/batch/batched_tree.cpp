@@ -1,0 +1,72 @@
+#include "batch/batched_tree.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cong93 {
+
+void BatchedFlatTree::pack(const FlatTree* const* trees, int count, int lanes,
+                           const Technology& tech)
+{
+    assert(count > 0 && count <= lanes);
+    lanes_ = lanes;
+    count_ = count;
+    max_nodes_ = 0;
+    for (int l = 0; l < count; ++l)
+        max_nodes_ = std::max(max_nodes_, trees[l]->size());
+
+    const std::size_t K = static_cast<std::size_t>(lanes);
+    const std::size_t total = max_nodes_ * K;
+    if (total > parent_.capacity()) ++growths_;
+    parent_.assign(total, 0);
+    edge_len_.assign(total, 0.0);
+    sink_cap_.assign(total, 0.0);
+    sink_lists_.assign(K, nullptr);
+    sink_counts_.assign(K, 0);
+    for (std::size_t l = 0; l < K && max_nodes_ > 0; ++l) parent_[l] = -1;
+
+    for (int l = 0; l < count; ++l) {
+        const FlatTree& t = *trees[l];
+        const std::int32_t* par = t.parent().data();
+        const Length* el = t.edge_length().data();
+        const double* scap = t.sink_cap().data();
+        const std::size_t n = t.size();
+        const std::size_t ul = static_cast<std::size_t>(l);
+        for (std::size_t i = 1; i < n; ++i) {
+            parent_[i * K + ul] = par[i];
+            edge_len_[i * K + ul] = static_cast<double>(el[i]);
+        }
+        for (const std::int32_t s : t.sinks()) {
+            const std::size_t si = static_cast<std::size_t>(s);
+            sink_cap_[si * K + ul] =
+                scap[si] >= 0.0 ? scap[si] : tech.sink_load_f;
+        }
+        sink_lists_[ul] = t.sinks().data();
+        sink_counts_[ul] = t.sinks().size();
+    }
+
+    r_unit_ = tech.r_grid();
+    c_unit_ = tech.c_grid();
+    rd_ = tech.driver_resistance_ohm;
+    ++packs_;
+    lanes_filled_ += static_cast<std::size_t>(count);
+    lane_slots_ += K;
+}
+
+simdk::BatchedElmoreView BatchedFlatTree::view() const
+{
+    simdk::BatchedElmoreView v;
+    v.lanes = lanes_;
+    v.max_nodes = max_nodes_;
+    v.parent = parent_.data();
+    v.edge_len = edge_len_.data();
+    v.sink_cap = sink_cap_.data();
+    v.sink_lists = sink_lists_.data();
+    v.sink_counts = sink_counts_.data();
+    v.r_unit = r_unit_;
+    v.c_unit = c_unit_;
+    v.rd = rd_;
+    return v;
+}
+
+}  // namespace cong93

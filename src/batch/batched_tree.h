@@ -1,0 +1,78 @@
+// Lane-batched arena view over several compiled FlatTrees.
+//
+// Small nets starve vector units one at a time: a 10-node tree gives the
+// 4-wide AVX2 kernels at most two full vectors of work per pass.  Packing K
+// similarly sized trees side by side -- element (node i, lane l) at
+// i*lanes + l -- turns K independent per-net sweeps into one sweep whose
+// rows are K-wide by construction, so every vector op is full regardless of
+// net size.
+//
+// Packing conventions (relied on by simdk::batched_elmore):
+//   * row 0 carries parent -1 in every lane, real or padding;
+//   * padding slots (lane beyond `count`, or row beyond that lane's node
+//     count) carry parent 0, edge length 0 and sink cap 0, so they flow
+//     through every sweep as exact +0.0 no-ops against the root accumulator;
+//   * sink caps are pre-resolved against the technology default, making the
+//     fused wire-cap+load pass bit-identical to the single-net two-step
+//     sequence (c_unit*el then += load is one IEEE add either way).
+//
+// The view borrows each tree's sink index list, so the packed trees must
+// outlive any use of view().  Reuse a BatchedFlatTree across packs: the
+// interleaved arrays keep their capacity like Workspace's other scratch.
+#ifndef CONG93_BATCH_BATCHED_TREE_H
+#define CONG93_BATCH_BATCHED_TREE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "rtree/flat_tree.h"
+#include "simd/kernels.h"
+#include "tech/technology.h"
+
+namespace cong93 {
+
+class BatchedFlatTree {
+public:
+    /// Packs `count` compiled trees (count <= lanes) into `lanes` interleaved
+    /// lanes; the remainder are padding.  Every tree must be non-empty.
+    void pack(const FlatTree* const* trees, int count, int lanes,
+              const Technology& tech);
+
+    /// Kernel view of the last pack().  Invalidated by the next pack() and by
+    /// mutation of the packed trees.
+    simdk::BatchedElmoreView view() const;
+
+    int lanes() const { return lanes_; }
+    int count() const { return count_; }
+    std::size_t max_nodes() const { return max_nodes_; }
+
+    /// Telemetry: pack() calls, lanes that carried a real net, lane slots
+    /// offered, and arena reallocations (growths saturate once the arena
+    /// reaches the chunk's high-water size).
+    std::size_t packs() const { return packs_; }
+    std::size_t lanes_filled() const { return lanes_filled_; }
+    std::size_t lane_slots() const { return lane_slots_; }
+    std::size_t growths() const { return growths_; }
+
+private:
+    std::vector<std::int32_t> parent_;
+    std::vector<double> edge_len_;
+    std::vector<double> sink_cap_;
+    std::vector<const std::int32_t*> sink_lists_;
+    std::vector<std::size_t> sink_counts_;
+    int lanes_ = 0;
+    int count_ = 0;
+    std::size_t max_nodes_ = 0;
+    double r_unit_ = 0.0;
+    double c_unit_ = 0.0;
+    double rd_ = 0.0;
+    std::size_t packs_ = 0;
+    std::size_t lanes_filled_ = 0;
+    std::size_t lane_slots_ = 0;
+    std::size_t growths_ = 0;
+};
+
+}  // namespace cong93
+
+#endif  // CONG93_BATCH_BATCHED_TREE_H

@@ -1,36 +1,55 @@
 #include "batch/pipeline.h"
 
 #include <algorithm>
+#include <array>
+#include <bit>
 #include <chrono>
 #include <cmath>
 #include <optional>
 #include <sstream>
+#include <thread>
 
 #include "atree/generalized.h"
 #include "baseline/brbc.h"
 #include "baseline/spt.h"
+#include "batch/batched_tree.h"
 #include "delay/elmore.h"
 #include "delay/rph.h"
 #include "netgen/netgen.h"
 #include "rtree/segments.h"
 #include "rtree/validate.h"
 #include "sim/rc_tree.h"
+#include "simd/dispatch.h"
+#include "simd/kernels.h"
 #include "wiresize/combined.h"
 
 namespace cong93 {
 
 namespace {
 
-/// One net through the validate -> topology -> compile -> report ->
-/// wiresize -> cross-check ladder.  Catches std::exception at every stage
-/// and degrades (see pipeline.h); writes only `r` and the slot's workspace,
-/// so isolation holds by construction.
-NetRouteResult route_net(const Net& raw, std::size_t index,
+/// Largest net (nodes) admitted to a lane pack: beyond this the per-net
+/// kernels already saturate the vector units and packing only adds padding.
+constexpr std::size_t kMaxLaneNodes = 1024;
+
+/// What stages 0-2 left behind for the report/tail stages.
+struct FrontOutcome {
+    bool alive = false;            ///< reached the report stage
+    std::size_t nodes = 0;         ///< RoutingTree node count
+    const Technology* t = nullptr; ///< technology routed against (may be the
+                                   ///< per-net NaN-corrupted copy)
+};
+
+/// Stages 0-2 (validate -> topology ladder -> compile) of one net, compiling
+/// into `ft` (the slot arena or a lane-arena tree).  Catches std::exception
+/// at every stage and degrades (see pipeline.h); writes only `r`, `ft` and
+/// the slot's workspace, so isolation holds by construction.
+FrontOutcome route_front(const Net& raw, std::size_t index,
                          std::uint64_t diag_seed, const Technology& tech,
                          const PipelineOptions& opts, const FaultPlan& faults,
-                         Workspace& ws)
+                         Workspace& ws, FlatTree& ft, NetRouteResult& r,
+                         Technology& corrupted_storage)
 {
-    NetRouteResult r;
+    FrontOutcome fo;
     r.diag.net_index = index;
     r.diag.net_seed = diag_seed;
 
@@ -41,17 +60,16 @@ NetRouteResult route_net(const Net& raw, std::size_t index,
     if (!v.ok) {
         r.diag.note(RouteStage::validate, std::move(v.error));
         r.status = RouteStatus::invalid_input;
-        return r;
+        return fo;
     }
     const Net& net = v.net;
 
     // NaN-technology fault: route this net against corrupted parameters;
     // the report stage's finiteness guard has to catch the fallout.
-    const Technology* t = &tech;
-    Technology corrupted;
+    fo.t = &tech;
     if (faults.fires(index, RouteStage::report)) {
-        corrupted = FaultPlan::corrupt_nan(tech);
-        t = &corrupted;
+        corrupted_storage = FaultPlan::corrupt_nan(tech);
+        fo.t = &corrupted_storage;
     }
 
     // 1. Topology ladder: A-tree, then BRBC, then SPT.
@@ -80,62 +98,85 @@ NetRouteResult route_net(const Net& raw, std::size_t index,
         } catch (const std::exception& e) {
             r.diag.note(RouteStage::fallback, std::string("spt: ") + e.what());
             r.status = RouteStatus::failed;
-            return r;
+            return fo;
         }
     }
 
-    // 2. Compile into the slot arena, behind the OOM guards (the real
-    // per-batch cap and, for soak runs, the injected one).
+    // 2. Compile into the arena, behind the OOM guards (the real per-batch
+    // cap and, for soak runs, the injected one).
     try {
         ws.guard_nodes(tree->node_count(), opts.max_nodes_per_net);
         if (faults.fires(index, RouteStage::compile))
             ws.guard_nodes(tree->node_count(), faults.arena_cap_nodes);
-        ws.flat.build(*tree);
+        ft.build(*tree);
     } catch (const std::exception& e) {
         r.diag.note(RouteStage::compile, e.what());
         r.status = RouteStatus::failed;
-        return r;
+        return fo;
     }
 
-    // 3. Uniform-width report, finiteness-checked so corrupt technology
-    // parameters surface as a diagnosed failure instead of NaN output.
+    fo.alive = true;
+    fo.nodes = tree->node_count();
+    return fo;
+}
+
+/// Stage 3: uniform-width report, finiteness-checked so corrupt technology
+/// parameters surface as a diagnosed failure instead of NaN output.  When
+/// `lane_delays` is non-null the sink delays were already produced by the
+/// lane-batched Elmore kernel (bit-identical to the per-net relaxed kernel)
+/// and only the reduction runs here.  Returns true when the net is still on
+/// the full-flow rung.
+bool route_report(const FlatTree& ft, const FrontOutcome& fo,
+                  const Technology& t, Workspace& ws,
+                  const double* lane_delays, NetRouteResult& r)
+{
     try {
-        const double rph = rph_terms(ws.flat, *t).total();
-        ws.note_use(ws.caps, ws.flat.size());
-        ws.note_use(ws.sink_delays, ws.flat.sinks().size());
-        elmore_all_sinks(ws.flat, *t, ws.caps, ws.sink_delays);
-        const double elmore_max =
-            ws.sink_delays.empty() ? 0.0
-                                   : *std::max_element(ws.sink_delays.begin(),
-                                                       ws.sink_delays.end());
+        const double rph = rph_terms(ft, t).total();
+        double elmore_max = 0.0;
+        if (lane_delays != nullptr) {
+            for (std::size_t j = 0; j < ft.sinks().size(); ++j)
+                elmore_max = std::max(elmore_max, lane_delays[j]);
+            if (ft.sinks().empty()) elmore_max = 0.0;
+        } else {
+            ws.note_use(ws.caps, ft.size());
+            ws.note_use(ws.sink_delays, ft.sinks().size());
+            elmore_all_sinks(ft, t, ws.caps, ws.sink_delays);
+            elmore_max = ws.sink_delays.empty()
+                             ? 0.0
+                             : *std::max_element(ws.sink_delays.begin(),
+                                                 ws.sink_delays.end());
+        }
         if (!std::isfinite(rph) || !std::isfinite(elmore_max))
             throw std::runtime_error(
                 "non-finite uniform-width delay (corrupt technology parameters?)");
-        r.nodes = tree->node_count();
-        r.wirelength = ws.flat.total_length();
+        r.nodes = fo.nodes;
+        r.wirelength = ft.total_length();
         r.rph_s = rph;
         r.elmore_max_s = elmore_max;
+        return true;
     } catch (const std::exception& e) {
         r.diag.note(RouteStage::report, e.what());
         r.status = RouteStatus::failed;
-        return r;
+        return false;
     }
+}
 
-    if (!opts.wiresize) return r;
-
-    // 4./5. Wiresizing and its moment cross-check.  Either failing demotes
-    // the net to the uniform-width rung: a wiresized result whose
-    // cross-check did not pass is not reported.
+/// Stages 4-5: wiresizing and its moment cross-check.  Either failing
+/// demotes the net to the uniform-width rung: a wiresized result whose
+/// cross-check did not pass is not reported.
+void route_tail(const FlatTree& ft, std::size_t index, const Technology& t,
+                const PipelineOptions& opts, const FaultPlan& faults,
+                Workspace& ws, NetRouteResult& r)
+{
     RouteStage stage = RouteStage::wiresize;
     try {
         faults.maybe_throw(index, RouteStage::wiresize,
                            "injected: wiresizing fault");
         // The segment arrays derive from the stage-2 compile: one FlatTree
         // per net feeds report, wiresizing, and the moment cross-check.
-        const WiresizeContext ctx(ws.flat, *t,
-                                  WidthSet::uniform_steps(opts.widths_r));
+        const WiresizeContext ctx(ft, t, WidthSet::uniform_steps(opts.widths_r));
         r.segments = ctx.segment_count();
-        if (ctx.segment_count() == 0) return r;
+        if (ctx.segment_count() == 0) return;
         CombinedResult best = grewsa_owsa(ctx);
         if (!std::isfinite(best.delay))
             throw std::runtime_error("non-finite wiresized delay");
@@ -163,7 +204,92 @@ NetRouteResult route_net(const Net& raw, std::size_t index,
         r.moment_elmore_max_s = 0.0;
         r.assignment.clear();
     }
+}
+
+/// One net straight through the ladder against the slot arena -- the
+/// non-batched execution path (scalar/strict modes, oversize or
+/// fault-corrupted nets).  Stage composition is identical to the seed
+/// single-function ladder.
+NetRouteResult route_net(const Net& raw, std::size_t index,
+                         std::uint64_t diag_seed, const Technology& tech,
+                         const PipelineOptions& opts, const FaultPlan& faults,
+                         Workspace& ws)
+{
+    NetRouteResult r;
+    Technology corrupted;
+    const FrontOutcome fo = route_front(raw, index, diag_seed, tech, opts,
+                                        faults, ws, ws.flat, r, corrupted);
+    if (!fo.alive) return r;
+    if (!route_report(ws.flat, fo, *fo.t, ws, nullptr, r)) return r;
+    if (opts.wiresize)
+        route_tail(ws.flat, index, *fo.t, opts, faults, ws, r);
     return r;
+}
+
+// ---------------------------------------------------------------------------
+// Lane-batched execution (relaxed vectorized modes only)
+// ---------------------------------------------------------------------------
+
+/// A net whose front ran but whose Elmore report waits for a full lane pack.
+struct PendingLane {
+    std::size_t net = 0;    ///< index into nets/out
+    std::size_t arena = 0;  ///< Workspace lane-tree slot
+    FrontOutcome fo;
+};
+
+/// Per-slot pending nets, bucketed by power-of-two node count so the lanes
+/// of one pack have comparable depth (padding waste is bounded by 2x).
+/// Bucket b holds nets with size in (2^(b-1), 2^b].
+struct SlotBatcher {
+    std::array<std::vector<PendingLane>, 11> buckets;  // 2^10 == kMaxLaneNodes
+};
+
+std::size_t bucket_of(std::size_t n)
+{
+    return static_cast<std::size_t>(std::bit_width(n - 1));
+}
+
+/// Runs the deferred report/tail stages of every net in `pending` through
+/// one lane-batched Elmore sweep, then releases their arena slots.  Per net
+/// the results are bit-identical to the per-net relaxed path (the batched
+/// kernel's per-lane guarantee), so pack composition -- and therefore thread
+/// schedule -- cannot affect output bytes.
+void flush_bucket(std::vector<PendingLane>& pending, int lanes,
+                  const SimdConfig& cfg, const Technology& tech,
+                  const PipelineOptions& opts, const FaultPlan& faults,
+                  Workspace& ws, std::vector<NetRouteResult>& out)
+{
+    if (pending.empty()) return;
+    const std::size_t count = pending.size();
+    std::array<const FlatTree*, 8> trees{};
+    for (std::size_t l = 0; l < count; ++l)
+        trees[l] = &ws.lane_tree(pending[l].arena);
+    ws.lane_pack.pack(trees.data(), static_cast<int>(count), lanes, tech);
+
+    const std::size_t K = static_cast<std::size_t>(lanes);
+    std::size_t max_sinks = 0;
+    for (std::size_t l = 0; l < count; ++l)
+        max_sinks = std::max(max_sinks, trees[l]->sinks().size());
+    ws.note_use(ws.lane_caps, K * ws.lane_pack.max_nodes());
+    ws.note_use(ws.lane_delays, K * max_sinks);
+    ws.lane_caps.resize(K * ws.lane_pack.max_nodes());
+    ws.lane_delays.resize(K * max_sinks);
+
+    std::array<double*, 8> outs{};
+    for (std::size_t l = 0; l < count; ++l)
+        outs[l] = ws.lane_delays.data() + l * max_sinks;
+    simdk::batched_elmore(ws.lane_pack.view(), cfg, ws.lane_caps.data(),
+                          outs.data());
+
+    for (std::size_t l = 0; l < count; ++l) {
+        const PendingLane& p = pending[l];
+        NetRouteResult& r = out[p.net];
+        const FlatTree& ft = *trees[l];
+        if (route_report(ft, p.fo, tech, ws, outs[l], r) && opts.wiresize)
+            route_tail(ft, p.net, tech, opts, faults, ws, r);
+        ws.release_lane_tree(p.arena);
+    }
+    pending.clear();
 }
 
 void tally_outcomes(const std::vector<NetRouteResult>& out, PipelineStats& stats)
@@ -191,6 +317,11 @@ std::vector<NetRouteResult> route_batch_impl(const std::vector<Net>& nets,
 {
     const int threads =
         opts.threads <= 0 ? default_thread_count() : opts.threads;
+    // A pool on a single-core host only adds context switches on top of the
+    // scheduling overhead; run the requested slot count serially instead.
+    // hardware_concurrency() == 0 means "unknown" and does not cap.
+    const int pool_threads =
+        std::thread::hardware_concurrency() == 1 ? 1 : threads;
     std::vector<Workspace> local_ws;
     std::vector<Workspace>& ws = workspaces ? *workspaces : local_ws;
     if (ws.size() < static_cast<std::size_t>(threads))
@@ -205,28 +336,82 @@ std::vector<NetRouteResult> route_batch_impl(const std::vector<Net>& nets,
         return seeded ? net_seed(diag_seed_base, i) : 0;
     };
 
+    // The kernel configuration is resolved once per batch: lane batching
+    // runs only under a relaxed vectorized mode, where the batched kernel
+    // is bit-identical per lane to the per-net kernel.  Scalar and strict
+    // modes take the straight-line path, whose arithmetic is seed-exact.
+    const SimdConfig cfg = active_simd_config();
+    const int lanes = cfg.relaxed() ? simdk::lane_width(cfg.isa) : 1;
+    std::vector<SlotBatcher> batchers(
+        lanes > 1 ? ws.size() : std::size_t{0});
+
+    const auto route_one = [&](std::vector<NetRouteResult>& out,
+                               std::size_t i, int slot) {
+        Workspace& w = ws[static_cast<std::size_t>(slot)];
+        if (lanes <= 1) {
+            out[i] = route_net(nets[i], i, seed_of(i), tech, opts, faults, w);
+            return;
+        }
+        const std::size_t arena = w.acquire_lane_tree();
+        FlatTree& ft = w.lane_tree(arena);
+        Technology corrupted;
+        const FrontOutcome fo = route_front(nets[i], i, seed_of(i), tech, opts,
+                                            faults, w, ft, out[i], corrupted);
+        if (!fo.alive) {
+            w.release_lane_tree(arena);
+            return;
+        }
+        // Lane eligibility: default technology (a NaN-corrupted copy dies in
+        // this net's own finiteness check and must not poison lane mates --
+        // the pack resolves sink loads against one technology), bounded
+        // size, and at least one sink to report.
+        if (fo.t != &tech || ft.size() > kMaxLaneNodes || ft.sinks().empty()) {
+            if (route_report(ft, fo, *fo.t, w, nullptr, out[i]) &&
+                opts.wiresize)
+                route_tail(ft, i, *fo.t, opts, faults, w, out[i]);
+            w.release_lane_tree(arena);
+            return;
+        }
+        auto& bucket =
+            batchers[static_cast<std::size_t>(slot)].buckets[bucket_of(ft.size())];
+        bucket.push_back(PendingLane{i, arena, fo});
+        if (bucket.size() == static_cast<std::size_t>(lanes))
+            flush_bucket(bucket, lanes, cfg, tech, opts, faults, w, out);
+    };
+
     std::uint64_t builds_before = 0;
     for (const Workspace& w : ws) builds_before += w.counters().tree_builds;
 
+    // Dynamic-scheduling granularity: with an explicit chunk honor it;
+    // otherwise size chunks for ~8 pulls per worker, so small batches of
+    // cheap nets do not pay one atomic round-trip per net (the 2-thread
+    // regression) while skewed ones still balance.
+    std::size_t chunk = opts.chunk;
+    if (chunk == 0)
+        chunk = std::clamp<std::size_t>(
+            nets.size() / (static_cast<std::size_t>(pool_threads) * 8), 1, 64);
+
     std::vector<NetRouteResult> out(nets.size());
     const auto t0 = std::chrono::steady_clock::now();
-    if (threads <= 1 || nets.size() < 2) {
-        for (std::size_t i = 0; i < nets.size(); ++i)
-            out[i] = route_net(nets[i], i, seed_of(i), tech, opts, faults, ws[0]);
+    const bool serial = pool_threads <= 1 || nets.size() < 2;
+    if (serial) {
+        for (std::size_t i = 0; i < nets.size(); ++i) route_one(out, i, 0);
     } else {
-        ThreadPool pool(threads);
+        ThreadPool pool(pool_threads);
         parallel_for_slots(
             pool, nets.size(),
-            [&](std::size_t i, int slot) {
-                out[i] = route_net(nets[i], i, seed_of(i), tech, opts, faults,
-                                   ws[static_cast<std::size_t>(slot)]);
-            },
-            opts.chunk);
+            [&](std::size_t i, int slot) { route_one(out, i, slot); }, chunk);
     }
+    // Nets still pending in partially filled buckets finish here, after the
+    // barrier, on their owning slot's workspace.
+    for (std::size_t s = 0; s < batchers.size(); ++s)
+        for (auto& bucket : batchers[s].buckets)
+            flush_bucket(bucket, lanes, cfg, tech, opts, faults, ws[s], out);
     const auto t1 = std::chrono::steady_clock::now();
 
     if (stats) {
         stats->threads = threads;
+        stats->pool_threads = serial ? 1 : pool_threads;
         stats->seconds = std::chrono::duration<double>(t1 - t0).count();
         stats->nets_per_sec =
             stats->seconds > 0.0

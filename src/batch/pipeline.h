@@ -16,7 +16,13 @@
 //   2. FlatTree compilation    -- into the slot's arena (guarded by the
 //                                 workspace node cap when one is set);
 //   3. uniform-width report    -- RPH bound + max sink Elmore delay via the
-//                                 flat kernels, finiteness-checked;
+//                                 flat kernels, finiteness-checked.  Under a
+//                                 relaxed vectorized CONG93_SIMD mode, small
+//                                 same-size-bucket nets defer this stage
+//                                 into lane packs (batch/batched_tree.h)
+//                                 whose Elmore sweep runs all lanes at once;
+//                                 per net the bits equal the per-net relaxed
+//                                 kernel, so batching never changes output;
 //   4. grewsa_owsa             -- optimal wiresizing (PR 1's incremental
 //                                 engine) over a WiresizeContext whose
 //                                 segment arrays derive from the stage-2
@@ -59,7 +65,10 @@ namespace cong93 {
 struct PipelineOptions {
     int widths_r = 4;     ///< wiresizing width count (Table 6's r)
     int threads = 0;      ///< <= 0: default_thread_count()
-    std::size_t chunk = 2;  ///< dynamic-scheduling chunk size
+    /// Dynamic-scheduling chunk size; 0 sizes chunks adaptively (~8 pulls
+    /// per worker, clamped to [1, 64]) so cheap small batches do not pay one
+    /// atomic round-trip per net.
+    std::size_t chunk = 0;
     bool wiresize = true; ///< run the grewsa_owsa stage
     bool moment_check = true;  ///< run the wiresized moment cross-check
     int rc_sections_per_edge = 8;  ///< RC discretization of the cross-check
@@ -88,7 +97,12 @@ struct NetRouteResult {
 };
 
 struct PipelineStats {
-    int threads = 1;
+    int threads = 1;       ///< requested worker-slot count
+    /// Pool threads actually spawned: equals `threads` except on a
+    /// single-core host (hardware_concurrency() == 1), where the batch runs
+    /// serially -- a pool there only adds context switches -- and on batches
+    /// too small to fan out.  Results are byte-identical either way.
+    int pool_threads = 1;
     double seconds = 0.0;
     double nets_per_sec = 0.0;
     WorkspaceCounters counters;  ///< aggregated over the slot workspaces

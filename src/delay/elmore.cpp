@@ -3,41 +3,43 @@
 #include <algorithm>
 #include <numeric>
 
+#include "simd/dispatch.h"
+#include "simd/kernels.h"
+
 namespace cong93 {
 
 namespace {
 
-/// Total capacitance (wire + loads) in the subtree rooted at each node,
-/// where a node's incoming edge capacitance is attributed to the node: one
-/// reverse pass over the preorder arrays, children accumulated in original
-/// order via the CSR adjacency so the sums are bit-identical to the
-/// pointer-walk oracle (cong_oracles).
-void subtree_caps_flat(const FlatTree& ft, const Technology& tech,
-                       std::vector<double>& cap)
+simdk::ElmoreView make_view(const FlatTree& ft, const Technology& tech)
 {
-    const std::size_t n = ft.size();
-    cap.resize(n);
-    const Length* el = ft.edge_length().data();
-    const std::uint8_t* sk = ft.is_sink().data();
-    const double* sc = ft.sink_cap().data();
-    const std::int32_t* cp = ft.child_ptr().data();
-    const std::int32_t* ci = ft.child_idx().data();
-    for (std::size_t i = n; i-- > 0;) {
-        double c = tech.c_grid() * static_cast<double>(el[i]);
-        if (sk[i]) c += sc[i] >= 0.0 ? sc[i] : tech.sink_load_f;
-        for (std::int32_t k = cp[i]; k < cp[i + 1]; ++k)
-            c += cap[static_cast<std::size_t>(ci[k])];
-        cap[i] = c;
-    }
+    simdk::ElmoreView v;
+    v.n = ft.size();
+    v.parent = ft.parent().data();
+    v.edge_len = ft.edge_length().data();
+    v.is_sink = ft.is_sink().data();
+    v.sink_cap = ft.sink_cap().data();
+    v.child_ptr = ft.child_ptr().data();
+    v.child_idx = ft.child_idx().data();
+    v.sinks = ft.sinks().data();
+    v.sink_count = ft.sinks().size();
+    v.r_unit = tech.r_grid();
+    v.c_unit = tech.c_grid();
+    v.rd = tech.driver_resistance_ohm;
+    v.default_sink_cap = tech.sink_load_f;
+    return v;
 }
 
 }  // namespace
 
 double elmore_delay(const RoutingTree& tree, const Technology& tech, NodeId sink)
 {
+    // Single-sink probe used by topology construction and tests: always the
+    // seed scalar path, so candidate-evaluation arithmetic (and therefore
+    // every tie-break) is identical under any CONG93_SIMD setting.
     const FlatTree ft(tree);
-    std::vector<double> cap;
-    subtree_caps_flat(ft, tech, cap);
+    const simdk::ElmoreView v = make_view(ft, tech);
+    std::vector<double> cap(ft.size());
+    simdk::elmore_subtree_caps_scalar(v, cap.data());
     const double c_total = ft.empty() ? 0.0 : cap[0];
     double t = tech.driver_resistance_ohm * c_total;
     const std::int32_t* parent = ft.parent().data();
@@ -65,21 +67,11 @@ std::vector<double> elmore_all_sinks(const FlatTree& ft, const Technology& tech)
 void elmore_all_sinks(const FlatTree& ft, const Technology& tech,
                       std::vector<double>& cap_scratch, std::vector<double>& out)
 {
-    subtree_caps_flat(ft, tech, cap_scratch);
-    const double c_total = ft.empty() ? 0.0 : cap_scratch[0];
-    const std::int32_t* parent = ft.parent().data();
-    const Length* el = ft.edge_length().data();
-    out.clear();
-    out.reserve(ft.sinks().size());
-    for (const std::int32_t s : ft.sinks()) {
-        double t = tech.driver_resistance_ohm * c_total;
-        for (std::int32_t id = s; id != 0; id = parent[id]) {
-            const double re = tech.r_grid() * static_cast<double>(el[id]);
-            const double ce = tech.c_grid() * static_cast<double>(el[id]);
-            t += re * (cap_scratch[static_cast<std::size_t>(id)] - 0.5 * ce);
-        }
-        out.push_back(t);
-    }
+    const simdk::ElmoreView v = make_view(ft, tech);
+    cap_scratch.resize(v.n);
+    out.resize(v.sink_count);
+    simdk::elmore_all_sinks(v, active_simd_config(), cap_scratch.data(),
+                            out.data());
 }
 
 double elmore_max(const RoutingTree& tree, const Technology& tech)

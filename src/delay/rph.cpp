@@ -1,5 +1,8 @@
 #include "delay/rph.h"
 
+#include "simd/dispatch.h"
+#include "simd/kernels.h"
+
 namespace cong93 {
 
 RphTerms rph_terms(const RoutingTree& tree, const Technology& tech)
@@ -13,28 +16,26 @@ RphTerms rph_terms(const FlatTree& ft, const Technology& tech)
     const double r0 = tech.r_grid();
     const double c0 = tech.c_grid();
 
-    // Integer geometric sums are exact, so any accumulation order matches
-    // the reference's metrics helpers bit for bit.
-    Length length_sum = 0;
-    Length qmst_sum = 0;
-    const Length* el = ft.edge_length().data();
-    const Length* pl = ft.path_length().data();
-    for (std::size_t i = 1; i < ft.size(); ++i) {
-        const Length l = el[i];
-        const Length a = pl[i] - l;  // pl at the edge's head
-        length_sum += l;
-        qmst_sum += l * a + l * (l + 1) / 2;
-    }
+    simdk::RphView v;
+    v.n = ft.size();
+    v.edge_len = ft.edge_length().data();
+    v.path_len = ft.path_length().data();
+    v.sinks = ft.sinks().data();
+    v.sink_count = ft.sinks().size();
+    v.sink_cap = ft.sink_cap().data();
+    v.r0 = r0;
+    v.rd = rd;
+    v.default_sink_cap = tech.sink_load_f;
+    // The integer geometric sums are exact in every mode, so t1/t3 match the
+    // reference's metrics helpers bit for bit regardless of ISA; the sink
+    // sums t2/t4 follow the reduction-order contract (simd/dispatch.h).
+    const simdk::RphSums s = rph_sums(v, active_simd_config());
 
     RphTerms t;
-    t.t1 = rd * c0 * static_cast<double>(length_sum);
-    t.t3 = r0 * c0 * static_cast<double>(qmst_sum);
-    const double* sc = ft.sink_cap().data();
-    for (const std::int32_t s : ft.sinks()) {
-        const double ck = sc[s] >= 0.0 ? sc[s] : tech.sink_load_f;
-        t.t2 += r0 * static_cast<double>(pl[s]) * ck;
-        t.t4 += rd * ck;
-    }
+    t.t1 = rd * c0 * static_cast<double>(s.length_sum);
+    t.t3 = r0 * c0 * static_cast<double>(s.qmst_sum);
+    t.t2 = s.t2;
+    t.t4 = s.t4;
     return t;
 }
 

@@ -3,6 +3,9 @@
 #include <stdexcept>
 #include <utility>
 
+#include "simd/dispatch.h"
+#include "simd/kernels.h"
+
 namespace cong93 {
 
 std::vector<std::vector<double>> compute_moments(const RcTree& rc, int order)
@@ -20,58 +23,44 @@ const std::vector<std::vector<double>>& compute_moments(const RcTree& rc, int or
     const std::size_t n = rc.size();
 
     ++ws.evals;
-    if (n > ws.parent.capacity() ||
+    if (n > ws.subtree.capacity() ||
         static_cast<std::size_t>(order) > ws.m.capacity())
         ++ws.growths;
-    ws.parent.resize(n);
-    ws.r.resize(n);
-    ws.c.resize(n);
-    ws.lh.resize(n);
     ws.subtree.resize(n);
-    ws.subtree_pp.assign(n, 0.0);
     if (ws.m.size() < static_cast<std::size_t>(order))
         ws.m.resize(static_cast<std::size_t>(order));
     for (int q = 0; q < order; ++q) ws.m[static_cast<std::size_t>(q)].resize(n);
 
-    for (std::size_t i = 0; i < n; ++i) {
-        const RcTree::RcNode& node = rc.node(i);
-        ws.parent[i] = node.parent;
-        ws.r[i] = node.r_ohm;
-        ws.c[i] = node.c_f;
-        ws.lh[i] = node.l_h;
+    const SimdConfig cfg = active_simd_config();
+    const bool rlc = rc.has_inductance();
+    simdk::MomentsView v;
+    v.n = n;
+    v.parent = rc.parent_data();
+    v.r = rc.r_data();
+    v.c = rc.c_data();
+    v.lh = rlc ? rc.l_data() : nullptr;
+
+    // The m_{q-2} currents start at zero and only matter when inductance
+    // couples them in; pure-RC calls never touch the buffer (the seed
+    // kernel's +0.0*spp terms are bitwise no-ops, see kernels_scalar.cpp).
+    double* spp = nullptr;
+    if (rlc) {
+        ws.subtree_pp.assign(n, 0.0);
+        spp = ws.subtree_pp.data();
     }
 
-    const std::int32_t* parent = ws.parent.data();
-    const double* r = ws.r.data();
-    const double* c = ws.c.data();
-    const double* lh = ws.lh.data();
-    double* subtree = ws.subtree.data();
-    double* subtree_pp = ws.subtree_pp.data();
-
     for (int q = 0; q < order; ++q) {
-        // Subtree "current" sums; children follow parents in index order.
-        // m_0 = 1 everywhere, so the q == 0 currents are the raw C_k
-        // (bitwise equal to C_k * 1.0).
+        // m_0 = 1 everywhere, so the q == 0 currents are the raw C_k.
         const double* prev =
             q == 0 ? nullptr : ws.m[static_cast<std::size_t>(q - 1)].data();
-        if (prev == nullptr)
-            for (std::size_t i = 0; i < n; ++i) subtree[i] = c[i];
-        else
-            for (std::size_t i = 0; i < n; ++i) subtree[i] = c[i] * prev[i];
-        for (std::size_t i = n; i-- > 1;)
-            subtree[static_cast<std::size_t>(parent[i])] += subtree[i];
-        // Top-down: the branch drop is (R + sL) * I, i.e. at order q the R
-        // term couples to m_{q-1} currents and the L term to m_{q-2}.
         double* cur = ws.m[static_cast<std::size_t>(q)].data();
-        cur[0] = -r[0] * subtree[0] - lh[0] * subtree_pp[0];
-        for (std::size_t i = 1; i < n; ++i)
-            cur[i] = cur[static_cast<std::size_t>(parent[i])] - r[i] * subtree[i] -
-                     lh[i] * subtree_pp[i];
-        // The accumulated currents of this order are next order's m_{q-2}
-        // currents; swapping avoids the reference's full-vector copy.
-        std::swap(ws.subtree, ws.subtree_pp);
-        subtree = ws.subtree.data();
-        subtree_pp = ws.subtree_pp.data();
+        simdk::moments_order(v, cfg, prev, cur, ws.subtree.data(), spp);
+        if (rlc) {
+            // This order's accumulated currents are next order's m_{q-2}
+            // currents; swapping avoids the reference's full-vector copy.
+            std::swap(ws.subtree, ws.subtree_pp);
+            spp = ws.subtree_pp.data();
+        }
     }
     return ws.m;
 }

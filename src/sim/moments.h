@@ -6,12 +6,15 @@
 // accumulated over subtrees, m_q(i) = m_q(parent) - R_i * Σ_{k in subtree(i)}
 // I_k (the ideal source ahead of Rd has m_q = 0 for q >= 1).
 //
-// The primary kernel runs over structure-of-arrays copies of the RcTree held
-// in a caller-owned MomentWorkspace, so a batch of nets reuses its scratch
-// (parent/R/C/L arrays, subtree-current buffers, the moment rows) instead of
-// reallocating per call.  The seed per-call-allocating implementation is
-// kept as compute_moments_reference; results are bit-identical (same
-// recursion, same accumulation order).
+// The kernel reads the RcTree's structure-of-arrays mirrors directly (built
+// once at tree construction, see RcTree::parent_data) and keeps only the
+// subtree-current buffers and moment rows in a caller-owned MomentWorkspace,
+// so a batch of nets reuses its scratch instead of copying the tree and
+// re-zeroing buffers per call.  Pure-RC trees skip the inductance terms and
+// the m_{q-2} buffer outright -- a bitwise no-op, since the seed kernel's
+// lh terms are all +0.0 there.  The per-order recursion itself dispatches
+// through simd/kernels.h (see DESIGN.md §9): the scalar ISA reproduces the
+// seed implementation (kept as compute_moments_reference) bit for bit.
 #ifndef CONG93_SIM_MOMENTS_H
 #define CONG93_SIM_MOMENTS_H
 
@@ -23,10 +26,8 @@ namespace cong93 {
 
 /// Reusable scratch for compute_moments; one per worker thread in a batch.
 struct MomentWorkspace {
-    std::vector<std::int32_t> parent;  ///< SoA copy of the RcTree topology
-    std::vector<double> r, c, lh;      ///< SoA copies of R/C/L per node
     std::vector<double> subtree;       ///< Σ_subtree C_k * m_{q-1}
-    std::vector<double> subtree_pp;    ///< Σ_subtree C_k * m_{q-2}
+    std::vector<double> subtree_pp;    ///< Σ_subtree C_k * m_{q-2} (RLC only)
     std::vector<std::vector<double>> m;  ///< moment rows, reused across calls
 
     std::uint64_t evals = 0;    ///< compute_moments calls through this scratch

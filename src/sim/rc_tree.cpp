@@ -15,6 +15,17 @@ RcTree::RcTree(std::vector<RcNode> nodes) : nodes_(std::move(nodes))
         if (nodes_[i].r_ohm <= 0.0)
             throw std::invalid_argument("RcTree: non-positive resistance");
     }
+    parent_.resize(nodes_.size());
+    r_.resize(nodes_.size());
+    c_.resize(nodes_.size());
+    l_.resize(nodes_.size());
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        parent_[i] = nodes_[i].parent;
+        r_[i] = nodes_[i].r_ohm;
+        c_[i] = nodes_[i].c_f;
+        l_[i] = nodes_[i].l_h;
+        if (nodes_[i].l_h > 0.0) has_inductance_ = true;
+    }
 }
 
 namespace {
@@ -191,13 +202,6 @@ double RcTree::total_capacitance() const
     double c = 0.0;
     for (const RcNode& n : nodes_) c += n.c_f;
     return c;
-}
-
-bool RcTree::has_inductance() const
-{
-    for (const RcNode& n : nodes_)
-        if (n.l_h > 0.0) return true;
-    return false;
 }
 
 }  // namespace cong93

@@ -78,18 +78,30 @@ public:
     const RcNode& node(std::size_t i) const { return nodes_[i]; }
     const std::vector<RcNode>& nodes() const { return nodes_; }
 
+    /// Structure-of-arrays mirrors of the node fields, built once at
+    /// construction: the moment kernels (sim/moments.h) read these directly,
+    /// so a compute_moments call no longer copies the tree per invocation.
+    const std::int32_t* parent_data() const { return parent_.data(); }
+    const double* r_data() const { return r_.data(); }
+    const double* c_data() const { return c_.data(); }
+    const double* l_data() const { return l_.data(); }
+
     /// RC-tree node index of each sink of the originating routing tree, in
     /// tree.sinks() order (empty for raw construction).
     const std::vector<int>& sink_nodes() const { return sink_nodes_; }
 
     double total_capacitance() const;
 
-    /// True when any branch carries inductance.
-    bool has_inductance() const;
+    /// True when any branch carries inductance (cached at construction).
+    bool has_inductance() const { return has_inductance_; }
 
 private:
     std::vector<RcNode> nodes_;
     std::vector<int> sink_nodes_;
+    // SoA mirrors of nodes_ (see parent_data() etc).
+    std::vector<std::int32_t> parent_;
+    std::vector<double> r_, c_, l_;
+    bool has_inductance_ = false;
 };
 
 }  // namespace cong93

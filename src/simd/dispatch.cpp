@@ -1,0 +1,185 @@
+#include "simd/dispatch.h"
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace cong93 {
+
+namespace {
+
+// Packed (isa, strict, has_override) so the hot-path read is one atomic load.
+struct PackedConfig {
+    std::uint8_t isa = 0;
+    std::uint8_t strict = 0;
+    std::uint8_t has_override = 0;
+    std::uint8_t initialized = 0;
+};
+
+std::atomic<std::uint32_t> g_config{0};
+
+std::uint32_t pack(PackedConfig c)
+{
+    return static_cast<std::uint32_t>(c.isa) |
+           (static_cast<std::uint32_t>(c.strict) << 8) |
+           (static_cast<std::uint32_t>(c.has_override) << 16) |
+           (static_cast<std::uint32_t>(c.initialized) << 24);
+}
+
+PackedConfig unpack(std::uint32_t v)
+{
+    PackedConfig c;
+    c.isa = static_cast<std::uint8_t>(v & 0xff);
+    c.strict = static_cast<std::uint8_t>((v >> 8) & 0xff);
+    c.has_override = static_cast<std::uint8_t>((v >> 16) & 0xff);
+    c.initialized = static_cast<std::uint8_t>((v >> 24) & 0xff);
+    return c;
+}
+
+bool cpu_has_avx2()
+{
+#if defined(CONG93_SIMD_HAVE_AVX2) && (defined(__x86_64__) || defined(__i386__))
+    return __builtin_cpu_supports("avx2") != 0;
+#else
+    return false;
+#endif
+}
+
+bool cpu_has_neon()
+{
+#if defined(CONG93_SIMD_HAVE_NEON)
+    // NEON is architecturally guaranteed on aarch64, so a binary that
+    // compiled the NEON kernels can always run them.
+    return true;
+#else
+    return false;
+#endif
+}
+
+PackedConfig from_environment()
+{
+    PackedConfig c;
+    c.initialized = 1;
+    SimdMode mode = SimdMode::auto_detect;
+    bool strict = false;
+    if (const char* env = std::getenv("CONG93_SIMD"))
+        parse_simd_spec(env, mode, strict);  // unrecognized text -> auto
+    c.isa = static_cast<std::uint8_t>(resolve_simd_isa(mode));
+    c.strict = strict ? 1 : 0;
+    return c;
+}
+
+}  // namespace
+
+bool simd_isa_supported(SimdIsa isa)
+{
+    switch (isa) {
+    case SimdIsa::scalar: return true;
+    case SimdIsa::avx2: return cpu_has_avx2();
+    case SimdIsa::neon: return cpu_has_neon();
+    }
+    return false;
+}
+
+SimdIsa resolve_simd_isa(SimdMode mode)
+{
+    switch (mode) {
+    case SimdMode::scalar: return SimdIsa::scalar;
+    case SimdMode::avx2:
+        return cpu_has_avx2() ? SimdIsa::avx2 : SimdIsa::scalar;
+    case SimdMode::neon:
+        return cpu_has_neon() ? SimdIsa::neon : SimdIsa::scalar;
+    case SimdMode::auto_detect: break;
+    }
+    if (cpu_has_avx2()) return SimdIsa::avx2;
+    if (cpu_has_neon()) return SimdIsa::neon;
+    return SimdIsa::scalar;
+}
+
+SimdConfig active_simd_config()
+{
+    PackedConfig c = unpack(g_config.load(std::memory_order_relaxed));
+    if (!c.initialized) {
+        const PackedConfig fresh = from_environment();
+        // A racing first read computes the same value; last store wins.
+        g_config.store(pack(fresh), std::memory_order_relaxed);
+        c = fresh;
+    }
+    return SimdConfig{static_cast<SimdIsa>(c.isa), c.strict != 0};
+}
+
+void set_simd_mode(SimdMode mode, bool strict)
+{
+    PackedConfig c;
+    c.initialized = 1;
+    c.has_override = 1;
+    c.isa = static_cast<std::uint8_t>(resolve_simd_isa(mode));
+    c.strict = strict ? 1 : 0;
+    g_config.store(pack(c), std::memory_order_relaxed);
+}
+
+void reset_simd_mode()
+{
+    g_config.store(pack(from_environment()), std::memory_order_relaxed);
+}
+
+const char* simd_isa_name(SimdIsa isa)
+{
+    switch (isa) {
+    case SimdIsa::scalar: return "scalar";
+    case SimdIsa::avx2: return "avx2";
+    case SimdIsa::neon: return "neon";
+    }
+    return "scalar";
+}
+
+bool parse_simd_spec(const char* text, SimdMode& mode, bool& strict)
+{
+    if (text == nullptr) return false;
+    std::string s(text);
+    bool want_strict = false;
+    for (const char* suffix : {"-strict", ",strict"}) {
+        const std::size_t len = std::strlen(suffix);
+        if (s.size() > len && s.compare(s.size() - len, len, suffix) == 0) {
+            want_strict = true;
+            s.resize(s.size() - len);
+            break;
+        }
+    }
+    if (s == "auto")
+        mode = SimdMode::auto_detect;
+    else if (s == "scalar")
+        mode = SimdMode::scalar;
+    else if (s == "avx2")
+        mode = SimdMode::avx2;
+    else if (s == "neon")
+        mode = SimdMode::neon;
+    else
+        return false;
+    strict = want_strict;
+    return true;
+}
+
+ScopedSimdMode::ScopedSimdMode(SimdMode mode, bool strict)
+{
+    const PackedConfig c = unpack(g_config.load(std::memory_order_relaxed));
+    had_override_ = c.initialized != 0;
+    saved_ = active_simd_config();
+    set_simd_mode(mode, strict);
+}
+
+ScopedSimdMode::~ScopedSimdMode()
+{
+    // Restore the exact previous configuration (as an override; a prior
+    // pure-environment state re-resolves to the same values).
+    PackedConfig c;
+    c.initialized = 1;
+    c.has_override = had_override_ ? 1 : 0;
+    c.isa = static_cast<std::uint8_t>(saved_.isa);
+    c.strict = saved_.strict ? 1 : 0;
+    g_config.store(pack(c), std::memory_order_relaxed);
+}
+
+}  // namespace cong93

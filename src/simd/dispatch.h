@@ -1,0 +1,102 @@
+// Runtime ISA dispatch for the vectorized analysis kernels.
+//
+// The delay/moment kernels ship in up to three builds: the seed-exact scalar
+// path (the bit-identity anchor every oracle gate compares against), an AVX2
+// build (x86-64, 4 doubles per lane), and a NEON build (aarch64, 2 doubles
+// per lane).  Which builds exist is a compile-time fact (CONG93_SIMD_HAVE_*,
+// set by the src/CMakeLists.txt compiler probes); which one runs is resolved
+// here at
+// startup from, in priority order,
+//
+//   1. a programmatic override (set_simd_mode, used by tests and benches),
+//   2. the CONG93_SIMD environment variable,
+//   3. auto-detection (cpuid on x86; NEON is baseline on aarch64),
+//
+// with a hard fallback to scalar whenever the requested ISA is not compiled
+// in or the CPU lacks it -- requesting avx2 on a non-AVX2 host silently runs
+// scalar, exactly like CONG93_SIMD=auto on that host.
+//
+// CONG93_SIMD accepts `auto`, `scalar`, `avx2`, `neon`, each optionally
+// suffixed with `-strict` (e.g. `auto-strict`).
+//
+// Reduction-order contract (see DESIGN.md §9): the scalar ISA reproduces the
+// seed kernels bit for bit.  Vectorized ISAs run in one of two modes:
+//
+//   * relaxed (default): kernels may reassociate order-sensitive floating
+//     point reductions (top-down Elmore sweeps, multi-accumulator sink
+//     sums).  Results are ULP-bounded against scalar, not bit-equal.
+//   * strict: vectorization is restricted to elementwise work and
+//     lane-parallel walks whose per-element operation sequence equals the
+//     scalar kernel's, so results are bit-identical to scalar.  This is the
+//     mode the determinism serializer (format_results diffs across thread
+//     counts) can run vectorized under.
+//
+// Any fixed (isa, strict) pair is deterministic: the same input always
+// produces the same bits, on any thread of any schedule.
+#ifndef CONG93_SIMD_DISPATCH_H
+#define CONG93_SIMD_DISPATCH_H
+
+namespace cong93 {
+
+/// Instruction sets a kernel can be dispatched to.
+enum class SimdIsa { scalar, avx2, neon };
+
+/// What the user asked for (auto resolves to the best available ISA).
+enum class SimdMode { auto_detect, scalar, avx2, neon };
+
+/// Resolved per-process kernel configuration.
+struct SimdConfig {
+    SimdIsa isa = SimdIsa::scalar;
+    bool strict = false;  ///< bit-identical reduction order (see header)
+
+    bool vectorized() const { return isa != SimdIsa::scalar; }
+    /// True when kernels may reorder floating-point reductions.
+    bool relaxed() const { return vectorized() && !strict; }
+};
+
+/// True when this binary contains an implementation of `isa` AND the running
+/// CPU supports it (scalar is always supported).
+bool simd_isa_supported(SimdIsa isa);
+
+/// Resolves a request against compiled-in kernels and the running CPU;
+/// unsupported requests (and auto_detect) fall back as described above.
+SimdIsa resolve_simd_isa(SimdMode mode);
+
+/// The active configuration: the last set_simd_mode() override if any, else
+/// $CONG93_SIMD (parsed once), else auto-detection.  Cheap (one atomic
+/// load); kernels call this per invocation.
+SimdConfig active_simd_config();
+
+/// Programmatic override (tests/benches); resolution and fallback are the
+/// same as for the environment variable.  Thread-safe, but intended to be
+/// called while no kernels are in flight -- a mid-batch switch would apply
+/// to some nets and not others.
+void set_simd_mode(SimdMode mode, bool strict = false);
+
+/// Drops any override and re-reads $CONG93_SIMD.
+void reset_simd_mode();
+
+/// "scalar" / "avx2" / "neon".
+const char* simd_isa_name(SimdIsa isa);
+
+/// Parses a CONG93_SIMD value ("avx2", "auto-strict", ...).  Returns false
+/// (leaving outputs untouched) for unrecognized text.
+bool parse_simd_spec(const char* text, SimdMode& mode, bool& strict);
+
+/// RAII mode pin for tests and benches: applies (mode, strict) on
+/// construction, restores the previous configuration on destruction.
+class ScopedSimdMode {
+public:
+    explicit ScopedSimdMode(SimdMode mode, bool strict = false);
+    ~ScopedSimdMode();
+    ScopedSimdMode(const ScopedSimdMode&) = delete;
+    ScopedSimdMode& operator=(const ScopedSimdMode&) = delete;
+
+private:
+    SimdConfig saved_;
+    bool had_override_;
+};
+
+}  // namespace cong93
+
+#endif  // CONG93_SIMD_DISPATCH_H

@@ -1,0 +1,322 @@
+// NEON kernel builds (2 doubles per lane, aarch64).  Same contract as the
+// AVX2 TU: relaxed kernels perform, per element, exactly the IEEE operation
+// sequence of the scalar emulations in kernels_scalar.cpp (vfmaq and friends
+// are never used -- fusion would round once where the contract needs two),
+// so relaxed results stay ISA-independent bit for bit.  The strict variants
+// delegate to the seed scalar kernels outright: NEON has no gathers, so a
+// lane-parallel strict sink walk would be a scalar walk in disguise, and
+// delegation is bit-identical to scalar by definition.
+#include "simd/kernels.h"
+
+#if defined(CONG93_SIMD_HAVE_NEON)
+
+#include <arm_neon.h>
+
+namespace cong93 {
+namespace simdk {
+
+namespace {
+
+inline double resolved_cap(const ElmoreView& v, std::int32_t s)
+{
+    const double sc = v.sink_cap[s];
+    return sc >= 0.0 ? sc : v.default_sink_cap;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Elmore
+// ---------------------------------------------------------------------------
+
+void elmore_relaxed_neon(const ElmoreView& v, double* cap, double* out)
+{
+    const std::size_t n = v.n;
+    if (n == 0) return;
+    const float64x2_t cu = vdupq_n_f64(v.c_unit);
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        // int64 -> double is a native instruction on aarch64 (scvtf), exact
+        // for grid lengths; same value as the scalar cast.
+        const float64x2_t el = vcvtq_f64_s64(
+            vld1q_s64(reinterpret_cast<const std::int64_t*>(v.edge_len + i)));
+        vst1q_f64(cap + i, vmulq_f64(cu, el));
+    }
+    for (; i < n; ++i) cap[i] = v.c_unit * static_cast<double>(v.edge_len[i]);
+    for (std::size_t j = 0; j < v.sink_count; ++j) {
+        const std::int32_t s = v.sinks[j];
+        cap[s] += resolved_cap(v, s);
+    }
+    for (i = n; i-- > 1;)
+        cap[static_cast<std::size_t>(v.parent[i])] += cap[i];
+    const double c_total = cap[0];
+    const float64x2_t ru = vdupq_n_f64(v.r_unit);
+    const float64x2_t half = vdupq_n_f64(0.5);
+    for (i = 1; i + 2 <= n; i += 2) {
+        const float64x2_t el = vcvtq_f64_s64(
+            vld1q_s64(reinterpret_cast<const std::int64_t*>(v.edge_len + i)));
+        const float64x2_t re = vmulq_f64(ru, el);
+        const float64x2_t ce = vmulq_f64(cu, el);
+        const float64x2_t t =
+            vsubq_f64(vld1q_f64(cap + i), vmulq_f64(half, ce));
+        vst1q_f64(cap + i, vmulq_f64(re, t));
+    }
+    for (; i < n; ++i) {
+        const double el = static_cast<double>(v.edge_len[i]);
+        const double re = v.r_unit * el;
+        const double ce = v.c_unit * el;
+        cap[i] = re * (cap[i] - 0.5 * ce);
+    }
+    cap[0] = v.rd * c_total;
+    for (i = 1; i < n; ++i)
+        cap[i] = cap[static_cast<std::size_t>(v.parent[i])] + cap[i];
+    for (std::size_t j = 0; j < v.sink_count; ++j)
+        out[j] = cap[static_cast<std::size_t>(v.sinks[j])];
+}
+
+void elmore_strict_neon(const ElmoreView& v, double* cap, double* out)
+{
+    elmore_scalar(v, cap, out);
+}
+
+// ---------------------------------------------------------------------------
+// RPH
+// ---------------------------------------------------------------------------
+
+RphSums rph_relaxed_neon(const RphView& v)
+{
+    RphSums s;
+    for (std::size_t i = 1; i < v.n; ++i) {
+        const std::int64_t l = v.edge_len[i];
+        const std::int64_t a = v.path_len[i] - l;
+        s.length_sum += l;
+        s.qmst_sum += l * a + l * (l + 1) / 2;
+    }
+    // Four logical lanes as two NEON accumulator pairs; element j lands in
+    // lane j mod 4 and the combine is pairwise -- the exact shape of
+    // rph_relaxed_scalar and rph_relaxed_avx2.
+    double t2[4] = {0.0, 0.0, 0.0, 0.0};
+    double t4[4] = {0.0, 0.0, 0.0, 0.0};
+    for (std::size_t j = 0; j < v.sink_count; ++j) {
+        const std::int32_t k = v.sinks[j];
+        const double sc = v.sink_cap[k];
+        const double ck = sc >= 0.0 ? sc : v.default_sink_cap;
+        t2[j & 3] += v.r0 * static_cast<double>(v.path_len[k]) * ck;
+        t4[j & 3] += v.rd * ck;
+    }
+    s.t2 = (t2[0] + t2[1]) + (t2[2] + t2[3]);
+    s.t4 = (t4[0] + t4[1]) + (t4[2] + t4[3]);
+    return s;
+}
+
+// ---------------------------------------------------------------------------
+// Moments
+// ---------------------------------------------------------------------------
+
+namespace {
+
+inline void init_currents(const MomentsView& v, const double* prev,
+                          double* subtree)
+{
+    const std::size_t n = v.n;
+    std::size_t i = 0;
+    if (prev == nullptr) {
+        for (; i < n; ++i) subtree[i] = v.c[i];
+        return;
+    }
+    for (; i + 2 <= n; i += 2)
+        vst1q_f64(subtree + i,
+                  vmulq_f64(vld1q_f64(v.c + i), vld1q_f64(prev + i)));
+    for (; i < n; ++i) subtree[i] = v.c[i] * prev[i];
+}
+
+inline void accumulate_up(const MomentsView& v, double* subtree)
+{
+    for (std::size_t i = v.n; i-- > 1;)
+        subtree[static_cast<std::size_t>(v.parent[i])] += subtree[i];
+}
+
+}  // namespace
+
+void moments_order_strict_neon(const MomentsView& v, const double* prev,
+                               double* cur, double* subtree, const double* spp)
+{
+    moments_order_scalar(v, prev, cur, subtree, spp);
+}
+
+namespace {
+
+// The relaxed chain scans keep the emulation's fixed 4-wide grouping (the
+// contract is ISA-independent bits, so the group width cannot follow the
+// lane width); each group is two 2-lane halves.  See kernels_scalar.cpp's
+// suffix_scan_chain / prefix_scan_chain for the association being mirrored.
+inline void suffix_scan_chain_neon(double* z, std::size_t lo, std::size_t hi)
+{
+    const float64x2_t zero = vdupq_n_f64(0.0);
+    std::size_t p = hi;
+    while (p - lo >= 4) {
+        p -= 4;
+        const float64x2_t c = vdupq_n_f64(z[p + 4]);
+        const float64x2_t xlo = vld1q_f64(z + p);      // [x0 x1]
+        const float64x2_t xhi = vld1q_f64(z + p + 2);  // [x2 x3]
+        const float64x2_t tlo = vaddq_f64(xlo, vextq_f64(xlo, xhi, 1));
+        const float64x2_t thi = vaddq_f64(xhi, vextq_f64(xhi, zero, 1));
+        const float64x2_t slo = vaddq_f64(tlo, thi);   // [t0+t2 t1+t3]
+        const float64x2_t shi = vaddq_f64(thi, zero);  // [t2+0  t3+0]
+        vst1q_f64(z + p, vaddq_f64(slo, c));
+        vst1q_f64(z + p + 2, vaddq_f64(shi, c));
+    }
+    while (p > lo) {
+        --p;
+        z[p] = z[p] + z[p + 1];
+    }
+}
+
+inline void prefix_group_neon(const float64x2_t ylo, const float64x2_t yhi,
+                              const double carry, double* out)
+{
+    const float64x2_t zero = vdupq_n_f64(0.0);
+    const float64x2_t tlo = vaddq_f64(ylo, vextq_f64(zero, ylo, 1));
+    const float64x2_t thi = vaddq_f64(yhi, vextq_f64(ylo, yhi, 1));
+    const float64x2_t slo = vaddq_f64(tlo, zero);  // [t0+0  t1+0]
+    const float64x2_t shi = vaddq_f64(thi, tlo);   // [t2+t0 t3+t1]
+    const float64x2_t c = vdupq_n_f64(carry);
+    vst1q_f64(out, vaddq_f64(slo, c));
+    vst1q_f64(out + 2, vaddq_f64(shi, c));
+}
+
+inline void prefix_scan_chain_neon(const double* r, const double* sub,
+                                   const double* lh, const double* spp,
+                                   double* cur, std::size_t a, std::size_t b)
+{
+    std::size_t i = a;
+    if (lh != nullptr) {
+        while (b + 1 - i >= 4) {
+            const float64x2_t ylo = vnegq_f64(
+                vaddq_f64(vmulq_f64(vld1q_f64(r + i), vld1q_f64(sub + i)),
+                          vmulq_f64(vld1q_f64(lh + i), vld1q_f64(spp + i))));
+            const float64x2_t yhi = vnegq_f64(vaddq_f64(
+                vmulq_f64(vld1q_f64(r + i + 2), vld1q_f64(sub + i + 2)),
+                vmulq_f64(vld1q_f64(lh + i + 2), vld1q_f64(spp + i + 2))));
+            prefix_group_neon(ylo, yhi, cur[i - 1], cur + i);
+            i += 4;
+        }
+        for (; i <= b; ++i)
+            cur[i] = cur[i - 1] - (r[i] * sub[i] + lh[i] * spp[i]);
+    } else {
+        while (b + 1 - i >= 4) {
+            const float64x2_t ylo =
+                vnegq_f64(vmulq_f64(vld1q_f64(r + i), vld1q_f64(sub + i)));
+            const float64x2_t yhi = vnegq_f64(
+                vmulq_f64(vld1q_f64(r + i + 2), vld1q_f64(sub + i + 2)));
+            prefix_group_neon(ylo, yhi, cur[i - 1], cur + i);
+            i += 4;
+        }
+        for (; i <= b; ++i) cur[i] = cur[i - 1] - r[i] * sub[i];
+    }
+}
+
+}  // namespace
+
+void moments_order_relaxed_neon(const MomentsView& v, const double* prev,
+                                double* cur, double* subtree,
+                                const double* spp)
+{
+    const std::size_t n = v.n;
+    if (n == 0) return;
+    init_currents(v, prev, subtree);
+    std::size_t i = n - 1;
+    while (i >= 1) {
+        if (v.parent[i] == static_cast<std::int32_t>(i) - 1) {
+            std::size_t a = i;
+            while (a > 1 && v.parent[a - 1] == static_cast<std::int32_t>(a) - 2)
+                --a;
+            suffix_scan_chain_neon(subtree, a - 1, i);
+            if (a == 1) break;
+            i = a - 1;
+        } else {
+            subtree[static_cast<std::size_t>(v.parent[i])] += subtree[i];
+            --i;
+        }
+    }
+    const bool rlc = v.lh != nullptr && spp != nullptr;
+    const double* lh = rlc ? v.lh : nullptr;
+    cur[0] = rlc ? -(v.r[0] * subtree[0] + v.lh[0] * spp[0])
+                 : -(v.r[0] * subtree[0]);
+    std::size_t j = 1;
+    while (j < n) {
+        if (v.parent[j] == static_cast<std::int32_t>(j) - 1) {
+            std::size_t b = j;
+            while (b + 1 < n && v.parent[b + 1] == static_cast<std::int32_t>(b))
+                ++b;
+            prefix_scan_chain_neon(v.r, subtree, lh, spp, cur, j, b);
+            j = b + 1;
+        } else {
+            const double d = rlc ? v.r[j] * subtree[j] + v.lh[j] * spp[j]
+                                 : v.r[j] * subtree[j];
+            cur[j] = cur[static_cast<std::size_t>(v.parent[j])] - d;
+            ++j;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lane-batched Elmore
+// ---------------------------------------------------------------------------
+
+void batched_elmore_neon(const BatchedElmoreView& v, double* cap,
+                         double* const* outs)
+{
+    const std::size_t K = static_cast<std::size_t>(v.lanes);
+    const std::size_t M = v.max_nodes;
+    if (K == 0 || M == 0) return;
+    const std::size_t total = K * M;
+    const float64x2_t cu = vdupq_n_f64(v.c_unit);
+    std::size_t idx = 0;
+    for (; idx + 2 <= total; idx += 2)
+        vst1q_f64(cap + idx,
+                  vaddq_f64(vmulq_f64(cu, vld1q_f64(v.edge_len + idx)),
+                            vld1q_f64(v.sink_cap + idx)));
+    for (; idx < total; ++idx)
+        cap[idx] = v.c_unit * v.edge_len[idx] + v.sink_cap[idx];
+    for (std::size_t i = M; i-- > 1;)
+        for (std::size_t l = 0; l < K; ++l) {
+            const std::size_t e = i * K + l;
+            const std::size_t p = static_cast<std::size_t>(v.parent[e]);
+            cap[p * K + l] += cap[e];
+        }
+    const float64x2_t ru = vdupq_n_f64(v.r_unit);
+    const float64x2_t half = vdupq_n_f64(0.5);
+    for (idx = K; idx + 2 <= total; idx += 2) {
+        const float64x2_t el = vld1q_f64(v.edge_len + idx);
+        const float64x2_t re = vmulq_f64(ru, el);
+        const float64x2_t ce = vmulq_f64(cu, el);
+        const float64x2_t t =
+            vsubq_f64(vld1q_f64(cap + idx), vmulq_f64(half, ce));
+        vst1q_f64(cap + idx, vmulq_f64(re, t));
+    }
+    for (; idx < total; ++idx) {
+        const double el = v.edge_len[idx];
+        const double re = v.r_unit * el;
+        const double ce = v.c_unit * el;
+        cap[idx] = re * (cap[idx] - 0.5 * ce);
+    }
+    for (std::size_t l = 0; l < K; ++l) cap[l] = v.rd * cap[l];
+    for (std::size_t i = 1; i < M; ++i)
+        for (std::size_t l = 0; l < K; ++l) {
+            const std::size_t e = i * K + l;
+            const std::size_t p = static_cast<std::size_t>(v.parent[e]);
+            cap[e] = cap[p * K + l] + cap[e];
+        }
+    for (std::size_t l = 0; l < K; ++l) {
+        if (outs[l] == nullptr) continue;
+        for (std::size_t j = 0; j < v.sink_counts[l]; ++j)
+            outs[l][j] =
+                cap[static_cast<std::size_t>(v.sink_lists[l][j]) * K + l];
+    }
+}
+
+}  // namespace simdk
+}  // namespace cong93
+
+#endif  // CONG93_SIMD_HAVE_NEON

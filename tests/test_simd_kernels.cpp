@@ -1,0 +1,561 @@
+// SIMD kernel dispatch and equivalence suite (DESIGN.md §9).
+//
+// The reduction-order contract under test:
+//   * strict vectorized results are bit-identical to the scalar (seed)
+//     kernels;
+//   * relaxed vectorized results are bit-identical to the relaxed *scalar
+//     emulation* (ISA independence) and ULP-bounded against the seed;
+//   * lane-batched execution is bit-identical, per lane, to the per-net
+//     relaxed kernel;
+//   * relaxed moment evaluation reassociates the up/down chain sweeps in
+//     fixed 4-wide groups (kernels.h), so it is ULP-bounded against the
+//     seed and bit-identical across ISAs.
+//
+// Sizes deliberately cover 1 sink, sub-lane-width nets and lane remainders
+// (n % 4 != 0) so masked tails and the finished-lane parking logic are
+// exercised, not just full vectors.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "atree/generalized.h"
+#include "batch/batched_tree.h"
+#include "batch/pipeline.h"
+#include "delay/elmore.h"
+#include "delay/rph.h"
+#include "netgen/netgen.h"
+#include "rtree/flat_tree.h"
+#include "sim/moments.h"
+#include "sim/rc_tree.h"
+#include "simd/dispatch.h"
+#include "simd/kernels.h"
+#include "tech/technology.h"
+
+namespace cong93 {
+namespace {
+
+std::vector<RoutingTree> random_atrees(std::uint64_t seed, int count, int sinks)
+{
+    std::vector<RoutingTree> trees;
+    for (const Net& net : random_nets(seed, count, kMcmGrid, sinks))
+        trees.push_back(build_atree_general(net).tree);
+    return trees;
+}
+
+/// Distance in representable doubles; 0 for bit-equal values.
+std::uint64_t ulps_between(double a, double b)
+{
+    if (a == b) return 0;
+    if (!std::isfinite(a) || !std::isfinite(b))
+        return ~std::uint64_t{0};
+    std::int64_t ia, ib;
+    std::memcpy(&ia, &a, sizeof a);
+    std::memcpy(&ib, &b, sizeof b);
+    if (ia < 0) ia = std::numeric_limits<std::int64_t>::min() - ia;
+    if (ib < 0) ib = std::numeric_limits<std::int64_t>::min() - ib;
+    return static_cast<std::uint64_t>(ia > ib ? ia - ib : ib - ia);
+}
+
+/// Generous ceiling for reassociated positive-sum reductions on these net
+/// sizes; the observed distances are single digits.
+constexpr std::uint64_t kMaxUlps = 256;
+
+simdk::ElmoreView make_elmore_view(const FlatTree& ft, const Technology& tech)
+{
+    simdk::ElmoreView v;
+    v.n = ft.size();
+    v.parent = ft.parent().data();
+    v.edge_len = ft.edge_length().data();
+    v.is_sink = ft.is_sink().data();
+    v.sink_cap = ft.sink_cap().data();
+    v.child_ptr = ft.child_ptr().data();
+    v.child_idx = ft.child_idx().data();
+    v.sinks = ft.sinks().data();
+    v.sink_count = ft.sinks().size();
+    v.r_unit = tech.r_grid();
+    v.c_unit = tech.c_grid();
+    v.rd = tech.driver_resistance_ohm;
+    v.default_sink_cap = tech.sink_load_f;
+    return v;
+}
+
+simdk::RphView make_rph_view(const FlatTree& ft, const Technology& tech)
+{
+    simdk::RphView v;
+    v.n = ft.size();
+    v.edge_len = ft.edge_length().data();
+    v.path_len = ft.path_length().data();
+    v.sinks = ft.sinks().data();
+    v.sink_count = ft.sinks().size();
+    v.sink_cap = ft.sink_cap().data();
+    v.r0 = tech.r_grid();
+    v.rd = tech.driver_resistance_ohm;
+    v.default_sink_cap = tech.sink_load_f;
+    return v;
+}
+
+const int kSinkSizes[] = {1, 2, 3, 4, 5, 7, 12, 50};
+
+// ---------------------------------------------------------------------------
+// Dispatch shim
+// ---------------------------------------------------------------------------
+
+TEST(SimdDispatch, ParseSpec)
+{
+    SimdMode mode = SimdMode::auto_detect;
+    bool strict = false;
+    EXPECT_TRUE(parse_simd_spec("scalar", mode, strict));
+    EXPECT_EQ(mode, SimdMode::scalar);
+    EXPECT_FALSE(strict);
+    EXPECT_TRUE(parse_simd_spec("avx2-strict", mode, strict));
+    EXPECT_EQ(mode, SimdMode::avx2);
+    EXPECT_TRUE(strict);
+    EXPECT_TRUE(parse_simd_spec("auto,strict", mode, strict));
+    EXPECT_EQ(mode, SimdMode::auto_detect);
+    EXPECT_TRUE(strict);
+    EXPECT_TRUE(parse_simd_spec("neon", mode, strict));
+    EXPECT_EQ(mode, SimdMode::neon);
+    EXPECT_FALSE(strict);
+
+    const SimdMode before = mode;
+    EXPECT_FALSE(parse_simd_spec("sse9", mode, strict));
+    EXPECT_FALSE(parse_simd_spec("", mode, strict));
+    EXPECT_FALSE(parse_simd_spec("avx2-sloppy", mode, strict));
+    EXPECT_EQ(mode, before);  // unrecognized text leaves outputs untouched
+}
+
+TEST(SimdDispatch, ScopedOverrideRestores)
+{
+    const SimdConfig outer = active_simd_config();
+    {
+        ScopedSimdMode pin(SimdMode::scalar);
+        EXPECT_EQ(active_simd_config().isa, SimdIsa::scalar);
+        EXPECT_FALSE(active_simd_config().strict);
+        {
+            ScopedSimdMode strict_pin(SimdMode::auto_detect, true);
+            EXPECT_TRUE(active_simd_config().strict);
+        }
+        EXPECT_EQ(active_simd_config().isa, SimdIsa::scalar);
+        EXPECT_FALSE(active_simd_config().strict);
+    }
+    EXPECT_EQ(active_simd_config().isa, outer.isa);
+    EXPECT_EQ(active_simd_config().strict, outer.strict);
+}
+
+TEST(SimdDispatch, UnsupportedIsaFallsBackToScalar)
+{
+    EXPECT_TRUE(simd_isa_supported(SimdIsa::scalar));
+    // At most one of avx2/neon can be live on one machine; the other must
+    // resolve to scalar rather than crash or misdispatch.
+    if (!simd_isa_supported(SimdIsa::avx2))
+        EXPECT_EQ(resolve_simd_isa(SimdMode::avx2), SimdIsa::scalar);
+    if (!simd_isa_supported(SimdIsa::neon))
+        EXPECT_EQ(resolve_simd_isa(SimdMode::neon), SimdIsa::scalar);
+    const SimdIsa resolved = resolve_simd_isa(SimdMode::auto_detect);
+    EXPECT_TRUE(simd_isa_supported(resolved));
+}
+
+TEST(SimdDispatch, EnvironmentSpecHonored)
+{
+    // The suite itself may run under an ambient CONG93_SIMD (the scalar CI
+    // leg does exactly that), so restore the variable, not just the mode.
+    const char* ambient = std::getenv("CONG93_SIMD");
+    const std::string saved = ambient ? ambient : "";
+    const SimdConfig before = active_simd_config();
+    setenv("CONG93_SIMD", "scalar-strict", 1);
+    reset_simd_mode();
+    EXPECT_EQ(active_simd_config().isa, SimdIsa::scalar);
+    EXPECT_TRUE(active_simd_config().strict);
+    if (ambient)
+        setenv("CONG93_SIMD", saved.c_str(), 1);
+    else
+        unsetenv("CONG93_SIMD");
+    reset_simd_mode();
+    EXPECT_EQ(active_simd_config().isa, before.isa);
+    EXPECT_EQ(active_simd_config().strict, before.strict);
+}
+
+TEST(SimdDispatch, LaneWidths)
+{
+    EXPECT_EQ(simdk::lane_width(SimdIsa::scalar), 1);
+    EXPECT_EQ(simdk::lane_width(SimdIsa::avx2), 4);
+    EXPECT_EQ(simdk::lane_width(SimdIsa::neon), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Elmore
+// ---------------------------------------------------------------------------
+
+TEST(SimdElmore, RelaxedScalarEmulationWithinUlpsOfSeed)
+{
+    const Technology tech = mcm_technology();
+    for (const int sinks : kSinkSizes) {
+        for (const RoutingTree& tree :
+             random_atrees(31 + static_cast<std::uint64_t>(sinks), 3, sinks)) {
+            const FlatTree ft(tree);
+            const simdk::ElmoreView v = make_elmore_view(ft, tech);
+            std::vector<double> cap(ft.size()), seed(v.sink_count),
+                relaxed(v.sink_count);
+            simdk::elmore_scalar(v, cap.data(), seed.data());
+            simdk::elmore_relaxed_scalar(v, cap.data(), relaxed.data());
+            for (std::size_t i = 0; i < seed.size(); ++i)
+                EXPECT_LE(ulps_between(seed[i], relaxed[i]), kMaxUlps)
+                    << sinks << " sinks, sink " << i;
+        }
+    }
+}
+
+TEST(SimdElmore, VectorRelaxedBitIdenticalToScalarEmulation)
+{
+    const Technology tech = mcm_technology();
+    for (const int sinks : kSinkSizes) {
+        for (const RoutingTree& tree :
+             random_atrees(32 + static_cast<std::uint64_t>(sinks), 3, sinks)) {
+            const FlatTree ft(tree);
+            const simdk::ElmoreView v = make_elmore_view(ft, tech);
+            std::vector<double> cap(ft.size()), emu(v.sink_count),
+                vec(v.sink_count);
+            simdk::elmore_relaxed_scalar(v, cap.data(), emu.data());
+            if (simd_isa_supported(SimdIsa::avx2)) {
+#if defined(CONG93_SIMD_HAVE_AVX2)
+                simdk::elmore_relaxed_avx2(v, cap.data(), vec.data());
+                for (std::size_t i = 0; i < emu.size(); ++i)
+                    EXPECT_EQ(emu[i], vec[i]) << "avx2 sink " << i;
+#endif
+            }
+            if (simd_isa_supported(SimdIsa::neon)) {
+#if defined(CONG93_SIMD_HAVE_NEON)
+                simdk::elmore_relaxed_neon(v, cap.data(), vec.data());
+                for (std::size_t i = 0; i < emu.size(); ++i)
+                    EXPECT_EQ(emu[i], vec[i]) << "neon sink " << i;
+#endif
+            }
+        }
+    }
+}
+
+TEST(SimdElmore, StrictVectorBitIdenticalToSeed)
+{
+    const Technology tech = mcm_technology();
+    for (const int sinks : kSinkSizes) {
+        for (const RoutingTree& tree :
+             random_atrees(33 + static_cast<std::uint64_t>(sinks), 3, sinks)) {
+            const FlatTree ft(tree);
+            const simdk::ElmoreView v = make_elmore_view(ft, tech);
+            std::vector<double> cap(ft.size()), seed(v.sink_count),
+                vec(v.sink_count);
+            simdk::elmore_scalar(v, cap.data(), seed.data());
+            if (simd_isa_supported(SimdIsa::avx2)) {
+#if defined(CONG93_SIMD_HAVE_AVX2)
+                simdk::elmore_strict_avx2(v, cap.data(), vec.data());
+                for (std::size_t i = 0; i < seed.size(); ++i)
+                    EXPECT_EQ(seed[i], vec[i]) << "avx2 sink " << i;
+#endif
+            }
+            if (simd_isa_supported(SimdIsa::neon)) {
+#if defined(CONG93_SIMD_HAVE_NEON)
+                simdk::elmore_strict_neon(v, cap.data(), vec.data());
+                for (std::size_t i = 0; i < seed.size(); ++i)
+                    EXPECT_EQ(seed[i], vec[i]) << "neon sink " << i;
+#endif
+            }
+        }
+    }
+}
+
+TEST(SimdElmore, DispatcherRoutesByConfig)
+{
+    const Technology tech = mcm_technology();
+    const RoutingTree tree = random_atrees(34, 1, 20)[0];
+    const FlatTree ft(tree);
+
+    ScopedSimdMode pin(SimdMode::scalar);
+    const std::vector<double> seed = elmore_all_sinks(ft, tech);
+    {
+        ScopedSimdMode strict_pin(SimdMode::auto_detect, true);
+        const std::vector<double> strict = elmore_all_sinks(ft, tech);
+        ASSERT_EQ(strict.size(), seed.size());
+        for (std::size_t i = 0; i < seed.size(); ++i)
+            EXPECT_EQ(seed[i], strict[i]) << "strict sink " << i;
+    }
+    {
+        ScopedSimdMode relaxed_pin(SimdMode::auto_detect, false);
+        const std::vector<double> relaxed = elmore_all_sinks(ft, tech);
+        ASSERT_EQ(relaxed.size(), seed.size());
+        for (std::size_t i = 0; i < seed.size(); ++i)
+            EXPECT_LE(ulps_between(seed[i], relaxed[i]), kMaxUlps)
+                << "relaxed sink " << i;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RPH
+// ---------------------------------------------------------------------------
+
+TEST(SimdRph, IntegerSumsExactInEveryMode)
+{
+    const Technology tech = mcm_technology();
+    for (const RoutingTree& tree : random_atrees(35, 4, 17)) {
+        const FlatTree ft(tree);
+        const simdk::RphView v = make_rph_view(ft, tech);
+        const simdk::RphSums seed = simdk::rph_scalar(v);
+        const simdk::RphSums relaxed = simdk::rph_relaxed_scalar(v);
+        EXPECT_EQ(seed.length_sum, relaxed.length_sum);
+        EXPECT_EQ(seed.qmst_sum, relaxed.qmst_sum);
+    }
+}
+
+TEST(SimdRph, RelaxedSinkSumsUlpBoundedAndExactBelowFourSinks)
+{
+    const Technology tech = mcm_technology();
+    for (const int sinks : kSinkSizes) {
+        for (const RoutingTree& tree :
+             random_atrees(36 + static_cast<std::uint64_t>(sinks), 3, sinks)) {
+            const FlatTree ft(tree);
+            const simdk::RphView v = make_rph_view(ft, tech);
+            const simdk::RphSums seed = simdk::rph_scalar(v);
+            const simdk::RphSums relaxed = simdk::rph_relaxed_scalar(v);
+            if (v.sink_count <= 3) {
+                // <= 3 sinks never leave logical lane accumulation order.
+                EXPECT_EQ(seed.t2, relaxed.t2);
+                EXPECT_EQ(seed.t4, relaxed.t4);
+            } else {
+                EXPECT_LE(ulps_between(seed.t2, relaxed.t2), kMaxUlps);
+                EXPECT_LE(ulps_between(seed.t4, relaxed.t4), kMaxUlps);
+            }
+#if defined(CONG93_SIMD_HAVE_AVX2)
+            if (simd_isa_supported(SimdIsa::avx2)) {
+                const simdk::RphSums vec = simdk::rph_relaxed_avx2(v);
+                EXPECT_EQ(relaxed.t2, vec.t2);  // ISA independence, bitwise
+                EXPECT_EQ(relaxed.t4, vec.t4);
+                EXPECT_EQ(relaxed.length_sum, vec.length_sum);
+                EXPECT_EQ(relaxed.qmst_sum, vec.qmst_sum);
+            }
+#endif
+#if defined(CONG93_SIMD_HAVE_NEON)
+            if (simd_isa_supported(SimdIsa::neon)) {
+                const simdk::RphSums vec = simdk::rph_relaxed_neon(v);
+                EXPECT_EQ(relaxed.t2, vec.t2);
+                EXPECT_EQ(relaxed.t4, vec.t4);
+            }
+#endif
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Moments
+// ---------------------------------------------------------------------------
+
+TEST(SimdMoments, RelaxedUlpBoundedAndIsaIndependent)
+{
+    const Technology tech = mcm_technology();
+    MomentWorkspace ws;
+    for (const RoutingTree& tree : random_atrees(37, 4, 9)) {
+        const RcTree rc = RcTree::from_routing_tree(tree, tech, 8);
+        ASSERT_FALSE(rc.has_inductance());
+        ScopedSimdMode pin(SimdMode::scalar);
+        const auto seed = compute_moments(rc, 3);
+        ScopedSimdMode relaxed_pin(SimdMode::auto_detect, false);
+        const auto& relaxed = compute_moments(rc, 3, ws);
+        for (int q = 0; q < 3; ++q)
+            for (std::size_t i = 0; i < rc.size(); ++i)
+                EXPECT_LE(ulps_between(seed[static_cast<std::size_t>(q)][i],
+                                       relaxed[static_cast<std::size_t>(q)][i]),
+                          kMaxUlps)
+                    << "order " << q << " node " << i;
+
+        // ISA independence: every vectorized relaxed kernel reproduces the
+        // relaxed scalar emulation bit for bit, order by order.
+        const std::size_t n = rc.size();
+        simdk::MomentsView v;
+        v.n = n;
+        v.parent = rc.parent_data();
+        v.r = rc.r_data();
+        v.c = rc.c_data();
+        std::vector<double> emu_sub(n), emu_prev(n), emu_cur(n);
+        std::vector<double> vec_sub(n), vec_prev(n), vec_cur(n);
+        for (const SimdIsa isa : {SimdIsa::avx2, SimdIsa::neon}) {
+            if (!simd_isa_supported(isa)) continue;
+            SimdConfig cfg;
+            cfg.isa = isa;
+            cfg.strict = false;
+            for (int q = 0; q < 3; ++q) {
+                const double* ep = q == 0 ? nullptr : emu_prev.data();
+                const double* vp = q == 0 ? nullptr : vec_prev.data();
+                simdk::moments_order_relaxed_scalar(v, ep, emu_cur.data(),
+                                                    emu_sub.data(), nullptr);
+                simdk::moments_order(v, cfg, vp, vec_cur.data(),
+                                     vec_sub.data(), nullptr);
+                for (std::size_t i = 0; i < n; ++i) {
+                    EXPECT_EQ(emu_cur[i], vec_cur[i])
+                        << simd_isa_name(isa) << " order " << q << " node "
+                        << i;
+                    EXPECT_EQ(emu_sub[i], vec_sub[i])
+                        << simd_isa_name(isa) << " currents, order " << q
+                        << " node " << i;
+                }
+                emu_prev.swap(emu_cur);
+                vec_prev.swap(vec_cur);
+            }
+        }
+    }
+}
+
+TEST(SimdMoments, RlcStrictBitIdenticalAndRelaxedUlpBounded)
+{
+    const Technology tech = mcm_technology();
+    for (const RoutingTree& tree : random_atrees(38, 3, 9)) {
+        const RcTree rc = RcTree::from_routing_tree(tree, tech, 8, true);
+        ASSERT_TRUE(rc.has_inductance());
+        ScopedSimdMode pin(SimdMode::scalar);
+        const auto seed = compute_moments(rc, 4);
+        {
+            ScopedSimdMode strict_pin(SimdMode::auto_detect, true);
+            const auto strict = compute_moments(rc, 4);
+            for (int q = 0; q < 4; ++q)
+                for (std::size_t i = 0; i < rc.size(); ++i)
+                    EXPECT_EQ(seed[static_cast<std::size_t>(q)][i],
+                              strict[static_cast<std::size_t>(q)][i])
+                        << "order " << q << " node " << i;
+        }
+        {
+            ScopedSimdMode relaxed_pin(SimdMode::auto_detect, false);
+            const auto relaxed = compute_moments(rc, 4);
+            for (int q = 0; q < 4; ++q)
+                for (std::size_t i = 0; i < rc.size(); ++i)
+                    EXPECT_LE(
+                        ulps_between(seed[static_cast<std::size_t>(q)][i],
+                                     relaxed[static_cast<std::size_t>(q)][i]),
+                        kMaxUlps)
+                        << "order " << q << " node " << i;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lane-batched Elmore
+// ---------------------------------------------------------------------------
+
+TEST(SimdBatched, PackedLanesBitIdenticalToPerNetRelaxed)
+{
+    const Technology tech = mcm_technology();
+    // Mixed sizes in one pack: padding rows of the short lanes must be
+    // no-ops.  Includes a 1-sink net.
+    std::vector<FlatTree> fts;
+    for (const RoutingTree& t : random_atrees(39, 2, 11)) fts.emplace_back(t);
+    for (const RoutingTree& t : random_atrees(40, 1, 1)) fts.emplace_back(t);
+    for (const RoutingTree& t : random_atrees(41, 1, 6)) fts.emplace_back(t);
+    ASSERT_EQ(fts.size(), 4u);
+
+    for (int count = 1; count <= 4; ++count) {  // partial packs too
+        const int lanes = 4;
+        std::vector<const FlatTree*> trees;
+        for (int l = 0; l < count; ++l) trees.push_back(&fts[l]);
+        BatchedFlatTree packed;
+        packed.pack(trees.data(), count, lanes, tech);
+        EXPECT_EQ(packed.count(), count);
+        EXPECT_EQ(packed.lanes(), lanes);
+
+        std::vector<double> cap(static_cast<std::size_t>(lanes) *
+                                packed.max_nodes());
+        std::vector<std::vector<double>> lane_out(
+            static_cast<std::size_t>(count));
+        std::vector<double*> outs(static_cast<std::size_t>(lanes), nullptr);
+        for (int l = 0; l < count; ++l) {
+            lane_out[l].resize(fts[l].sinks().size());
+            outs[l] = lane_out[l].data();
+        }
+
+        for (const SimdIsa isa : {SimdIsa::scalar, SimdIsa::avx2, SimdIsa::neon}) {
+            if (!simd_isa_supported(isa)) continue;
+            SimdConfig cfg;
+            cfg.isa = isa;
+            cfg.strict = false;
+            simdk::batched_elmore(packed.view(), cfg, cap.data(), outs.data());
+            for (int l = 0; l < count; ++l) {
+                const simdk::ElmoreView v = make_elmore_view(fts[l], tech);
+                std::vector<double> scratch(fts[l].size()),
+                    per_net(v.sink_count);
+                simdk::elmore_relaxed_scalar(v, scratch.data(), per_net.data());
+                ASSERT_EQ(per_net.size(), lane_out[l].size());
+                for (std::size_t j = 0; j < per_net.size(); ++j)
+                    EXPECT_EQ(per_net[j], lane_out[l][j])
+                        << simd_isa_name(isa) << " count " << count
+                        << " lane " << l << " sink " << j;
+            }
+        }
+    }
+}
+
+TEST(SimdBatched, PipelineResultsIdenticalAcrossBatchingBoundary)
+{
+    // route_batch lane-batches under relaxed vectorized modes.  Whatever the
+    // host supports, a relaxed run must be byte-identical to... itself run
+    // serially (covered elsewhere) and ULP-close to the scalar run; strict
+    // runs must be byte-identical to scalar.
+    const Technology tech = mcm_technology();
+    PipelineOptions opts;
+    opts.threads = 1;
+
+    ScopedSimdMode pin(SimdMode::scalar);
+    const auto seed = route_batch(42, 24, kMcmGrid, 6, tech, opts);
+    {
+        ScopedSimdMode strict_pin(SimdMode::auto_detect, true);
+        const auto strict = route_batch(42, 24, kMcmGrid, 6, tech, opts);
+        EXPECT_EQ(format_results(seed), format_results(strict));
+    }
+    {
+        ScopedSimdMode relaxed_pin(SimdMode::auto_detect, false);
+        const auto relaxed = route_batch(42, 24, kMcmGrid, 6, tech, opts);
+        ASSERT_EQ(relaxed.size(), seed.size());
+        for (std::size_t i = 0; i < seed.size(); ++i) {
+            EXPECT_EQ(seed[i].status, relaxed[i].status) << "net " << i;
+            EXPECT_EQ(seed[i].nodes, relaxed[i].nodes) << "net " << i;
+            EXPECT_LE(ulps_between(seed[i].rph_s, relaxed[i].rph_s), kMaxUlps)
+                << "net " << i;
+            EXPECT_LE(
+                ulps_between(seed[i].elmore_max_s, relaxed[i].elmore_max_s),
+                kMaxUlps)
+                << "net " << i;
+            EXPECT_LE(ulps_between(seed[i].moment_elmore_max_s,
+                                   relaxed[i].moment_elmore_max_s),
+                      kMaxUlps)
+                << "net " << i;
+        }
+    }
+}
+
+TEST(SimdBatched, PipelineLaneTelemetryAppearsUnderRelaxedModes)
+{
+    const Technology tech = mcm_technology();
+    PipelineOptions opts;
+    opts.threads = 1;
+    PipelineStats stats;
+    std::vector<Workspace> ws;
+
+    const SimdConfig cfg = active_simd_config();
+    ScopedSimdMode relaxed_pin(SimdMode::auto_detect, false);
+    route_batch(43, 32, kMcmGrid, 5, tech, opts, &stats, &ws);
+    if (active_simd_config().relaxed()) {
+        EXPECT_GT(stats.counters.lane_packs, 0u);
+        EXPECT_GT(stats.counters.lane_filled, 0u);
+        EXPECT_GE(stats.counters.lane_slots, stats.counters.lane_filled);
+        EXPECT_GT(stats.counters.lane_occupancy(), 0.0);
+        EXPECT_LE(stats.counters.lane_occupancy(), 1.0);
+    } else {
+        // Scalar-only host: no lanes, and that must be visible too.
+        EXPECT_EQ(stats.counters.lane_packs, 0u);
+        EXPECT_EQ(cfg.isa, SimdIsa::scalar);
+    }
+    // Every net still compiles exactly once wherever it executed.
+    EXPECT_DOUBLE_EQ(stats.compiles_per_net, 1.0);
+}
+
+}  // namespace
+}  // namespace cong93

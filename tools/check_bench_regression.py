@@ -5,10 +5,12 @@ Compares a freshly generated study against the committed one.  Two classes
 of checks with different severities:
 
 * Identity checks are HARD failures (exit 1): every ``identical`` /
-  ``fixpoint_identical`` / ``reused`` field -- in timing rows and in scalar
-  sections like ``batch`` or ``arena`` -- must be true in the fresh study.
-  These assert bit-exact equivalence of optimized kernels against their
-  reference twins (and arena reuse), which no machine variance can excuse.
+  ``fixpoint_identical`` / ``reused`` / ``ulp_ok`` field -- in timing rows
+  and in scalar sections like ``batch`` or ``arena`` -- must be true in the
+  fresh study.  These assert bit-exact equivalence of optimized kernels
+  against their reference twins (``ulp_ok``: ULP-bounded equivalence of
+  relaxed vectorized kernels, bit-exact for strict rows), which no machine
+  variance can excuse.
 
 * Failure counts are HARD failures too: any fresh entry carrying a
   ``failed`` field must match its ``expected_failed`` (default 0).  Plain
@@ -37,11 +39,18 @@ import sys
 
 
 def row_key(section, row):
-    """Stable identity of a timing row: section, optional kernel, size."""
+    """Stable identity of a timing row: section, optional kernel/mode, size."""
     # Pipeline scaling rows carry both fields; threads is the row identity
-    # there (sinks is just the batch shape, which smoke runs shrink).
+    # there (sinks is just the batch shape, which smoke runs shrink).  SIMD
+    # kernel rows repeat each (kernel, sinks) pair per reduction-order mode.
     size_field = "threads" if "threads" in row else "sinks"
-    return (section, row.get("kernel", ""), size_field, row.get(size_field))
+    return (
+        section,
+        row.get("kernel", ""),
+        row.get("mode", ""),
+        size_field,
+        row.get(size_field),
+    )
 
 
 def timing_rows(study):
@@ -66,7 +75,8 @@ def identity_violations(study):
         for entry in entries:
             if not isinstance(entry, dict):
                 continue
-            for field in ("identical", "fixpoint_identical", "reused"):
+            for field in ("identical", "fixpoint_identical", "reused",
+                          "ulp_ok"):
                 if entry.get(field, True) is False:
                     bad.append((section, entry))
     return bad
@@ -125,7 +135,7 @@ def main(argv):
     for section, entry in identity_violations(fresh):
         field = next(
             f
-            for f in ("identical", "fixpoint_identical", "reused")
+            for f in ("identical", "fixpoint_identical", "reused", "ulp_ok")
             if entry.get(f, True) is False
         )
         print(f"FAIL: {describe(section, entry)}: {field} is false")
