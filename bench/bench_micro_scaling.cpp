@@ -28,11 +28,18 @@
 // pack occupancy).  The oracle-anchored studies above run under a scalar
 // dispatch pin so their exact-identity checks keep comparing seed bits.
 //
+// BENCH_eco.json (the session-engine study: ECO single-sink-move repair
+// latency vs from-scratch route_single on quadrant-skewed and uniform
+// 120-sink nets with bit-identity gates, hash-consed route-cache throughput
+// on duplicate-laden batches at controlled dup ratios with byte-identity vs
+// the cache-off run, and the serial-vs-4-thread cache determinism probe).
+//
 //   --json=PATH          output path for the wiresize study (default BENCH_wiresize.json)
 //   --atree-json=PATH    output path for the A-tree study (default BENCH_atree.json)
 //   --pipeline-json=PATH output path for the pipeline study (default BENCH_pipeline.json)
 //   --metrics-json=PATH  output path for the IR-consumer study (default BENCH_metrics.json)
 //   --simd-json=PATH     output path for the SIMD study (default BENCH_simd.json)
+//   --eco-json=PATH      output path for the session study (default BENCH_eco.json)
 //   --json-only          skip the google-benchmark suite, only write the studies
 //   --smoke              small-size studies only (CI smoke job)
 //   --skip-wiresize      do not (re)generate the wiresize study
@@ -47,6 +54,7 @@
 #include <limits>
 #include <iostream>
 #include <optional>
+#include <random>
 #include <string>
 #include <vector>
 
@@ -65,6 +73,7 @@
 #include "rtree/metrics.h"
 #include "rtree/svg.h"
 #include "report/table.h"
+#include "session/session.h"
 #include "sim/delay_measure.h"
 #include "sim/transient.h"
 #include "sim/two_pole.h"
@@ -1070,6 +1079,298 @@ bool write_simd_json(const std::string& path, bool smoke)
     return all_ok;
 }
 
+// ---------------------------------------------------------------------------
+// BENCH_eco.json: session ECO repair latency + hash-consed cache throughput
+// ---------------------------------------------------------------------------
+
+/// Per-call wall-clock of a call that mutates its own state (an ECO apply
+/// alternating between two positions): best-of-passes over a fixed loop.
+template <typename Fn>
+double time_per_call(Fn&& fn, int iters)
+{
+    double best = std::numeric_limits<double>::infinity();
+    for (int pass = 0; pass < 5; ++pass)
+        best = std::min(best, bench::time_seconds([&] {
+                            for (int i = 0; i < iters; ++i) fn();
+                        }) / iters);
+    return best;
+}
+
+/// Interior-source net with `bulk` sinks in quadrant (+,+) and `small`
+/// sinks in each of the other three quadrants, all strictly interior.
+Net skewed_net(std::uint64_t seed, int bulk, int small)
+{
+    std::mt19937_64 rng(seed);
+    Net n;
+    n.source = Point{2000, 2000};
+    const auto fill = [&](int count, Coord x0, Coord y0) {
+        while (count > 0) {
+            const Point p{x0 + 1 + static_cast<Coord>(rng() % 1998),
+                          y0 + 1 + static_cast<Coord>(rng() % 1998)};
+            if (std::find(n.sinks.begin(), n.sinks.end(), p) != n.sinks.end())
+                continue;
+            n.sinks.push_back(p);
+            --count;
+        }
+    };
+    fill(bulk, 2000, 2000);
+    fill(small, 0, 2000);
+    fill(small, 0, 0);
+    fill(small, 2000, 0);
+    return n;
+}
+
+struct EcoRow {
+    const char* kernel = "";
+    int sinks = 0;
+    double full_s = 0.0;  ///< from-scratch route_single latency
+    double eco_s = 0.0;   ///< Session::apply latency
+    bool incremental = false;
+    bool identical = false;
+    double speedup() const { return eco_s > 0.0 ? full_s / eco_s : 0.0; }
+};
+
+/// One ECO latency row: move sink `k` of `net` back and forth between two
+/// in-quadrant positions, comparing Session::apply against from-scratch
+/// route_single of the same mutated net.
+EcoRow measure_eco_move(const char* kernel, const Technology& tech,
+                        const Net& net, std::size_t k, Point pos_a, Point pos_b)
+{
+    EcoRow row;
+    row.kernel = kernel;
+    row.sinks = static_cast<int>(net.sinks.size());
+
+    Session s(tech);
+    const NetId id = s.add(net);
+
+    // Identity gate first: both target positions, each apply bit-compared
+    // against a from-scratch route of the mutated net.
+    Workspace ws;
+    row.identical = true;
+    row.incremental = true;
+    Net mutated = net;
+    Technology t = tech;
+    for (const Point& to : {pos_a, pos_b}) {
+        const EcoDelta d = EcoDelta::make_move(k, to);
+        apply_delta(mutated, t, d);
+        const EcoOutcome o = s.apply(id, d);
+        const NetRouteResult ref =
+            route_single(mutated, o.request, 0, tech, PipelineOptions{}, ws);
+        row.identical =
+            row.identical &&
+            format_results(std::vector<NetRouteResult>{o.result}) ==
+                format_results(std::vector<NetRouteResult>{ref});
+        row.incremental = row.incremental && o.incremental;
+    }
+
+    // Latency: alternate the two positions so every apply repairs.
+    bool flip = false;
+    row.eco_s = time_per_call(
+        [&] {
+            s.apply(id, EcoDelta::make_move(k, flip ? pos_a : pos_b));
+            flip = !flip;
+        },
+        16);
+    std::size_t req = 1000000;  // any index: faults are off, only diag changes
+    flip = false;
+    row.full_s = time_per_call(
+        [&] {
+            Net m = net;
+            Technology mt = tech;
+            apply_delta(m, mt, EcoDelta::make_move(k, flip ? pos_a : pos_b));
+            benchmark::DoNotOptimize(
+                route_single(m, req++, 0, tech, PipelineOptions{}, ws));
+            flip = !flip;
+        },
+        8);
+    return row;
+}
+
+struct CacheRow {
+    std::string kernel;
+    int nets = 0;
+    int sinks = 0;
+    double dup_ratio = 0.0;
+    double off_s = 0.0;  ///< serial route_batch, no cache
+    double on_s = 0.0;   ///< serial route_batch, fresh cache
+    std::uint64_t served = 0;  ///< hits + single-flight shares (cache on)
+    double compiles_per_routed_net = 0.0;
+    bool identical = false;
+    double speedup() const { return on_s > 0.0 ? off_s / on_s : 0.0; }
+};
+
+/// `total` nets of which ~`dup_ratio` are translated duplicates of earlier
+/// base nets, deterministically interleaved.
+std::vector<Net> dup_batch(std::uint64_t seed, int total, double dup_ratio,
+                           int sinks)
+{
+    const int dups = static_cast<int>(total * dup_ratio);
+    std::vector<Net> nets = random_nets(seed, total - dups, kMcmGrid, sinks);
+    std::mt19937_64 rng(seed ^ 0xecull);
+    for (int d = 0; d < dups; ++d) {
+        Net copy = nets[rng() % nets.size()];
+        const Coord dx = static_cast<Coord>(rng() % 64);
+        const Coord dy = static_cast<Coord>(rng() % 64);
+        copy.source = Point{copy.source.x + dx, copy.source.y + dy};
+        for (Point& p : copy.sinks) p = Point{p.x + dx, p.y + dy};
+        nets.push_back(std::move(copy));
+    }
+    std::shuffle(nets.begin(), nets.end(), rng);
+    return nets;
+}
+
+bool write_eco_json(const std::string& path, bool smoke)
+{
+    // Scalar pin for the same reason as the other studies: the identity
+    // gates compare against route_single under the same dispatch, and the
+    // timing rows should not drift with the host's vector ISA.
+    ScopedSimdMode scalar_pin(SimdMode::scalar);
+    const Technology tech = mcm_technology();
+
+    // --- ECO repair latency vs full re-route ----------------------------
+    // The headline row is the quadrant-skewed shape ECO repair is built
+    // for: the bulk of the sinks in one quadrant, the edit in a small one,
+    // so apply() rebuilds a 10-sink A-tree instead of a 150-sink one
+    // (A-tree construction is superlinear in per-quadrant sinks) and
+    // warm-starts GREWSA on the unchanged stems.  The uniform row is the
+    // honest worst case: with ~30 sinks per quadrant the dirty quadrant is
+    // a quarter of the work and the win is bounded accordingly.
+    std::vector<EcoRow> eco_rows;
+    {
+        const Net skew = skewed_net(77, 150, 10);  // 180 sinks, 150 in (+,+)
+        // Sink 150 is the first (-,+) sink; both targets stay in (-,+).
+        eco_rows.push_back(measure_eco_move("eco_move_skewed", tech, skew, 150,
+                                            Point{700, 2900},
+                                            Point{1300, 3400}));
+        const Net uni = skewed_net(78, 30, 30);  // 120 sinks, 30 per quadrant
+        // Sink 30 is the first (-,+) sink; both targets stay in (-,+).
+        eco_rows.push_back(measure_eco_move("eco_move_uniform", tech, uni, 30,
+                                            Point{700, 2900},
+                                            Point{1300, 3400}));
+    }
+    for (const EcoRow& r : eco_rows)
+        std::cout << "eco latency: " << r.kernel << "  " << r.sinks
+                  << " sinks  full " << fmt_sci(r.full_s, 2) << "s  eco "
+                  << fmt_sci(r.eco_s, 2) << "s  speedup "
+                  << fmt_fixed(r.speedup(), 1) << "x  incremental "
+                  << (r.incremental ? "yes" : "NO") << "  identical "
+                  << (r.identical ? "yes" : "NO") << '\n';
+
+    // --- hash-consed cache throughput -----------------------------------
+    // Serial route_batch over duplicate-laden batches, fresh cache per
+    // measurement: the win is single-flight sharing within the batch, not
+    // warm-cache replay.  dup0 rows bound the cache's bookkeeping overhead.
+    const std::vector<int> batch_sizes =
+        smoke ? std::vector<int>{1000} : std::vector<int>{1000, 10000, 100000};
+    const int cache_sinks = 8;
+    std::vector<CacheRow> cache_rows;
+    for (const int total : batch_sizes) {
+        for (const double ratio : {0.0, 0.5}) {
+            const auto nets = dup_batch(101 + total, total, ratio, cache_sinks);
+            CacheRow row;
+            row.kernel = std::string(ratio == 0.0 ? "dup0_n" : "dup50_n") +
+                         std::to_string(total);
+            row.nets = total;
+            row.sinks = cache_sinks;
+            row.dup_ratio = ratio;
+
+            PipelineOptions off;
+            off.threads = 1;
+            std::vector<NetRouteResult> off_results;
+            row.off_s =
+                time_best([&] { off_results = route_batch(nets, tech, off); });
+
+            PipelineStats stats;
+            std::vector<NetRouteResult> on_results;
+            row.on_s = time_best([&] {
+                RouteCache cache;  // fresh per pass: measure cold sharing
+                PipelineOptions on = off;
+                on.cache = &cache;
+                on_results = route_batch(nets, tech, on, &stats);
+            });
+            row.served = stats.cache_hits + stats.cache_shared;
+            row.compiles_per_routed_net = stats.compiles_per_routed_net;
+            row.identical =
+                format_results(on_results) == format_results(off_results);
+            cache_rows.push_back(row);
+            std::cout << "eco cache: " << row.kernel << "  off "
+                      << fmt_sci(row.off_s, 2) << "s  on "
+                      << fmt_sci(row.on_s, 2) << "s  speedup "
+                      << fmt_fixed(row.speedup(), 2) << "x  served "
+                      << row.served << "  compiles/routed "
+                      << fmt_fixed(row.compiles_per_routed_net, 2)
+                      << "  identical " << (row.identical ? "yes" : "NO")
+                      << '\n';
+        }
+    }
+
+    // --- cache determinism under threads --------------------------------
+    // Same dup-heavy batch, cache on, serial vs 4 threads: single-flight
+    // serialization must keep the output byte-identical.
+    const auto mt_nets = dup_batch(303, 1000, 0.5, cache_sinks);
+    RouteCache mt_serial_cache, mt_par_cache;
+    PipelineOptions mt_serial;
+    mt_serial.threads = 1;
+    mt_serial.cache = &mt_serial_cache;
+    PipelineOptions mt_par;
+    mt_par.threads = 4;
+    mt_par.cache = &mt_par_cache;
+    const bool mt_identical =
+        format_results(route_batch(mt_nets, tech, mt_serial)) ==
+        format_results(route_batch(mt_nets, tech, mt_par));
+    std::cout << "eco cache mt: 1000 nets  threads 4  identical "
+              << (mt_identical ? "yes" : "NO") << '\n';
+
+    std::ofstream out(path);
+    if (!out) {
+        std::cerr << "cannot write " << path << '\n';
+        return false;
+    }
+    out << "{\n"
+        << "  \"benchmark\": \"eco_session\",\n"
+        << "  \"generated_by\": \"bench_micro_scaling\",\n"
+        << "  \"technology\": \"mcm\",\n"
+        << "  \"eco\": [\n";
+    for (std::size_t i = 0; i < eco_rows.size(); ++i) {
+        const EcoRow& r = eco_rows[i];
+        out << "    {\"kernel\": \"" << r.kernel << "\", \"sinks\": " << r.sinks
+            << ", \"full_s\": " << fmt_sci(r.full_s, 4)
+            << ", \"eco_s\": " << fmt_sci(r.eco_s, 4)
+            << ", \"speedup\": " << fmt_fixed(r.speedup(), 2)
+            << ", \"incremental\": " << (r.incremental ? "true" : "false")
+            << ", \"identical\": " << (r.identical ? "true" : "false") << "}"
+            << (i + 1 < eco_rows.size() ? "," : "") << '\n';
+    }
+    out << "  ],\n"
+        << "  \"cache\": [\n";
+    for (std::size_t i = 0; i < cache_rows.size(); ++i) {
+        const CacheRow& r = cache_rows[i];
+        out << "    {\"kernel\": \"" << r.kernel << "\", \"sinks\": " << r.sinks
+            << ", \"nets\": " << r.nets
+            << ", \"dup_ratio\": " << fmt_fixed(r.dup_ratio, 2)
+            << ", \"off_s\": " << fmt_sci(r.off_s, 4)
+            << ", \"on_s\": " << fmt_sci(r.on_s, 4)
+            << ", \"speedup\": " << fmt_fixed(r.speedup(), 2)
+            << ", \"served\": " << r.served
+            << ", \"compiles_per_routed_net\": "
+            << fmt_fixed(r.compiles_per_routed_net, 2)
+            << ", \"identical\": " << (r.identical ? "true" : "false") << "}"
+            << (i + 1 < cache_rows.size() ? "," : "") << '\n';
+    }
+    out << "  ],\n"
+        << "  \"cache_mt\": {\"nets\": 1000, \"threads\": 4, \"dup_ratio\": 0.50"
+        << ", \"identical\": " << (mt_identical ? "true" : "false") << "}\n"
+        << "}\n";
+    std::cout << "wrote " << path << '\n';
+
+    bool all_ok = mt_identical;
+    for (const EcoRow& r : eco_rows)
+        all_ok = all_ok && r.identical && r.incremental;
+    for (const CacheRow& r : cache_rows)
+        all_ok = all_ok && r.identical && r.compiles_per_routed_net <= 1.0;
+    return all_ok;
+}
+
 }  // namespace
 }  // namespace cong93
 
@@ -1080,6 +1381,7 @@ int main(int argc, char** argv)
     std::string pipeline_json_path = "BENCH_pipeline.json";
     std::string metrics_json_path = "BENCH_metrics.json";
     std::string simd_json_path = "BENCH_simd.json";
+    std::string eco_json_path = "BENCH_eco.json";
     bool json_only = false;
     bool smoke = false;
     bool skip_wiresize = false;
@@ -1096,6 +1398,8 @@ int main(int argc, char** argv)
             metrics_json_path = argv[i] + 15;
         else if (std::strncmp(argv[i], "--simd-json=", 12) == 0)
             simd_json_path = argv[i] + 12;
+        else if (std::strncmp(argv[i], "--eco-json=", 11) == 0)
+            eco_json_path = argv[i] + 11;
         else if (std::strcmp(argv[i], "--json-only") == 0)
             json_only = true;
         else if (std::strcmp(argv[i], "--smoke") == 0)
@@ -1125,6 +1429,9 @@ int main(int argc, char** argv)
     const bool pipeline_ok =
         cong93::write_pipeline_json(pipeline_json_path, smoke);
     const bool simd_ok = cong93::write_simd_json(simd_json_path, smoke);
-    return wiresize_ok && atree_ok && metrics_ok && pipeline_ok && simd_ok ? 0
-                                                                           : 1;
+    const bool eco_ok = cong93::write_eco_json(eco_json_path, smoke);
+    return wiresize_ok && atree_ok && metrics_ok && pipeline_ok && simd_ok &&
+                   eco_ok
+               ? 0
+               : 1;
 }

@@ -1,6 +1,7 @@
 #include "atree/generalized.h"
 
 #include <array>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <unordered_map>
@@ -30,13 +31,9 @@ bool strictly_in_quadrant(Point d, int q)
 
 }  // namespace
 
-AtreeResult build_atree_general(const Net& net, const AtreeOptions& options)
+QuadrantPartition partition_quadrants(const Net& net)
 {
     // Work in source-relative coordinates (carrying per-sink caps along).
-    struct RelSink {
-        Point p;
-        double cap;
-    };
     std::vector<RelSink> rel;
     rel.reserve(net.sinks.size());
     for (std::size_t i = 0; i < net.sinks.size(); ++i)
@@ -47,14 +44,14 @@ AtreeResult build_atree_general(const Net& net, const AtreeOptions& options)
     // Assign each sink to a quadrant.  Interior sinks are unambiguous; axis
     // sinks join the adjacent quadrant whose nearest interior sink is
     // closest (preferring lower quadrant index on ties).
-    std::array<std::vector<RelSink>, 4> quad_sinks;
+    QuadrantPartition part;
     std::vector<RelSink> axis_sinks;
     for (const RelSink& d : rel) {
         if (d.p.x == 0 && d.p.y == 0) continue;  // sink at the source
         bool placed = false;
         for (int q = 0; q < 4 && !placed; ++q) {
             if (strictly_in_quadrant(d.p, q)) {
-                quad_sinks[static_cast<std::size_t>(q)].push_back(d);
+                part.quads[static_cast<std::size_t>(q)].push_back(d);
                 placed = true;
             }
         }
@@ -66,7 +63,7 @@ AtreeResult build_atree_general(const Net& net, const AtreeOptions& options)
         for (int q = 0; q < 4; ++q) {
             if (!in_quadrant(d.p, q)) continue;
             if (best_q < 0) best_q = q;  // fallback: first admissible quadrant
-            for (const RelSink& other : quad_sinks[static_cast<std::size_t>(q)]) {
+            for (const RelSink& other : part.quads[static_cast<std::size_t>(q)]) {
                 const Length dd = dist(d.p, other.p);
                 if (dd < best_d) {
                     best_d = dd;
@@ -74,27 +71,37 @@ AtreeResult build_atree_general(const Net& net, const AtreeOptions& options)
                 }
             }
         }
-        quad_sinks[static_cast<std::size_t>(best_q)].push_back(d);
+        part.quads[static_cast<std::size_t>(best_q)].push_back(d);
     }
+    return part;
+}
 
+Net quadrant_subnet(const QuadrantPartition& part, int q)
+{
+    const auto& sinks = part.quads[static_cast<std::size_t>(q)];
+    const auto [sx, sy] = kQuadSign[static_cast<std::size_t>(q)];
+    Net sub;
+    sub.source = Point{0, 0};
+    for (const RelSink& d : sinks)
+        sub.sinks.push_back(Point{static_cast<Coord>(d.p.x * sx),
+                                  static_cast<Coord>(d.p.y * sy)});
+    for (const RelSink& d : sinks) sub.sink_caps.push_back(d.cap);
+    return sub;
+}
+
+AtreeResult assemble_quadrants(const Net& net, const QuadrantPartition& part,
+                               const std::array<const AtreeResult*, 4>& quads)
+{
     RoutingTree combined(net.source);
     AtreeResult total{combined};
     for (int q = 0; q < 4; ++q) {
-        const auto& sinks = quad_sinks[static_cast<std::size_t>(q)];
-        if (sinks.empty()) continue;
+        if (part.quads[static_cast<std::size_t>(q)].empty()) continue;
+        const AtreeResult& r = *quads[static_cast<std::size_t>(q)];
         const auto [sx, sy] = kQuadSign[static_cast<std::size_t>(q)];
-
-        Net sub;
-        sub.source = Point{0, 0};
-        for (const RelSink& d : sinks)
-            sub.sinks.push_back(Point{static_cast<Coord>(d.p.x * sx),
-                                      static_cast<Coord>(d.p.y * sy)});
-        for (const RelSink& d : sinks) sub.sink_caps.push_back(d.cap);
-        const AtreeResult r = build_atree(sub, options);
 
         // Graft the quadrant tree into the combined tree, reflecting back and
         // translating to absolute coordinates.
-        const auto map_point = [&](Point p) {
+        const auto map_point = [&, sx = sx, sy = sy](Point p) {
             return Point{static_cast<Coord>(p.x * sx + net.source.x),
                          static_cast<Coord>(p.y * sy + net.source.y)};
         };
@@ -154,6 +161,20 @@ AtreeResult build_atree_general(const Net& net, const AtreeOptions& options)
     total.cost = total_length(combined);
     total.qmst_cost = sum_all_node_path_lengths(combined);
     return total;
+}
+
+AtreeResult build_atree_general(const Net& net, const AtreeOptions& options)
+{
+    const QuadrantPartition part = partition_quadrants(net);
+    std::array<std::optional<AtreeResult>, 4> built;
+    std::array<const AtreeResult*, 4> ptrs{nullptr, nullptr, nullptr, nullptr};
+    for (int q = 0; q < 4; ++q) {
+        if (part.quads[static_cast<std::size_t>(q)].empty()) continue;
+        built[static_cast<std::size_t>(q)] =
+            build_atree(quadrant_subnet(part, q), options);
+        ptrs[static_cast<std::size_t>(q)] = &*built[static_cast<std::size_t>(q)];
+    }
+    return assemble_quadrants(net, part, ptrs);
 }
 
 }  // namespace cong93

@@ -8,12 +8,78 @@
 // arborescences are joined at the source.  The result is an A-tree by
 // Definition 1: every source-to-node path stays inside one quadrant and is
 // monotone, hence rectilinearly shortest.
+//
+// The three phases are exposed separately -- partition_quadrants /
+// quadrant_subnet / assemble_quadrants -- because the quadrants are
+// independent subproblems: a sink edit that leaves a quadrant's partitioned
+// sink list unchanged leaves that quadrant's A-tree unchanged, so an
+// incremental caller (session/session.h) can rebuild only the affected
+// quadrants and re-assemble.  build_atree_general composes exactly these
+// three phases; assembling previously built quadrant results is
+// bit-identical to a from-scratch construction.
 #ifndef CONG93_ATREE_GENERALIZED_H
 #define CONG93_ATREE_GENERALIZED_H
+
+#include <array>
+#include <vector>
 
 #include "atree/atree.h"
 
 namespace cong93 {
+
+/// One sink in source-relative coordinates, carrying its load cap.
+struct RelSink {
+    Point p;           ///< sink position minus the net source
+    double cap = -1.0; ///< Net::sink_cap(i) of the originating sink
+
+    friend bool operator==(const RelSink& a, const RelSink& b)
+    {
+        return a.p == b.p && a.cap == b.cap;
+    }
+    friend bool operator!=(const RelSink& a, const RelSink& b)
+    {
+        return !(a == b);
+    }
+};
+
+/// The net's sinks partitioned around its source.  Quadrant order is
+/// 0 => (+,+), 1 => (-,+), 2 => (-,-), 3 => (+,-); within a quadrant,
+/// interior sinks keep net order and homed axis sinks follow, also in net
+/// order.  Sinks coincident with the source are dropped (the assembly's
+/// coverage pass marks them on the root).
+struct QuadrantPartition {
+    std::array<std::vector<RelSink>, 4> quads;
+
+    /// Sinks assigned across all quadrants.
+    std::size_t total_sinks() const
+    {
+        std::size_t n = 0;
+        for (const auto& q : quads) n += q.size();
+        return n;
+    }
+};
+
+/// Partitions net.sinks into the four quadrants around net.source.
+/// Interior sinks are unambiguous; axis sinks join the adjacent quadrant
+/// whose nearest interior sink is closest (preferring the lower quadrant
+/// index on ties).  Deterministic function of the net alone.
+QuadrantPartition partition_quadrants(const Net& net);
+
+/// First-quadrant subproblem of quadrant q: that quadrant's sinks reflected
+/// into (+,+) with the source at the origin, caps carried along.  This is
+/// the exact net build_atree_general hands to build_atree for quadrant q.
+Net quadrant_subnet(const QuadrantPartition& part, int q);
+
+/// Joins per-quadrant A-trees into the generalized result: reflects each
+/// quadrant tree back, translates to absolute coordinates, grafts it at the
+/// source, marks that quadrant's sinks, and runs the coverage-verification
+/// pass over the combined tree.  `quads[q]` must be the build_atree result
+/// of quadrant_subnet(part, q) (nullptr when part.quads[q] is empty); the
+/// output is bit-identical to build_atree_general(net) whenever the inputs
+/// match what it would build.  Throws std::logic_error when a net sink is
+/// missing from the combined tree.
+AtreeResult assemble_quadrants(const Net& net, const QuadrantPartition& part,
+                               const std::array<const AtreeResult*, 4>& quads);
 
 /// Builds a generalized A-tree for a net whose sinks may lie anywhere.
 AtreeResult build_atree_general(const Net& net, const AtreeOptions& options = {});

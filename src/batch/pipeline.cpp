@@ -5,9 +5,11 @@
 #include <bit>
 #include <chrono>
 #include <cmath>
+#include <numeric>
 #include <optional>
 #include <sstream>
 #include <thread>
+#include <unordered_map>
 
 #include "atree/generalized.h"
 #include "baseline/brbc.h"
@@ -18,6 +20,7 @@
 #include "netgen/netgen.h"
 #include "rtree/segments.h"
 #include "rtree/validate.h"
+#include "session/route_cache.h"
 #include "sim/rc_tree.h"
 #include "simd/dispatch.h"
 #include "simd/kernels.h"
@@ -163,10 +166,13 @@ bool route_report(const FlatTree& ft, const FrontOutcome& fo,
 
 /// Stages 4-5: wiresizing and its moment cross-check.  Either failing
 /// demotes the net to the uniform-width rung: a wiresized result whose
-/// cross-check did not pass is not reported.
+/// cross-check did not pass is not reported.  `solver` substitutes for
+/// grewsa_owsa when non-empty (the session engine's warm-started solver,
+/// bit-identical by contract).
 void route_tail(const FlatTree& ft, std::size_t index, const Technology& t,
                 const PipelineOptions& opts, const FaultPlan& faults,
-                Workspace& ws, NetRouteResult& r)
+                Workspace& ws, NetRouteResult& r,
+                const WiresizeSolver& solver = {})
 {
     RouteStage stage = RouteStage::wiresize;
     try {
@@ -177,7 +183,7 @@ void route_tail(const FlatTree& ft, std::size_t index, const Technology& t,
         const WiresizeContext ctx(ft, t, WidthSet::uniform_steps(opts.widths_r));
         r.segments = ctx.segment_count();
         if (ctx.segment_count() == 0) return;
-        CombinedResult best = grewsa_owsa(ctx);
+        CombinedResult best = solver ? solver(ctx) : grewsa_owsa(ctx);
         if (!std::isfinite(best.delay))
             throw std::runtime_error("non-finite wiresized delay");
         r.wiresized_delay_s = best.delay;
@@ -382,6 +388,63 @@ std::vector<NetRouteResult> route_batch_impl(const std::vector<Net>& nets,
     std::uint64_t builds_before = 0;
     for (const Workspace& w : ws) builds_before += w.counters().tree_builds;
 
+    std::vector<NetRouteResult> out(nets.size());
+
+    // --- Hash-consed route cache, single-flight pre-pass (serial) --------
+    // Fault injection is keyed by net index, so sharing one routed result
+    // across indices would change which faults fire: the cache is bypassed
+    // outright for fault-injected batches.
+    RouteCache* const cache = faults.enabled ? nullptr : opts.cache;
+    const auto serve = [&](std::size_t i, const NetRouteResult& src) {
+        out[i] = src;
+        out[i].diag.net_index = i;
+        out[i].diag.net_seed = seed_of(i);
+    };
+    // The net indices the parallel region actually routes: without a cache,
+    // every net; with one, the lowest-index occurrence of each signature
+    // that is not already interned.  Everything here runs serially in net
+    // order, so grouping, LRU order and counters are schedule-independent.
+    std::vector<std::size_t> work;
+    struct ShareGroup {
+        std::size_t leader;
+        std::vector<std::size_t> followers;
+    };
+    std::vector<ShareGroup> groups;  // miss groups, ascending leader index
+    std::vector<CacheKey> group_keys;
+    std::uint64_t hits = 0, shared = 0, evictions = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    if (cache != nullptr) {
+        const std::uint32_t config = cache->config_of(tech, opts);
+        std::unordered_map<std::uint64_t, std::vector<std::size_t>> group_of;
+        for (std::size_t i = 0; i < nets.size(); ++i) {
+            CacheKey key = RouteCache::key_of(nets[i], config);
+            // Pre-existing entries serve immediately (no insert can
+            // invalidate them before the post-pass).
+            if (const NetRouteResult* c = cache->find(key)) {
+                serve(i, *c);
+                ++hits;
+                continue;
+            }
+            std::size_t gi = groups.size();
+            for (const std::size_t g : group_of[key.hash])
+                if (RouteCache::same_key(group_keys[g], key)) {
+                    gi = g;
+                    break;
+                }
+            if (gi < groups.size()) {
+                groups[gi].followers.push_back(i);
+            } else {
+                group_of[key.hash].push_back(gi);
+                groups.push_back(ShareGroup{i, {}});
+                group_keys.push_back(std::move(key));
+                work.push_back(i);
+            }
+        }
+    } else {
+        work.resize(nets.size());
+        std::iota(work.begin(), work.end(), std::size_t{0});
+    }
+
     // Dynamic-scheduling granularity: with an explicit chunk honor it;
     // otherwise size chunks for ~8 pulls per worker, so small batches of
     // cheap nets do not pay one atomic round-trip per net (the 2-thread
@@ -389,24 +452,48 @@ std::vector<NetRouteResult> route_batch_impl(const std::vector<Net>& nets,
     std::size_t chunk = opts.chunk;
     if (chunk == 0)
         chunk = std::clamp<std::size_t>(
-            nets.size() / (static_cast<std::size_t>(pool_threads) * 8), 1, 64);
+            work.size() / (static_cast<std::size_t>(pool_threads) * 8), 1, 64);
 
-    std::vector<NetRouteResult> out(nets.size());
-    const auto t0 = std::chrono::steady_clock::now();
-    const bool serial = pool_threads <= 1 || nets.size() < 2;
+    const bool serial = pool_threads <= 1 || work.size() < 2;
     if (serial) {
-        for (std::size_t i = 0; i < nets.size(); ++i) route_one(out, i, 0);
+        for (const std::size_t i : work) route_one(out, i, 0);
     } else {
         ThreadPool pool(pool_threads);
         parallel_for_slots(
-            pool, nets.size(),
-            [&](std::size_t i, int slot) { route_one(out, i, slot); }, chunk);
+            pool, work.size(),
+            [&](std::size_t k, int slot) { route_one(out, work[k], slot); },
+            chunk);
     }
     // Nets still pending in partially filled buckets finish here, after the
     // barrier, on their owning slot's workspace.
     for (std::size_t s = 0; s < batchers.size(); ++s)
         for (auto& bucket : batchers[s].buckets)
             flush_bucket(bucket, lanes, cfg, tech, opts, faults, ws[s], out);
+
+    // --- Single-flight post-pass (serial, ascending leader index) --------
+    // Clean leader results are interned and fanned out to their followers;
+    // an unclean leader (degraded status or any diagnostic -- messages may
+    // embed absolute coordinates, which sharing would mistranslate) shares
+    // nothing, and its followers route individually right here on slot 0.
+    std::uint64_t routed = work.size();
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+        const NetRouteResult& lr = out[groups[g].leader];
+        const bool clean = lr.status == RouteStatus::ok && lr.diag.empty();
+        if (clean) {
+            evictions += cache->insert(group_keys[g], lr);
+            for (const std::size_t f : groups[g].followers) {
+                serve(f, lr);
+                ++shared;
+            }
+        } else {
+            for (const std::size_t f : groups[g].followers) {
+                out[f] = route_net(nets[f], f, seed_of(f), tech, opts, faults,
+                                   ws[0]);
+                ++routed;
+            }
+        }
+    }
+    if (cache != nullptr) ws[0].note_results_served(hits + shared);
     const auto t1 = std::chrono::steady_clock::now();
 
     if (stats) {
@@ -419,17 +506,51 @@ std::vector<NetRouteResult> route_batch_impl(const std::vector<Net>& nets,
                 : 0.0;
         stats->counters = WorkspaceCounters{};
         for (const Workspace& w : ws) stats->counters += w.counters();
+        const double builds_delta =
+            static_cast<double>(stats->counters.tree_builds - builds_before);
         stats->compiles_per_net =
-            nets.empty() ? 0.0
-                         : static_cast<double>(stats->counters.tree_builds -
-                                               builds_before) /
-                               static_cast<double>(nets.size());
+            nets.empty() ? 0.0 : builds_delta / static_cast<double>(nets.size());
+        stats->nets_routed = routed;
+        stats->compiles_per_routed_net =
+            routed == 0 ? 0.0 : builds_delta / static_cast<double>(routed);
+        stats->cache_hits = hits;
+        stats->cache_misses = cache != nullptr ? groups.size() : 0;
+        stats->cache_shared = shared;
+        stats->cache_evictions = evictions;
         tally_outcomes(out, *stats);
     }
     return out;
 }
 
 }  // namespace
+
+NetRouteResult route_single(const Net& net, std::size_t index,
+                            std::uint64_t diag_seed, const Technology& tech,
+                            const PipelineOptions& opts, Workspace& ws)
+{
+    const FaultPlan faults =
+        opts.faults.enabled ? opts.faults : FaultPlan::from_env();
+    return route_net(net, index, diag_seed, tech, opts, faults, ws);
+}
+
+bool route_report_compiled(const FlatTree& ft, std::size_t nodes,
+                           const Technology& t, Workspace& ws,
+                           NetRouteResult& r)
+{
+    FrontOutcome fo;
+    fo.alive = true;
+    fo.nodes = nodes;
+    fo.t = &t;
+    return route_report(ft, fo, t, ws, nullptr, r);
+}
+
+void route_tail_compiled(const FlatTree& ft, std::size_t index,
+                         const Technology& t, const PipelineOptions& opts,
+                         const FaultPlan& faults, Workspace& ws,
+                         NetRouteResult& r, const WiresizeSolver& solver)
+{
+    route_tail(ft, index, t, opts, faults, ws, r, solver);
+}
 
 std::vector<NetRouteResult> route_batch(const std::vector<Net>& nets,
                                         const Technology& tech,

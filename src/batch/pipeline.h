@@ -49,6 +49,7 @@
 #ifndef CONG93_BATCH_PIPELINE_H
 #define CONG93_BATCH_PIPELINE_H
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -59,8 +60,11 @@
 #include "rtree/routing_tree.h"
 #include "tech/technology.h"
 #include "wiresize/assignment.h"
+#include "wiresize/combined.h"
 
 namespace cong93 {
+
+class RouteCache;  // session/route_cache.h
 
 struct PipelineOptions {
     int widths_r = 4;     ///< wiresizing width count (Table 6's r)
@@ -79,6 +83,18 @@ struct PipelineOptions {
     /// disabled, $CONG93_FAULT_INJECT is consulted instead; both off means
     /// no injection.
     FaultPlan faults;
+    /// Optional hash-consed route cache (session/route_cache.h), consulted
+    /// and filled by route_batch under a deterministic single-flight rule:
+    /// the lowest-index occurrence of each canonical signature is the only
+    /// net routed, every other occurrence is served by result sharing in
+    /// serial pre/post passes, and clean results are interned for later
+    /// batches.  format_results output is byte-identical with the cache on
+    /// or off, serial or parallel.  Ignored (bypassed entirely) when fault
+    /// injection is enabled: injected faults are keyed by net index, which
+    /// sharing would have to violate.  Not owned; the caller must keep the
+    /// cache alive across the call and not share it between concurrent
+    /// route_batch calls.
+    RouteCache* cache = nullptr;
 };
 
 /// Everything reported for one routed net.
@@ -108,9 +124,25 @@ struct PipelineStats {
     WorkspaceCounters counters;  ///< aggregated over the slot workspaces
     /// FlatTree compilations per net in this batch (tree_builds delta over
     /// the slot workspaces / net count).  Every consumer stage shares the
-    /// stage-2 compile, so a clean batch measures exactly 1.0; nets that
-    /// fail before the compile stage can only pull it below 1.0.
+    /// stage-2 compile, so a clean batch without a route cache measures
+    /// exactly 1.0; nets that fail before the compile stage -- and, with a
+    /// cache attached, nets served by result sharing -- pull it below 1.0.
     double compiles_per_net = 0.0;
+    /// FlatTree compilations per net that actually executed the route
+    /// ladder (cache-served nets excluded from the denominator).  This is
+    /// the share-aware once-compiled invariant: <= 1.0 always, exactly 1.0
+    /// for a clean batch.
+    double compiles_per_routed_net = 0.0;
+    /// Nets that executed the route ladder this batch (= batch size minus
+    /// cache-served nets).
+    std::uint64_t nets_routed = 0;
+
+    // Route-cache telemetry for this batch (all zero without a cache).
+    std::uint64_t cache_hits = 0;   ///< nets served from pre-existing entries
+    std::uint64_t cache_misses = 0; ///< distinct signatures actually routed
+    std::uint64_t cache_shared = 0; ///< nets served by in-batch single-flight
+                                    ///< sharing from a leader routed here
+    std::uint64_t cache_evictions = 0;  ///< LRU evictions caused by this batch
 
     // Outcome tally (reduced serially in index order after the barrier).
     std::uint64_t nets_ok = 0;
@@ -146,6 +178,39 @@ std::vector<NetRouteResult> route_batch(std::uint64_t seed, int count, Coord gri
                                         const PipelineOptions& opts = {},
                                         PipelineStats* stats = nullptr,
                                         std::vector<Workspace>* workspaces = nullptr);
+
+/// Routes one net through the exact per-net ladder route_batch runs
+/// (validate -> topology -> compile -> report -> wiresize -> moment check),
+/// against the caller's workspace.  The fault plan resolves exactly as in
+/// route_batch (explicit options, else $CONG93_FAULT_INJECT).  This is the
+/// from-scratch reference the session engine's incremental results are
+/// bit-compared against.
+NetRouteResult route_single(const Net& net, std::size_t index,
+                            std::uint64_t diag_seed, const Technology& tech,
+                            const PipelineOptions& opts, Workspace& ws);
+
+/// Wiresizing solver hook for route_tail_compiled: maps a compiled context
+/// to a CombinedResult.  An empty function means grewsa_owsa.  A solver must
+/// be bit-identical to grewsa_owsa on its inputs for the pipeline's
+/// determinism contracts to extend through it (the session engine's
+/// warm-started solver is; see session/session.h).
+using WiresizeSolver = std::function<CombinedResult(const WiresizeContext&)>;
+
+/// Stage 3 (uniform-width report) against an already-compiled FlatTree:
+/// fills nodes/wirelength/rph/elmore of `r`, finiteness-checked; returns
+/// true while the net is still on the full-flow rung.  `nodes` is the
+/// RoutingTree node count the compile consumed.
+bool route_report_compiled(const FlatTree& ft, std::size_t nodes,
+                           const Technology& t, Workspace& ws,
+                           NetRouteResult& r);
+
+/// Stages 4-5 (wiresize + moment cross-check) against an already-compiled
+/// FlatTree, with the wiresizing solver pluggable.  Identical composition to
+/// the route_batch tail; a failure demotes `r` to the uniform_width rung.
+void route_tail_compiled(const FlatTree& ft, std::size_t index,
+                         const Technology& t, const PipelineOptions& opts,
+                         const FaultPlan& faults, Workspace& ws,
+                         NetRouteResult& r, const WiresizeSolver& solver = {});
 
 /// Canonical full-precision serialization (hexfloat) of a result batch,
 /// including each net's status and diagnostic events; equal strings <=>

@@ -44,6 +44,12 @@ struct WorkspaceCounters {
     std::uint64_t lane_packs = 0;      ///< BatchedFlatTree::pack() calls
     std::uint64_t lane_filled = 0;     ///< lanes that carried a real net
     std::uint64_t lane_slots = 0;      ///< lane slots offered across packs
+    /// Nets answered by the route cache / single-flight result sharing
+    /// instead of a compile (batch/pipeline.cpp).  Distinguishes "served"
+    /// from "compiled" so per-net compile accounting stays meaningful:
+    /// tree_builds ~= nets - results_served on a clean cached batch, and
+    /// PipelineStats::compiles_per_net may legitimately drop below 1.0.
+    std::uint64_t results_served = 0;
 
     WorkspaceCounters& operator+=(const WorkspaceCounters& o)
     {
@@ -56,6 +62,7 @@ struct WorkspaceCounters {
         lane_packs += o.lane_packs;
         lane_filled += o.lane_filled;
         lane_slots += o.lane_slots;
+        results_served += o.results_served;
         return *this;
     }
 
@@ -128,6 +135,11 @@ public:
                                 std::to_string(cap));
     }
 
+    /// Counts nets this slot answered from the route cache / result sharing
+    /// rather than by compiling (the batch driver calls this from its serial
+    /// post-pass).
+    void note_results_served(std::uint64_t n) { results_served_ += n; }
+
     WorkspaceCounters counters() const
     {
         WorkspaceCounters c;
@@ -144,6 +156,7 @@ public:
         c.lane_packs = lane_pack.packs();
         c.lane_filled = lane_pack.lanes_filled();
         c.lane_slots = lane_pack.lane_slots();
+        c.results_served = results_served_;
         return c;
     }
 
@@ -152,6 +165,7 @@ private:
     std::vector<std::size_t> lane_free_;
     std::uint64_t scratch_growths_ = 0;
     std::uint64_t arena_rejects_ = 0;
+    std::uint64_t results_served_ = 0;
 };
 
 }  // namespace cong93

@@ -15,6 +15,7 @@
 #include "netgen/netgen.h"
 #include "report/table.h"
 #include "rtree/io.h"
+#include "session/session.h"
 #include "rtree/metrics.h"
 #include "sim/delay_measure.h"
 #include "tech/technology.h"
@@ -33,6 +34,9 @@ commands:
   flow       route + wiresize + simulate
   simulate   simulate serialized trees (--in trees.txt)
   batch      fault-isolated batch pipeline: per-net status + diagnostics
+  session    replay an ECO delta script (--in) through the incremental
+             session engine: gen/net admit nets, move/add/remove/retech
+             repair them in place, route/print/stats inspect
 
 options:
   --in <file>          input netlist/tree file (default: generated nets)
@@ -53,6 +57,10 @@ options:
   --max-nodes <n>      batch per-net arena cap in nodes (0 = uncapped)
   --fault-inject <s>   batch fault-injection spec, e.g.
                        "seed=7,topology=0.2,wiresize=0.2,arena-cap=40@0.1"
+  --cache-capacity <n> session route-cache entry cap (default 0 = unbounded)
+  --no-cache           session: admit without the hash-consed route cache
+  --eco-threshold <t>  session: dirty-sink fraction in [0,1] above which an
+                       ECO falls back to a full re-route (default 0.5)
 )";
 }
 
@@ -259,6 +267,129 @@ int run_batch(const CliOptions& opts, std::ostream& out,
     return any_routed ? 0 : 1;
 }
 
+/// One canonical result line, prefixed with the session net id instead of
+/// format_results' loop index (same fields, same hexfloat formatting).
+std::string result_line(NetId id, const NetRouteResult& r)
+{
+    std::string line = format_results(std::vector<NetRouteResult>{r});
+    return std::to_string(id) + line.substr(line.find(' '));
+}
+
+int run_session(const CliOptions& opts, std::ostream& out,
+                const std::string* input_text)
+{
+    if (opts.input_path.empty() && !input_text)
+        throw std::invalid_argument("session requires --in <script file>");
+    const Technology tech = technology_by_name(opts.tech, opts.driver_scale);
+
+    SessionOptions sopts;
+    sopts.pipeline.widths_r = opts.widths;
+    sopts.pipeline.threads = opts.threads;
+    sopts.pipeline.max_nodes_per_net = opts.max_nodes;
+    sopts.pipeline.faults = FaultPlan::parse(opts.fault_spec);
+    sopts.eco_threshold = opts.eco_threshold;
+    sopts.cache_capacity = opts.cache_capacity;
+    sopts.use_cache = opts.session_cache;
+    Session s(tech, sopts);
+
+    std::istringstream is(read_input(opts, input_text));
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(is, line)) {
+        ++lineno;
+        std::istringstream ls(line);
+        std::string cmd;
+        ls >> cmd;
+        if (cmd.empty() || cmd[0] == '#') continue;
+        try {
+            const auto need = [&](const char* what) -> long long {
+                long long v;
+                if (!(ls >> v))
+                    throw std::invalid_argument(std::string("expected ") + what);
+                return v;
+            };
+            if (cmd == "gen") {
+                const long long count = need("count");
+                const long long sinks = need("sinks");
+                long long seed = static_cast<long long>(opts.seed);
+                if (long long s_in = 0; ls >> s_in) seed = s_in;  // optional
+                if (count < 1 || sinks < 1)
+                    throw std::invalid_argument("gen needs count, sinks >= 1");
+                const auto nets =
+                    random_nets(static_cast<std::uint64_t>(seed),
+                                static_cast<int>(count), opts.grid,
+                                static_cast<int>(sinks));
+                for (const NetId id : s.add_batch(nets))
+                    out << "net " << result_line(id, s.result(id));
+            } else if (cmd == "net") {
+                Net n;
+                n.source = Point{static_cast<Coord>(need("source x")),
+                                 static_cast<Coord>(need("source y"))};
+                long long x;
+                while (ls >> x)
+                    n.sinks.push_back(Point{static_cast<Coord>(x),
+                                            static_cast<Coord>(need("sink y"))});
+                if (n.sinks.empty())
+                    throw std::invalid_argument("net needs at least one sink");
+                const NetId id = s.add(std::move(n));
+                out << "net " << result_line(id, s.result(id));
+            } else if (cmd == "move" || cmd == "add" || cmd == "remove" ||
+                       cmd == "retech") {
+                const NetId id = static_cast<NetId>(need("net id"));
+                EcoDelta d;
+                if (cmd == "move") {
+                    const auto k = static_cast<std::size_t>(need("sink index"));
+                    const Coord px = static_cast<Coord>(need("x"));
+                    d = EcoDelta::make_move(k,
+                                            Point{px, static_cast<Coord>(need("y"))});
+                } else if (cmd == "add") {
+                    const Coord px = static_cast<Coord>(need("x"));
+                    const Coord py = static_cast<Coord>(need("y"));
+                    double cap = -1.0;
+                    if (double c_in = 0.0; ls >> c_in) cap = c_in;  // optional
+                    d = EcoDelta::make_add(Point{px, py}, cap);
+                } else if (cmd == "remove") {
+                    d = EcoDelta::make_remove(
+                        static_cast<std::size_t>(need("sink index")));
+                } else {
+                    std::string name;
+                    if (!(ls >> name))
+                        throw std::invalid_argument("expected technology name");
+                    double scale = 1.0;
+                    if (double s_in = 0.0; ls >> s_in) scale = s_in;  // optional
+                    d = EcoDelta::make_retech(technology_by_name(name, scale));
+                }
+                const EcoOutcome o = s.apply(id, d);
+                out << "eco " << id << ' ' << cmd
+                    << " inc=" << (o.incremental ? 1 : 0)
+                    << " tf=" << (o.threshold_fallback ? 1 : 0)
+                    << " dq=" << o.dirty_quadrants << " ds=" << o.dirty_sinks
+                    << '\n'
+                    << result_line(id, o.result);
+            } else if (cmd == "route") {
+                const NetId id = static_cast<NetId>(need("net id"));
+                out << result_line(id, s.result(id));
+            } else if (cmd == "print") {
+                for (NetId id = 0; id < s.size(); ++id)
+                    out << result_line(id, s.result(id));
+            } else if (cmd == "stats") {
+                const RouteCacheStats& cs = s.cache().stats();
+                out << "stats: nets " << s.size() << "  cache_size "
+                    << s.cache().size() << "  hits " << cs.hits << "  misses "
+                    << cs.misses << "  insertions " << cs.insertions
+                    << "  evictions " << cs.evictions << '\n';
+            } else {
+                throw std::invalid_argument("unknown session command: " + cmd);
+            }
+        } catch (const std::exception& e) {
+            throw std::invalid_argument("session script line " +
+                                        std::to_string(lineno) + ": " +
+                                        e.what());
+        }
+    }
+    return 0;
+}
+
 int run_simulate(const CliOptions& opts, std::ostream& out,
                  const std::string* input_text)
 {
@@ -290,7 +421,8 @@ CliOptions parse_cli(const std::vector<std::string>& args)
     if (opts.command == "--help" || opts.command == "-h")
         throw std::invalid_argument(cli_usage());
     if (opts.command != "gen" && opts.command != "route" && opts.command != "flow" &&
-        opts.command != "simulate" && opts.command != "batch")
+        opts.command != "simulate" && opts.command != "batch" &&
+        opts.command != "session")
         throw std::invalid_argument("unknown command: " + opts.command + '\n' +
                                     cli_usage());
 
@@ -339,6 +471,9 @@ CliOptions parse_cli(const std::vector<std::string>& args)
         else if (a == "--threads") opts.threads = static_cast<int>(to_int(a, need_value(i++, a)));
         else if (a == "--max-nodes") opts.max_nodes = static_cast<std::size_t>(to_int(a, need_value(i++, a)));
         else if (a == "--fault-inject") opts.fault_spec = need_value(i++, a);
+        else if (a == "--cache-capacity") opts.cache_capacity = static_cast<std::size_t>(to_int(a, need_value(i++, a)));
+        else if (a == "--no-cache") opts.session_cache = false;
+        else if (a == "--eco-threshold") opts.eco_threshold = to_double(a, need_value(i++, a));
         else throw std::invalid_argument("unknown option: " + a + '\n' + cli_usage());
     }
 
@@ -352,6 +487,8 @@ CliOptions parse_cli(const std::vector<std::string>& args)
         throw std::invalid_argument("--driver-scale must be positive");
     if (opts.max_nodes > 0 && opts.max_nodes < 2)
         throw std::invalid_argument("--max-nodes must be 0 or >= 2");
+    if (opts.eco_threshold < 0.0 || opts.eco_threshold > 1.0)
+        throw std::invalid_argument("--eco-threshold must be in [0,1]");
     if (!opts.fault_spec.empty()) FaultPlan::parse(opts.fault_spec);  // validate
     return opts;
 }
@@ -363,6 +500,7 @@ int run_cli(const CliOptions& opts, std::ostream& out, const std::string* input_
     if (opts.command == "flow") return run_flow(opts, out, input_text);
     if (opts.command == "simulate") return run_simulate(opts, out, input_text);
     if (opts.command == "batch") return run_batch(opts, out, input_text);
+    if (opts.command == "session") return run_session(opts, out, input_text);
     throw std::invalid_argument("unknown command: " + opts.command);
 }
 

@@ -12,6 +12,21 @@
 //                   [--fault-inject SPEC] -- prints the canonical per-net
 //                   result lines (status + diagnostics) and an outcome
 //                   summary, both byte-identical at any thread count
+//   cong93 session  --in script.eco: replay a streaming ECO delta script
+//                   through the incremental Session engine (hash-consed
+//                   admission cache + in-place repair).  Script lines:
+//                     gen <count> <sinks> [seed]   admit random nets (batch)
+//                     net <sx> <sy> <x> <y> ...    admit one explicit net
+//                     move <id> <sink> <x> <y>     ECO: move a sink
+//                     add <id> <x> <y> [cap_f]     ECO: add a sink
+//                     remove <id> <sink>           ECO: remove a sink
+//                     retech <id> <tech> [scale]   ECO: swap technology
+//                     route <id>                   print one result line
+//                     print                        print every result line
+//                     stats                        cache/session counters
+//                   [--cache-capacity N] [--no-cache] [--eco-threshold T]
+//                   Everything except `stats` is byte-identical with the
+//                   cache on or off and at any --threads count.
 //
 // Parsing and execution are separated so both are unit-testable; main() in
 // tools/cong93_main.cpp is a thin wrapper.
@@ -27,7 +42,7 @@
 namespace cong93 {
 
 struct CliOptions {
-    std::string command;  ///< gen | route | flow | simulate
+    std::string command;  ///< gen | route | flow | simulate | batch | session
 
     // Input selection.
     std::string input_path;  ///< nets/trees file; empty => --random
@@ -57,6 +72,11 @@ struct CliOptions {
     int threads = 0;            ///< <= 0: CONG93_THREADS / hardware default
     std::size_t max_nodes = 0;  ///< per-net arena cap (0 = uncapped)
     std::string fault_spec;     ///< fault-injection plan (batch/fault_inject.h)
+
+    // Session (ECO) engine.
+    std::size_t cache_capacity = 0;  ///< route-cache entries (0 = unbounded)
+    bool session_cache = true;       ///< --no-cache turns admission caching off
+    double eco_threshold = 0.5;      ///< dirty-sink fraction forcing re-route
 };
 
 /// Usage text for --help and error messages.

@@ -1,0 +1,169 @@
+#include "session/route_cache.h"
+
+#include <bit>
+#include <cstring>
+
+#include "simd/dispatch.h"
+
+namespace cong93 {
+
+namespace {
+
+/// 64-bit FNV-1a over explicitly fed words; the only consumer of the
+/// float-quantized caps (equality always re-checks the exact doubles).
+struct Fnv64 {
+    std::uint64_t h = 1469598103934665603ull;
+    void mix(std::uint64_t v)
+    {
+        for (int b = 0; b < 8; ++b) {
+            h ^= (v >> (8 * b)) & 0xffu;
+            h *= 1099511628211ull;
+        }
+    }
+};
+
+std::uint64_t cap_bits(double cap)
+{
+    return std::bit_cast<std::uint64_t>(cap);
+}
+
+bool tech_equal(const Technology& a, const Technology& b)
+{
+    // Bit-level equality of every numeric parameter (name is cosmetic and
+    // feeds no result bits; NaN-corrupted copies never reach the cache
+    // because fault-injected batches bypass it).
+    const auto bits = [](double v) { return std::bit_cast<std::uint64_t>(v); };
+    return bits(a.driver_resistance_ohm) == bits(b.driver_resistance_ohm) &&
+           bits(a.unit_wire_resistance_ohm) == bits(b.unit_wire_resistance_ohm) &&
+           bits(a.unit_wire_capacitance_f) == bits(b.unit_wire_capacitance_f) &&
+           bits(a.sink_load_f) == bits(b.sink_load_f) &&
+           bits(a.unit_wire_inductance_h) == bits(b.unit_wire_inductance_h) &&
+           bits(a.grid_pitch_um) == bits(b.grid_pitch_um) &&
+           bits(a.base_width_um) == bits(b.base_width_um);
+}
+
+}  // namespace
+
+std::uint32_t RouteCache::config_of(const Technology& tech,
+                                    const PipelineOptions& opts)
+{
+    const SimdConfig cfg = active_simd_config();
+    Config c;
+    c.tech = tech;
+    c.widths_r = opts.widths_r;
+    c.wiresize = opts.wiresize;
+    c.moment_check = opts.moment_check;
+    c.rc_sections_per_edge = opts.rc_sections_per_edge;
+    c.max_nodes_per_net = opts.max_nodes_per_net;
+    c.simd_isa = static_cast<int>(cfg.isa);
+    c.simd_strict = cfg.strict;
+
+    for (std::size_t i = 0; i < configs_.size(); ++i) {
+        const Config& o = configs_[i];
+        if (tech_equal(o.tech, c.tech) && o.widths_r == c.widths_r &&
+            o.wiresize == c.wiresize && o.moment_check == c.moment_check &&
+            o.rc_sections_per_edge == c.rc_sections_per_edge &&
+            o.max_nodes_per_net == c.max_nodes_per_net &&
+            o.simd_isa == c.simd_isa && o.simd_strict == c.simd_strict)
+            return static_cast<std::uint32_t>(i);
+    }
+    configs_.push_back(std::move(c));
+    return static_cast<std::uint32_t>(configs_.size() - 1);
+}
+
+CacheKey RouteCache::key_of(const Net& net, std::uint32_t config)
+{
+    CacheKey key;
+    key.config = config;
+    key.sinks.reserve(net.sinks.size());
+    for (std::size_t i = 0; i < net.sinks.size(); ++i)
+        key.sinks.push_back(
+            CacheSink{static_cast<Coord>(net.sinks[i].x - net.source.x),
+                      static_cast<Coord>(net.sinks[i].y - net.source.y),
+                      net.sink_cap(i)});
+
+    Fnv64 f;
+    f.mix(config);
+    f.mix(key.sinks.size());
+    for (const CacheSink& s : key.sinks) {
+        f.mix(static_cast<std::uint32_t>(static_cast<std::int32_t>(s.dx)));
+        f.mix(static_cast<std::uint32_t>(static_cast<std::int32_t>(s.dy)));
+        // Cap quantized to float here only: sub-float cap differences share
+        // a bucket and are separated by the exact compare in same_key.
+        f.mix(std::bit_cast<std::uint32_t>(static_cast<float>(s.cap)));
+    }
+    key.hash = f.h;
+    return key;
+}
+
+bool RouteCache::same_key(const CacheKey& a, const CacheKey& b)
+{
+    if (a.config != b.config || a.sinks.size() != b.sinks.size()) return false;
+    for (std::size_t i = 0; i < a.sinks.size(); ++i) {
+        if (a.sinks[i].dx != b.sinks[i].dx || a.sinks[i].dy != b.sinks[i].dy ||
+            cap_bits(a.sinks[i].cap) != cap_bits(b.sinks[i].cap))
+            return false;
+    }
+    return true;
+}
+
+const NetRouteResult* RouteCache::find(const CacheKey& key)
+{
+    const auto it = by_hash_.find(key.hash);
+    if (it != by_hash_.end()) {
+        for (const auto& entry_it : it->second) {
+            if (!same_key(entry_it->key, key)) continue;
+            lru_.splice(lru_.begin(), lru_, entry_it);
+            ++stats_.hits;
+            return &entry_it->result;
+        }
+    }
+    ++stats_.misses;
+    return nullptr;
+}
+
+std::uint64_t RouteCache::insert(const CacheKey& key,
+                                 const NetRouteResult& result)
+{
+    auto& chain = by_hash_[key.hash];
+    for (const auto& entry_it : chain) {
+        if (!same_key(entry_it->key, key)) continue;
+        entry_it->result = result;
+        entry_it->result.diag = NetDiagnostic{};
+        lru_.splice(lru_.begin(), lru_, entry_it);
+        return 0;
+    }
+
+    lru_.push_front(Entry{key, result});
+    // Canonicalize the stored copy: the per-net identity fields are
+    // re-stamped by whoever serves it.
+    lru_.front().result.diag = NetDiagnostic{};
+    chain.push_back(lru_.begin());
+    ++stats_.insertions;
+
+    std::uint64_t evicted = 0;
+    while (capacity_ != 0 && lru_.size() > capacity_) {
+        const auto victim = std::prev(lru_.end());
+        auto& vchain = by_hash_[victim->key.hash];
+        for (std::size_t i = 0; i < vchain.size(); ++i) {
+            if (vchain[i] == victim) {
+                vchain.erase(vchain.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+                break;
+            }
+        }
+        if (vchain.empty()) by_hash_.erase(victim->key.hash);
+        lru_.erase(victim);
+        ++stats_.evictions;
+        ++evicted;
+    }
+    return evicted;
+}
+
+void RouteCache::clear()
+{
+    lru_.clear();
+    by_hash_.clear();
+}
+
+}  // namespace cong93

@@ -1,0 +1,139 @@
+// Hash-consed route cache: duplicate nets are routed once, every other
+// occurrence is served by result sharing.
+//
+// A chip-scale batch is full of repeated structures -- clock sub-nets, bus
+// bit slices, tiled macros -- that differ only by placement.  Every numeric
+// field of a NetRouteResult (node/segment counts, wirelength, delays, width
+// assignment) is invariant under translation of the net, so one canonical
+// signature covers every translated copy:
+//
+//   signature = (config, source-relative sink sequence with exact caps)
+//
+// where `config` fingerprints everything else that feeds the result bits:
+// the technology parameters, the pipeline options, and the resolved SIMD
+// kernel configuration (relaxed vector modes produce different -- still
+// deterministic -- bits than scalar).  The 64-bit hash of the signature
+// quantizes sink caps to float so near-duplicate caps land in one bucket,
+// but equality always compares the exact double bits: quantization can only
+// cause a (handled) hash collision, never a wrong share.
+//
+// The sink sequence is deliberately NOT sorted.  Sink order feeds the A-tree
+// construction's tie-breaking, so two permutations of one sink set may route
+// to different (equally good) trees; sharing across them would break the
+// byte-identity contract route_batch keeps between cache-on and cache-off
+// runs.  Permuted duplicates simply occupy distinct entries.
+//
+// Only *clean* results are consed: status == ok and an empty diagnostic
+// (validation notes and fault events may embed absolute coordinates and are
+// per-net anyway).  The batch driver (batch/pipeline.cpp) enforces a
+// deterministic single-flight rule on top: within one route_batch call the
+// first occurrence of a signature (lowest net index) is the only one routed,
+// and all sharing happens in serial pre/post passes -- so serial and
+// parallel runs stay byte-identical, hits or not.
+//
+// Eviction is strict LRU over a caller-chosen entry capacity (0 = unbounded).
+// Every cache operation happens on the caller's thread in those serial
+// passes; the class itself is not synchronized.
+#ifndef CONG93_SESSION_ROUTE_CACHE_H
+#define CONG93_SESSION_ROUTE_CACHE_H
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "batch/pipeline.h"
+
+namespace cong93 {
+
+/// One sink of a canonical signature: position relative to the net source,
+/// load cap carried exactly (-1 encodes "technology default", matching
+/// Net::sink_cap).
+struct CacheSink {
+    Coord dx = 0;
+    Coord dy = 0;
+    double cap = -1.0;
+};
+
+/// Canonical net signature: config fingerprint + exact source-relative sink
+/// sequence, plus the quantized 64-bit hash used for bucketing.
+struct CacheKey {
+    std::uint32_t config = 0;
+    std::uint64_t hash = 0;
+    std::vector<CacheSink> sinks;
+};
+
+/// Cumulative probe telemetry (monotone over the cache's lifetime; per-batch
+/// deltas are reported in PipelineStats instead).
+struct RouteCacheStats {
+    std::uint64_t hits = 0;        ///< find() calls that returned an entry
+    std::uint64_t misses = 0;      ///< find() calls that returned nullptr
+    std::uint64_t insertions = 0;  ///< insert() calls that stored an entry
+    std::uint64_t evictions = 0;   ///< entries dropped by the LRU bound
+};
+
+class RouteCache {
+public:
+    /// `capacity` bounds the entry count (strict LRU); 0 means unbounded.
+    explicit RouteCache(std::size_t capacity = 0) : capacity_(capacity) {}
+
+    /// Interns the exact (technology, options, SIMD-config) triple this
+    /// cache consultation runs under and returns its fingerprint id.  Two
+    /// calls return the same id iff every result-bit-relevant field compares
+    /// bit-identical, so entries written under one configuration can never
+    /// serve a lookup made under another.
+    std::uint32_t config_of(const Technology& tech, const PipelineOptions& opts);
+
+    /// Canonical signature of `net` under config id `config` (see header).
+    static CacheKey key_of(const Net& net, std::uint32_t config);
+
+    /// Exact signature equality (config, then sink sequence, caps compared
+    /// by bit pattern).  The hash is a bucket, not the identity.
+    static bool same_key(const CacheKey& a, const CacheKey& b);
+
+    /// Looks `key` up; on a hit, touches the entry most-recently-used and
+    /// returns its result (valid until the next insert()).  The stored
+    /// result is canonicalized: diag cleared, net_index/net_seed zero --
+    /// callers re-stamp per served net.
+    const NetRouteResult* find(const CacheKey& key);
+
+    /// Stores `result` (which must be clean: status ok, empty diagnostic)
+    /// under `key`, evicting least-recently-used entries beyond the
+    /// capacity.  Re-inserting an existing signature overwrites in place.
+    /// Returns how many entries this call evicted.
+    std::uint64_t insert(const CacheKey& key, const NetRouteResult& result);
+
+    const RouteCacheStats& stats() const { return stats_; }
+    std::size_t size() const { return lru_.size(); }
+    std::size_t capacity() const { return capacity_; }
+    void clear();
+
+private:
+    struct Entry {
+        CacheKey key;
+        NetRouteResult result;
+    };
+    /// Exact fingerprint payload of one interned configuration: every field
+    /// a clean net's result bits depend on besides the net itself.
+    struct Config {
+        Technology tech;
+        int widths_r = 0;
+        bool wiresize = false;
+        bool moment_check = false;
+        int rc_sections_per_edge = 0;
+        std::size_t max_nodes_per_net = 0;
+        int simd_isa = 0;
+        bool simd_strict = false;
+    };
+
+    std::size_t capacity_;
+    std::list<Entry> lru_;  ///< front = most recently used
+    std::unordered_map<std::uint64_t, std::vector<std::list<Entry>::iterator>>
+        by_hash_;
+    std::vector<Config> configs_;
+    RouteCacheStats stats_;
+};
+
+}  // namespace cong93
+
+#endif  // CONG93_SESSION_ROUTE_CACHE_H

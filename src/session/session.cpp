@@ -1,0 +1,461 @@
+#include "session/session.h"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "atree/atree.h"
+#include "rtree/validate.h"
+#include "wiresize/grewsa.h"
+#include "wiresize/incremental.h"
+#include "wiresize/owsa.h"
+
+namespace cong93 {
+
+namespace {
+
+std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t v)
+{
+    for (int b = 0; b < 8; ++b) {
+        h ^= (v >> (8 * b)) & 0xffu;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+std::uint64_t dbl_bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+/// Stem ranges of a context: seg_roots() in discovery order, each stem a
+/// contiguous [roots[j], roots[j+1]) index block (the stack-DFS compile
+/// discovers each root child's whole subtree before the next root).
+/// Returns false when the contiguity invariant does not hold, in which case
+/// callers must treat the whole context as dirty.
+bool stem_ranges(const WiresizeContext& ctx,
+                 std::vector<std::pair<std::size_t, std::size_t>>& out)
+{
+    out.clear();
+    const auto& roots = ctx.seg_roots();
+    const std::size_t n = ctx.segment_count();
+    if (n == 0) return true;
+    if (roots.empty() || roots.front() != 0) return false;
+    for (std::size_t j = 0; j < roots.size(); ++j) {
+        const std::size_t b = static_cast<std::size_t>(roots[j]);
+        const std::size_t e = j + 1 < roots.size()
+                                  ? static_cast<std::size_t>(roots[j + 1])
+                                  : n;
+        if (e <= b || e > n) return false;
+        // Every non-root segment's parent must precede it inside the block.
+        for (std::size_t i = b; i < e; ++i) {
+            const std::int32_t p = ctx.seg_parent()[i];
+            if (i == b) {
+                if (p != kNoSegment) return false;
+            } else if (p < static_cast<std::int32_t>(b) ||
+                       p >= static_cast<std::int32_t>(i)) {
+                return false;
+            }
+        }
+        out.emplace_back(b, e);
+    }
+    return true;
+}
+
+/// Exact per-stem content: everything a stem's GREWSA fixpoint depends on
+/// besides the (session-constant) width set and technology.  Five words per
+/// segment: parent offset inside the block, length bits, downstream sink
+/// cap bits, tail cap bits, tail-is-sink.
+void stem_content(const WiresizeContext& ctx, std::size_t b, std::size_t e,
+                  std::vector<std::uint64_t>& content, std::uint64_t& hash)
+{
+    content.clear();
+    content.reserve((e - b) * 5);
+    for (std::size_t i = b; i < e; ++i) {
+        const std::int32_t p = ctx.seg_parent()[i];
+        content.push_back(p == kNoSegment
+                              ? 0
+                              : static_cast<std::uint64_t>(p) - b + 1);
+        content.push_back(dbl_bits(ctx.seg_length()[i]));
+        content.push_back(dbl_bits(ctx.downstream_sink_cap(i)));
+        content.push_back(dbl_bits(ctx.tail_cap(i)));
+        content.push_back(ctx.tail_is_sink()[i]);
+    }
+    hash = 14695981039346656037ull;
+    hash = fnv_mix(hash, e - b);
+    for (const std::uint64_t w : content) hash = fnv_mix(hash, w);
+}
+
+}  // namespace
+
+void apply_delta(Net& net, Technology& tech, const EcoDelta& delta)
+{
+    switch (delta.kind) {
+    case EcoDelta::Kind::move_sink:
+        if (delta.sink >= net.sinks.size())
+            throw std::invalid_argument("apply_delta: move_sink index out of range");
+        net.sinks[delta.sink] = delta.position;
+        break;
+    case EcoDelta::Kind::add_sink:
+        // Keep sink_caps aligned: once any explicit cap exists, every sink
+        // needs a slot (Net::sink_cap defaults missing tails to -1).
+        if (!net.sink_caps.empty() || delta.cap != -1.0) {
+            net.sink_caps.resize(net.sinks.size(), -1.0);
+            net.sink_caps.push_back(delta.cap);
+        }
+        net.sinks.push_back(delta.position);
+        break;
+    case EcoDelta::Kind::remove_sink:
+        if (delta.sink >= net.sinks.size())
+            throw std::invalid_argument("apply_delta: remove_sink index out of range");
+        net.sinks.erase(net.sinks.begin() +
+                        static_cast<std::ptrdiff_t>(delta.sink));
+        if (delta.sink < net.sink_caps.size())
+            net.sink_caps.erase(net.sink_caps.begin() +
+                                static_cast<std::ptrdiff_t>(delta.sink));
+        break;
+    case EcoDelta::Kind::retech:
+        tech = delta.tech;
+        break;
+    }
+}
+
+Session::Session(Technology tech, SessionOptions opts)
+    : opts_(std::move(opts)),
+      tech_(std::move(tech)),
+      faults_(opts_.pipeline.faults.enabled ? opts_.pipeline.faults
+                                            : FaultPlan::from_env()),
+      cache_(opts_.cache_capacity)
+{
+}
+
+Session::Entry& Session::entry(NetId id)
+{
+    if (id >= entries_.size())
+        throw std::out_of_range("Session: no such net id");
+    return entries_[id];
+}
+
+const Session::Entry& Session::entry(NetId id) const
+{
+    if (id >= entries_.size())
+        throw std::out_of_range("Session: no such net id");
+    return entries_[id];
+}
+
+PipelineOptions Session::route_options(const Technology&) const
+{
+    PipelineOptions p = opts_.pipeline;
+    p.faults = faults_;
+    p.cache = nullptr;  // per-request paths never consult the batch cache
+    return p;
+}
+
+bool Session::fault_would_fire(std::uint64_t request) const
+{
+    if (!faults_.enabled) return false;
+    const std::size_t i = static_cast<std::size_t>(request);
+    return faults_.fires(i, RouteStage::topology) ||
+           faults_.fires(i, RouteStage::fallback) ||
+           faults_.fires(i, RouteStage::compile) ||
+           faults_.fires(i, RouteStage::report) ||
+           faults_.fires(i, RouteStage::wiresize) ||
+           faults_.fires(i, RouteStage::moment_check);
+}
+
+void Session::capture_bounds(const WiresizeContext& ctx,
+                             const Assignment& lower, const Assignment& upper,
+                             std::vector<StemBounds>& out)
+{
+    out.clear();
+    std::vector<std::pair<std::size_t, std::size_t>> stems;
+    if (!stem_ranges(ctx, stems)) return;  // no reuse, never wrong bits
+    out.reserve(stems.size());
+    for (const auto& [b, e] : stems) {
+        StemBounds sb;
+        stem_content(ctx, b, e, sb.content, sb.hash);
+        sb.lower.assign(lower.begin() + static_cast<std::ptrdiff_t>(b),
+                        lower.begin() + static_cast<std::ptrdiff_t>(e));
+        sb.upper.assign(upper.begin() + static_cast<std::ptrdiff_t>(b),
+                        upper.begin() + static_cast<std::ptrdiff_t>(e));
+        out.push_back(std::move(sb));
+    }
+}
+
+bool Session::recompute(Entry& e, NetId id, std::uint64_t request, bool warm)
+{
+    NetRouteResult r;
+    r.diag.net_index = id;
+    try {
+        ws_.guard_nodes(e.nodes, opts_.pipeline.max_nodes_per_net);
+        ws_.flat.build(e.tree);
+    } catch (const std::exception&) {
+        return false;
+    }
+    if (!route_report_compiled(ws_.flat, e.nodes, e.tech, ws_, r)) return false;
+
+    std::vector<StemBounds> pending;
+    if (opts_.pipeline.wiresize) {
+        const std::vector<StemBounds>& prior = e.bounds;
+        const WiresizeSolver solver =
+            [&pending, &prior, warm](const WiresizeContext& ctx) {
+                Assignment lower, upper;
+                bool seeded = false;
+                if (warm && !prior.empty()) {
+                    std::vector<std::pair<std::size_t, std::size_t>> stems;
+                    if (stem_ranges(ctx, stems)) {
+                        const std::size_t n = ctx.segment_count();
+                        lower = min_assignment(n);
+                        upper = max_assignment(n, ctx.width_count());
+                        std::unordered_map<std::uint64_t,
+                                           std::vector<std::size_t>>
+                            by_hash;
+                        for (std::size_t p = 0; p < prior.size(); ++p)
+                            by_hash[prior[p].hash].push_back(p);
+                        std::vector<std::size_t> dirty;
+                        std::vector<std::uint64_t> content;
+                        std::uint64_t hash = 0;
+                        for (const auto& [b, se] : stems) {
+                            stem_content(ctx, b, se, content, hash);
+                            const StemBounds* match = nullptr;
+                            const auto it = by_hash.find(hash);
+                            if (it != by_hash.end()) {
+                                for (const std::size_t p : it->second)
+                                    if (prior[p].content == content) {
+                                        match = &prior[p];
+                                        break;
+                                    }
+                            }
+                            if (match != nullptr) {
+                                std::copy(match->lower.begin(),
+                                          match->lower.end(),
+                                          lower.begin() +
+                                              static_cast<std::ptrdiff_t>(b));
+                                std::copy(match->upper.begin(),
+                                          match->upper.end(),
+                                          upper.begin() +
+                                              static_cast<std::ptrdiff_t>(b));
+                            } else {
+                                for (std::size_t i = b; i < se; ++i)
+                                    dirty.push_back(i);
+                            }
+                        }
+                        // Unchanged stems sit at their cached GREWSA
+                        // fixpoints; sweeping only the dirty stems from
+                        // all-min / all-max reaches bit-identical global
+                        // fixpoints (per-stem independence, incremental.h).
+                        if (!dirty.empty()) {
+                            IncrementalDelayEngine lo(ctx, std::move(lower));
+                            lo.sweep_to_fixpoint(dirty, ctx.width_count() - 1);
+                            lower = lo.assignment();
+                            IncrementalDelayEngine hi(ctx, std::move(upper));
+                            hi.sweep_to_fixpoint(dirty, ctx.width_count() - 1);
+                            upper = hi.assignment();
+                        }
+                        seeded = true;
+                    }
+                }
+                if (!seeded) {
+                    lower = grewsa_from_min(ctx).assignment;
+                    upper = grewsa_from_max(ctx).assignment;
+                }
+
+                CombinedResult res;
+                res.lower_bounds = lower;
+                res.upper_bounds = upper;
+                res.bounds_tight = lower == upper;
+                const OwsaResult o = owsa_bounded(ctx, lower, upper);
+                res.assignment = o.assignment;
+                res.delay = o.delay;
+                res.assignments_examined = o.assignments_examined;
+                res.owsa_calls = o.calls;
+                capture_bounds(ctx, lower, upper, pending);
+                return res;
+            };
+        route_tail_compiled(ws_.flat, static_cast<std::size_t>(request),
+                            e.tech, route_options(e.tech), faults_, ws_, r,
+                            solver);
+        if (r.status != RouteStatus::ok) return false;
+    }
+
+    e.result = std::move(r);
+    e.bounds = std::move(pending);
+    e.captured = true;
+    return true;
+}
+
+void Session::full_route(Entry& e, NetId id, std::uint64_t request)
+{
+    e.captured = false;
+    e.bounds.clear();
+
+    // Clean fast path: replicate route_single's unfaulted ladder while
+    // capturing the repair state.  Any deviation -- a fault scheduled for
+    // this request, validation notes, a construction exception, a demoted
+    // stage -- abandons the capture and defers to route_single itself, so
+    // the stored result is authoritative in every case.
+    if (!fault_would_fire(request)) {
+        const NetValidation v = validate_net(e.net);
+        if (v.ok && v.notes.empty()) {
+            bool built = false;
+            try {
+                QuadrantPartition part = partition_quadrants(v.net);
+                std::array<std::optional<AtreeResult>, 4> quads;
+                std::array<const AtreeResult*, 4> ptrs{nullptr, nullptr,
+                                                       nullptr, nullptr};
+                for (int q = 0; q < 4; ++q) {
+                    const auto qi = static_cast<std::size_t>(q);
+                    if (part.quads[qi].empty()) continue;
+                    quads[qi] = build_atree(quadrant_subnet(part, q));
+                    ptrs[qi] = &*quads[qi];
+                }
+                AtreeResult assembled = assemble_quadrants(v.net, part, ptrs);
+                e.part = std::move(part);
+                e.quads = std::move(quads);
+                e.tree = std::move(assembled.tree);
+                e.nodes = e.tree.node_count();
+                built = true;
+            } catch (const std::exception&) {
+                built = false;
+            }
+            if (built && recompute(e, id, request, /*warm=*/false)) return;
+        }
+    }
+
+    e.captured = false;
+    e.bounds.clear();
+    e.result = route_single(e.net, static_cast<std::size_t>(request), 0,
+                            e.tech, route_options(e.tech), ws_);
+    e.result.diag.net_index = id;
+}
+
+NetId Session::add(Net net)
+{
+    const NetId id = entries_.size();
+    entries_.emplace_back();
+    Entry& e = entries_.back();
+    e.net = std::move(net);
+    e.tech = tech_;
+    full_route(e, id, requests_++);
+    return id;
+}
+
+std::vector<NetId> Session::add_batch(const std::vector<Net>& nets,
+                                      PipelineStats* stats)
+{
+    PipelineOptions popts = opts_.pipeline;
+    popts.faults = faults_;
+    popts.cache = opts_.use_cache ? &cache_ : nullptr;
+    PipelineStats local;
+    std::vector<NetRouteResult> results =
+        route_batch(nets, tech_, popts, stats != nullptr ? stats : &local);
+
+    std::vector<NetId> ids;
+    ids.reserve(nets.size());
+    for (std::size_t i = 0; i < nets.size(); ++i) {
+        const NetId id = entries_.size();
+        entries_.emplace_back();
+        Entry& e = entries_.back();
+        e.net = nets[i];
+        e.tech = tech_;
+        e.result = std::move(results[i]);
+        e.result.diag.net_index = id;
+        e.captured = false;  // repair state materializes on first apply()
+        ids.push_back(id);
+    }
+    return ids;
+}
+
+EcoOutcome Session::apply(NetId id, const EcoDelta& delta)
+{
+    Entry& e = entry(id);
+    apply_delta(e.net, e.tech, delta);
+    const std::uint64_t request = requests_++;
+
+    EcoOutcome o;
+    o.request = request;
+
+    // Fault scheduled for this request, net that validation would annotate,
+    // or no repair state yet: the full path handles all of them (and
+    // rebuilds the repair state whenever the result comes out clean).
+    const NetValidation v = validate_net(e.net);
+    if (fault_would_fire(request) || !v.ok || !v.notes.empty() ||
+        !e.captured) {
+        full_route(e, id, request);
+        o.result = e.result;
+        return o;
+    }
+
+    if (delta.kind == EcoDelta::Kind::retech) {
+        // Topology is technology-independent: reuse the stored A-tree and
+        // re-run only the analysis stages.  The cached stem bounds are
+        // tech-specific and must not seed the new solve.
+        e.bounds.clear();
+        if (recompute(e, id, request, /*warm=*/false)) {
+            o.incremental = true;
+        } else {
+            full_route(e, id, request);
+        }
+        o.result = e.result;
+        return o;
+    }
+
+    // Sink deltas: re-partition and rebuild only the quadrants whose
+    // partitioned sink list changed (axis-sink homing can dirty a quadrant
+    // the edited sink never touched; the vector compare catches that).
+    QuadrantPartition part = partition_quadrants(v.net);
+    std::size_t dirty_sinks = 0, dirty_quads = 0;
+    std::array<bool, 4> dirty{false, false, false, false};
+    for (std::size_t q = 0; q < 4; ++q) {
+        if (part.quads[q] == e.part.quads[q]) continue;
+        dirty[q] = true;
+        ++dirty_quads;
+        dirty_sinks += part.quads[q].size();
+    }
+    o.dirty_quadrants = dirty_quads;
+    o.dirty_sinks = dirty_sinks;
+
+    const std::size_t total = part.total_sinks();
+    if (total > 0 && static_cast<double>(dirty_sinks) /
+                             static_cast<double>(total) >
+                         opts_.eco_threshold) {
+        o.threshold_fallback = true;
+        full_route(e, id, request);
+        o.result = e.result;
+        return o;
+    }
+
+    bool built = false;
+    try {
+        std::array<std::optional<AtreeResult>, 4> quads = e.quads;
+        for (std::size_t q = 0; q < 4; ++q) {
+            if (!dirty[q]) continue;
+            if (part.quads[q].empty())
+                quads[q].reset();
+            else
+                quads[q] = build_atree(
+                    quadrant_subnet(part, static_cast<int>(q)));
+        }
+        std::array<const AtreeResult*, 4> ptrs{nullptr, nullptr, nullptr,
+                                               nullptr};
+        for (std::size_t q = 0; q < 4; ++q)
+            if (quads[q].has_value()) ptrs[q] = &*quads[q];
+        AtreeResult assembled = assemble_quadrants(v.net, part, ptrs);
+        e.part = std::move(part);
+        e.quads = std::move(quads);
+        e.tree = std::move(assembled.tree);
+        e.nodes = e.tree.node_count();
+        built = true;
+    } catch (const std::exception&) {
+        built = false;
+    }
+
+    if (built && recompute(e, id, request, /*warm=*/true)) {
+        o.incremental = true;
+    } else {
+        full_route(e, id, request);
+    }
+    o.result = e.result;
+    return o;
+}
+
+}  // namespace cong93

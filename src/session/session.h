@@ -1,0 +1,236 @@
+// Incremental routing session: the ECO (engineering-change-order) engine.
+//
+// A Session owns a set of routed nets and repairs them in place when a
+// placer-style caller edits a few sinks, instead of re-running the full
+// one-shot pipeline per edit.  The contract is strict: every apply() result
+// is bit-identical to route_single() on the mutated net -- the incremental
+// path buys latency, never different answers.
+//
+// How a repair works (Session::apply):
+//
+//   1. The delta mutates the stored net (move_sink / add_sink / remove_sink
+//      / retech).
+//   2. The mutated net is re-partitioned into source quadrants
+//      (atree/generalized.h).  Quadrants whose partitioned sink list is
+//      unchanged keep their cached per-quadrant A-tree verbatim; only dirty
+//      quadrants rebuild.  When the dirty quadrants hold more than
+//      `eco_threshold` of the sinks the repair degenerates to a full
+//      re-route (rebuilding everything incremental repair would rebuild),
+//      so the threshold bounds repair cost without ever changing results.
+//   3. The repaired A-tree recompiles into the session's reusable Workspace
+//      arena and re-reports through the shared pipeline stages
+//      (batch/pipeline.h: route_report_compiled / route_tail_compiled).
+//   4. Wiresizing warm-starts: the GREWSA lower/upper fixpoints are cached
+//      per *stem* (root segment subtree), keyed by the stem's exact content
+//      (parent structure, length/cap bit patterns).  Stems whose content is
+//      unchanged are seeded at their cached fixpoints; only dirty stems
+//      sweep, via IncrementalDelayEngine::sweep_to_fixpoint.  Per-stem
+//      independence of GREWSA refinement makes the warm fixpoints
+//      bit-identical to grewsa_from_min/_from_max, so the subsequent
+//      owsa_bounded call sees the exact bounds grewsa_owsa would have
+//      computed.  Content matching is deliberately structural, not
+//      bookkept: the generalized A-tree's coverage pass can mark sinks
+//      across quadrant boundaries, and content comparison absorbs any such
+//      coupling safely (worst case: a stem is treated as dirty).
+//
+// Fault taxonomy (PR 4) applies per request: every add()/apply() consumes
+// one request index against the session's fault plan; a request any of
+// whose stages would fire is routed through the ordinary faulty pipeline
+// path (route_single) and the net's repair state is dropped, so degraded
+// results carry the exact diagnostics the batch pipeline would emit.
+// Validation is handled the same way: a net that validate_net would
+// annotate (duplicate/coincident sinks) or reject always takes the
+// route_single path.
+//
+// A Session is single-threaded by design (one Workspace, mutable repair
+// state); concurrent use needs one Session per thread.  Batch admission
+// (add_batch) routes through route_batch with the session's hash-consed
+// RouteCache attached, so duplicate nets are admitted at cache-hit speed;
+// their repair state materializes lazily on first apply().
+#ifndef CONG93_SESSION_SESSION_H
+#define CONG93_SESSION_SESSION_H
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "atree/generalized.h"
+#include "batch/pipeline.h"
+#include "session/route_cache.h"
+
+namespace cong93 {
+
+/// Handle to a net owned by a Session (dense, 0-based admission order).
+using NetId = std::size_t;
+
+/// One ECO edit against a session net.
+struct EcoDelta {
+    enum class Kind : std::uint8_t { move_sink, add_sink, remove_sink, retech };
+
+    Kind kind = Kind::move_sink;
+    std::size_t sink = 0;     ///< move/remove: index into Net::sinks
+    Point position{};         ///< move/add: new absolute position
+    double cap = -1.0;        ///< add: sink load cap (-1 = technology default)
+    Technology tech;          ///< retech: replacement technology
+
+    static EcoDelta make_move(std::size_t sink, Point position)
+    {
+        EcoDelta d;
+        d.kind = Kind::move_sink;
+        d.sink = sink;
+        d.position = position;
+        return d;
+    }
+    static EcoDelta make_add(Point position, double cap = -1.0)
+    {
+        EcoDelta d;
+        d.kind = Kind::add_sink;
+        d.position = position;
+        d.cap = cap;
+        return d;
+    }
+    static EcoDelta make_remove(std::size_t sink)
+    {
+        EcoDelta d;
+        d.kind = Kind::remove_sink;
+        d.sink = sink;
+        return d;
+    }
+    static EcoDelta make_retech(Technology tech)
+    {
+        EcoDelta d;
+        d.kind = Kind::retech;
+        d.tech = std::move(tech);
+        return d;
+    }
+};
+
+/// What one apply() did, besides producing the result.
+struct EcoOutcome {
+    /// The repaired net's result; bit-identical to route_single() of the
+    /// mutated net under the session options.
+    NetRouteResult result;
+    /// True when the incremental path ran (quadrant repair or topology
+    /// reuse); false when the request fell back to a full re-route.
+    bool incremental = false;
+    /// True when the fallback was forced by the dirty-sink threshold.
+    bool threshold_fallback = false;
+    std::size_t dirty_quadrants = 0;  ///< quadrants rebuilt (sink deltas)
+    std::size_t dirty_sinks = 0;      ///< sinks inside rebuilt quadrants
+    std::uint64_t request = 0;        ///< fault-plan request index consumed
+};
+
+struct SessionOptions {
+    /// Pipeline knobs for every route this session performs.  `cache` is
+    /// ignored (the session supplies its own), `threads`/`chunk` apply to
+    /// add_batch only.  The fault plan resolves once, at construction
+    /// (explicit plan, else $CONG93_FAULT_INJECT).
+    PipelineOptions pipeline;
+    /// Dirty-sink fraction (sinks in rebuilt quadrants / total sinks) above
+    /// which apply() re-routes from scratch instead of repairing.  The
+    /// comparison is strict (> threshold falls back), so 1.0 never falls
+    /// back and 0.0 repairs only when a delta leaves every quadrant's sink
+    /// list unchanged (retech does exactly that).
+    double eco_threshold = 0.5;
+    /// Entry capacity of the session's route cache (0 = unbounded).
+    std::size_t cache_capacity = 0;
+    /// Attach the session's route cache to add_batch admissions (on by
+    /// default).  Off admits every net through the ordinary routed path;
+    /// results are byte-identical either way (the CI session smoke diffs
+    /// the two), only throughput and the cache counters change.
+    bool use_cache = true;
+};
+
+class Session {
+public:
+    explicit Session(Technology tech, SessionOptions opts = {});
+
+    /// Admits one net: full route (bit-identical to route_single) plus
+    /// eager capture of the repair state (quadrant trees, stem bounds).
+    NetId add(Net net);
+
+    /// Admits a batch through route_batch with the session's route cache
+    /// attached; duplicate nets are served by the cache's single-flight
+    /// sharing.  Repair state is captured lazily, on each net's first
+    /// apply().  `stats` (optional) receives the batch's PipelineStats
+    /// including the cache counters.
+    std::vector<NetId> add_batch(const std::vector<Net>& nets,
+                                 PipelineStats* stats = nullptr);
+
+    /// Applies one ECO delta to net `id` and returns the repaired result
+    /// (also retained; see result()).  Throws std::out_of_range for a bad
+    /// id and std::invalid_argument for a delta that does not type-check
+    /// against the net (sink index out of range).
+    EcoOutcome apply(NetId id, const EcoDelta& delta);
+
+    std::size_t size() const { return entries_.size(); }
+    const Net& net(NetId id) const { return entry(id).net; }
+    /// The technology net `id` is currently routed against (the session
+    /// technology until a retech delta replaces it).
+    const Technology& tech(NetId id) const { return entry(id).tech; }
+    /// The net's latest result (admission or last apply).
+    const NetRouteResult& result(NetId id) const { return entry(id).result; }
+    /// Whether the net currently holds repair state (false right after
+    /// add_batch, or after a degraded/faulted request).
+    bool captured(NetId id) const { return entry(id).captured; }
+
+    RouteCache& cache() { return cache_; }
+    const SessionOptions& options() const { return opts_; }
+
+private:
+    /// Cached GREWSA fixpoint bounds of one stem, keyed by exact content.
+    struct StemBounds {
+        std::uint64_t hash = 0;
+        std::vector<std::uint64_t> content;
+        std::vector<int> lower;  ///< grewsa_from_min fixpoint slice
+        std::vector<int> upper;  ///< grewsa_from_max fixpoint slice
+    };
+
+    struct Entry {
+        Net net;
+        Technology tech;
+        NetRouteResult result;
+        bool captured = false;
+        // Repair state (valid only when captured):
+        QuadrantPartition part;
+        std::array<std::optional<AtreeResult>, 4> quads;
+        RoutingTree tree{Point{0, 0}};
+        std::size_t nodes = 0;
+        std::vector<StemBounds> bounds;
+    };
+
+    Entry& entry(NetId id);
+    const Entry& entry(NetId id) const;
+    PipelineOptions route_options(const Technology& tech) const;
+    bool fault_would_fire(std::uint64_t request) const;
+    /// Full route of e.net via route_single + eager state capture; used by
+    /// add() and every fallback path.
+    void full_route(Entry& e, NetId id, std::uint64_t request);
+    /// Compile e.tree into the workspace and run report + tail stages with
+    /// `warm` selecting the warm-started wiresize solver.  Returns false
+    /// when the pipeline demoted the net (state is then dropped and the
+    /// caller falls back to full_route for the authoritative result).
+    bool recompute(Entry& e, NetId id, std::uint64_t request, bool warm);
+    /// Snapshot per-stem GREWSA bounds of `ctx` into e.bounds.
+    static void capture_bounds(const WiresizeContext& ctx,
+                               const Assignment& lower, const Assignment& upper,
+                               std::vector<StemBounds>& out);
+
+    SessionOptions opts_;
+    Technology tech_;
+    FaultPlan faults_;
+    RouteCache cache_;
+    Workspace ws_;
+    std::vector<Entry> entries_;
+    std::uint64_t requests_ = 0;
+};
+
+/// Applies `delta` to `net` (and `tech` for retech) without routing; the
+/// exact mutation apply() performs.  Throws std::invalid_argument on a
+/// sink index out of range.
+void apply_delta(Net& net, Technology& tech, const EcoDelta& delta);
+
+}  // namespace cong93
+
+#endif  // CONG93_SESSION_SESSION_H

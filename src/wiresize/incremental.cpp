@@ -128,4 +128,27 @@ bool IncrementalDelayEngine::refine(std::size_t i, int max_idx)
     return true;
 }
 
+std::int64_t IncrementalDelayEngine::sweep_to_fixpoint(
+    const std::vector<std::size_t>& segments, int max_idx)
+{
+    // Same backstop shape as grewsa(): from a dominated (dominating) start
+    // each listed width moves monotonically, so at most |segments| * r
+    // refinements occur and the cap is never the terminator in practice.
+    const int max_sweeps = static_cast<int>(segments.size()) * (max_idx + 1) + 8;
+    std::int64_t refinements = 0;
+    int sweeps = 0;
+    bool changed = true;
+    while (changed && sweeps < max_sweeps) {
+        changed = false;
+        ++sweeps;
+        for (const std::size_t i : segments) {
+            if (refine(i, max_idx)) {
+                ++refinements;
+                changed = true;
+            }
+        }
+    }
+    return refinements;
+}
+
 }  // namespace cong93

@@ -35,6 +35,8 @@
 #ifndef CONG93_WIRESIZE_INCREMENTAL_H
 #define CONG93_WIRESIZE_INCREMENTAL_H
 
+#include <cstdint>
+
 #include "wiresize/delay_eval.h"
 
 namespace cong93 {
@@ -73,6 +75,24 @@ public:
 
     /// Apply the locally optimal width at i; true when the width changed.
     bool refine(std::size_t i, int max_idx);
+
+    /// Restricted GREWSA sweep: repeatedly refines exactly the listed
+    /// segments, ascending, until one full pass over them changes nothing.
+    /// `segments` must be in ascending index order (parents before
+    /// children), matching grewsa()'s top-down traversal.
+    ///
+    /// Refinement at i reads only same-stem state -- the upstream width walk
+    /// terminates at the stem root, wire_below covers same-stem descendants,
+    /// and the downstream sink cap is static -- so stems never interact.
+    /// When `segments` is a union of whole stems and every *unlisted* stem
+    /// already sits at its GREWSA fixpoint, the assignment this reaches is
+    /// bit-identical to a full grewsa() run from the correspondingly seeded
+    /// start: the per-stem refinement sequence is exactly the projection of
+    /// the global ascending sweep.  This is the warm-start primitive of the
+    /// session ECO engine (session/session.h).  Returns the number of width
+    /// changes applied.
+    std::int64_t sweep_to_fixpoint(const std::vector<std::size_t>& segments,
+                                   int max_idx);
 
 private:
     /// Sigma over ancestors of l_a / w_a, by walking the root path.

@@ -147,6 +147,43 @@ TEST(CliRun, SimulateRequiresInput)
     EXPECT_THROW(run_cli(o, out), std::invalid_argument);
 }
 
+TEST(CliRun, SessionScriptReplay)
+{
+    const std::string script =
+        "# ECO smoke\n"
+        "gen 4 6 9\n"
+        "net 2000 2000 100 100 3900 3900\n"
+        "move 4 0 250 175\n"
+        "add 4 3500 200 2e-12\n"
+        "remove 4 0\n"
+        "retech 4 mcm 2\n"
+        "route 4\n"
+        "print\n";
+    CliOptions o = parse({"session", "--in", "unused"});
+    std::ostringstream with_cache;
+    ASSERT_EQ(run_cli(o, with_cache, &script), 0);
+    EXPECT_NE(with_cache.str().find("eco 4 move"), std::string::npos);
+
+    // Cache on/off and thread counts never change the replayed output.
+    CliOptions nocache =
+        parse({"session", "--in", "unused", "--no-cache", "--threads", "4"});
+    std::ostringstream without;
+    ASSERT_EQ(run_cli(nocache, without, &script), 0);
+    EXPECT_EQ(with_cache.str(), without.str());
+
+    // stats lines are the one cache-dependent output, kept off the diff.
+    const std::string stats_script = "gen 2 5 9\ngen 2 5 9\nstats\n";
+    std::ostringstream stats_out;
+    ASSERT_EQ(run_cli(o, stats_out, &stats_script), 0);
+    EXPECT_NE(stats_out.str().find("hits 2"), std::string::npos);
+
+    const std::string bad = "move 99 0 1 1\n";
+    std::ostringstream err;
+    EXPECT_THROW(run_cli(o, err, &bad), std::invalid_argument);
+    CliOptions no_in = parse({"session"});
+    EXPECT_THROW(run_cli(no_in, err), std::invalid_argument);
+}
+
 TEST(CliRun, AllAlgorithmsRoute)
 {
     for (const char* algo : {"atree", "steiner", "mst", "spt", "brbc05", "brbc10"}) {
