@@ -44,13 +44,17 @@
 //   --smoke              small-size studies only (CI smoke job)
 //   --skip-wiresize      do not (re)generate the wiresize study
 //   --skip-atree         do not (re)generate the A-tree study
+//   --threads-list=T,..  thread counts swept by the pipeline scaling rows and
+//                        the eco cache determinism probe (default 1,2,4,8)
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <limits>
 #include <iostream>
 #include <optional>
@@ -316,6 +320,8 @@ bool write_scaling_json(const std::string& path)
         << "  \"benchmark\": \"wiresize_scaling\",\n"
         << "  \"generated_by\": \"bench_micro_scaling\",\n"
         << "  \"technology\": \"mcm\",\n"
+        << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
+        << ",\n"
         << "  \"widths_r\": " << kR << ",\n"
         << "  \"grewsa\": [\n";
     for (std::size_t i = 0; i < rows.size(); ++i) {
@@ -456,6 +462,8 @@ bool write_atree_json(const std::string& path, bool smoke)
     out << "{\n"
         << "  \"benchmark\": \"atree_scaling\",\n"
         << "  \"generated_by\": \"bench_micro_scaling\",\n"
+        << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
+        << ",\n"
         << "  \"nets\": \"corner_source_seed93\",\n"
         << "  \"atree\": [\n";
     write_rows(rows);
@@ -630,6 +638,8 @@ bool write_metrics_json(const std::string& path, bool smoke)
         << "  \"benchmark\": \"flat_ir_consumers\",\n"
         << "  \"generated_by\": \"bench_micro_scaling\",\n"
         << "  \"technology\": \"mcm\",\n"
+        << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
+        << ",\n"
         << "  \"kernels\": [\n";
     for (std::size_t i = 0; i < rows.size(); ++i) {
         const KernelRow& r = rows[i];
@@ -649,7 +659,8 @@ bool write_metrics_json(const std::string& path, bool smoke)
     return all_identical;
 }
 
-bool write_pipeline_json(const std::string& path, bool smoke)
+bool write_pipeline_json(const std::string& path, bool smoke,
+                         const std::vector<int>& threads_list)
 {
     // Scalar dispatch pin, for the same reason as write_metrics_json: this
     // study's identity columns are defined against the seed oracles, and its
@@ -743,7 +754,7 @@ bool write_pipeline_json(const std::string& path, bool smoke)
     const std::string serial_fmt = format_results(serial_results);
 
     std::vector<PipelineRow> pipeline_rows;
-    for (const int threads : {1, 2, 4, 8}) {
+    for (const int threads : threads_list) {
         PipelineOptions opts;
         opts.threads = threads;
         std::vector<Workspace> ws;
@@ -1048,6 +1059,8 @@ bool write_simd_json(const std::string& path, bool smoke)
         << "  \"benchmark\": \"simd_kernels\",\n"
         << "  \"generated_by\": \"bench_micro_scaling\",\n"
         << "  \"technology\": \"mcm\",\n"
+        << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
+        << ",\n"
         << "  \"isa\": \"" << simd_isa_name(isa) << "\",\n"
         << "  \"lane_width\": " << simdk::lane_width(isa) << ",\n"
         << "  \"kernels\": [\n";
@@ -1194,6 +1207,8 @@ struct CacheRow {
     double off_s = 0.0;  ///< serial route_batch, no cache
     double on_s = 0.0;   ///< serial route_batch, fresh cache
     std::uint64_t served = 0;  ///< hits + single-flight shares (cache on)
+    std::uint64_t resident_bytes = 0;  ///< cache RSS after the batch drain
+    std::size_t entries = 0;           ///< interned signatures
     double compiles_per_routed_net = 0.0;
     bool identical = false;
     double speedup() const { return on_s > 0.0 ? off_s / on_s : 0.0; }
@@ -1219,7 +1234,8 @@ std::vector<Net> dup_batch(std::uint64_t seed, int total, double dup_ratio,
     return nets;
 }
 
-bool write_eco_json(const std::string& path, bool smoke)
+bool write_eco_json(const std::string& path, bool smoke,
+                    const std::vector<int>& threads_list)
 {
     // Scalar pin for the same reason as the other studies: the identity
     // gates compare against route_single under the same dispatch, and the
@@ -1282,13 +1298,17 @@ bool write_eco_json(const std::string& path, bool smoke)
 
             PipelineStats stats;
             std::vector<NetRouteResult> on_results;
+            std::size_t entries = 0;
             row.on_s = time_best([&] {
                 RouteCache cache;  // fresh per pass: measure cold sharing
                 PipelineOptions on = off;
                 on.cache = &cache;
                 on_results = route_batch(nets, tech, on, &stats);
+                entries = cache.size();
             });
             row.served = stats.cache_hits + stats.cache_shared;
+            row.resident_bytes = stats.resident_bytes;
+            row.entries = entries;
             row.compiles_per_routed_net = stats.compiles_per_routed_net;
             row.identical =
                 format_results(on_results) == format_results(off_results);
@@ -1304,22 +1324,51 @@ bool write_eco_json(const std::string& path, bool smoke)
         }
     }
 
-    // --- cache determinism under threads --------------------------------
-    // Same dup-heavy batch, cache on, serial vs 4 threads: single-flight
-    // serialization must keep the output byte-identical.
-    const auto mt_nets = dup_batch(303, 1000, 0.5, cache_sinks);
-    RouteCache mt_serial_cache, mt_par_cache;
+    // --- cache determinism under threads and shards ---------------------
+    // Same dup-heavy batch, cache on, swept over the thread list (through an
+    // external pool, so the sweep exercises the parallel single-flight path
+    // even on a single-core host) and shard counts 1/4/64: the epoch-drain
+    // rule must keep the output bytes AND the cache contents identical to
+    // the 1-thread 1-shard run in every cell.
+    struct MtRow {
+        int threads = 0;
+        std::size_t shards = 0;
+        bool identical = false;
+    };
+    const int mt_nets_n = 1000;
+    const auto mt_nets = dup_batch(303, mt_nets_n, 0.5, cache_sinks);
+    RouteCache mt_ref_cache;  // 1 shard
     PipelineOptions mt_serial;
     mt_serial.threads = 1;
-    mt_serial.cache = &mt_serial_cache;
-    PipelineOptions mt_par;
-    mt_par.threads = 4;
-    mt_par.cache = &mt_par_cache;
-    const bool mt_identical =
-        format_results(route_batch(mt_nets, tech, mt_serial)) ==
-        format_results(route_batch(mt_nets, tech, mt_par));
-    std::cout << "eco cache mt: 1000 nets  threads 4  identical "
-              << (mt_identical ? "yes" : "NO") << '\n';
+    mt_serial.cache = &mt_ref_cache;
+    const std::string mt_ref =
+        format_results(route_batch(mt_nets, tech, mt_serial));
+    const std::string mt_ref_dump = mt_ref_cache.dump();
+    const std::uint64_t mt_ref_resident = mt_ref_cache.resident_bytes();
+    std::vector<MtRow> mt_rows;
+    bool mt_identical = true;
+    for (const int threads : threads_list) {
+        for (const std::size_t shards : {std::size_t{1}, std::size_t{4},
+                                         std::size_t{64}}) {
+            RouteCache cache(0, shards);
+            ThreadPool pool(threads);
+            PipelineOptions opts;
+            opts.threads = 1;
+            opts.cache = &cache;
+            opts.pool = threads > 1 ? &pool : nullptr;
+            MtRow row{threads, shards, false};
+            row.identical =
+                format_results(route_batch(mt_nets, tech, opts)) == mt_ref &&
+                cache.size() == mt_ref_cache.size() &&
+                cache.resident_bytes() == mt_ref_resident &&
+                (shards != 1 || cache.dump() == mt_ref_dump);
+            mt_identical = mt_identical && row.identical;
+            mt_rows.push_back(row);
+            std::cout << "eco cache mt: " << mt_nets_n << " nets  threads "
+                      << threads << "  shards " << shards << "  identical "
+                      << (row.identical ? "yes" : "NO") << '\n';
+        }
+    }
 
     std::ofstream out(path);
     if (!out) {
@@ -1330,6 +1379,8 @@ bool write_eco_json(const std::string& path, bool smoke)
         << "  \"benchmark\": \"eco_session\",\n"
         << "  \"generated_by\": \"bench_micro_scaling\",\n"
         << "  \"technology\": \"mcm\",\n"
+        << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
+        << ",\n"
         << "  \"eco\": [\n";
     for (std::size_t i = 0; i < eco_rows.size(); ++i) {
         const EcoRow& r = eco_rows[i];
@@ -1352,14 +1403,35 @@ bool write_eco_json(const std::string& path, bool smoke)
             << ", \"on_s\": " << fmt_sci(r.on_s, 4)
             << ", \"speedup\": " << fmt_fixed(r.speedup(), 2)
             << ", \"served\": " << r.served
+            << ", \"resident_bytes\": " << r.resident_bytes
+            << ", \"entries\": " << r.entries
             << ", \"compiles_per_routed_net\": "
             << fmt_fixed(r.compiles_per_routed_net, 2)
             << ", \"identical\": " << (r.identical ? "true" : "false") << "}"
             << (i + 1 < cache_rows.size() ? "," : "") << '\n';
     }
+    // The resident-footprint row the regression checker tracks: the largest
+    // dup50 batch's interned-payload RSS (refcounted sharing keeps it at one
+    // payload per distinct signature, not per served net).
+    const CacheRow& rss = cache_rows.back();
     out << "  ],\n"
-        << "  \"cache_mt\": {\"nets\": 1000, \"threads\": 4, \"dup_ratio\": 0.50"
-        << ", \"identical\": " << (mt_identical ? "true" : "false") << "}\n"
+        << "  \"cache_rss_100k\": {\"nets\": " << rss.nets
+        << ", \"sinks\": " << rss.sinks
+        << ", \"dup_ratio\": " << fmt_fixed(rss.dup_ratio, 2)
+        << ", \"entries\": " << rss.entries
+        << ", \"resident_bytes\": " << rss.resident_bytes << "},\n"
+        << "  \"cache_mt\": {\"nets\": " << mt_nets_n
+        << ", \"threads\": " << threads_list.back() << ", \"dup_ratio\": 0.50"
+        << ", \"identical\": " << (mt_identical ? "true" : "false") << "},\n"
+        << "  \"cache_mt_sharded\": [\n";
+    for (std::size_t i = 0; i < mt_rows.size(); ++i) {
+        const MtRow& r = mt_rows[i];
+        out << "    {\"nets\": " << mt_nets_n << ", \"threads\": " << r.threads
+            << ", \"shards\": " << r.shards
+            << ", \"identical\": " << (r.identical ? "true" : "false") << "}"
+            << (i + 1 < mt_rows.size() ? "," : "") << '\n';
+    }
+    out << "  ]\n"
         << "}\n";
     std::cout << "wrote " << path << '\n';
 
@@ -1386,6 +1458,15 @@ int main(int argc, char** argv)
     bool smoke = false;
     bool skip_wiresize = false;
     bool skip_atree = false;
+    std::vector<int> threads_list = {1, 2, 4, 8};
+    const auto parse_threads_list = [&](const char* spec) {
+        threads_list.clear();
+        std::string token;
+        std::istringstream is(spec);
+        while (std::getline(is, token, ','))
+            threads_list.push_back(std::max(1, std::atoi(token.c_str())));
+        if (threads_list.empty()) threads_list = {1};
+    };
     std::vector<char*> keep;
     for (int i = 0; i < argc; ++i) {
         if (std::strncmp(argv[i], "--json=", 7) == 0)
@@ -1408,6 +1489,8 @@ int main(int argc, char** argv)
             skip_wiresize = true;
         else if (std::strcmp(argv[i], "--skip-atree") == 0)
             skip_atree = true;
+        else if (std::strncmp(argv[i], "--threads-list=", 15) == 0)
+            parse_threads_list(argv[i] + 15);
         else
             keep.push_back(argv[i]);
     }
@@ -1427,9 +1510,9 @@ int main(int argc, char** argv)
     const bool metrics_ok =
         cong93::write_metrics_json(metrics_json_path, smoke);
     const bool pipeline_ok =
-        cong93::write_pipeline_json(pipeline_json_path, smoke);
+        cong93::write_pipeline_json(pipeline_json_path, smoke, threads_list);
     const bool simd_ok = cong93::write_simd_json(simd_json_path, smoke);
-    const bool eco_ok = cong93::write_eco_json(eco_json_path, smoke);
+    const bool eco_ok = cong93::write_eco_json(eco_json_path, smoke, threads_list);
     return wiresize_ok && atree_ok && metrics_ok && pipeline_ok && simd_ok &&
                    eco_ok
                ? 0

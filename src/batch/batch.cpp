@@ -50,31 +50,16 @@ ThreadPool::~ThreadPool()
     for (std::thread& w : workers_) w.join();
 }
 
-void ThreadPool::submit(std::function<void()> job)
-{
-    {
-        std::unique_lock<std::mutex> lock(mutex_);
-        queue_.push(std::move(job));
-        ++in_flight_;
-    }
-    work_cv_.notify_one();
-}
+namespace {
 
-void ThreadPool::wait_idle()
+/// Shared rethrow policy: one failure rethrows the original exception;
+/// several are aggregated into a BatchError.  Capture order depends on
+/// scheduling, so the messages are sorted to keep the composed text
+/// deterministic for a given set of failures.
+[[noreturn]] void rethrow_captured(std::vector<std::exception_ptr> errors)
 {
-    std::vector<std::exception_ptr> errors;
-    {
-        std::unique_lock<std::mutex> lock(mutex_);
-        idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
-        errors.swap(errors_);
-    }
-    if (errors.empty()) return;
     if (errors.size() == 1) std::rethrow_exception(errors.front());
 
-    // Several workers failed: aggregate everything into one BatchError whose
-    // message lists every cause.  Capture order depends on scheduling, so
-    // the messages are sorted to keep the composed text deterministic for a
-    // given set of failures.
     std::vector<std::string> messages;
     messages.reserve(errors.size());
     for (const std::exception_ptr& e : errors) {
@@ -92,24 +77,86 @@ void ThreadPool::wait_idle()
     throw BatchError(what, std::move(errors));
 }
 
+}  // namespace
+
+void TaskGroup::wait()
+{
+    std::vector<std::exception_ptr> errors;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        done_cv_.wait(lock, [this] { return in_flight_ == 0; });
+        errors.swap(errors_);
+    }
+    if (!errors.empty()) rethrow_captured(std::move(errors));
+}
+
+void ThreadPool::submit(std::function<void()> job)
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        queue_.push(Task{std::move(job), nullptr});
+        ++in_flight_;
+    }
+    work_cv_.notify_one();
+}
+
+void ThreadPool::submit(TaskGroup& group, std::function<void()> job)
+{
+    {
+        std::unique_lock<std::mutex> lock(group.mutex_);
+        ++group.in_flight_;
+    }
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        queue_.push(Task{std::move(job), &group});
+        ++in_flight_;
+    }
+    work_cv_.notify_one();
+}
+
+void ThreadPool::wait_idle()
+{
+    std::vector<std::exception_ptr> errors;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+        errors.swap(errors_);
+    }
+    if (!errors.empty()) rethrow_captured(std::move(errors));
+}
+
 void ThreadPool::worker_loop()
 {
     for (;;) {
-        std::function<void()> job;
+        Task task;
         {
             std::unique_lock<std::mutex> lock(mutex_);
             work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
             if (queue_.empty()) return;  // stop_ set and drained
-            job = std::move(queue_.front());
+            task = std::move(queue_.front());
             queue_.pop();
         }
+        std::exception_ptr error;
         try {
-            job();
+            task.fn();
         } catch (...) {
-            // Capture every failure; wait_idle() rethrows them (aggregated)
-            // on the submitting thread.  Later jobs still run to completion.
+            // Capture every failure; the owning waiter rethrows it
+            // (aggregated) on its own thread.  Later jobs still run.
+            error = std::current_exception();
+        }
+        if (task.group != nullptr) {
+            // Completion and errors route to the group.  The notify happens
+            // while the group mutex is held: the waiter owns the (typically
+            // stack-allocated) group and may destroy it the moment wait()
+            // observes in_flight_ == 0, so signalling after unlock could
+            // touch a dead condition variable.
+            std::unique_lock<std::mutex> lock(task.group->mutex_);
+            if (error) task.group->errors_.push_back(error);
+            if (--task.group->in_flight_ == 0)
+                task.group->done_cv_.notify_all();
+        } else if (error) {
             std::unique_lock<std::mutex> lock(mutex_);
-            errors_.push_back(std::current_exception());
+            errors_.push_back(error);
         }
         {
             std::unique_lock<std::mutex> lock(mutex_);
@@ -136,8 +183,13 @@ void parallel_for_slots(ThreadPool& pool, std::size_t n,
     // the counter past n so the other slots wind down).
     const auto next = std::make_shared<std::atomic<std::size_t>>(0);
     const int slots = pool.thread_count();
+    // A private TaskGroup scopes this call's jobs and failures, so several
+    // parallel_for_slots calls can share one pool concurrently (the
+    // SessionService dispatch path) without waiting on -- or stealing
+    // exceptions from -- each other's work.
+    TaskGroup group;
     for (int s = 0; s < slots; ++s) {
-        pool.submit([&fn, n, chunk, next, s] {
+        pool.submit(group, [&fn, n, chunk, next, s] {
             for (;;) {
                 const std::size_t begin = next->fetch_add(chunk);
                 if (begin >= n) return;
@@ -147,13 +199,13 @@ void parallel_for_slots(ThreadPool& pool, std::size_t n,
                         fn(i, s);
                     } catch (...) {
                         next->store(n);
-                        throw;  // captured by the pool, rethrown in wait_idle
+                        throw;  // captured by the group, rethrown in wait()
                     }
                 }
             }
         });
     }
-    pool.wait_idle();
+    group.wait();
 }
 
 }  // namespace cong93

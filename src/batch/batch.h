@@ -64,6 +64,35 @@ int default_thread_count();
 /// Deterministic per-item RNG seed, independent of execution order.
 std::uint64_t net_seed(std::uint64_t base, std::size_t index);
 
+class ThreadPool;
+
+/// Completion scope for one logical group of jobs on a shared pool.  Several
+/// callers (e.g. concurrent route_batch requests dispatched by a
+/// SessionService) can each submit their own group to ONE pool and wait only
+/// for their own jobs; exceptions are captured per group, so one request's
+/// failure is rethrown to that request's caller and nobody else.  The group
+/// must outlive its jobs -- submit(group, ...) then group.wait() before the
+/// group leaves scope.
+class TaskGroup {
+public:
+    TaskGroup() = default;
+    TaskGroup(const TaskGroup&) = delete;
+    TaskGroup& operator=(const TaskGroup&) = delete;
+
+    /// Blocks until every job submitted under this group has finished.  One
+    /// captured exception is rethrown as-is; several are aggregated into a
+    /// BatchError (messages sorted, deterministic for a given failure set).
+    void wait();
+
+private:
+    friend class ThreadPool;
+
+    std::mutex mutex_;
+    std::condition_variable done_cv_;
+    std::size_t in_flight_ = 0;
+    std::vector<std::exception_ptr> errors_;
+};
+
 /// Fixed-size worker pool.  Jobs may be submitted from any thread; the
 /// destructor drains the queue before joining.
 class ThreadPool {
@@ -79,22 +108,34 @@ public:
 
     void submit(std::function<void()> job);
 
-    /// Blocks until every submitted job has finished.  If exactly one job
-    /// threw since the last wait, its exception is rethrown; if several
-    /// threw, a BatchError aggregating all of them is thrown.
+    /// Submits a job under `group`: its completion and any exception are
+    /// tracked by the group (group.wait()), not by wait_idle()'s pool-wide
+    /// error list.  This is the multiplexing primitive that lets concurrent
+    /// callers share one pool without stealing each other's failures.
+    void submit(TaskGroup& group, std::function<void()> job);
+
+    /// Blocks until every submitted job has finished (including jobs of all
+    /// groups).  If exactly one ungrouped job threw since the last wait, its
+    /// exception is rethrown; if several threw, a BatchError aggregating
+    /// them is thrown.  Grouped jobs report through their group instead.
     void wait_idle();
 
 private:
+    struct Task {
+        std::function<void()> fn;
+        TaskGroup* group = nullptr;
+    };
+
     void worker_loop();
 
     std::vector<std::thread> workers_;
-    std::queue<std::function<void()>> queue_;
+    std::queue<Task> queue_;
     std::mutex mutex_;
     std::condition_variable work_cv_;   // signalled on submit / stop
     std::condition_variable idle_cv_;   // signalled when a job finishes
     std::size_t in_flight_ = 0;
     bool stop_ = false;
-    std::vector<std::exception_ptr> errors_;  // worker exceptions since last wait
+    std::vector<std::exception_ptr> errors_;  // ungrouped worker exceptions
 };
 
 /// Runs fn(i) for every i in [0, n) on the pool and waits for completion.

@@ -5,7 +5,9 @@
 #include <bit>
 #include <chrono>
 #include <cmath>
-#include <numeric>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <sstream>
 #include <thread>
@@ -21,6 +23,7 @@
 #include "rtree/segments.h"
 #include "rtree/validate.h"
 #include "session/route_cache.h"
+#include "session/shard.h"
 #include "sim/rc_tree.h"
 #include "simd/dispatch.h"
 #include "simd/kernels.h"
@@ -298,6 +301,68 @@ void flush_bucket(std::vector<PendingLane>& pending, int lanes,
     pending.clear();
 }
 
+// ---------------------------------------------------------------------------
+// In-parallel single-flight (cache-attached batches)
+// ---------------------------------------------------------------------------
+
+/// One in-flight signature group: the first arrival (leader) routes, every
+/// later arrival joins as a member and is served the published payload once
+/// the leader lands clean.  min_index tracks the lowest member index -- the
+/// key that serializes this group's insert in the epoch drain, restoring the
+/// serial net-order cache evolution no matter which member happened to lead.
+/// Leader identity is output-safe: clean results of signature-equal nets are
+/// bit-identical (translation invariance), and unclean groups share nothing.
+struct FlightGroup {
+    enum class State { routing, clean, unclean };
+
+    const Net* rep = nullptr;   ///< signature witness (first arrival's net)
+    std::size_t min_index = 0;  ///< lowest member index seen
+    std::uint64_t members = 1;
+    State state = State::routing;
+    CachedRoute payload;        ///< published result (clean leaders only)
+};
+
+/// Per-cache-shard leader table: one mutex + condvar stripe aligned with the
+/// cache's own sharding, so single-flight coordination scales with it.
+struct FlightShard {
+    std::mutex m;
+    std::condition_variable cv;
+    std::unordered_map<std::uint64_t, std::vector<std::unique_ptr<FlightGroup>>>
+        groups;
+};
+
+/// Per-worker-slot event log and counters, merged serially after the
+/// barrier.  The events carry the deferred LRU effects (epoch drain).  The
+/// counters split into schedule-independent ones (hits, shared, routed, all
+/// functions of the batch-start cache state and the signatures alone) and
+/// pure telemetry (parked, contended), which the determinism contract
+/// explicitly excludes.
+struct SlotFlight {
+    std::vector<CacheEpochEvent> events;
+    std::uint64_t hits = 0;
+    std::uint64_t shared = 0;
+    std::uint64_t routed = 0;
+    std::uint64_t parked = 0;
+    std::uint64_t contended = 0;
+};
+
+/// Translation-dependent admissibility: mirrors validate_net's coordinate
+/// bound (rtree/validate.h).  Every other validate outcome is translation-
+/// invariant, so signature-equal nets behave identically through the ladder;
+/// the coordinate bound is the one check an out-of-range twin of an in-range
+/// leader would dodge if it were served the leader's clean result.
+bool cacheable_net(const Net& net)
+{
+    const auto in_range = [](Point p) {
+        return p.x >= -kMaxRoutableCoord && p.x <= kMaxRoutableCoord &&
+               p.y >= -kMaxRoutableCoord && p.y <= kMaxRoutableCoord;
+    };
+    if (!in_range(net.source)) return false;
+    for (const Point s : net.sinks)
+        if (!in_range(s)) return false;
+    return true;
+}
+
 void tally_outcomes(const std::vector<NetRouteResult>& out, PipelineStats& stats)
 {
     for (const NetRouteResult& r : out) {
@@ -325,18 +390,28 @@ std::vector<NetRouteResult> route_batch_impl(const std::vector<Net>& nets,
         opts.threads <= 0 ? default_thread_count() : opts.threads;
     // A pool on a single-core host only adds context switches on top of the
     // scheduling overhead; run the requested slot count serially instead.
-    // hardware_concurrency() == 0 means "unknown" and does not cap.
+    // hardware_concurrency() == 0 means "unknown" and does not cap.  An
+    // externally owned pool is taken at face value: its threads exist either
+    // way, and the caller (e.g. a SessionService) sized it deliberately.
     const int pool_threads =
-        std::thread::hardware_concurrency() == 1 ? 1 : threads;
+        opts.pool != nullptr
+            ? opts.pool->thread_count()
+            : (std::thread::hardware_concurrency() == 1 ? 1 : threads);
+    const std::size_t slot_count =
+        static_cast<std::size_t>(std::max(threads, pool_threads));
     std::vector<Workspace> local_ws;
     std::vector<Workspace>& ws = workspaces ? *workspaces : local_ws;
-    if (ws.size() < static_cast<std::size_t>(threads))
-        ws.resize(static_cast<std::size_t>(threads));
+    if (ws.size() < slot_count) ws.resize(slot_count);
 
     // Resolve the fault plan once for the whole batch: explicit options win,
     // then the environment, else disabled.
     const FaultPlan faults =
         opts.faults.enabled ? opts.faults : FaultPlan::from_env();
+
+    // Fault injection is keyed by net index, so sharing one routed result
+    // across indices would change which faults fire: the cache is bypassed
+    // outright for fault-injected batches.
+    RouteCache* const cache = faults.enabled ? nullptr : opts.cache;
 
     const auto seed_of = [&](std::size_t i) {
         return seeded ? net_seed(diag_seed_base, i) : 0;
@@ -346,8 +421,14 @@ std::vector<NetRouteResult> route_batch_impl(const std::vector<Net>& nets,
     // runs only under a relaxed vectorized mode, where the batched kernel
     // is bit-identical per lane to the per-net kernel.  Scalar and strict
     // modes take the straight-line path, whose arithmetic is seed-exact.
+    // With a cache attached, lane packs are disabled as well: a
+    // single-flight leader must be complete -- report and tail included --
+    // the moment it publishes, which deferring its report into a lane pack
+    // would break.  The per-lane bit-identity contract makes that a pure
+    // scheduling change; output bytes do not move.
     const SimdConfig cfg = active_simd_config();
-    const int lanes = cfg.relaxed() ? simdk::lane_width(cfg.isa) : 1;
+    const int lanes =
+        (cfg.relaxed() && cache == nullptr) ? simdk::lane_width(cfg.isa) : 1;
     std::vector<SlotBatcher> batchers(
         lanes > 1 ? ws.size() : std::size_t{0});
 
@@ -390,60 +471,119 @@ std::vector<NetRouteResult> route_batch_impl(const std::vector<Net>& nets,
 
     std::vector<NetRouteResult> out(nets.size());
 
-    // --- Hash-consed route cache, single-flight pre-pass (serial) --------
-    // Fault injection is keyed by net index, so sharing one routed result
-    // across indices would change which faults fire: the cache is bypassed
-    // outright for fault-injected batches.
-    RouteCache* const cache = faults.enabled ? nullptr : opts.cache;
+    // --- Sharded single-flight, executed inside the parallel region -------
+    // Every net is probed against its owning cache shard (a pure read of the
+    // batch-start state), so hit/miss/share decisions are functions of the
+    // signatures alone, not the schedule.  LRU touches and interns are
+    // deferred as epoch events and replayed in net-index order by the
+    // batch-end drain below.
+    const std::uint32_t config =
+        cache != nullptr ? cache->config_of(tech, opts) : 0;
+    std::vector<FlightShard> flight(cache != nullptr ? cache->shard_count()
+                                                     : std::size_t{0});
+    std::vector<SlotFlight> slots_flight(cache != nullptr ? ws.size()
+                                                          : std::size_t{0});
+
     const auto serve = [&](std::size_t i, const NetRouteResult& src) {
         out[i] = src;
         out[i].diag.net_index = i;
         out[i].diag.net_seed = seed_of(i);
     };
-    // The net indices the parallel region actually routes: without a cache,
-    // every net; with one, the lowest-index occurrence of each signature
-    // that is not already interned.  Everything here runs serially in net
-    // order, so grouping, LRU order and counters are schedule-independent.
-    std::vector<std::size_t> work;
-    struct ShareGroup {
-        std::size_t leader;
-        std::vector<std::size_t> followers;
-    };
-    std::vector<ShareGroup> groups;  // miss groups, ascending leader index
-    std::vector<CacheKey> group_keys;
-    std::uint64_t hits = 0, shared = 0, evictions = 0;
-    const auto t0 = std::chrono::steady_clock::now();
-    if (cache != nullptr) {
-        const std::uint32_t config = cache->config_of(tech, opts);
-        std::unordered_map<std::uint64_t, std::vector<std::size_t>> group_of;
-        for (std::size_t i = 0; i < nets.size(); ++i) {
-            CacheKey key = RouteCache::key_of(nets[i], config);
-            // Pre-existing entries serve immediately (no insert can
-            // invalidate them before the post-pass).
-            if (const NetRouteResult* c = cache->find(key)) {
-                serve(i, *c);
-                ++hits;
-                continue;
-            }
-            std::size_t gi = groups.size();
-            for (const std::size_t g : group_of[key.hash])
-                if (RouteCache::same_key(group_keys[g], key)) {
-                    gi = g;
-                    break;
-                }
-            if (gi < groups.size()) {
-                groups[gi].followers.push_back(i);
-            } else {
-                group_of[key.hash].push_back(gi);
-                groups.push_back(ShareGroup{i, {}});
-                group_keys.push_back(std::move(key));
-                work.push_back(i);
-            }
+
+    // Routes net i through the sharded cache.  Leaders route on their own
+    // slot and publish; followers of a still-routing leader park on the
+    // shard condvar.  A leader never parks, so every parked group has a
+    // running leader and the batch always makes progress.  Unclean groups
+    // (degraded status or any diagnostic -- messages may embed absolute
+    // coordinates, which sharing would mistranslate) share nothing: every
+    // member routes individually, exactly the PR-7 rule.
+    const auto route_cached = [&](std::size_t i, int slot) {
+        Workspace& w = ws[static_cast<std::size_t>(slot)];
+        SlotFlight& sf = slots_flight[static_cast<std::size_t>(slot)];
+        const Net& net = nets[i];
+        if (!cacheable_net(net)) {
+            out[i] = route_net(net, i, seed_of(i), tech, opts, faults, w);
+            ++sf.routed;
+            return;
         }
-    } else {
-        work.resize(nets.size());
-        std::iota(work.begin(), work.end(), std::size_t{0});
-    }
+        const std::uint64_t hash = sig::hash_of(net, config);
+        const std::size_t si = cache->shard_index(hash);
+        CacheShard::ProbeResult pr = cache->shard(si).probe(hash, config, net);
+        if (pr.contended) ++sf.contended;
+        if (pr.payload != nullptr) {
+            serve(i, *pr.payload);
+            ++sf.hits;
+            sf.events.push_back(CacheEpochEvent{i, hash, config, &net, {}, false});
+            return;
+        }
+        FlightShard& fs = flight[si];
+        std::unique_lock<std::mutex> lk(fs.m);
+        auto& chain = fs.groups[hash];
+        FlightGroup* g = nullptr;
+        for (const auto& cand : chain)
+            if (sig::nets_equivalent(*cand->rep, net)) {
+                g = cand.get();
+                break;
+            }
+        if (g == nullptr) {
+            // Leader: register the group, then route outside the lock.
+            chain.push_back(std::make_unique<FlightGroup>());
+            g = chain.back().get();
+            g->rep = &net;
+            g->min_index = i;
+            lk.unlock();
+            try {
+                out[i] = route_net(net, i, seed_of(i), tech, opts, faults, w);
+            } catch (...) {
+                // Only non-std exceptions escape route_net and they abort
+                // the batch -- but parked followers must still wake, so
+                // publish unclean before propagating.
+                lk.lock();
+                g->state = FlightGroup::State::unclean;
+                fs.cv.notify_all();
+                throw;
+            }
+            ++sf.routed;
+            const NetRouteResult& r = out[i];
+            const bool clean = r.status == RouteStatus::ok && r.diag.empty();
+            lk.lock();
+            if (clean) {
+                g->payload = make_cached_route(r);
+                g->state = FlightGroup::State::clean;
+            } else {
+                g->state = FlightGroup::State::unclean;
+            }
+            fs.cv.notify_all();
+            return;
+        }
+        // Follower.
+        g->min_index = std::min(g->min_index, i);
+        ++g->members;
+        if (g->state == FlightGroup::State::routing) {
+            ++sf.parked;
+            FlightGroup* const waiting = g;
+            fs.cv.wait(lk, [waiting] {
+                return waiting->state != FlightGroup::State::routing;
+            });
+        }
+        if (g->state == FlightGroup::State::clean) {
+            const CachedRoute payload = g->payload;
+            lk.unlock();
+            serve(i, *payload);
+            ++sf.shared;
+        } else {
+            lk.unlock();
+            out[i] = route_net(net, i, seed_of(i), tech, opts, faults, w);
+            ++sf.routed;
+        }
+    };
+
+    const auto work_fn = [&](std::size_t i, int slot) {
+        if (cache != nullptr)
+            route_cached(i, slot);
+        else
+            route_one(out, i, slot);
+    };
 
     // Dynamic-scheduling granularity: with an explicit chunk honor it;
     // otherwise size chunks for ~8 pulls per worker, so small batches of
@@ -452,17 +592,17 @@ std::vector<NetRouteResult> route_batch_impl(const std::vector<Net>& nets,
     std::size_t chunk = opts.chunk;
     if (chunk == 0)
         chunk = std::clamp<std::size_t>(
-            work.size() / (static_cast<std::size_t>(pool_threads) * 8), 1, 64);
+            nets.size() / (static_cast<std::size_t>(pool_threads) * 8), 1, 64);
 
-    const bool serial = pool_threads <= 1 || work.size() < 2;
+    const auto t0 = std::chrono::steady_clock::now();
+    const bool serial = pool_threads <= 1 || nets.size() < 2;
     if (serial) {
-        for (const std::size_t i : work) route_one(out, i, 0);
+        for (std::size_t i = 0; i < nets.size(); ++i) work_fn(i, 0);
+    } else if (opts.pool != nullptr) {
+        parallel_for_slots(*opts.pool, nets.size(), work_fn, chunk);
     } else {
         ThreadPool pool(pool_threads);
-        parallel_for_slots(
-            pool, work.size(),
-            [&](std::size_t k, int slot) { route_one(out, work[k], slot); },
-            chunk);
+        parallel_for_slots(pool, nets.size(), work_fn, chunk);
     }
     // Nets still pending in partially filled buckets finish here, after the
     // barrier, on their owning slot's workspace.
@@ -470,30 +610,42 @@ std::vector<NetRouteResult> route_batch_impl(const std::vector<Net>& nets,
         for (auto& bucket : batchers[s].buckets)
             flush_bucket(bucket, lanes, cfg, tech, opts, faults, ws[s], out);
 
-    // --- Single-flight post-pass (serial, ascending leader index) --------
-    // Clean leader results are interned and fanned out to their followers;
-    // an unclean leader (degraded status or any diagnostic -- messages may
-    // embed absolute coordinates, which sharing would mistranslate) shares
-    // nothing, and its followers route individually right here on slot 0.
-    std::uint64_t routed = work.size();
-    for (std::size_t g = 0; g < groups.size(); ++g) {
-        const NetRouteResult& lr = out[groups[g].leader];
-        const bool clean = lr.status == RouteStatus::ok && lr.diag.empty();
-        if (clean) {
-            evictions += cache->insert(group_keys[g], lr);
-            for (const std::size_t f : groups[g].followers) {
-                serve(f, lr);
-                ++shared;
-            }
-        } else {
-            for (const std::size_t f : groups[g].followers) {
-                out[f] = route_net(nets[f], f, seed_of(f), tech, opts, faults,
-                                   ws[0]);
-                ++routed;
+    // --- Epoch drain: replay deferred cache effects in net-index order ----
+    // Clean groups intern their payload under the group's lowest member
+    // index -- exactly where the serial schedule would have inserted it --
+    // so the cache leaves this batch byte-identical at any thread count.
+    std::uint64_t hits = 0, shared = 0, routed = 0, parked = 0, contended = 0;
+    std::uint64_t miss_groups = 0, evictions = 0, resident = 0;
+    if (cache != nullptr) {
+        std::vector<CacheEpochEvent> events;
+        for (SlotFlight& sf : slots_flight) {
+            hits += sf.hits;
+            shared += sf.shared;
+            routed += sf.routed;
+            parked += sf.parked;
+            contended += sf.contended;
+            for (CacheEpochEvent& ev : sf.events)
+                events.push_back(std::move(ev));
+            sf.events.clear();
+        }
+        for (FlightShard& fs : flight) {
+            for (auto& [hash, chain] : fs.groups) {
+                for (auto& g : chain) {
+                    ++miss_groups;
+                    if (g->state == FlightGroup::State::clean)
+                        events.push_back(CacheEpochEvent{g->min_index, hash,
+                                                         config, g->rep,
+                                                         std::move(g->payload),
+                                                         true});
+                }
             }
         }
+        evictions = cache->drain(events);
+        resident = cache->resident_bytes();
+        ws[0].note_results_served(hits + shared);
+    } else {
+        routed = nets.size();
     }
-    if (cache != nullptr) ws[0].note_results_served(hits + shared);
     const auto t1 = std::chrono::steady_clock::now();
 
     if (stats) {
@@ -514,9 +666,12 @@ std::vector<NetRouteResult> route_batch_impl(const std::vector<Net>& nets,
         stats->compiles_per_routed_net =
             routed == 0 ? 0.0 : builds_delta / static_cast<double>(routed);
         stats->cache_hits = hits;
-        stats->cache_misses = cache != nullptr ? groups.size() : 0;
+        stats->cache_misses = miss_groups;
         stats->cache_shared = shared;
         stats->cache_evictions = evictions;
+        stats->resident_bytes = resident;
+        stats->cache_shard_contention = contended;
+        stats->single_flight_parked = parked;
         tally_outcomes(out, *stats);
     }
     return out;

@@ -49,7 +49,9 @@
 #ifndef CONG93_BATCH_PIPELINE_H
 #define CONG93_BATCH_PIPELINE_H
 
+#include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -84,17 +86,69 @@ struct PipelineOptions {
     /// no injection.
     FaultPlan faults;
     /// Optional hash-consed route cache (session/route_cache.h), consulted
-    /// and filled by route_batch under a deterministic single-flight rule:
-    /// the lowest-index occurrence of each canonical signature is the only
-    /// net routed, every other occurrence is served by result sharing in
-    /// serial pre/post passes, and clean results are interned for later
-    /// batches.  format_results output is byte-identical with the cache on
-    /// or off, serial or parallel.  Ignored (bypassed entirely) when fault
-    /// injection is enabled: injected faults are keyed by net index, which
-    /// sharing would have to violate.  Not owned; the caller must keep the
-    /// cache alive across the call and not share it between concurrent
-    /// route_batch calls.
+    /// and filled by route_batch under a deterministic single-flight rule
+    /// executed inside the parallel region: the first arrival of each
+    /// canonical signature routes (the leader), later arrivals park on the
+    /// owning cache shard's flight table and are served the leader's
+    /// published result; clean results are interned for later batches via
+    /// the batch-end epoch drain (sorted by net index), so cache contents --
+    /// like format_results output -- are byte-identical with the cache on or
+    /// off, serial or parallel, at any shard count.  Ignored (bypassed
+    /// entirely) when fault injection is enabled: injected faults are keyed
+    /// by net index, which sharing would have to violate.  Not owned; the
+    /// cache may be shared by concurrent route_batch calls (the
+    /// SessionService dispatch path) and must stay alive across the call.
     RouteCache* cache = nullptr;
+    /// Optional externally owned worker pool.  When set, the batch fans out
+    /// over this pool (slot count = pool->thread_count(); the single-core
+    /// serial clamp applies only to internally created pools) so several
+    /// concurrent route_batch calls share one set of worker threads.  Each
+    /// call scopes its jobs and failures in a private TaskGroup, so
+    /// concurrent callers never wait on or steal each other's exceptions.
+    ThreadPool* pool = nullptr;
+};
+
+/// Immutable shared width assignment: a NetRouteResult's widths behind a
+/// refcount, so fanning one cached result out to thousands of duplicate nets
+/// (and interning it) shares a single allocation instead of copying the
+/// vector per serve.  Mutation is whole-value only -- assign a fresh
+/// Assignment or clear() -- which keeps sharing sound: no holder can edit
+/// the widths another net observes.  Reads convert implicitly to
+/// const Assignment& (an empty vector when unset).
+class SharedAssignment {
+public:
+    SharedAssignment() = default;
+    SharedAssignment& operator=(Assignment&& a)
+    {
+        v_ = std::make_shared<const Assignment>(std::move(a));
+        return *this;
+    }
+    void clear() { v_.reset(); }
+
+    const Assignment& values() const { return v_ ? *v_ : empty_vector(); }
+    operator const Assignment&() const { return values(); }
+    std::size_t size() const { return values().size(); }
+    bool empty() const { return values().empty(); }
+    Assignment::const_iterator begin() const { return values().begin(); }
+    Assignment::const_iterator end() const { return values().end(); }
+
+    friend bool operator==(const SharedAssignment& a, const SharedAssignment& b)
+    {
+        return a.values() == b.values();
+    }
+    friend bool operator==(const SharedAssignment& a, const Assignment& b)
+    {
+        return a.values() == b;
+    }
+
+private:
+    static const Assignment& empty_vector()
+    {
+        static const Assignment e;
+        return e;
+    }
+
+    std::shared_ptr<const Assignment> v_;
 };
 
 /// Everything reported for one routed net.
@@ -108,7 +162,7 @@ struct NetRouteResult {
     double wiresized_delay_s = 0.0; ///< grewsa_owsa optimum (0 when disabled
                                     ///< or degraded to uniform_width)
     double moment_elmore_max_s = 0.0;  ///< wiresized -m_1 max (0 when disabled)
-    Assignment assignment;          ///< optimal widths (empty when disabled)
+    SharedAssignment assignment;    ///< optimal widths (empty when disabled)
     NetDiagnostic diag;             ///< every fault caught for this net
 };
 
@@ -143,6 +197,19 @@ struct PipelineStats {
     std::uint64_t cache_shared = 0; ///< nets served by in-batch single-flight
                                     ///< sharing from a leader routed here
     std::uint64_t cache_evictions = 0;  ///< LRU evictions caused by this batch
+    /// Approximate bytes resident in the attached cache after this batch's
+    /// epoch drain (0 without a cache).  Deterministic for a fixed request
+    /// history against a private cache; under concurrent sharing it reflects
+    /// whatever interleaving actually happened.
+    std::uint64_t resident_bytes = 0;
+    /// Cache-shard lock acquisitions this batch that had to wait (probe
+    /// path).  Schedule-dependent telemetry: NOT covered by the determinism
+    /// contract, never part of diffed output.
+    std::uint64_t cache_shard_contention = 0;
+    /// Followers that blocked on a still-routing single-flight leader.
+    /// Schedule-dependent telemetry, like cache_shard_contention (the serial
+    /// schedule never parks).
+    std::uint64_t single_flight_parked = 0;
 
     // Outcome tally (reduced serially in index order after the barrier).
     std::uint64_t nets_ok = 0;

@@ -5,6 +5,7 @@
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 #include "atree/generalized.h"
 #include "baseline/brbc.h"
@@ -15,6 +16,7 @@
 #include "netgen/netgen.h"
 #include "report/table.h"
 #include "rtree/io.h"
+#include "session/service.h"
 #include "session/session.h"
 #include "rtree/metrics.h"
 #include "sim/delay_measure.h"
@@ -37,6 +39,9 @@ commands:
   session    replay an ECO delta script (--in) through the incremental
              session engine: gen/net admit nets, move/add/remove/retech
              repair them in place, route/print/stats inspect
+  serve      multi-session service stress: concurrent client threads share
+             one sharded route cache + worker pool, then the transcripts
+             are verified byte-identical against serial session replay
 
 options:
   --in <file>          input netlist/tree file (default: generated nets)
@@ -61,6 +66,10 @@ options:
   --no-cache           session: admit without the hash-consed route cache
   --eco-threshold <t>  session: dirty-sink fraction in [0,1] above which an
                        ECO falls back to a full re-route (default 0.5)
+  --shards <k>         session/serve route-cache shard count (default 0 =
+                       next-pow2(4 x threads); never changes output bytes)
+  --sessions <n>       serve: concurrent sessions / client threads (default 2)
+  --requests <r>       serve: requests per session script (default 3)
 )";
 }
 
@@ -289,6 +298,7 @@ int run_session(const CliOptions& opts, std::ostream& out,
     sopts.pipeline.faults = FaultPlan::parse(opts.fault_spec);
     sopts.eco_threshold = opts.eco_threshold;
     sopts.cache_capacity = opts.cache_capacity;
+    sopts.cache_shards = opts.shards;
     sopts.use_cache = opts.session_cache;
     Session s(tech, sopts);
 
@@ -390,6 +400,137 @@ int run_session(const CliOptions& opts, std::ostream& out,
     return 0;
 }
 
+int run_serve(const CliOptions& opts, std::ostream& out)
+{
+    const Technology tech = technology_by_name(opts.tech, opts.driver_scale);
+
+    SessionOptions base;
+    base.pipeline.widths_r = opts.widths;
+    base.pipeline.threads = opts.threads;
+    base.pipeline.max_nodes_per_net = opts.max_nodes;
+    base.eco_threshold = opts.eco_threshold;
+    base.cache_capacity = opts.cache_capacity;
+    base.cache_shards = opts.shards;
+    base.use_cache = opts.session_cache;
+
+    // Every session admits translated twins of one common base batch, so the
+    // sessions' signatures collide and the shared cache actually shares.
+    const std::vector<Net> common =
+        random_nets(opts.seed, opts.random_count, opts.grid, opts.sinks);
+
+    // One session's deterministic request script -- translated-twin batch
+    // admissions on even requests, ECO sink moves on odd ones -- producing a
+    // per-request transcript.  The same script drives the concurrent service
+    // run and the serial replay; only who routes may differ, never the bytes.
+    const auto run_script =
+        [&](int s,
+            const std::function<std::vector<NetId>(const std::vector<Net>&)>&
+                add_batch,
+            const std::function<NetRouteResult(NetId)>& result,
+            const std::function<EcoOutcome(NetId, const EcoDelta&)>& apply) {
+            std::string t;
+            std::size_t admitted = 0;
+            for (int r = 0; r < opts.requests; ++r) {
+                if (r % 2 == 0 || admitted == 0) {
+                    const Coord dx = static_cast<Coord>(1000 * s + 17 * r);
+                    const Coord dy = static_cast<Coord>(500 * s + 13 * r);
+                    std::vector<Net> nets;
+                    nets.reserve(common.size());
+                    for (const Net& n : common) {
+                        Net m = n;
+                        m.source = Point{n.source.x + dx, n.source.y + dy};
+                        for (Point& p : m.sinks)
+                            p = Point{p.x + dx, p.y + dy};
+                        nets.push_back(std::move(m));
+                    }
+                    const std::vector<NetId> ids = add_batch(nets);
+                    admitted += ids.size();
+                    for (const NetId id : ids)
+                        t += "net " + result_line(id, result(id));
+                } else {
+                    const NetId id =
+                        static_cast<NetId>(static_cast<std::size_t>(r * 7) %
+                                           admitted);
+                    const EcoDelta d = EcoDelta::make_move(
+                        static_cast<std::size_t>(r) %
+                            static_cast<std::size_t>(opts.sinks),
+                        Point{static_cast<Coord>(100 + 31 * r + 11 * s),
+                              static_cast<Coord>(2000 - 17 * r + 7 * s)});
+                    const EcoOutcome o = apply(id, d);
+                    t += "eco " + std::to_string(id) +
+                         " move inc=" + std::to_string(o.incremental ? 1 : 0) +
+                         " tf=" + std::to_string(o.threshold_fallback ? 1 : 0) +
+                         "\n" + result_line(id, o.result);
+                }
+            }
+            return t;
+        };
+
+    // Concurrent run: one client thread per session, all through the shared
+    // service (one cache, one pool).
+    ServiceOptions so;
+    so.session = base;
+    so.threads = opts.threads;
+    so.cache_capacity = opts.cache_capacity;
+    so.cache_shards = opts.shards;
+    SessionService svc(tech, so);
+    std::vector<std::string> got(static_cast<std::size_t>(opts.sessions));
+    std::vector<std::thread> clients;
+    clients.reserve(got.size());
+    for (int s = 0; s < opts.sessions; ++s) {
+        const SessionId sid = svc.open();
+        clients.emplace_back([&, s, sid] {
+            try {
+                got[static_cast<std::size_t>(s)] = run_script(
+                    s,
+                    [&](const std::vector<Net>& nets) {
+                        return svc.add_batch(sid, nets);
+                    },
+                    [&](NetId id) { return svc.result(sid, id); },
+                    [&](NetId id, const EcoDelta& d) {
+                        return svc.apply(sid, id, d);
+                    });
+            } catch (const std::exception& e) {
+                got[static_cast<std::size_t>(s)] =
+                    std::string("error: ") + e.what() + '\n';
+            }
+        });
+    }
+    for (std::thread& c : clients) c.join();
+
+    // Serial replay: the same scripts through independent single sessions.
+    bool identical = true;
+    for (int s = 0; s < opts.sessions; ++s) {
+        Session session(tech, base);
+        const std::string want = run_script(
+            s,
+            [&](const std::vector<Net>& nets) { return session.add_batch(nets); },
+            [&](NetId id) { return session.result(id); },
+            [&](NetId id, const EcoDelta& d) { return session.apply(id, d); });
+        const bool match = got[static_cast<std::size_t>(s)] == want;
+        identical = identical && match;
+        // The serial transcript is the deterministic reference output (equal
+        // to the concurrent one whenever the verdict is yes), so the printed
+        // bytes can be diffed across runs, thread counts, and shard counts.
+        out << "session " << s << (match ? "" : " MISMATCH") << '\n' << want;
+    }
+
+    // Schedule-dependent telemetry ('#'-prefixed: excluded from CI diffs).
+    const ServiceStats st = svc.stats();
+    out << "# serve stats: batches " << st.batches << "  applies " << st.applies
+        << "  hits " << st.cache_hits << "  shared " << st.cache_shared
+        << "  evictions " << st.cache_evictions << "  parked "
+        << st.single_flight_parked << "  contended "
+        << st.cache_shard_contention << '\n'
+        << "# serve cache: size " << svc.cache().size() << "  resident_bytes "
+        << svc.cache().resident_bytes() << '\n';
+
+    out << "serve: sessions=" << opts.sessions << " requests=" << opts.requests
+        << " shards=" << svc.cache().shard_count()
+        << " identical=" << (identical ? "yes" : "no") << '\n';
+    return identical ? 0 : 1;
+}
+
 int run_simulate(const CliOptions& opts, std::ostream& out,
                  const std::string* input_text)
 {
@@ -422,7 +563,7 @@ CliOptions parse_cli(const std::vector<std::string>& args)
         throw std::invalid_argument(cli_usage());
     if (opts.command != "gen" && opts.command != "route" && opts.command != "flow" &&
         opts.command != "simulate" && opts.command != "batch" &&
-        opts.command != "session")
+        opts.command != "session" && opts.command != "serve")
         throw std::invalid_argument("unknown command: " + opts.command + '\n' +
                                     cli_usage());
 
@@ -474,6 +615,9 @@ CliOptions parse_cli(const std::vector<std::string>& args)
         else if (a == "--cache-capacity") opts.cache_capacity = static_cast<std::size_t>(to_int(a, need_value(i++, a)));
         else if (a == "--no-cache") opts.session_cache = false;
         else if (a == "--eco-threshold") opts.eco_threshold = to_double(a, need_value(i++, a));
+        else if (a == "--shards") opts.shards = static_cast<std::size_t>(to_int(a, need_value(i++, a)));
+        else if (a == "--sessions") opts.sessions = static_cast<int>(to_int(a, need_value(i++, a)));
+        else if (a == "--requests") opts.requests = static_cast<int>(to_int(a, need_value(i++, a)));
         else throw std::invalid_argument("unknown option: " + a + '\n' + cli_usage());
     }
 
@@ -489,6 +633,8 @@ CliOptions parse_cli(const std::vector<std::string>& args)
         throw std::invalid_argument("--max-nodes must be 0 or >= 2");
     if (opts.eco_threshold < 0.0 || opts.eco_threshold > 1.0)
         throw std::invalid_argument("--eco-threshold must be in [0,1]");
+    if (opts.sessions < 1) throw std::invalid_argument("--sessions must be >= 1");
+    if (opts.requests < 1) throw std::invalid_argument("--requests must be >= 1");
     if (!opts.fault_spec.empty()) FaultPlan::parse(opts.fault_spec);  // validate
     return opts;
 }
@@ -501,6 +647,7 @@ int run_cli(const CliOptions& opts, std::ostream& out, const std::string* input_
     if (opts.command == "simulate") return run_simulate(opts, out, input_text);
     if (opts.command == "batch") return run_batch(opts, out, input_text);
     if (opts.command == "session") return run_session(opts, out, input_text);
+    if (opts.command == "serve") return run_serve(opts, out);
     throw std::invalid_argument("unknown command: " + opts.command);
 }
 

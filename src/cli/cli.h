@@ -12,6 +12,19 @@
 //                   [--fault-inject SPEC] -- prints the canonical per-net
 //                   result lines (status + diagnostics) and an outcome
 //                   summary, both byte-identical at any thread count
+//   cong93 serve    multi-session service stress: N client threads drive N
+//                   sessions through one SessionService (shared sharded
+//                   route cache + shared worker pool) with deterministic
+//                   per-session request scripts (translated-twin admissions
+//                   interleaved with ECO moves), then the same scripts are
+//                   replayed serially through independent Sessions and every
+//                   transcript byte is compared.  [--sessions N]
+//                   [--requests R] [--shards K] [--threads T]
+//                   [--cache-capacity N].  Prints the per-session
+//                   transcripts (deterministic), '#'-prefixed
+//                   schedule-dependent telemetry, and a final
+//                   `serve: ... identical=yes|no` verdict line; exits
+//                   nonzero unless identical.
 //   cong93 session  --in script.eco: replay a streaming ECO delta script
 //                   through the incremental Session engine (hash-consed
 //                   admission cache + in-place repair).  Script lines:
@@ -25,8 +38,10 @@
 //                     print                        print every result line
 //                     stats                        cache/session counters
 //                   [--cache-capacity N] [--no-cache] [--eco-threshold T]
+//                   [--shards K]
 //                   Everything except `stats` is byte-identical with the
-//                   cache on or off and at any --threads count.
+//                   cache on or off, at any --threads count, and at any
+//                   --shards count.
 //
 // Parsing and execution are separated so both are unit-testable; main() in
 // tools/cong93_main.cpp is a thin wrapper.
@@ -42,7 +57,7 @@
 namespace cong93 {
 
 struct CliOptions {
-    std::string command;  ///< gen | route | flow | simulate | batch | session
+    std::string command;  ///< gen|route|flow|simulate|batch|session|serve
 
     // Input selection.
     std::string input_path;  ///< nets/trees file; empty => --random
@@ -77,6 +92,11 @@ struct CliOptions {
     std::size_t cache_capacity = 0;  ///< route-cache entries (0 = unbounded)
     bool session_cache = true;       ///< --no-cache turns admission caching off
     double eco_threshold = 0.5;      ///< dirty-sink fraction forcing re-route
+    std::size_t shards = 0;          ///< cache shard count (0 = auto from threads)
+
+    // Service facade (serve).
+    int sessions = 2;  ///< concurrent sessions / client threads
+    int requests = 3;  ///< requests per session script
 };
 
 /// Usage text for --help and error messages.

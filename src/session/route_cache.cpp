@@ -1,31 +1,13 @@
 #include "session/route_cache.h"
 
+#include <algorithm>
 #include <bit>
-#include <cstring>
 
 #include "simd/dispatch.h"
 
 namespace cong93 {
 
 namespace {
-
-/// 64-bit FNV-1a over explicitly fed words; the only consumer of the
-/// float-quantized caps (equality always re-checks the exact doubles).
-struct Fnv64 {
-    std::uint64_t h = 1469598103934665603ull;
-    void mix(std::uint64_t v)
-    {
-        for (int b = 0; b < 8; ++b) {
-            h ^= (v >> (8 * b)) & 0xffu;
-            h *= 1099511628211ull;
-        }
-    }
-};
-
-std::uint64_t cap_bits(double cap)
-{
-    return std::bit_cast<std::uint64_t>(cap);
-}
 
 bool tech_equal(const Technology& a, const Technology& b)
 {
@@ -44,6 +26,29 @@ bool tech_equal(const Technology& a, const Technology& b)
 
 }  // namespace
 
+RouteCache::RouteCache(std::size_t capacity, std::size_t shards)
+    : capacity_(capacity)
+{
+    std::size_t n = std::bit_ceil(std::max<std::size_t>(shards, 1));
+    // Under a capacity bound every shard must own at least one entry, or a
+    // signature hashing into a zero-capacity shard could never be cached.
+    while (capacity_ != 0 && n > capacity_) n /= 2;
+    mask_ = n - 1;
+    shards_ = std::vector<CacheShard>(n);
+    if (capacity_ != 0) {
+        const std::size_t base = capacity_ / n;
+        const std::size_t rem = capacity_ % n;
+        for (std::size_t i = 0; i < n; ++i)
+            shards_[i].set_capacity(base + (i < rem ? 1 : 0));
+    }
+}
+
+std::size_t RouteCache::shards_for_threads(int threads)
+{
+    const auto t = static_cast<std::size_t>(std::max(threads, 1));
+    return std::bit_ceil(t * 4);
+}
+
 std::uint32_t RouteCache::config_of(const Technology& tech,
                                     const PipelineOptions& opts)
 {
@@ -58,6 +63,7 @@ std::uint32_t RouteCache::config_of(const Technology& tech,
     c.simd_isa = static_cast<int>(cfg.isa);
     c.simd_strict = cfg.strict;
 
+    std::lock_guard<std::mutex> lk(config_mutex_);
     for (std::size_t i = 0; i < configs_.size(); ++i) {
         const Config& o = configs_[i];
         if (tech_equal(o.tech, c.tech) && o.widths_r == c.widths_r &&
@@ -71,99 +77,62 @@ std::uint32_t RouteCache::config_of(const Technology& tech,
     return static_cast<std::uint32_t>(configs_.size() - 1);
 }
 
-CacheKey RouteCache::key_of(const Net& net, std::uint32_t config)
+std::uint64_t RouteCache::drain(std::vector<CacheEpochEvent>& events)
 {
-    CacheKey key;
-    key.config = config;
-    key.sinks.reserve(net.sinks.size());
-    for (std::size_t i = 0; i < net.sinks.size(); ++i)
-        key.sinks.push_back(
-            CacheSink{static_cast<Coord>(net.sinks[i].x - net.source.x),
-                      static_cast<Coord>(net.sinks[i].y - net.source.y),
-                      net.sink_cap(i)});
-
-    Fnv64 f;
-    f.mix(config);
-    f.mix(key.sinks.size());
-    for (const CacheSink& s : key.sinks) {
-        f.mix(static_cast<std::uint32_t>(static_cast<std::int32_t>(s.dx)));
-        f.mix(static_cast<std::uint32_t>(static_cast<std::int32_t>(s.dy)));
-        // Cap quantized to float here only: sub-float cap differences share
-        // a bucket and are separated by the exact compare in same_key.
-        f.mix(std::bit_cast<std::uint32_t>(static_cast<float>(s.cap)));
-    }
-    key.hash = f.h;
-    return key;
-}
-
-bool RouteCache::same_key(const CacheKey& a, const CacheKey& b)
-{
-    if (a.config != b.config || a.sinks.size() != b.sinks.size()) return false;
-    for (std::size_t i = 0; i < a.sinks.size(); ++i) {
-        if (a.sinks[i].dx != b.sinks[i].dx || a.sinks[i].dy != b.sinks[i].dy ||
-            cap_bits(a.sinks[i].cap) != cap_bits(b.sinks[i].cap))
-            return false;
-    }
-    return true;
-}
-
-const NetRouteResult* RouteCache::find(const CacheKey& key)
-{
-    const auto it = by_hash_.find(key.hash);
-    if (it != by_hash_.end()) {
-        for (const auto& entry_it : it->second) {
-            if (!same_key(entry_it->key, key)) continue;
-            lru_.splice(lru_.begin(), lru_, entry_it);
-            ++stats_.hits;
-            return &entry_it->result;
-        }
-    }
-    ++stats_.misses;
-    return nullptr;
-}
-
-std::uint64_t RouteCache::insert(const CacheKey& key,
-                                 const NetRouteResult& result)
-{
-    auto& chain = by_hash_[key.hash];
-    for (const auto& entry_it : chain) {
-        if (!same_key(entry_it->key, key)) continue;
-        entry_it->result = result;
-        entry_it->result.diag = NetDiagnostic{};
-        lru_.splice(lru_.begin(), lru_, entry_it);
-        return 0;
-    }
-
-    lru_.push_front(Entry{key, result});
-    // Canonicalize the stored copy: the per-net identity fields are
-    // re-stamped by whoever serves it.
-    lru_.front().result.diag = NetDiagnostic{};
-    chain.push_back(lru_.begin());
-    ++stats_.insertions;
-
+    if (events.empty()) return 0;
+    std::vector<std::vector<CacheEpochEvent>> buckets(shards_.size());
+    for (CacheEpochEvent& ev : events)
+        buckets[shard_index(ev.hash)].push_back(std::move(ev));
+    events.clear();
     std::uint64_t evicted = 0;
-    while (capacity_ != 0 && lru_.size() > capacity_) {
-        const auto victim = std::prev(lru_.end());
-        auto& vchain = by_hash_[victim->key.hash];
-        for (std::size_t i = 0; i < vchain.size(); ++i) {
-            if (vchain[i] == victim) {
-                vchain.erase(vchain.begin() +
-                             static_cast<std::ptrdiff_t>(i));
-                break;
-            }
-        }
-        if (vchain.empty()) by_hash_.erase(victim->key.hash);
-        lru_.erase(victim);
-        ++stats_.evictions;
-        ++evicted;
-    }
+    for (std::size_t i = 0; i < buckets.size(); ++i)
+        evicted += shards_[i].apply(buckets[i]);
     return evicted;
+}
+
+RouteCacheStats RouteCache::stats() const
+{
+    RouteCacheStats total;
+    for (const CacheShard& s : shards_) {
+        const ShardStats st = s.stats();
+        total.hits += st.hits;
+        total.misses += st.misses;
+        total.insertions += st.insertions;
+        total.evictions += st.evictions;
+        total.contended += st.contended;
+    }
+    return total;
+}
+
+std::size_t RouteCache::size() const
+{
+    std::size_t n = 0;
+    for (const CacheShard& s : shards_) n += s.size();
+    return n;
+}
+
+std::size_t RouteCache::resident_bytes() const
+{
+    std::size_t n = 0;
+    for (const CacheShard& s : shards_) n += s.resident_bytes();
+    return n;
 }
 
 void RouteCache::clear()
 {
-    lru_.clear();
-    by_hash_.clear();
+    for (CacheShard& s : shards_) s.clear();
+}
+
+std::string RouteCache::dump() const
+{
+    std::string out;
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+        out += "shard ";
+        out += std::to_string(i);
+        out += '\n';
+        shards_[i].dump(out);
+    }
+    return out;
 }
 
 }  // namespace cong93

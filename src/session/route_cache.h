@@ -15,104 +15,138 @@
 // deterministic -- bits than scalar).  The 64-bit hash of the signature
 // quantizes sink caps to float so near-duplicate caps land in one bucket,
 // but equality always compares the exact double bits: quantization can only
-// cause a (handled) hash collision, never a wrong share.
+// cause a (handled) hash collision, never a wrong share.  The sink sequence
+// is deliberately NOT sorted: sink order feeds the A-tree construction's
+// tie-breaking, so permuted duplicates occupy distinct entries (see
+// session/shard.h for the sig:: helpers).
 //
-// The sink sequence is deliberately NOT sorted.  Sink order feeds the A-tree
-// construction's tie-breaking, so two permutations of one sink set may route
-// to different (equally good) trees; sharing across them would break the
-// byte-identity contract route_batch keeps between cache-on and cache-off
-// runs.  Permuted duplicates simply occupy distinct entries.
+// Since PR 8 the cache is CONCURRENT and LOCK-STRIPED: the signature hash
+// selects one of `shard_count()` independently mutexed strict-LRU shards
+// (session/shard.h), so parallel workers and concurrent route_batch calls
+// from many sessions probe and fill one shared cache without a global lock.
+// Determinism is preserved by the epoch-drain rule: during a batch's
+// parallel region probes are pure reads of the batch-start state, and every
+// LRU touch/insert is deferred as a CacheEpochEvent applied per shard in
+// net-index order at batch end (drain()).  Cache contents are therefore
+// byte-identical for 1 vs N threads, and output bytes are identical for any
+// shard count (every serve is bit-identical to routing the net).
 //
-// Only *clean* results are consed: status == ok and an empty diagnostic
+// Only *clean* results are interned: status == ok and an empty diagnostic
 // (validation notes and fault events may embed absolute coordinates and are
 // per-net anyway).  The batch driver (batch/pipeline.cpp) enforces a
-// deterministic single-flight rule on top: within one route_batch call the
-// first occurrence of a signature (lowest net index) is the only one routed,
-// and all sharing happens in serial pre/post passes -- so serial and
-// parallel runs stay byte-identical, hits or not.
+// deterministic single-flight rule on top, now executed *inside* the
+// parallel region: the first arrival of a signature routes, later arrivals
+// park on the shard's flight table and are served the published payload.
 //
-// Eviction is strict LRU over a caller-chosen entry capacity (0 = unbounded).
-// Every cache operation happens on the caller's thread in those serial
-// passes; the class itself is not synchronized.
+// Eviction is strict LRU per shard; a total entry capacity is split across
+// the shards (shard counts are clamped so no shard gets capacity zero).
 #ifndef CONG93_SESSION_ROUTE_CACHE_H
 #define CONG93_SESSION_ROUTE_CACHE_H
 
 #include <cstdint>
-#include <list>
-#include <unordered_map>
+#include <string>
 #include <vector>
 
-#include "batch/pipeline.h"
+#include "session/shard.h"
 
 namespace cong93 {
 
-/// One sink of a canonical signature: position relative to the net source,
-/// load cap carried exactly (-1 encodes "technology default", matching
-/// Net::sink_cap).
-struct CacheSink {
-    Coord dx = 0;
-    Coord dy = 0;
-    double cap = -1.0;
-};
-
-/// Canonical net signature: config fingerprint + exact source-relative sink
-/// sequence, plus the quantized 64-bit hash used for bucketing.
-struct CacheKey {
-    std::uint32_t config = 0;
-    std::uint64_t hash = 0;
-    std::vector<CacheSink> sinks;
-};
-
-/// Cumulative probe telemetry (monotone over the cache's lifetime; per-batch
-/// deltas are reported in PipelineStats instead).
+/// Cumulative probe telemetry aggregated over the shards (monotone over the
+/// cache's lifetime; per-batch deltas are reported in PipelineStats).
 struct RouteCacheStats {
-    std::uint64_t hits = 0;        ///< find() calls that returned an entry
-    std::uint64_t misses = 0;      ///< find() calls that returned nullptr
-    std::uint64_t insertions = 0;  ///< insert() calls that stored an entry
+    std::uint64_t hits = 0;        ///< probes/finds that returned an entry
+    std::uint64_t misses = 0;      ///< probes/finds that returned nothing
+    std::uint64_t insertions = 0;  ///< new entries stored
     std::uint64_t evictions = 0;   ///< entries dropped by the LRU bound
+    std::uint64_t contended = 0;   ///< shard-lock acquisitions that waited
 };
 
 class RouteCache {
 public:
-    /// `capacity` bounds the entry count (strict LRU); 0 means unbounded.
-    explicit RouteCache(std::size_t capacity = 0) : capacity_(capacity) {}
+    /// `capacity` bounds the total entry count (strict LRU per shard; 0
+    /// means unbounded).  `shards` is rounded up to a power of two and, when
+    /// a capacity is set, halved until every shard owns at least one entry;
+    /// the default of one shard preserves the PR-7 single-map strict-LRU
+    /// semantics exactly.  Shard count never changes output bytes -- only
+    /// contention and (under a capacity) the eviction pattern.
+    explicit RouteCache(std::size_t capacity = 0, std::size_t shards = 1);
+
+    /// The shard count the service facade sizes a shared cache with:
+    /// next-pow2(threads x 4), so at full fan-out the expected load per
+    /// shard lock stays well under one.
+    static std::size_t shards_for_threads(int threads);
 
     /// Interns the exact (technology, options, SIMD-config) triple this
     /// cache consultation runs under and returns its fingerprint id.  Two
     /// calls return the same id iff every result-bit-relevant field compares
     /// bit-identical, so entries written under one configuration can never
-    /// serve a lookup made under another.
+    /// serve a lookup made under another.  Thread-safe.
     std::uint32_t config_of(const Technology& tech, const PipelineOptions& opts);
 
-    /// Canonical signature of `net` under config id `config` (see header).
-    static CacheKey key_of(const Net& net, std::uint32_t config);
+    /// Canonical signature of `net` under config id `config`.
+    static CacheKey key_of(const Net& net, std::uint32_t config)
+    {
+        return sig::key_of(net, config);
+    }
+
+    /// Signature hash computed straight off the net -- the allocation-free
+    /// hot path (equal to key_of(net, config).hash).
+    static std::uint64_t hash_of(const Net& net, std::uint32_t config)
+    {
+        return sig::hash_of(net, config);
+    }
 
     /// Exact signature equality (config, then sink sequence, caps compared
     /// by bit pattern).  The hash is a bucket, not the identity.
-    static bool same_key(const CacheKey& a, const CacheKey& b);
+    static bool same_key(const CacheKey& a, const CacheKey& b)
+    {
+        return sig::same_key(a, b);
+    }
 
-    /// Looks `key` up; on a hit, touches the entry most-recently-used and
-    /// returns its result (valid until the next insert()).  The stored
-    /// result is canonicalized: diag cleared, net_index/net_seed zero --
-    /// callers re-stamp per served net.
-    const NetRouteResult* find(const CacheKey& key);
+    std::size_t shard_count() const { return shards_.size(); }
+    std::size_t shard_index(std::uint64_t hash) const
+    {
+        return static_cast<std::size_t>(hash) & mask_;
+    }
+    CacheShard& shard(std::size_t i) { return shards_[i]; }
 
-    /// Stores `result` (which must be clean: status ok, empty diagnostic)
-    /// under `key`, evicting least-recently-used entries beyond the
-    /// capacity.  Re-inserting an existing signature overwrites in place.
-    /// Returns how many entries this call evicted.
-    std::uint64_t insert(const CacheKey& key, const NetRouteResult& result);
+    /// Touching lookup on the owning shard (single-threaded convenience
+    /// path; the batch driver uses shard().probe() + drain() instead).  On a
+    /// hit, the entry becomes most-recently-used and the stored result is
+    /// returned (diag cleared, net_index/net_seed zero -- callers re-stamp
+    /// per served net); the pointer stays valid until the entry is evicted
+    /// or overwritten.
+    const NetRouteResult* find(const CacheKey& key)
+    {
+        return shards_[shard_index(key.hash)].find(key);
+    }
 
-    const RouteCacheStats& stats() const { return stats_; }
-    std::size_t size() const { return lru_.size(); }
+    /// Immediate insert on the owning shard.  `result` must be clean
+    /// (status ok, empty diagnostic).  Re-inserting an existing signature
+    /// overwrites in place.  Returns how many entries this call evicted.
+    std::uint64_t insert(const CacheKey& key, const NetRouteResult& result)
+    {
+        return shards_[shard_index(key.hash)].insert(key, result);
+    }
+
+    /// Epoch drain: buckets `events` by owning shard, sorts each bucket by
+    /// net index, and applies them serially per shard -- the batch-end step
+    /// that makes cache evolution schedule-independent.  Returns the total
+    /// entries evicted.  Consumes `events` (payloads are moved out).
+    std::uint64_t drain(std::vector<CacheEpochEvent>& events);
+
+    RouteCacheStats stats() const;  ///< aggregated over shards, by value
+    std::size_t size() const;
     std::size_t capacity() const { return capacity_; }
+    std::size_t resident_bytes() const;
     void clear();
 
+    /// Deterministic fingerprint of the full cache contents (shards in
+    /// index order, entries MRU to LRU).  Equal strings <=> identical cache
+    /// state; the serial-vs-parallel tests assert exactly that.
+    std::string dump() const;
+
 private:
-    struct Entry {
-        CacheKey key;
-        NetRouteResult result;
-    };
     /// Exact fingerprint payload of one interned configuration: every field
     /// a clean net's result bits depend on besides the net itself.
     struct Config {
@@ -127,11 +161,10 @@ private:
     };
 
     std::size_t capacity_;
-    std::list<Entry> lru_;  ///< front = most recently used
-    std::unordered_map<std::uint64_t, std::vector<std::list<Entry>::iterator>>
-        by_hash_;
+    std::size_t mask_ = 0;
+    std::vector<CacheShard> shards_;  ///< sized once; never reallocated
+    mutable std::mutex config_mutex_;
     std::vector<Config> configs_;
-    RouteCacheStats stats_;
 };
 
 }  // namespace cong93

@@ -1,0 +1,117 @@
+#include "session/service.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace cong93 {
+
+SessionService::SessionService(Technology tech, ServiceOptions opts)
+    : tech_(std::move(tech)),
+      opts_(std::move(opts)),
+      cache_(opts_.cache_capacity,
+             opts_.cache_shards != 0
+                 ? opts_.cache_shards
+                 : RouteCache::shards_for_threads(
+                       opts_.threads <= 0 ? default_thread_count()
+                                          : opts_.threads)),
+      pool_(opts_.threads)
+{
+}
+
+SessionId SessionService::open() { return open(opts_.session); }
+
+SessionId SessionService::open(SessionOptions opts)
+{
+    opts.shared_cache = &cache_;
+    opts.pipeline.pool = &pool_;
+    // Worker-slot count must cover the pool width (route_batch sizes its
+    // workspaces off max(threads, pool threads) either way; raising threads
+    // here just keeps the session's stats header honest).
+    opts.pipeline.threads = std::max(opts.pipeline.threads, pool_.thread_count());
+    std::lock_guard<std::mutex> lk(mutex_);
+    slots_.push_back(std::make_unique<Slot>(tech_, std::move(opts)));
+    return slots_.size() - 1;
+}
+
+SessionService::Slot& SessionService::slot(SessionId id)
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    if (id >= slots_.size())
+        throw std::out_of_range("SessionService: no such session id");
+    return *slots_[id];
+}
+
+void SessionService::count_batch(const PipelineStats& stats)
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    ++stats_.batches;
+    stats_.cache_hits += stats.cache_hits;
+    stats_.cache_shared += stats.cache_shared;
+    stats_.cache_evictions += stats.cache_evictions;
+    stats_.cache_shard_contention += stats.cache_shard_contention;
+    stats_.single_flight_parked += stats.single_flight_parked;
+}
+
+std::vector<NetId> SessionService::add_batch(SessionId id,
+                                             const std::vector<Net>& nets,
+                                             PipelineStats* stats)
+{
+    Slot& s = slot(id);
+    PipelineStats local;
+    PipelineStats& ps = stats != nullptr ? *stats : local;
+    std::vector<NetId> ids;
+    {
+        std::lock_guard<std::mutex> lk(s.m);
+        ids = s.session.add_batch(nets, &ps);
+    }
+    count_batch(ps);
+    return ids;
+}
+
+NetId SessionService::add(SessionId id, Net net)
+{
+    Slot& s = slot(id);
+    NetId nid;
+    {
+        std::lock_guard<std::mutex> lk(s.m);
+        nid = s.session.add(std::move(net));
+    }
+    std::lock_guard<std::mutex> lk(mutex_);
+    ++stats_.adds;
+    return nid;
+}
+
+EcoOutcome SessionService::apply(SessionId id, NetId net, const EcoDelta& delta)
+{
+    Slot& s = slot(id);
+    EcoOutcome o;
+    {
+        std::lock_guard<std::mutex> lk(s.m);
+        o = s.session.apply(net, delta);
+    }
+    std::lock_guard<std::mutex> lk(mutex_);
+    ++stats_.applies;
+    return o;
+}
+
+NetRouteResult SessionService::result(SessionId id, NetId net)
+{
+    Slot& s = slot(id);
+    std::lock_guard<std::mutex> lk(s.m);
+    return s.session.result(net);
+}
+
+std::size_t SessionService::sessions() const
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    return slots_.size();
+}
+
+ServiceStats SessionService::stats() const
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    return stats_;
+}
+
+}  // namespace cong93

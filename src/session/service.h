@@ -1,0 +1,131 @@
+// Multi-session service facade: one shared sharded route cache + one worker
+// pool serving concurrent route/ECO requests from independent sessions.
+//
+// A SessionService models the serving-stack deployment of the engine: many
+// clients (placement threads, RPC handlers) each own a logical Session, but
+// routing capacity and the hash-consed route cache are process-wide.  The
+// service owns both and wires every session it opens to them:
+//
+//   * the shared RouteCache (session/route_cache.h) is attached as each
+//     session's shared_cache, so a duplicate net routed by any session is a
+//     cache hit for every other session -- cross-session result sharing at
+//     shard-lock cost, no global lock;
+//   * the shared ThreadPool backs each session's add_batch fan-out
+//     (PipelineOptions::pool).  Concurrent batches multiplex onto the one
+//     pool via per-call TaskGroups (batch/batch.h), so a request waits only
+//     for its own jobs and failures stay with the request that caused them.
+//
+// Concurrency contract: requests against DIFFERENT sessions may run
+// concurrently from any number of client threads (each session slot is
+// mutexed; the underlying Session stays single-threaded by construction).
+// Requests against one session serialize on its slot mutex.
+//
+// Determinism: each request is byte-identical to the same request run
+// serially (the route_batch epoch-drain contract), and PR-4 fault isolation
+// holds per request -- a fault-injected request bypasses the shared cache
+// entirely (batch/pipeline.cpp), and per-request ECO paths never consult it,
+// so a faulted request can never poison cache state other sessions share.
+// What IS schedule-dependent across concurrent requests is cache *timing*:
+// whether session B's batch sees session A's interns depends on which drain
+// ran first, exactly like any shared cache.  Replaying the same per-session
+// request sequences serially in the same global order reproduces every
+// output byte (tests/test_shared_cache.cpp's soak asserts this).
+#ifndef CONG93_SESSION_SERVICE_H
+#define CONG93_SESSION_SERVICE_H
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "session/session.h"
+
+namespace cong93 {
+
+/// Handle to a session owned by a SessionService (dense, open order).
+using SessionId = std::size_t;
+
+struct ServiceOptions {
+    /// Defaults for every session the service opens (open() overrides win).
+    /// pipeline.pool and shared_cache are overwritten by the service's own.
+    SessionOptions session;
+    /// Worker threads of the shared pool (<= 0: default_thread_count()).
+    int threads = 0;
+    /// Shared cache entry capacity (0 = unbounded).
+    std::size_t cache_capacity = 0;
+    /// Shared cache shard count; 0 = RouteCache::shards_for_threads(threads).
+    std::size_t cache_shards = 0;
+};
+
+/// Cumulative request telemetry (schedule-dependent counters included; see
+/// the header comment for what the determinism contract covers).
+struct ServiceStats {
+    std::uint64_t batches = 0;  ///< route_batch requests served
+    std::uint64_t adds = 0;     ///< single-net add requests served
+    std::uint64_t applies = 0;  ///< ECO apply requests served
+    std::uint64_t cache_hits = 0;
+    std::uint64_t cache_shared = 0;
+    std::uint64_t cache_evictions = 0;
+    std::uint64_t cache_shard_contention = 0;
+    std::uint64_t single_flight_parked = 0;
+};
+
+class SessionService {
+public:
+    explicit SessionService(Technology tech, ServiceOptions opts = {});
+
+    /// Opens a session wired to the shared cache and pool, using the
+    /// service-default session options.
+    SessionId open();
+    /// Same, but from explicit options (their pipeline.pool / shared_cache
+    /// are replaced by the service's own; pipeline.threads is raised to the
+    /// pool width so enough worker slots exist).
+    SessionId open(SessionOptions opts);
+
+    /// route_batch through session `id` with the shared cache + pool.
+    /// Safe to call concurrently with requests against other sessions.
+    std::vector<NetId> add_batch(SessionId id, const std::vector<Net>& nets,
+                                 PipelineStats* stats = nullptr);
+
+    /// Single-net admission through session `id`.
+    NetId add(SessionId id, Net net);
+
+    /// ECO apply through session `id`.
+    EcoOutcome apply(SessionId id, NetId net, const EcoDelta& delta);
+
+    /// Copy of the stored result (copy, not reference: another thread's
+    /// request against the same session may replace it concurrently).
+    NetRouteResult result(SessionId id, NetId net);
+
+    std::size_t sessions() const;
+    RouteCache& cache() { return cache_; }
+    ThreadPool& pool() { return pool_; }
+    ServiceStats stats() const;
+
+private:
+    /// One open session behind its request mutex.  unique_ptr keeps slot
+    /// addresses stable while open() grows the vector under mutex_.
+    struct Slot {
+        std::mutex m;
+        Session session;
+        Slot(Technology tech, SessionOptions opts)
+            : session(std::move(tech), std::move(opts))
+        {
+        }
+    };
+
+    Slot& slot(SessionId id);
+    void count_batch(const PipelineStats& stats);
+
+    Technology tech_;
+    ServiceOptions opts_;
+    RouteCache cache_;
+    ThreadPool pool_;
+    mutable std::mutex mutex_;  ///< guards slots_ growth and stats_
+    std::vector<std::unique_ptr<Slot>> slots_;
+    ServiceStats stats_;
+};
+
+}  // namespace cong93
+
+#endif  // CONG93_SESSION_SERVICE_H

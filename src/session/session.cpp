@@ -124,7 +124,10 @@ Session::Session(Technology tech, SessionOptions opts)
       tech_(std::move(tech)),
       faults_(opts_.pipeline.faults.enabled ? opts_.pipeline.faults
                                             : FaultPlan::from_env()),
-      cache_(opts_.cache_capacity)
+      cache_(opts_.cache_capacity,
+             opts_.cache_shards != 0
+                 ? opts_.cache_shards
+                 : RouteCache::shards_for_threads(opts_.pipeline.threads))
 {
 }
 
@@ -344,7 +347,7 @@ std::vector<NetId> Session::add_batch(const std::vector<Net>& nets,
 {
     PipelineOptions popts = opts_.pipeline;
     popts.faults = faults_;
-    popts.cache = opts_.use_cache ? &cache_ : nullptr;
+    popts.cache = opts_.use_cache ? &cache() : nullptr;
     PipelineStats local;
     std::vector<NetRouteResult> results =
         route_batch(nets, tech_, popts, stats != nullptr ? stats : &local);

@@ -135,11 +135,20 @@ struct SessionOptions {
     double eco_threshold = 0.5;
     /// Entry capacity of the session's route cache (0 = unbounded).
     std::size_t cache_capacity = 0;
+    /// Shard count of the session's route cache.  0 resolves to
+    /// RouteCache::shards_for_threads(pipeline.threads); shard count never
+    /// changes output bytes (see session/route_cache.h).
+    std::size_t cache_shards = 0;
     /// Attach the session's route cache to add_batch admissions (on by
     /// default).  Off admits every net through the ordinary routed path;
     /// results are byte-identical either way (the CI session smoke diffs
     /// the two), only throughput and the cache counters change.
     bool use_cache = true;
+    /// Externally owned cache to use instead of the session's private one
+    /// (the SessionService attaches its shared cache here).  Not owned; must
+    /// outlive the session.  cache_capacity/cache_shards then only size the
+    /// unused private cache.
+    RouteCache* shared_cache = nullptr;
 };
 
 class Session {
@@ -175,7 +184,12 @@ public:
     /// add_batch, or after a degraded/faulted request).
     bool captured(NetId id) const { return entry(id).captured; }
 
-    RouteCache& cache() { return cache_; }
+    /// The cache add_batch consults: the service-shared one when attached,
+    /// else the session's private cache.
+    RouteCache& cache()
+    {
+        return opts_.shared_cache != nullptr ? *opts_.shared_cache : cache_;
+    }
     const SessionOptions& options() const { return opts_; }
 
 private:

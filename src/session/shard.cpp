@@ -1,0 +1,292 @@
+#include "session/shard.h"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+
+namespace cong93 {
+
+namespace sig {
+
+namespace {
+
+/// 64-bit FNV-1a over explicitly fed words; the only consumer of the
+/// float-quantized caps (equality always re-checks the exact doubles).
+struct Fnv64 {
+    std::uint64_t h = 1469598103934665603ull;
+    void mix(std::uint64_t v)
+    {
+        for (int b = 0; b < 8; ++b) {
+            h ^= (v >> (8 * b)) & 0xffu;
+            h *= 1099511628211ull;
+        }
+    }
+};
+
+std::uint64_t cap_bits(double cap)
+{
+    return std::bit_cast<std::uint64_t>(cap);
+}
+
+}  // namespace
+
+std::uint64_t hash_of(const Net& net, std::uint32_t config)
+{
+    Fnv64 f;
+    f.mix(config);
+    f.mix(net.sinks.size());
+    for (std::size_t i = 0; i < net.sinks.size(); ++i) {
+        const Coord dx = static_cast<Coord>(net.sinks[i].x - net.source.x);
+        const Coord dy = static_cast<Coord>(net.sinks[i].y - net.source.y);
+        f.mix(static_cast<std::uint32_t>(static_cast<std::int32_t>(dx)));
+        f.mix(static_cast<std::uint32_t>(static_cast<std::int32_t>(dy)));
+        // Cap quantized to float here only: sub-float cap differences share
+        // a bucket and are separated by the exact compares below.
+        f.mix(std::bit_cast<std::uint32_t>(
+            static_cast<float>(net.sink_cap(i))));
+    }
+    return f.h;
+}
+
+bool key_matches_net(const CacheKey& key, const Net& net, std::uint32_t config)
+{
+    if (key.config != config || key.sinks.size() != net.sinks.size())
+        return false;
+    for (std::size_t i = 0; i < key.sinks.size(); ++i) {
+        const CacheSink& s = key.sinks[i];
+        if (s.dx != static_cast<Coord>(net.sinks[i].x - net.source.x) ||
+            s.dy != static_cast<Coord>(net.sinks[i].y - net.source.y) ||
+            cap_bits(s.cap) != cap_bits(net.sink_cap(i)))
+            return false;
+    }
+    return true;
+}
+
+bool nets_equivalent(const Net& a, const Net& b)
+{
+    if (a.sinks.size() != b.sinks.size()) return false;
+    for (std::size_t i = 0; i < a.sinks.size(); ++i) {
+        if (static_cast<Coord>(a.sinks[i].x - a.source.x) !=
+                static_cast<Coord>(b.sinks[i].x - b.source.x) ||
+            static_cast<Coord>(a.sinks[i].y - a.source.y) !=
+                static_cast<Coord>(b.sinks[i].y - b.source.y) ||
+            cap_bits(a.sink_cap(i)) != cap_bits(b.sink_cap(i)))
+            return false;
+    }
+    return true;
+}
+
+CacheKey key_of(const Net& net, std::uint32_t config)
+{
+    CacheKey key;
+    key.config = config;
+    key.sinks.reserve(net.sinks.size());
+    for (std::size_t i = 0; i < net.sinks.size(); ++i)
+        key.sinks.push_back(
+            CacheSink{static_cast<Coord>(net.sinks[i].x - net.source.x),
+                      static_cast<Coord>(net.sinks[i].y - net.source.y),
+                      net.sink_cap(i)});
+    key.hash = hash_of(net, config);
+    return key;
+}
+
+bool same_key(const CacheKey& a, const CacheKey& b)
+{
+    if (a.config != b.config || a.sinks.size() != b.sinks.size()) return false;
+    for (std::size_t i = 0; i < a.sinks.size(); ++i) {
+        if (a.sinks[i].dx != b.sinks[i].dx || a.sinks[i].dy != b.sinks[i].dy ||
+            cap_bits(a.sinks[i].cap) != cap_bits(b.sinks[i].cap))
+            return false;
+    }
+    return true;
+}
+
+}  // namespace sig
+
+CachedRoute make_cached_route(const NetRouteResult& result)
+{
+    auto p = std::make_shared<NetRouteResult>(result);
+    // Canonicalize the interned copy: the per-net identity fields are
+    // re-stamped by whoever serves it.
+    p->diag = NetDiagnostic{};
+    return p;
+}
+
+std::size_t cache_entry_bytes(const CacheKey& key, const NetRouteResult& payload)
+{
+    // 64 approximates the list node + hash-chain slot overhead per entry.
+    return 64 + sizeof(CacheKey) + key.sinks.capacity() * sizeof(CacheSink) +
+           sizeof(NetRouteResult) + payload.assignment.size() * sizeof(int);
+}
+
+void CacheShard::lock_counting(std::unique_lock<std::mutex>& lk,
+                               bool* contended)
+{
+    if (lk.try_lock()) return;
+    lk.lock();
+    ++stats_.contended;
+    if (contended != nullptr) *contended = true;
+}
+
+CacheShard::List::iterator CacheShard::find_locked(std::uint64_t hash,
+                                                   std::uint32_t config,
+                                                   const Net* net,
+                                                   const CacheKey* key)
+{
+    const auto it = by_hash_.find(hash);
+    if (it == by_hash_.end()) return lru_.end();
+    for (const auto& entry_it : it->second) {
+        if (net != nullptr ? sig::key_matches_net(entry_it->key, *net, config)
+                           : sig::same_key(entry_it->key, *key))
+            return entry_it;
+    }
+    return lru_.end();
+}
+
+CacheShard::ProbeResult CacheShard::probe(std::uint64_t hash,
+                                          std::uint32_t config, const Net& net)
+{
+    ProbeResult pr;
+    std::unique_lock<std::mutex> lk(m_, std::defer_lock);
+    lock_counting(lk, &pr.contended);
+    const auto e = find_locked(hash, config, &net, nullptr);
+    if (e != lru_.end()) {
+        pr.payload = e->payload;
+        ++stats_.hits;
+    } else {
+        ++stats_.misses;
+    }
+    return pr;
+}
+
+const NetRouteResult* CacheShard::find(const CacheKey& key)
+{
+    std::unique_lock<std::mutex> lk(m_, std::defer_lock);
+    lock_counting(lk, nullptr);
+    const auto e = find_locked(key.hash, key.config, nullptr, &key);
+    if (e == lru_.end()) {
+        ++stats_.misses;
+        return nullptr;
+    }
+    lru_.splice(lru_.begin(), lru_, e);
+    ++stats_.hits;
+    return e->payload.get();
+}
+
+std::uint64_t CacheShard::store_locked(CacheKey&& key, CachedRoute payload)
+{
+    const auto e = find_locked(key.hash, key.config, nullptr, &key);
+    if (e != lru_.end()) {
+        // Overwrite in place (identical bits by the translation-invariance
+        // contract; concurrent batches can race to intern one signature).
+        resident_ -= e->bytes;
+        e->payload = std::move(payload);
+        e->bytes = cache_entry_bytes(e->key, *e->payload);
+        resident_ += e->bytes;
+        lru_.splice(lru_.begin(), lru_, e);
+        return 0;
+    }
+    lru_.push_front(Entry{std::move(key), std::move(payload), 0});
+    Entry& stored = lru_.front();
+    stored.bytes = cache_entry_bytes(stored.key, *stored.payload);
+    resident_ += stored.bytes;
+    by_hash_[stored.key.hash].push_back(lru_.begin());
+    ++stats_.insertions;
+    return evict_locked();
+}
+
+std::uint64_t CacheShard::evict_locked()
+{
+    std::uint64_t evicted = 0;
+    while (capacity_ != 0 && lru_.size() > capacity_) {
+        const auto victim = std::prev(lru_.end());
+        auto& vchain = by_hash_[victim->key.hash];
+        for (std::size_t i = 0; i < vchain.size(); ++i) {
+            if (vchain[i] == victim) {
+                vchain.erase(vchain.begin() + static_cast<std::ptrdiff_t>(i));
+                break;
+            }
+        }
+        if (vchain.empty()) by_hash_.erase(victim->key.hash);
+        resident_ -= victim->bytes;
+        lru_.erase(victim);
+        ++stats_.evictions;
+        ++evicted;
+    }
+    return evicted;
+}
+
+std::uint64_t CacheShard::insert(const CacheKey& key,
+                                 const NetRouteResult& result)
+{
+    std::unique_lock<std::mutex> lk(m_, std::defer_lock);
+    lock_counting(lk, nullptr);
+    return store_locked(CacheKey{key}, make_cached_route(result));
+}
+
+std::uint64_t CacheShard::apply(std::vector<CacheEpochEvent>& events)
+{
+    if (events.empty()) return 0;
+    // Net indices are unique across touch and insert events (a hit net is
+    // never a flight-group member), so the sort is a total order and the
+    // replay below is exactly the serial net-order cache evolution.
+    std::sort(events.begin(), events.end(),
+              [](const CacheEpochEvent& a, const CacheEpochEvent& b) {
+                  return a.net_index < b.net_index;
+              });
+    std::uint64_t evicted = 0;
+    std::unique_lock<std::mutex> lk(m_, std::defer_lock);
+    lock_counting(lk, nullptr);
+    for (CacheEpochEvent& ev : events) {
+        if (ev.insert) {
+            evicted +=
+                store_locked(sig::key_of(*ev.net, ev.config), std::move(ev.payload));
+        } else {
+            const auto e = find_locked(ev.hash, ev.config, ev.net, nullptr);
+            if (e != lru_.end()) lru_.splice(lru_.begin(), lru_, e);
+        }
+    }
+    return evicted;
+}
+
+ShardStats CacheShard::stats() const
+{
+    std::lock_guard<std::mutex> lk(m_);
+    return stats_;
+}
+
+std::size_t CacheShard::size() const
+{
+    std::lock_guard<std::mutex> lk(m_);
+    return lru_.size();
+}
+
+std::size_t CacheShard::resident_bytes() const
+{
+    std::lock_guard<std::mutex> lk(m_);
+    return resident_;
+}
+
+void CacheShard::clear()
+{
+    std::lock_guard<std::mutex> lk(m_);
+    lru_.clear();
+    by_hash_.clear();
+    resident_ = 0;
+}
+
+void CacheShard::dump(std::string& out) const
+{
+    std::lock_guard<std::mutex> lk(m_);
+    std::ostringstream os;
+    os << std::hexfloat;
+    for (const Entry& e : lru_) {
+        os << std::hex << e.key.hash << std::dec << ' ' << e.key.config << ' '
+           << e.key.sinks.size() << ' ' << e.payload->nodes << ' '
+           << e.payload->segments << ' ' << e.payload->wirelength << ' '
+           << e.payload->wiresized_delay_s << '\n';
+    }
+    out += os.str();
+}
+
+}  // namespace cong93

@@ -1,0 +1,180 @@
+// One lock-striped shard of the concurrent route cache, plus the canonical
+// signature helpers shared by the cache and the batch driver's single-flight.
+//
+// A shard is an independently mutexed strict-LRU map from canonical net
+// signatures to refcounted immutable route payloads.  Two rules make the
+// sharded cache byte-deterministic under any thread schedule:
+//
+//   1. probe() never reorders the LRU list.  During a parallel batch every
+//      lookup is a pure read of the batch-start cache state; the LRU/insert
+//      effects are recorded as CacheEpochEvents and applied at batch end by
+//      apply(), after sorting the shard's events by net index.  Cache
+//      contents therefore evolve exactly as if the batch had run serially
+//      in net order -- 1 thread and N threads leave byte-identical shards.
+//   2. Payloads are shared_ptr<const NetRouteResult>: a probe taken just
+//      before a concurrent batch's drain evicts the entry keeps its payload
+//      alive, and fanning one payload out to many served nets shares one
+//      refcounted allocation instead of copying.
+//
+// The signature itself (sig:: helpers) is the PR-7 design unchanged:
+// translation-canonical source-relative sink *sequence* (order feeds A-tree
+// tie-breaking), FNV-1a hash with float-quantized caps for bucketing, exact
+// double-bit compare for identity.  hash_of()/key_matches_net()/
+// nets_equivalent() work straight off a Net so the hot path neither
+// allocates nor materializes a CacheKey; key_of() materializes one only when
+// an entry is actually inserted.
+#ifndef CONG93_SESSION_SHARD_H
+#define CONG93_SESSION_SHARD_H
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "batch/pipeline.h"
+
+namespace cong93 {
+
+/// One sink of a canonical signature: position relative to the net source,
+/// load cap carried exactly (-1 encodes "technology default", matching
+/// Net::sink_cap).
+struct CacheSink {
+    Coord dx = 0;
+    Coord dy = 0;
+    double cap = -1.0;
+};
+
+/// Canonical net signature: config fingerprint + exact source-relative sink
+/// sequence, plus the quantized 64-bit hash used for bucketing.
+struct CacheKey {
+    std::uint32_t config = 0;
+    std::uint64_t hash = 0;
+    std::vector<CacheSink> sinks;
+};
+
+/// Immutable interned route payload (diag cleared, net_index/net_seed zero;
+/// servers re-stamp per net).
+using CachedRoute = std::shared_ptr<const NetRouteResult>;
+
+namespace sig {
+
+/// Signature hash of `net` under config id `config`, computed directly from
+/// the net -- no CacheKey materialization, no heap allocation.  Equals
+/// key_of(net, config).hash bit for bit.
+std::uint64_t hash_of(const Net& net, std::uint32_t config);
+
+/// Exact signature equality between a stored key and a candidate net, again
+/// without materializing the candidate's key.
+bool key_matches_net(const CacheKey& key, const Net& net, std::uint32_t config);
+
+/// Exact signature equality between two nets (same source-relative sink
+/// sequence, caps compared by bit pattern).  Both nets are assumed to hash
+/// under the same config.
+bool nets_equivalent(const Net& a, const Net& b);
+
+/// Materializes the canonical signature (insert path and tests only).
+CacheKey key_of(const Net& net, std::uint32_t config);
+
+/// Exact signature equality between two materialized keys.
+bool same_key(const CacheKey& a, const CacheKey& b);
+
+}  // namespace sig
+
+/// Cumulative telemetry of one shard (all updated under the shard mutex).
+struct ShardStats {
+    std::uint64_t hits = 0;        ///< probes/finds that returned an entry
+    std::uint64_t misses = 0;      ///< probes/finds that returned nothing
+    std::uint64_t insertions = 0;  ///< new entries stored
+    std::uint64_t evictions = 0;   ///< entries dropped by the LRU bound
+    std::uint64_t contended = 0;   ///< lock acquisitions that had to wait
+};
+
+/// One deferred LRU mutation, recorded during the parallel region and
+/// applied at batch end in net-index order (the epoch drain).  A touch
+/// (insert == false) moves the probed entry most-recently-used; an insert
+/// interns `payload` under `net`'s signature.  `net` must outlive the drain.
+struct CacheEpochEvent {
+    std::size_t net_index = 0;
+    std::uint64_t hash = 0;
+    std::uint32_t config = 0;
+    const Net* net = nullptr;
+    CachedRoute payload;  ///< insert: the interned result; touch: unused
+    bool insert = false;
+};
+
+class CacheShard {
+public:
+    struct ProbeResult {
+        CachedRoute payload;     ///< empty on miss
+        bool contended = false;  ///< the shard lock was held by someone else
+    };
+
+    /// Read-only lookup: returns the payload without touching the LRU order
+    /// (see header rule 1) and counts a hit or miss.
+    ProbeResult probe(std::uint64_t hash, std::uint32_t config, const Net& net);
+
+    /// Touching lookup (single-threaded convenience path: session CLI,
+    /// tests).  On a hit the entry becomes most-recently-used; the returned
+    /// pointer stays valid until the entry is evicted or overwritten.
+    const NetRouteResult* find(const CacheKey& key);
+
+    /// Immediate insert (single-threaded convenience path).  Stores a
+    /// canonicalized copy of `result` (diag cleared); re-inserting an
+    /// existing signature overwrites in place.  Returns entries evicted.
+    std::uint64_t insert(const CacheKey& key, const NetRouteResult& result);
+
+    /// Epoch drain: sorts `events` by net index and applies them serially
+    /// under one lock acquisition.  Returns entries evicted.  Touch events
+    /// whose entry has since been evicted by a concurrent batch are skipped;
+    /// insert events overwrite a concurrently interned twin in place (the
+    /// payload bits are identical by the translation-invariance contract).
+    std::uint64_t apply(std::vector<CacheEpochEvent>& events);
+
+    void set_capacity(std::size_t capacity) { capacity_ = capacity; }
+    std::size_t capacity() const { return capacity_; }
+
+    ShardStats stats() const;
+    std::size_t size() const;
+    std::size_t resident_bytes() const;
+    void clear();
+
+    /// Appends a deterministic fingerprint of the shard contents (MRU to
+    /// LRU: hash, config, sink count, payload shape) to `out` -- the
+    /// serial-vs-parallel cache-state equality witness used by the tests.
+    void dump(std::string& out) const;
+
+private:
+    struct Entry {
+        CacheKey key;
+        CachedRoute payload;
+        std::size_t bytes = 0;
+    };
+    using List = std::list<Entry>;
+
+    List::iterator find_locked(std::uint64_t hash, std::uint32_t config,
+                               const Net* net, const CacheKey* key);
+    std::uint64_t store_locked(CacheKey&& key, CachedRoute payload);
+    std::uint64_t evict_locked();
+    void lock_counting(std::unique_lock<std::mutex>& lk, bool* contended);
+
+    mutable std::mutex m_;
+    std::size_t capacity_ = 0;  ///< entries; 0 = unbounded
+    List lru_;                  ///< front = most recently used
+    std::unordered_map<std::uint64_t, std::vector<List::iterator>> by_hash_;
+    ShardStats stats_;
+    std::size_t resident_ = 0;  ///< approximate bytes held by entries
+};
+
+/// Canonicalizes a clean route result into an immutable shared payload:
+/// diag cleared (net_index/net_seed zero), ready for interning/serving.
+CachedRoute make_cached_route(const NetRouteResult& result);
+
+/// Approximate resident footprint of one interned entry.
+std::size_t cache_entry_bytes(const CacheKey& key, const NetRouteResult& payload);
+
+}  // namespace cong93
+
+#endif  // CONG93_SESSION_SHARD_H

@@ -1,0 +1,394 @@
+// Sharded concurrent route cache + multi-session service facade tests:
+// shard-count invariance of output bytes and counters, serial vs
+// external-pool byte-identity (results AND cache contents via dump()),
+// schedule-independent cache counters, LRU squeeze across shards, fault
+// injection / out-of-bound twins never poisoning the cache, TaskGroup
+// failure isolation on a shared pool, and the randomized multi-session soak
+// against serial single-session replay.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "batch/batch.h"
+#include "batch/pipeline.h"
+#include "netgen/netgen.h"
+#include "rtree/validate.h"
+#include "session/route_cache.h"
+#include "session/service.h"
+#include "session/session.h"
+#include "tech/technology.h"
+
+namespace cong93 {
+namespace {
+
+Net translated(const Net& n, Coord dx, Coord dy)
+{
+    Net t = n;
+    t.source = Point{n.source.x + dx, n.source.y + dy};
+    for (Point& p : t.sinks) p = Point{p.x + dx, p.y + dy};
+    return t;
+}
+
+/// `copies` signature-equal rounds of `uniques` random nets, each round
+/// translated as a block -- the canonical duplicate-heavy batch shape.
+std::vector<Net> dup_batch(std::uint64_t seed, int uniques, int copies)
+{
+    const std::vector<Net> base = random_nets(seed, uniques, 3000, 6);
+    std::vector<Net> nets;
+    nets.reserve(base.size() * static_cast<std::size_t>(copies));
+    for (int c = 0; c < copies; ++c)
+        for (const Net& b : base)
+            nets.push_back(translated(b, static_cast<Coord>(500 * c),
+                                      static_cast<Coord>(210 * c)));
+    return nets;
+}
+
+std::string fmt1(const NetRouteResult& r)
+{
+    return format_results(std::vector<NetRouteResult>{r});
+}
+
+// ---------------------------------------------------------------------------
+// Shard-count invariance
+// ---------------------------------------------------------------------------
+
+TEST(ShardedCache, ShardCountChangesNoOutputByte)
+{
+    const Technology tech = mcm_technology();
+    const std::vector<Net> first = dup_batch(11, 12, 3);
+    const std::vector<Net> second = dup_batch(11, 12, 2);  // warm rerun
+
+    std::string want_first, want_second;
+    std::uint64_t want_hits = 0;
+    for (const std::size_t shards : {1u, 4u, 64u}) {
+        RouteCache cache(0, shards);
+        PipelineOptions opts;
+        opts.threads = 1;
+        opts.cache = &cache;
+        PipelineStats s1, s2;
+        const std::string got_first =
+            format_results(route_batch(first, tech, opts, &s1));
+        const std::string got_second =
+            format_results(route_batch(second, tech, opts, &s2));
+        // Every signature of the warm batch is already interned.
+        EXPECT_EQ(s2.cache_hits, second.size()) << shards << " shards";
+        if (want_first.empty()) {
+            want_first = got_first;
+            want_second = got_second;
+            want_hits = s2.cache_hits;
+        } else {
+            EXPECT_EQ(got_first, want_first) << shards << " shards";
+            EXPECT_EQ(got_second, want_second) << shards << " shards";
+            EXPECT_EQ(s2.cache_hits, want_hits) << shards << " shards";
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serial vs external-pool byte-identity (results and cache contents)
+// ---------------------------------------------------------------------------
+
+TEST(ShardedCache, SerialAndPooledRunsAreByteIdentical)
+{
+    const Technology tech = mcm_technology();
+    const std::vector<Net> nets = dup_batch(23, 16, 4);
+
+    const auto run = [&](ThreadPool* pool, std::string& cache_dump,
+                         PipelineStats& stats) {
+        RouteCache cache(0, 16);
+        PipelineOptions opts;
+        opts.threads = 1;
+        opts.cache = &cache;
+        opts.pool = pool;
+        const std::string out =
+            format_results(route_batch(nets, tech, opts, &stats));
+        cache_dump = cache.dump();
+        return out;
+    };
+
+    std::string serial_dump, pooled_dump;
+    PipelineStats serial_stats, pooled_stats;
+    const std::string serial = run(nullptr, serial_dump, serial_stats);
+    ThreadPool pool(4);
+    const std::string pooled = run(&pool, pooled_dump, pooled_stats);
+
+    EXPECT_EQ(pooled_stats.pool_threads, 4);
+    EXPECT_EQ(pooled, serial);
+    // The epoch drain leaves the cache itself byte-identical too.
+    EXPECT_EQ(pooled_dump, serial_dump);
+    // Hit/miss/share counters are functions of the signatures alone.
+    EXPECT_EQ(pooled_stats.cache_hits, serial_stats.cache_hits);
+    EXPECT_EQ(pooled_stats.cache_misses, serial_stats.cache_misses);
+    EXPECT_EQ(pooled_stats.cache_shared, serial_stats.cache_shared);
+    EXPECT_EQ(pooled_stats.nets_routed, serial_stats.nets_routed);
+
+    // And cache-off output is the same bytes again.
+    PipelineOptions off;
+    off.threads = 1;
+    EXPECT_EQ(format_results(route_batch(nets, tech, off)), serial);
+}
+
+TEST(ShardedCache, ConcurrentBatchesShareOnePoolAndCache)
+{
+    const Technology tech = mcm_technology();
+    const std::vector<Net> a = dup_batch(31, 10, 3);
+    const std::vector<Net> b = dup_batch(47, 10, 3);
+
+    PipelineOptions serial_opts;
+    serial_opts.threads = 1;
+    const std::string want_a = format_results(route_batch(a, tech, serial_opts));
+    const std::string want_b = format_results(route_batch(b, tech, serial_opts));
+
+    RouteCache cache(0, 16);
+    ThreadPool pool(4);
+    std::string got_a, got_b;
+    std::thread ta([&] {
+        PipelineOptions o;
+        o.cache = &cache;
+        o.pool = &pool;
+        got_a = format_results(route_batch(a, tech, o));
+    });
+    std::thread tb([&] {
+        PipelineOptions o;
+        o.cache = &cache;
+        o.pool = &pool;
+        got_b = format_results(route_batch(b, tech, o));
+    });
+    ta.join();
+    tb.join();
+    EXPECT_EQ(got_a, want_a);
+    EXPECT_EQ(got_b, want_b);
+}
+
+// ---------------------------------------------------------------------------
+// LRU squeeze across shards
+// ---------------------------------------------------------------------------
+
+TEST(ShardedCache, LruSqueezeEvictsButNeverChangesOutput)
+{
+    const Technology tech = mcm_technology();
+    const std::vector<Net> nets = dup_batch(59, 40, 2);
+
+    RouteCache cache(8, 4);
+    EXPECT_EQ(cache.capacity(), 8u);
+    PipelineOptions opts;
+    opts.threads = 1;
+    opts.cache = &cache;
+    PipelineStats stats;
+    const std::string got = format_results(route_batch(nets, tech, opts, &stats));
+    EXPECT_LE(cache.size(), 8u);
+    EXPECT_GT(stats.cache_evictions, 0u);
+    EXPECT_GT(stats.resident_bytes, 0u);
+
+    PipelineOptions off;
+    off.threads = 1;
+    EXPECT_EQ(format_results(route_batch(nets, tech, off)), got);
+}
+
+TEST(ShardedCache, ShardCountClampedToCapacity)
+{
+    // 64 requested shards against 2 entries of capacity: every shard must
+    // still own at least one entry.
+    RouteCache cache(2, 64);
+    EXPECT_LE(cache.shard_count(), 2u);
+    EXPECT_EQ(cache.capacity(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Nothing unclean is ever interned
+// ---------------------------------------------------------------------------
+
+TEST(ShardedCache, FaultInjectedBatchesNeverIntern)
+{
+    const Technology tech = mcm_technology();
+    const std::vector<Net> nets = dup_batch(71, 8, 3);
+
+    RouteCache cache(0, 8);
+    PipelineOptions faulty;
+    faulty.threads = 1;
+    faulty.cache = &cache;
+    faulty.faults.enabled = true;
+    faulty.faults.seed = 9;
+    faulty.faults.topology_rate = 0.3;
+    faulty.faults.wiresize_rate = 0.5;
+
+    PipelineOptions bare = faulty;
+    bare.cache = nullptr;
+    const std::string want = format_results(route_batch(nets, tech, bare));
+
+    PipelineStats stats;
+    EXPECT_EQ(format_results(route_batch(nets, tech, faulty, &stats)), want);
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(stats.cache_hits + stats.cache_shared, 0u);
+}
+
+TEST(ShardedCache, OutOfBoundTwinIsNotServedALeaderResult)
+{
+    const Technology tech = mcm_technology();
+    const std::vector<Net> base = random_nets(83, 1, 2000, 5);
+    // The twin is signature-equal (pure translation) but sits beyond the
+    // routable coordinate bound, so solo routing rejects it -- and sharing
+    // the in-bound leader's clean result would not.
+    const Net twin = translated(base[0], kMaxRoutableCoord, kMaxRoutableCoord);
+    const std::vector<Net> nets = {twin, base[0], twin};
+
+    PipelineOptions off;
+    off.threads = 1;
+    const std::string want = format_results(route_batch(nets, tech, off));
+
+    RouteCache cache(0, 4);
+    PipelineOptions opts;
+    opts.threads = 1;
+    opts.cache = &cache;
+    PipelineStats stats;
+    EXPECT_EQ(format_results(route_batch(nets, tech, opts, &stats)), want);
+    EXPECT_EQ(cache.size(), 1u);  // only the in-bound leader interned
+}
+
+// ---------------------------------------------------------------------------
+// TaskGroup multiplexing on one pool
+// ---------------------------------------------------------------------------
+
+TEST(TaskGroup, FailuresStayWithTheirGroup)
+{
+    ThreadPool pool(2);
+    TaskGroup bad, good;
+    pool.submit(bad, [] { throw std::runtime_error("group fault"); });
+    int ran = 0;
+    pool.submit(good, [&ran] { ran = 1; });
+    EXPECT_THROW(bad.wait(), std::runtime_error);
+    good.wait();  // must not observe the other group's failure
+    EXPECT_EQ(ran, 1);
+    pool.wait_idle();  // grouped errors never leak into the pool-wide list
+}
+
+// ---------------------------------------------------------------------------
+// Multi-session service facade
+// ---------------------------------------------------------------------------
+
+TEST(SessionService, CrossSessionResultSharing)
+{
+    ServiceOptions sopts;
+    sopts.threads = 2;
+    SessionService svc(mcm_technology(), sopts);
+    const SessionId s0 = svc.open();
+    const SessionId s1 = svc.open();
+
+    const std::vector<Net> nets = dup_batch(97, 10, 1);
+    svc.add_batch(s0, nets);
+    PipelineStats stats;
+    // Session 1 submits translated twins of session 0's nets: every one is
+    // a shared-cache hit even though session 1 never routed them.
+    std::vector<Net> twins;
+    twins.reserve(nets.size());
+    for (const Net& n : nets) twins.push_back(translated(n, 7777, -1234));
+    svc.add_batch(s1, twins, &stats);
+    EXPECT_EQ(stats.cache_hits, twins.size());
+    EXPECT_EQ(svc.stats().batches, 2u);
+}
+
+TEST(SessionService, FaultedSessionNeverPoisonsTheSharedCache)
+{
+    ServiceOptions sopts;
+    sopts.threads = 2;
+    SessionService svc(mcm_technology(), sopts);
+
+    SessionOptions faulty;
+    faulty.pipeline.faults.enabled = true;
+    faulty.pipeline.faults.seed = 3;
+    faulty.pipeline.faults.topology_rate = 1.0;
+    const SessionId sick = svc.open(faulty);
+    const SessionId healthy = svc.open();
+
+    const std::vector<Net> nets = dup_batch(103, 6, 2);
+    svc.add_batch(sick, nets);
+    EXPECT_EQ(svc.cache().size(), 0u);  // fault-injected requests bypass
+
+    PipelineStats stats;
+    svc.add_batch(healthy, nets, &stats);
+    EXPECT_GT(svc.cache().size(), 0u);
+    EXPECT_EQ(stats.cache_hits, 0u);  // nothing was poisoned in either way
+}
+
+/// One session's deterministic request script: admissions interleaved with
+/// ECO moves, returning the per-request output transcript.
+template <typename AddBatch, typename Apply>
+std::string run_script(std::uint64_t seed, const AddBatch& add_batch,
+                       const Apply& apply)
+{
+    std::string transcript;
+    const std::vector<Net> first = dup_batch(seed, 8, 2);
+    const std::vector<NetId> ids = add_batch(first, transcript);
+    for (std::size_t k = 0; k < 6; ++k) {
+        const NetId id = ids[(k * 5) % ids.size()];
+        const EcoDelta d = EcoDelta::make_move(
+            k % 4, Point{static_cast<Coord>(100 + 13 * k),
+                         static_cast<Coord>(2200 - 7 * k)});
+        apply(id, d, transcript);
+    }
+    const std::vector<Net> second = dup_batch(seed + 1, 6, 2);
+    const std::vector<NetId> more = add_batch(second, transcript);
+    apply(more.front(), EcoDelta::make_add(Point{55, 66}), transcript);
+    apply(more.back(), EcoDelta::make_remove(0), transcript);
+    return transcript;
+}
+
+TEST(SessionService, ConcurrentSoakMatchesSerialSingleSessionReplay)
+{
+    const Technology tech = mcm_technology();
+    const std::array<std::uint64_t, 2> seeds = {211, 223};
+
+    // Serial oracle: one independent single-threaded session per script.
+    std::array<std::string, 2> want;
+    for (std::size_t s = 0; s < seeds.size(); ++s) {
+        SessionOptions o;
+        o.pipeline.threads = 1;
+        Session session(tech, o);
+        want[s] = run_script(
+            seeds[s],
+            [&](const std::vector<Net>& nets, std::string& t) {
+                const std::vector<NetId> ids = session.add_batch(nets);
+                for (const NetId id : ids) t += fmt1(session.result(id));
+                return ids;
+            },
+            [&](NetId id, const EcoDelta& d, std::string& t) {
+                t += fmt1(session.apply(id, d).result);
+            });
+    }
+
+    // Concurrent run: two client threads, one shared cache + pool.  Every
+    // request's bytes must match the serial replay -- the shared cache only
+    // changes who routes, never what anyone reports.
+    ServiceOptions sopts;
+    sopts.threads = 4;
+    SessionService svc(tech, sopts);
+    std::array<std::string, 2> got;
+    std::array<std::thread, 2> clients;
+    for (std::size_t s = 0; s < seeds.size(); ++s) {
+        clients[s] = std::thread([&, s] {
+            const SessionId sid = svc.open();
+            got[s] = run_script(
+                seeds[s],
+                [&](const std::vector<Net>& nets, std::string& t) {
+                    const std::vector<NetId> ids = svc.add_batch(sid, nets);
+                    for (const NetId id : ids) t += fmt1(svc.result(sid, id));
+                    return ids;
+                },
+                [&](NetId id, const EcoDelta& d, std::string& t) {
+                    t += fmt1(svc.apply(sid, id, d).result);
+                });
+        });
+    }
+    for (std::thread& c : clients) c.join();
+    EXPECT_EQ(got[0], want[0]);
+    EXPECT_EQ(got[1], want[1]);
+    EXPECT_EQ(svc.stats().batches, 4u);
+    EXPECT_EQ(svc.stats().applies, 16u);
+}
+
+}  // namespace
+}  // namespace cong93

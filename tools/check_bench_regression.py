@@ -5,12 +5,16 @@ Compares a freshly generated study against the committed one.  Two classes
 of checks with different severities:
 
 * Identity checks are HARD failures (exit 1): every ``identical`` /
-  ``fixpoint_identical`` / ``reused`` / ``ulp_ok`` field -- in timing rows
-  and in scalar sections like ``batch`` or ``arena`` -- must be true in the
+  ``fixpoint_identical`` / ``reused`` / ``ulp_ok`` field -- in timing rows,
+  in scalar sections like ``batch`` or ``arena``, and anywhere nested (the
+  walk is recursive, so the ``cache_mt`` / ``cache_mt_sharded`` determinism
+  rows cannot hide a false verdict at any depth) -- must be true in the
   fresh study.  These assert bit-exact equivalence of optimized kernels
   against their reference twins (``ulp_ok``: ULP-bounded equivalence of
   relaxed vectorized kernels, bit-exact for strict rows), which no machine
-  variance can excuse.
+  variance can excuse.  A fresh study that silently DROPS a committed
+  ``cache_mt*`` determinism section is a hard failure too: the identity
+  claim must be re-proven, not removed.
 
 * Failure counts are HARD failures too: any fresh entry carrying a
   ``failed`` field must match its ``expected_failed`` (default 0).  Plain
@@ -34,6 +38,12 @@ of checks with different severities:
   when the fresh speedup drops below half the committed value.  Machine
   variance between the committing host and CI runners makes a hard speedup
   gate too noisy; the job output is the signal.
+
+* Resident-footprint comparisons are warn-only the same way: any entry
+  carrying ``resident_bytes`` (the cache RSS rows, e.g. ``cache_rss_100k``)
+  warns when the fresh footprint exceeds 1.5x the committed value --
+  payload interning regressing to per-net copies shows up here long before
+  it shows up as a throughput loss.
 
 Usage: check_bench_regression.py COMMITTED.json FRESH.json
 """
@@ -71,19 +81,48 @@ def timing_rows(study):
     return out
 
 
+IDENTITY_FIELDS = ("identical", "fixpoint_identical", "reused", "ulp_ok")
+
+
 def identity_violations(study):
-    """Every false identity-class field anywhere in the study."""
+    """Every false identity-class field anywhere in the study (recursive)."""
     bad = []
+
+    def walk(section, value):
+        if isinstance(value, dict):
+            if any(value.get(f, True) is False for f in IDENTITY_FIELDS):
+                bad.append((section, value))
+            for key, child in value.items():
+                if isinstance(child, (dict, list)):
+                    walk(f"{section}.{key}" if section else key, child)
+        elif isinstance(value, list):
+            for child in value:
+                walk(section, child)
+
     for section, value in study.items():
-        entries = value if isinstance(value, list) else [value]
-        for entry in entries:
-            if not isinstance(entry, dict):
-                continue
-            for field in ("identical", "fixpoint_identical", "reused",
-                          "ulp_ok"):
-                if entry.get(field, True) is False:
-                    bad.append((section, entry))
+        walk(section, value)
     return bad
+
+
+def resident_rows(study):
+    """Entries carrying ``resident_bytes``, keyed by section/kernel/size."""
+    out = {}
+
+    def walk(section, value):
+        if isinstance(value, dict):
+            if "resident_bytes" in value:
+                key = (section, value.get("kernel", ""), value.get("nets"))
+                out[key] = value
+            for k, child in value.items():
+                if isinstance(child, (dict, list)):
+                    walk(f"{section}.{k}" if section else k, child)
+        elif isinstance(value, list):
+            for child in value:
+                walk(section, child)
+
+    for section, value in study.items():
+        walk(section, value)
+    return out
 
 
 def failure_violations(study):
@@ -160,9 +199,27 @@ def main(argv):
         )
         failed = True
 
+    for section in committed:
+        if section.startswith("cache_mt") and section not in fresh:
+            print(f"FAIL: fresh study dropped determinism section {section}")
+            failed = True
+
     committed_rows = timing_rows(committed)
     fresh_rows = timing_rows(fresh)
     warned = False
+    committed_resident = resident_rows(committed)
+    for key, frow in sorted(resident_rows(fresh).items(), key=str):
+        crow = committed_resident.get(key)
+        if crow is None:
+            continue  # smoke runs shrink the batch; sizes will not match
+        committed_bytes = int(crow["resident_bytes"])
+        fresh_bytes = int(frow["resident_bytes"])
+        if committed_bytes > 0 and fresh_bytes > 1.5 * committed_bytes:
+            print(
+                f"warning: {describe(key[0], frow)}: resident_bytes grew "
+                f"{committed_bytes} -> {fresh_bytes}"
+            )
+            warned = True
     for key, crow in sorted(committed_rows.items(), key=str):
         frow = fresh_rows.get(key)
         if frow is None:
