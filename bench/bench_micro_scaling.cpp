@@ -40,6 +40,8 @@
 //   --metrics-json=PATH  output path for the IR-consumer study (default BENCH_metrics.json)
 //   --simd-json=PATH     output path for the SIMD study (default BENCH_simd.json)
 //   --eco-json=PATH      output path for the session study (default BENCH_eco.json)
+//   --serve-json=PATH    output path for the service overload study
+//                        (default BENCH_serve.json)
 //   --json-only          skip the google-benchmark suite, only write the studies
 //   --smoke              small-size studies only (CI smoke job)
 //   --skip-wiresize      do not (re)generate the wiresize study
@@ -49,6 +51,8 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <array>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <cstdlib>
@@ -60,6 +64,7 @@
 #include <optional>
 #include <random>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "atree/atree.h"
@@ -77,6 +82,7 @@
 #include "rtree/metrics.h"
 #include "rtree/svg.h"
 #include "report/table.h"
+#include "session/service.h"
 #include "session/session.h"
 #include "sim/delay_measure.h"
 #include "sim/transient.h"
@@ -1443,6 +1449,202 @@ bool write_eco_json(const std::string& path, bool smoke,
     return all_ok;
 }
 
+bool write_serve_json(const std::string& path, bool smoke)
+{
+    ScopedSimdMode scalar_pin(SimdMode::scalar);
+    const Technology tech = mcm_technology();
+
+    // --- service overload study -----------------------------------------
+    // Growing client counts hammer a SessionService whose admission queue
+    // is capped at 2 and whose pipeline runs under a virtual-clock deadline
+    // plan, so every row exercises both overload paths at once: whole
+    // requests refused with OverloadError, and admitted nets degraded down
+    // the RouteStatus ladder.  Latency is wall-clock per request (rejected
+    // requests included: refusal is the latency the client sees).  The
+    // regression checker hard-fails any row with failed or hung requests
+    // or a missing outcome mix -- graceful degradation means every request
+    // finishes with a classified result, never an error or a stall.
+    struct ServeRow {
+        int clients = 0;
+        int requests = 0;   ///< per client
+        std::size_t queue_cap = 0;
+        double p50_ms = 0.0;
+        double p99_ms = 0.0;
+        std::array<std::uint64_t, kRouteStatusCount> outcomes{};
+        std::uint64_t rejected_requests = 0;  ///< OverloadError refusals
+        std::uint64_t completed = 0;          ///< requests that returned
+        std::uint64_t failed = 0;  ///< non-overload exceptions (must be 0)
+        std::uint64_t hung = 0;    ///< started but never finished (must be 0)
+        std::uint64_t pressure_evictions = 0;  ///< memory-budget LRU drops
+    };
+
+    const std::vector<int> client_counts =
+        smoke ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4, 8};
+    const int requests = smoke ? 4 : 8;
+    const int batch_nets = smoke ? 8 : 20;
+    const std::vector<Net> common = random_nets(314, batch_nets, kMcmGrid, 6);
+
+    std::vector<ServeRow> rows;
+    for (const int clients : client_counts) {
+        ServeRow row;
+        row.clients = clients;
+        row.requests = requests;
+        row.queue_cap = 2;
+        row.outcomes.fill(0);
+
+        ServiceOptions so;
+        so.threads = 2;
+        so.queue_cap = row.queue_cap;
+        // A deliberately tight budget so LRU pressure eviction runs on the
+        // same traffic that exercises admission control (the study's rows
+        // report how often it fired; correctness is unaffected).
+        so.memory_budget_bytes = 2 * 1024;
+        so.session.pipeline.faults =
+            FaultPlan::parse("seed=5,vdeadline=10,vjitter=20");
+        SessionService svc(tech, so);
+
+        std::vector<std::vector<double>> latency(clients);
+        std::vector<std::array<std::uint64_t, kRouteStatusCount>> tallies(
+            clients);
+        for (auto& t : tallies) t.fill(0);
+        std::vector<std::uint64_t> rejected(clients, 0), failed(clients, 0),
+            started(clients, 0), finished(clients, 0), unknown(clients, 0);
+
+        // Alternate session flavors: even clients run under the virtual
+        // deadline plan (seasoning the outcome mix with deadline_degraded
+        // rungs), odd clients run fault-free so their clean results intern
+        // into the shared cache -- which is what gives the memory budget
+        // something to pressure-evict (fault-carrying requests bypass the
+        // cache entirely, DESIGN.md §11).
+        SessionOptions plain = so.session;
+        plain.pipeline.faults = FaultPlan{};
+        std::vector<SessionId> ids;
+        for (int c = 0; c < clients; ++c)
+            ids.push_back(c % 2 ? svc.open(plain) : svc.open());
+
+        std::vector<std::thread> workers;
+        for (int c = 0; c < clients; ++c) {
+            workers.emplace_back([&, c] {
+                for (int r = 0; r < requests; ++r) {
+                    std::vector<Net> nets;
+                    nets.reserve(common.size());
+                    const Coord dx = static_cast<Coord>(900 * c + 13 * r);
+                    const Coord dy = static_cast<Coord>(500 * c + 7 * r);
+                    for (const Net& n : common) {
+                        Net copy = n;
+                        copy.source = Point{n.source.x + dx, n.source.y + dy};
+                        for (Point& p : copy.sinks)
+                            p = Point{p.x + dx, p.y + dy};
+                        nets.push_back(std::move(copy));
+                    }
+                    ++started[c];
+                    const auto t0 = std::chrono::steady_clock::now();
+                    try {
+                        const std::vector<NetId> net_ids =
+                            svc.add_batch(ids[c], nets);
+                        for (const NetId nid : net_ids) {
+                            const RouteStatus st =
+                                svc.result(ids[c], nid).status;
+                            const auto idx = static_cast<std::size_t>(st);
+                            if (idx < kRouteStatusCount)
+                                ++tallies[c][idx];
+                            else
+                                ++unknown[c];
+                        }
+                    } catch (const OverloadError&) {
+                        ++rejected[c];
+                    } catch (const std::exception&) {
+                        ++failed[c];
+                    }
+                    const std::chrono::duration<double, std::milli> dt =
+                        std::chrono::steady_clock::now() - t0;
+                    latency[c].push_back(dt.count());
+                    ++finished[c];
+                }
+            });
+        }
+        for (auto& w : workers) w.join();
+
+        std::vector<double> all_ms;
+        for (int c = 0; c < clients; ++c) {
+            all_ms.insert(all_ms.end(), latency[c].begin(), latency[c].end());
+            for (std::size_t s = 0; s < kRouteStatusCount; ++s)
+                row.outcomes[s] += tallies[c][s];
+            row.rejected_requests += rejected[c];
+            row.failed += failed[c] + unknown[c];
+            row.completed += finished[c];
+            row.hung += started[c] - finished[c];
+        }
+        std::sort(all_ms.begin(), all_ms.end());
+        const auto pct = [&](double q) {
+            if (all_ms.empty()) return 0.0;
+            const auto i = static_cast<std::size_t>(
+                q * static_cast<double>(all_ms.size() - 1) + 0.5);
+            return all_ms[std::min(i, all_ms.size() - 1)];
+        };
+        row.p50_ms = pct(0.50);
+        row.p99_ms = pct(0.99);
+        row.pressure_evictions = svc.stats().pressure_evictions;
+
+        std::cout << "serve overload: clients " << row.clients << "  requests "
+                  << row.completed << "  rejected " << row.rejected_requests
+                  << "  p50 " << fmt_fixed(row.p50_ms, 2) << "ms  p99 "
+                  << fmt_fixed(row.p99_ms, 2) << "ms  failed " << row.failed
+                  << "  hung " << row.hung << '\n';
+        rows.push_back(row);
+    }
+
+    std::ofstream out(path);
+    if (!out) {
+        std::cerr << "cannot write " << path << '\n';
+        return false;
+    }
+    out << "{\n"
+        << "  \"benchmark\": \"serve_overload\",\n"
+        << "  \"generated_by\": \"bench_micro_scaling\",\n"
+        << "  \"technology\": \"mcm\",\n"
+        << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
+        << ",\n"
+        << "  \"queue_cap\": 2,\n"
+        << "  \"memory_budget_bytes\": 2048,\n"
+        << "  \"fault_spec\": \"seed=5,vdeadline=10,vjitter=20\",\n"
+        << "  \"batch_nets\": " << batch_nets << ",\n"
+        << "  \"serve_overload\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const ServeRow& r = rows[i];
+        out << "    {\"clients\": " << r.clients
+            << ", \"requests_per_client\": " << r.requests
+            << ", \"queue_cap\": " << r.queue_cap
+            << ", \"p50_ms\": " << fmt_fixed(r.p50_ms, 3)
+            << ", \"p99_ms\": " << fmt_fixed(r.p99_ms, 3)
+            << ", \"rejected_requests\": " << r.rejected_requests
+            << ", \"completed\": " << r.completed
+            << ", \"failed\": " << r.failed << ", \"expected_failed\": 0"
+            << ", \"hung\": " << r.hung
+            << ", \"pressure_evictions\": " << r.pressure_evictions
+            << ", \"outcomes\": {";
+        for (std::size_t s = 0; s < kRouteStatusCount; ++s)
+            out << (s ? ", " : "") << '"'
+                << to_string(static_cast<RouteStatus>(s))
+                << "\": " << r.outcomes[s];
+        out << "}}" << (i + 1 < rows.size() ? "," : "") << '\n';
+    }
+    out << "  ]\n"
+        << "}\n";
+    std::cout << "wrote " << path << '\n';
+
+    bool all_ok = true;
+    for (const ServeRow& r : rows) {
+        all_ok = all_ok && r.failed == 0 && r.hung == 0;
+        // Every rung tallied above rejected_overload's per-net form comes
+        // from svc.result, so a nonzero `failed` rung means a net errored
+        // inside an admitted request -- not graceful degradation.
+        all_ok = all_ok &&
+                 r.outcomes[static_cast<std::size_t>(RouteStatus::failed)] == 0;
+    }
+    return all_ok;
+}
+
 }  // namespace
 }  // namespace cong93
 
@@ -1454,6 +1656,7 @@ int main(int argc, char** argv)
     std::string metrics_json_path = "BENCH_metrics.json";
     std::string simd_json_path = "BENCH_simd.json";
     std::string eco_json_path = "BENCH_eco.json";
+    std::string serve_json_path = "BENCH_serve.json";
     bool json_only = false;
     bool smoke = false;
     bool skip_wiresize = false;
@@ -1481,6 +1684,8 @@ int main(int argc, char** argv)
             simd_json_path = argv[i] + 12;
         else if (std::strncmp(argv[i], "--eco-json=", 11) == 0)
             eco_json_path = argv[i] + 11;
+        else if (std::strncmp(argv[i], "--serve-json=", 13) == 0)
+            serve_json_path = argv[i] + 13;
         else if (std::strcmp(argv[i], "--json-only") == 0)
             json_only = true;
         else if (std::strcmp(argv[i], "--smoke") == 0)
@@ -1513,8 +1718,9 @@ int main(int argc, char** argv)
         cong93::write_pipeline_json(pipeline_json_path, smoke, threads_list);
     const bool simd_ok = cong93::write_simd_json(simd_json_path, smoke);
     const bool eco_ok = cong93::write_eco_json(eco_json_path, smoke, threads_list);
+    const bool serve_ok = cong93::write_serve_json(serve_json_path, smoke);
     return wiresize_ok && atree_ok && metrics_ok && pipeline_ok && simd_ok &&
-                   eco_ok
+                   eco_ok && serve_ok
                ? 0
                : 1;
 }

@@ -1,5 +1,7 @@
 #include "batch/batch.h"
 
+#include "batch/lifecycle.h"
+
 #include <algorithm>
 #include <atomic>
 #include <cstdlib>
@@ -174,7 +176,7 @@ void parallel_for_index(ThreadPool& pool, std::size_t n,
 
 void parallel_for_slots(ThreadPool& pool, std::size_t n,
                         const std::function<void(std::size_t, int)>& fn,
-                        std::size_t chunk)
+                        std::size_t chunk, const CancelToken* cancel)
 {
     if (n == 0) return;
     if (chunk == 0) chunk = 1;
@@ -189,8 +191,9 @@ void parallel_for_slots(ThreadPool& pool, std::size_t n,
     // exceptions from -- each other's work.
     TaskGroup group;
     for (int s = 0; s < slots; ++s) {
-        pool.submit(group, [&fn, n, chunk, next, s] {
+        pool.submit(group, [&fn, n, chunk, next, s, cancel] {
             for (;;) {
+                if (cancel != nullptr && cancel->cancelled()) return;
                 const std::size_t begin = next->fetch_add(chunk);
                 if (begin >= n) return;
                 const std::size_t end = std::min(n, begin + chunk);

@@ -42,6 +42,8 @@
 
 namespace cong93 {
 
+class CancelToken;
+
 /// Aggregate of every worker exception captured during one wait cycle.
 /// what() joins the causes' messages in sorted order; causes() exposes the
 /// original exception_ptrs for callers that need the concrete types.
@@ -153,9 +155,17 @@ void parallel_for_index(ThreadPool& pool, std::size_t n,
 /// writes only state owned by `index` (or by `slot`).  Worker exceptions
 /// are rethrown on the calling thread (a BatchError when several slots
 /// threw); once a worker throws, slots stop pulling new chunks.
+///
+/// When `cancel` is non-null, slots also stop pulling new chunks once the
+/// token reports cancelled -- in-flight indices finish (a chunk is never
+/// abandoned half-written), but no further work starts, so a cancelled
+/// request releases the shared pool promptly.  The caller is responsible
+/// for marking unvisited indices; exceptions already captured before the
+/// cancellation still aggregate through the group as usual.
 void parallel_for_slots(ThreadPool& pool, std::size_t n,
                         const std::function<void(std::size_t, int)>& fn,
-                        std::size_t chunk = 1);
+                        std::size_t chunk = 1,
+                        const CancelToken* cancel = nullptr);
 
 /// Maps fn over [0, n), returning results in index order.  With threads == 1
 /// (or n < 2) this runs serially on the calling thread; output is identical

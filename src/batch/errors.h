@@ -32,17 +32,32 @@ enum class RouteStatus : std::uint8_t {
     fallback_spt,   ///< A-tree and BRBC failed; SPT topology, full flow
     uniform_width,  ///< topology routed but wiresizing (or its moment
                     ///< cross-check) failed: uniform-width report only
+    deadline_degraded,  ///< routed, but deadline pressure skipped ladder
+                        ///< work (cheap topology and/or no wiresize flow)
     invalid_input,  ///< validate_net rejected the net; nothing was routed
+    cancelled,      ///< request cancelled before this net finished; all
+                    ///< numbers are zero, nothing was published
+    rejected_overload,  ///< admission control refused the net before any
+                        ///< work ran (bounded queue / admit cap)
     failed,         ///< every ladder rung failed; numbers are all zero
 };
 
+/// Number of RouteStatus rungs (for exhaustive round-trip tests).
+inline constexpr std::size_t kRouteStatusCount = 9;
+
 const char* to_string(RouteStatus s);
+
+/// Inverse of to_string(RouteStatus); throws std::invalid_argument on an
+/// unknown name.  Exists so the severity ladder round-trips through its
+/// serialized form with no silent default swallowing new rungs.
+RouteStatus route_status_from_string(const std::string& name);
 
 /// True when the net produced routed numbers (possibly degraded).
 constexpr bool is_routed(RouteStatus s)
 {
     return s == RouteStatus::ok || s == RouteStatus::fallback_brbc ||
-           s == RouteStatus::fallback_spt || s == RouteStatus::uniform_width;
+           s == RouteStatus::fallback_spt || s == RouteStatus::uniform_width ||
+           s == RouteStatus::deadline_degraded;
 }
 
 /// Combines two ladder rungs into the more severe one.
@@ -60,9 +75,17 @@ enum class RouteStage : std::uint8_t {
     report,        ///< uniform-width RPH / Elmore report
     wiresize,      ///< grewsa_owsa optimal wiresizing
     moment_check,  ///< wiresized moment cross-check
+    lifecycle,     ///< request lifecycle: deadline, cancellation, admission
 };
 
+/// Number of RouteStage values (for exhaustive round-trip tests).
+inline constexpr std::size_t kRouteStageCount = 8;
+
 const char* to_string(RouteStage s);
+
+/// Inverse of to_string(RouteStage); throws std::invalid_argument on an
+/// unknown name.
+RouteStage route_stage_from_string(const std::string& name);
 
 /// One caught fault (or canonicalization note): where, and the exception
 /// text.  Messages must be deterministic functions of the net -- never of

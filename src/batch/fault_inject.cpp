@@ -15,10 +15,22 @@ const char* to_string(RouteStatus s)
     case RouteStatus::fallback_brbc: return "fallback_brbc";
     case RouteStatus::fallback_spt: return "fallback_spt";
     case RouteStatus::uniform_width: return "uniform_width";
+    case RouteStatus::deadline_degraded: return "deadline_degraded";
     case RouteStatus::invalid_input: return "invalid_input";
+    case RouteStatus::cancelled: return "cancelled";
+    case RouteStatus::rejected_overload: return "rejected_overload";
     case RouteStatus::failed: return "failed";
     }
     return "?";
+}
+
+RouteStatus route_status_from_string(const std::string& name)
+{
+    for (std::size_t i = 0; i < kRouteStatusCount; ++i) {
+        const auto s = static_cast<RouteStatus>(i);
+        if (name == to_string(s)) return s;
+    }
+    throw std::invalid_argument("unknown RouteStatus name: " + name);
 }
 
 const char* to_string(RouteStage s)
@@ -31,8 +43,18 @@ const char* to_string(RouteStage s)
     case RouteStage::report: return "report";
     case RouteStage::wiresize: return "wiresize";
     case RouteStage::moment_check: return "moment_check";
+    case RouteStage::lifecycle: return "lifecycle";
     }
     return "?";
+}
+
+RouteStage route_stage_from_string(const std::string& name)
+{
+    for (std::size_t i = 0; i < kRouteStageCount; ++i) {
+        const auto s = static_cast<RouteStage>(i);
+        if (name == to_string(s)) return s;
+    }
+    throw std::invalid_argument("unknown RouteStage name: " + name);
 }
 
 double FaultPlan::rate_of(RouteStage stage) const
@@ -45,8 +67,36 @@ double FaultPlan::rate_of(RouteStage stage) const
     case RouteStage::report: return nan_tech_rate;
     case RouteStage::compile: return arena_cap_rate;
     case RouteStage::validate: return 0.0;
+    case RouteStage::lifecycle: return 0.0;
     }
     return 0.0;
+}
+
+std::uint64_t FaultPlan::vcost_of(RouteStage stage) const
+{
+    switch (stage) {
+    case RouteStage::topology: return vcost_topology;
+    case RouteStage::fallback: return vcost_fallback;
+    case RouteStage::compile: return vcost_compile;
+    case RouteStage::report: return vcost_report;
+    case RouteStage::wiresize: return vcost_wiresize;
+    case RouteStage::moment_check: return vcost_moment;
+    case RouteStage::validate: return 0;
+    case RouteStage::lifecycle: return 0;
+    }
+    return 0;
+}
+
+std::uint64_t FaultPlan::vjitter_of(std::size_t net_index) const
+{
+    if (!virtual_clock() || vjitter == 0) return 0;
+    // Same stage-salted splitmix64 stream as fires(), keyed on the
+    // lifecycle stage: a pure function of the net index, so the jitter --
+    // and therefore which nets expire -- is identical at any thread count.
+    const std::uint64_t salt =
+        seed ^ (0x9e3779b97f4a7c15ULL *
+                (static_cast<std::uint64_t>(RouteStage::lifecycle) + 1));
+    return net_seed(salt, net_index) % vjitter;
 }
 
 bool FaultPlan::fires(std::size_t net_index, RouteStage stage) const
@@ -155,6 +205,22 @@ FaultPlan FaultPlan::parse(const std::string& spec)
             plan.arena_cap_nodes =
                 static_cast<std::size_t>(parse_u64(key, value.substr(0, at)));
             plan.arena_cap_rate = parse_rate(key, value.substr(at + 1));
+        } else if (key == "vdeadline") {
+            plan.vdeadline_ticks = parse_u64(key, value);
+        } else if (key == "vcost-topology") {
+            plan.vcost_topology = parse_u64(key, value);
+        } else if (key == "vcost-fallback") {
+            plan.vcost_fallback = parse_u64(key, value);
+        } else if (key == "vcost-compile") {
+            plan.vcost_compile = parse_u64(key, value);
+        } else if (key == "vcost-report") {
+            plan.vcost_report = parse_u64(key, value);
+        } else if (key == "vcost-wiresize") {
+            plan.vcost_wiresize = parse_u64(key, value);
+        } else if (key == "vcost-moment") {
+            plan.vcost_moment = parse_u64(key, value);
+        } else if (key == "vjitter") {
+            plan.vjitter = parse_u64(key, value);
         } else {
             throw std::invalid_argument("fault plan: unknown key '" + key + "'");
         }

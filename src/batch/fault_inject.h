@@ -18,6 +18,15 @@
 //
 // (rates in [0,1]; `arena-cap=N@R` caps the compiled tree at N nodes for a
 // rate-R subset of nets).  parse() rejects malformed specs loudly.
+//
+// Virtual clock: deadline expiry driven by wall time is schedule-dependent,
+// so the plan can instead carry a deterministic virtual clock.  Each net
+// gets a private tick counter charged a fixed injected cost per stage
+// (`vcost-topology=N,...`) plus an optional per-net deterministic jitter
+// (`vjitter=N`: extra ticks in [0,N) drawn from the net index); when the
+// counter exceeds `vdeadline=N` ticks the net degrades exactly as a
+// wall-clock-pressured net would -- but bit-reproducibly at any thread
+// count, since the clock is a pure function of the net index.
 #ifndef CONG93_BATCH_FAULT_INJECT_H
 #define CONG93_BATCH_FAULT_INJECT_H
 
@@ -50,6 +59,25 @@ struct FaultPlan {
     double nan_tech_rate = 0.0;   ///< P[NaN technology parameters]
     double arena_cap_rate = 0.0;  ///< P[the arena cap applies to this net]
     std::size_t arena_cap_nodes = 0;  ///< simulated arena capacity (nodes)
+
+    // --- deterministic virtual clock (see header comment) ---
+    std::uint64_t vdeadline_ticks = 0;   ///< per-net tick budget; 0 = off
+    std::uint64_t vcost_topology = 0;    ///< injected ticks per stage
+    std::uint64_t vcost_fallback = 0;
+    std::uint64_t vcost_compile = 0;
+    std::uint64_t vcost_report = 0;
+    std::uint64_t vcost_wiresize = 0;
+    std::uint64_t vcost_moment = 0;
+    std::uint64_t vjitter = 0;  ///< per-net extra ticks in [0, vjitter)
+
+    /// True when the plan carries a virtual deadline clock.
+    bool virtual_clock() const { return enabled && vdeadline_ticks > 0; }
+
+    /// Injected virtual ticks charged when `stage` completes for a net.
+    std::uint64_t vcost_of(RouteStage stage) const;
+
+    /// Deterministic per-net jitter ticks in [0, vjitter); 0 when unset.
+    std::uint64_t vjitter_of(std::size_t net_index) const;
 
     /// Rate configured for `stage` (report == nan-tech, compile == arena cap).
     double rate_of(RouteStage stage) const;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <bit>
 #include <chrono>
 #include <cmath>
@@ -45,6 +46,120 @@ struct FrontOutcome {
                                    ///< per-net NaN-corrupted copy)
 };
 
+/// Request-wide lifecycle state, resolved once per batch.  The plan pointer
+/// carries the deterministic virtual clock (when configured); the Deadline
+/// is the wall budget; wall_degraded is the schedule-dependent telemetry
+/// sink for wall-triggered degradations.
+struct BatchLifecycle {
+    const CancelToken* cancel = nullptr;
+    Deadline wall;
+    const FaultPlan* plan = nullptr;
+    std::atomic<std::uint64_t>* wall_degraded = nullptr;
+
+    bool active() const
+    {
+        return cancel != nullptr || wall.active() ||
+               (plan != nullptr && plan->virtual_clock());
+    }
+};
+
+/// Per-net deadline clock, checked at stage boundaries.  Under a virtual
+/// clock the counter is charged the plan's injected per-stage costs (plus a
+/// deterministic per-net jitter), so which nets expire is a pure function of
+/// the net index -- bit-reproducible at any thread count.  The wall path is
+/// inherently schedule-dependent and only feeds telemetry.  A default-
+/// constructed clock is inert (route_tail_compiled, the session ECO path).
+struct NetClock {
+    const BatchLifecycle* lc = nullptr;
+    std::size_t index = 0;
+    std::uint64_t ticks = 0;
+    bool noted = false;
+
+    NetClock() = default;
+    NetClock(const BatchLifecycle& lifecycle, std::size_t net_index)
+        : lc(&lifecycle), index(net_index)
+    {
+    }
+
+    bool vclock() const
+    {
+        return lc != nullptr && lc->plan != nullptr && lc->plan->virtual_clock();
+    }
+
+    void charge(RouteStage stage)
+    {
+        if (vclock()) ticks += lc->plan->vcost_of(stage);
+    }
+
+    void charge_jitter()
+    {
+        if (vclock()) ticks += lc->plan->vjitter_of(index);
+    }
+
+    bool cancelled() const
+    {
+        return lc != nullptr && lc->cancel != nullptr && lc->cancel->cancelled();
+    }
+
+    /// True when this net is deadline-pressured.  The first observation
+    /// stamps a lifecycle diagnostic on `r` (deterministic text for the
+    /// virtual clock; the wall message is fixed but which nets carry it is
+    /// schedule-dependent and counted in the telemetry channel instead).
+    bool pressured(NetRouteResult& r)
+    {
+        if (lc == nullptr) return false;
+        if (vclock() && ticks > lc->plan->vdeadline_ticks) {
+            if (!noted) {
+                noted = true;
+                r.diag.note(RouteStage::lifecycle,
+                            "virtual deadline exceeded: " +
+                                std::to_string(ticks) + " ticks > budget " +
+                                std::to_string(lc->plan->vdeadline_ticks));
+            }
+            return true;
+        }
+        if (lc->wall.expired()) {
+            if (!noted) {
+                noted = true;
+                r.diag.note(RouteStage::lifecycle, "wall deadline exceeded");
+                if (lc->wall_degraded != nullptr)
+                    lc->wall_degraded->fetch_add(1, std::memory_order_relaxed);
+            }
+            return true;
+        }
+        return false;
+    }
+};
+
+/// Resets `r` to the deterministic terminal form of a net the lifecycle
+/// layer disposed of (cancelled / rejected): every number zero, nothing
+/// half-written, one lifecycle diagnostic explaining why.
+void mark_lifecycle_terminal(NetRouteResult& r, std::size_t index,
+                             std::uint64_t diag_seed, RouteStatus status,
+                             std::string message)
+{
+    r = NetRouteResult{};
+    r.status = status;
+    r.diag.net_index = index;
+    r.diag.net_seed = diag_seed;
+    r.diag.note(RouteStage::lifecycle, std::move(message));
+}
+
+void mark_cancelled(NetRouteResult& r, std::size_t index, std::uint64_t diag_seed)
+{
+    mark_lifecycle_terminal(r, index, diag_seed, RouteStatus::cancelled,
+                            "request cancelled before this net finished");
+}
+
+void mark_rejected(NetRouteResult& r, std::size_t index, std::uint64_t diag_seed,
+                   std::size_t cap)
+{
+    mark_lifecycle_terminal(r, index, diag_seed, RouteStatus::rejected_overload,
+                            "rejected by admission control: net index " +
+                                std::to_string(index) + " >= admit cap " +
+                                std::to_string(cap));
+}
+
 /// Stages 0-2 (validate -> topology ladder -> compile) of one net, compiling
 /// into `ft` (the slot arena or a lane-arena tree).  Catches std::exception
 /// at every stage and degrades (see pipeline.h); writes only `r`, `ft` and
@@ -52,8 +167,8 @@ struct FrontOutcome {
 FrontOutcome route_front(const Net& raw, std::size_t index,
                          std::uint64_t diag_seed, const Technology& tech,
                          const PipelineOptions& opts, const FaultPlan& faults,
-                         Workspace& ws, FlatTree& ft, NetRouteResult& r,
-                         Technology& corrupted_storage)
+                         NetClock& clk, Workspace& ws, FlatTree& ft,
+                         NetRouteResult& r, Technology& corrupted_storage)
 {
     FrontOutcome fo;
     r.diag.net_index = index;
@@ -78,29 +193,42 @@ FrontOutcome route_front(const Net& raw, std::size_t index,
         fo.t = &corrupted_storage;
     }
 
-    // 1. Topology ladder: A-tree, then BRBC, then SPT.
+    // 1. Topology ladder: A-tree, then BRBC, then SPT.  A deadline-pressured
+    // net takes the cheap rung directly: SPT is the ladder's own
+    // quality-for-latency dial, so pressure degrades output instead of
+    // blocking the pool.  The per-net jitter (virtual clock) is charged
+    // up front, which is what lets a plan expire a deterministic subset of
+    // nets before any stage runs.
+    clk.charge_jitter();
     std::optional<RoutingTree> tree;
-    try {
-        faults.maybe_throw(index, RouteStage::topology,
-                           "injected: A-tree construction fault");
-        tree.emplace(build_atree_general(net).tree);
-    } catch (const std::exception& e) {
-        r.diag.note(RouteStage::topology, e.what());
-    }
-    if (!tree) {
+    const bool cheap = clk.pressured(r);
+    if (!cheap) {
         try {
-            faults.maybe_throw(index, RouteStage::fallback,
-                               "injected: BRBC fallback fault");
-            tree.emplace(build_brbc(net, 1.0));
-            r.status = RouteStatus::fallback_brbc;
+            faults.maybe_throw(index, RouteStage::topology,
+                               "injected: A-tree construction fault");
+            tree.emplace(build_atree_general(net).tree);
         } catch (const std::exception& e) {
-            r.diag.note(RouteStage::fallback, std::string("brbc: ") + e.what());
+            r.diag.note(RouteStage::topology, e.what());
+        }
+        clk.charge(RouteStage::topology);
+        if (!tree) {
+            try {
+                faults.maybe_throw(index, RouteStage::fallback,
+                                   "injected: BRBC fallback fault");
+                tree.emplace(build_brbc(net, 1.0));
+                r.status = RouteStatus::fallback_brbc;
+            } catch (const std::exception& e) {
+                r.diag.note(RouteStage::fallback,
+                            std::string("brbc: ") + e.what());
+            }
+            clk.charge(RouteStage::fallback);
         }
     }
     if (!tree) {
         try {
             tree.emplace(build_spt(net));
-            r.status = RouteStatus::fallback_spt;
+            r.status = cheap ? worst(r.status, RouteStatus::deadline_degraded)
+                             : RouteStatus::fallback_spt;
         } catch (const std::exception& e) {
             r.diag.note(RouteStage::fallback, std::string("spt: ") + e.what());
             r.status = RouteStatus::failed;
@@ -120,6 +248,7 @@ FrontOutcome route_front(const Net& raw, std::size_t index,
         r.status = RouteStatus::failed;
         return fo;
     }
+    clk.charge(RouteStage::compile);
 
     fo.alive = true;
     fo.nodes = tree->node_count();
@@ -174,7 +303,7 @@ bool route_report(const FlatTree& ft, const FrontOutcome& fo,
 /// bit-identical by contract).
 void route_tail(const FlatTree& ft, std::size_t index, const Technology& t,
                 const PipelineOptions& opts, const FaultPlan& faults,
-                Workspace& ws, NetRouteResult& r,
+                NetClock& clk, Workspace& ws, NetRouteResult& r,
                 const WiresizeSolver& solver = {})
 {
     RouteStage stage = RouteStage::wiresize;
@@ -191,8 +320,18 @@ void route_tail(const FlatTree& ft, std::size_t index, const Technology& t,
             throw std::runtime_error("non-finite wiresized delay");
         r.wiresized_delay_s = best.delay;
         r.assignment = std::move(best.assignment);
+        clk.charge(RouteStage::wiresize);
 
         if (opts.moment_check) {
+            // Deadline boundary between wiresize and its cross-check: an
+            // unverified wiresized result is not reported, so pressure here
+            // drops the wiresized numbers and keeps the uniform-width ones.
+            if (clk.pressured(r)) {
+                r.status = worst(r.status, RouteStatus::deadline_degraded);
+                r.wiresized_delay_s = 0.0;
+                r.assignment.clear();
+                return;
+            }
             stage = RouteStage::moment_check;
             faults.maybe_throw(index, RouteStage::moment_check,
                                "injected: moment cross-check fault");
@@ -205,6 +344,7 @@ void route_tail(const FlatTree& ft, std::size_t index, const Technology& t,
             if (!std::isfinite(worst_m))
                 throw std::runtime_error("non-finite moment cross-check delay");
             r.moment_elmore_max_s = worst_m;
+            clk.charge(RouteStage::moment_check);
         }
     } catch (const std::exception& e) {
         r.diag.note(stage, e.what());
@@ -222,16 +362,33 @@ void route_tail(const FlatTree& ft, std::size_t index, const Technology& t,
 NetRouteResult route_net(const Net& raw, std::size_t index,
                          std::uint64_t diag_seed, const Technology& tech,
                          const PipelineOptions& opts, const FaultPlan& faults,
-                         Workspace& ws)
+                         const BatchLifecycle& lc, Workspace& ws)
 {
     NetRouteResult r;
+    NetClock clk(lc, index);
+    if (clk.cancelled()) {
+        mark_cancelled(r, index, diag_seed);
+        return r;
+    }
     Technology corrupted;
     const FrontOutcome fo = route_front(raw, index, diag_seed, tech, opts,
-                                        faults, ws, ws.flat, r, corrupted);
+                                        faults, clk, ws, ws.flat, r, corrupted);
     if (!fo.alive) return r;
+    if (clk.cancelled()) {
+        mark_cancelled(r, index, diag_seed);
+        return r;
+    }
     if (!route_report(ws.flat, fo, *fo.t, ws, nullptr, r)) return r;
-    if (opts.wiresize)
-        route_tail(ws.flat, index, *fo.t, opts, faults, ws, r);
+    clk.charge(RouteStage::report);
+    if (opts.wiresize) {
+        // Deadline boundary before the tail: pressure skips wiresizing
+        // entirely (the biggest per-net cost) and reports the uniform-width
+        // numbers that already exist.
+        if (clk.pressured(r))
+            r.status = worst(r.status, RouteStatus::deadline_degraded);
+        else
+            route_tail(ws.flat, index, *fo.t, opts, faults, clk, ws, r);
+    }
     return r;
 }
 
@@ -294,8 +451,11 @@ void flush_bucket(std::vector<PendingLane>& pending, int lanes,
         const PendingLane& p = pending[l];
         NetRouteResult& r = out[p.net];
         const FlatTree& ft = *trees[l];
+        // Lane batching only runs when the request lifecycle is inactive
+        // (see route_batch_impl), so the deadline clock here is inert.
+        NetClock clk;
         if (route_report(ft, p.fo, tech, ws, outs[l], r) && opts.wiresize)
-            route_tail(ft, p.net, tech, opts, faults, ws, r);
+            route_tail(ft, p.net, tech, opts, faults, clk, ws, r);
         ws.release_lane_tree(p.arena);
     }
     pending.clear();
@@ -371,7 +531,12 @@ void tally_outcomes(const std::vector<NetRouteResult>& out, PipelineStats& stats
         case RouteStatus::fallback_brbc:
         case RouteStatus::fallback_spt: ++stats.nets_fallback; break;
         case RouteStatus::uniform_width: ++stats.nets_uniform_width; break;
+        case RouteStatus::deadline_degraded:
+            ++stats.nets_deadline_degraded;
+            break;
         case RouteStatus::invalid_input: ++stats.nets_invalid; break;
+        case RouteStatus::cancelled: ++stats.nets_cancelled; break;
+        case RouteStatus::rejected_overload: ++stats.nets_rejected; break;
         case RouteStatus::failed: ++stats.nets_failed; break;
         }
         stats.fault_events += r.diag.events.size();
@@ -413,6 +578,15 @@ std::vector<NetRouteResult> route_batch_impl(const std::vector<Net>& nets,
     // outright for fault-injected batches.
     RouteCache* const cache = faults.enabled ? nullptr : opts.cache;
 
+    // Request lifecycle, resolved once per batch.  wall_degraded collects
+    // the schedule-dependent wall-expiry telemetry across worker slots.
+    std::atomic<std::uint64_t> wall_degraded{0};
+    BatchLifecycle lc;
+    lc.cancel = opts.cancel;
+    lc.wall = Deadline::after_ms(opts.deadline_ms);
+    lc.plan = &faults;
+    lc.wall_degraded = &wall_degraded;
+
     const auto seed_of = [&](std::size_t i) {
         return seeded ? net_seed(diag_seed_base, i) : 0;
     };
@@ -425,10 +599,14 @@ std::vector<NetRouteResult> route_batch_impl(const std::vector<Net>& nets,
     // single-flight leader must be complete -- report and tail included --
     // the moment it publishes, which deferring its report into a lane pack
     // would break.  The per-lane bit-identity contract makes that a pure
-    // scheduling change; output bytes do not move.
+    // scheduling change; output bytes do not move.  An active request
+    // lifecycle (deadline, cancel token or virtual clock) also forces the
+    // per-net path: lane packs defer the report past the stage boundaries
+    // the lifecycle checks at.
     const SimdConfig cfg = active_simd_config();
-    const int lanes =
-        (cfg.relaxed() && cache == nullptr) ? simdk::lane_width(cfg.isa) : 1;
+    const int lanes = (cfg.relaxed() && cache == nullptr && !lc.active())
+                          ? simdk::lane_width(cfg.isa)
+                          : 1;
     std::vector<SlotBatcher> batchers(
         lanes > 1 ? ws.size() : std::size_t{0});
 
@@ -436,14 +614,18 @@ std::vector<NetRouteResult> route_batch_impl(const std::vector<Net>& nets,
                                std::size_t i, int slot) {
         Workspace& w = ws[static_cast<std::size_t>(slot)];
         if (lanes <= 1) {
-            out[i] = route_net(nets[i], i, seed_of(i), tech, opts, faults, w);
+            out[i] = route_net(nets[i], i, seed_of(i), tech, opts, faults, lc, w);
             return;
         }
+        // Lane mode implies an inactive lifecycle (gated above), so the
+        // per-net clock built here never fires.
+        NetClock clk(lc, i);
         const std::size_t arena = w.acquire_lane_tree();
         FlatTree& ft = w.lane_tree(arena);
         Technology corrupted;
-        const FrontOutcome fo = route_front(nets[i], i, seed_of(i), tech, opts,
-                                            faults, w, ft, out[i], corrupted);
+        const FrontOutcome fo =
+            route_front(nets[i], i, seed_of(i), tech, opts, faults, clk, w, ft,
+                        out[i], corrupted);
         if (!fo.alive) {
             w.release_lane_tree(arena);
             return;
@@ -455,7 +637,7 @@ std::vector<NetRouteResult> route_batch_impl(const std::vector<Net>& nets,
         if (fo.t != &tech || ft.size() > kMaxLaneNodes || ft.sinks().empty()) {
             if (route_report(ft, fo, *fo.t, w, nullptr, out[i]) &&
                 opts.wiresize)
-                route_tail(ft, i, *fo.t, opts, faults, w, out[i]);
+                route_tail(ft, i, *fo.t, opts, faults, clk, w, out[i]);
             w.release_lane_tree(arena);
             return;
         }
@@ -502,7 +684,7 @@ std::vector<NetRouteResult> route_batch_impl(const std::vector<Net>& nets,
         SlotFlight& sf = slots_flight[static_cast<std::size_t>(slot)];
         const Net& net = nets[i];
         if (!cacheable_net(net)) {
-            out[i] = route_net(net, i, seed_of(i), tech, opts, faults, w);
+            out[i] = route_net(net, i, seed_of(i), tech, opts, faults, lc, w);
             ++sf.routed;
             return;
         }
@@ -533,7 +715,7 @@ std::vector<NetRouteResult> route_batch_impl(const std::vector<Net>& nets,
             g->min_index = i;
             lk.unlock();
             try {
-                out[i] = route_net(net, i, seed_of(i), tech, opts, faults, w);
+                out[i] = route_net(net, i, seed_of(i), tech, opts, faults, lc, w);
             } catch (...) {
                 // Only non-std exceptions escape route_net and they abort
                 // the batch -- but parked followers must still wake, so
@@ -573,12 +755,26 @@ std::vector<NetRouteResult> route_batch_impl(const std::vector<Net>& nets,
             ++sf.shared;
         } else {
             lk.unlock();
-            out[i] = route_net(net, i, seed_of(i), tech, opts, faults, w);
+            out[i] = route_net(net, i, seed_of(i), tech, opts, faults, lc, w);
             ++sf.routed;
         }
     };
 
+    // Cancellation bookkeeping: slots stop pulling chunks once the token
+    // fires, so indices nobody visited are marked cancelled in a post-pass
+    // (their result form is identical to a net route_net itself cancelled).
+    std::vector<std::uint8_t> visited(
+        lc.cancel != nullptr ? nets.size() : std::size_t{0}, std::uint8_t{0});
+
     const auto work_fn = [&](std::size_t i, int slot) {
+        if (lc.cancel != nullptr) visited[i] = 1;
+        // Bounded admission: a pure function of the batch index, so the
+        // reject set is deterministic at any thread count, and no routing
+        // work (not even a cache probe) runs for refused nets.
+        if (opts.admit_cap != 0 && i >= opts.admit_cap) {
+            mark_rejected(out[i], i, seed_of(i), opts.admit_cap);
+            return;
+        }
         if (cache != nullptr)
             route_cached(i, slot);
         else
@@ -597,18 +793,26 @@ std::vector<NetRouteResult> route_batch_impl(const std::vector<Net>& nets,
     const auto t0 = std::chrono::steady_clock::now();
     const bool serial = pool_threads <= 1 || nets.size() < 2;
     if (serial) {
-        for (std::size_t i = 0; i < nets.size(); ++i) work_fn(i, 0);
+        for (std::size_t i = 0; i < nets.size(); ++i) {
+            if (lc.cancel != nullptr && lc.cancel->cancelled()) break;
+            work_fn(i, 0);
+        }
     } else if (opts.pool != nullptr) {
-        parallel_for_slots(*opts.pool, nets.size(), work_fn, chunk);
+        parallel_for_slots(*opts.pool, nets.size(), work_fn, chunk, lc.cancel);
     } else {
         ThreadPool pool(pool_threads);
-        parallel_for_slots(pool, nets.size(), work_fn, chunk);
+        parallel_for_slots(pool, nets.size(), work_fn, chunk, lc.cancel);
     }
     // Nets still pending in partially filled buckets finish here, after the
     // barrier, on their owning slot's workspace.
     for (std::size_t s = 0; s < batchers.size(); ++s)
         for (auto& bucket : batchers[s].buckets)
             flush_bucket(bucket, lanes, cfg, tech, opts, faults, ws[s], out);
+
+    // Indices the cancellation cut off before any slot reached them.
+    if (lc.cancel != nullptr)
+        for (std::size_t i = 0; i < nets.size(); ++i)
+            if (visited[i] == 0) mark_cancelled(out[i], i, seed_of(i));
 
     // --- Epoch drain: replay deferred cache effects in net-index order ----
     // Clean groups intern their payload under the group's lowest member
@@ -641,6 +845,10 @@ std::vector<NetRouteResult> route_batch_impl(const std::vector<Net>& nets,
             }
         }
         evictions = cache->drain(events);
+        // Pressure eviction: hold the cache under the request's resident
+        // budget before the next allocation has to fail instead.
+        if (opts.memory_budget_bytes > 0)
+            evictions += cache->evict_to_resident(opts.memory_budget_bytes);
         resident = cache->resident_bytes();
         ws[0].note_results_served(hits + shared);
     } else {
@@ -672,6 +880,8 @@ std::vector<NetRouteResult> route_batch_impl(const std::vector<Net>& nets,
         stats->resident_bytes = resident;
         stats->cache_shard_contention = contended;
         stats->single_flight_parked = parked;
+        stats->deadline_wall_degraded =
+            wall_degraded.load(std::memory_order_relaxed);
         tally_outcomes(out, *stats);
     }
     return out;
@@ -685,7 +895,13 @@ NetRouteResult route_single(const Net& net, std::size_t index,
 {
     const FaultPlan faults =
         opts.faults.enabled ? opts.faults : FaultPlan::from_env();
-    return route_net(net, index, diag_seed, tech, opts, faults, ws);
+    std::atomic<std::uint64_t> wall_degraded{0};
+    BatchLifecycle lc;
+    lc.cancel = opts.cancel;
+    lc.wall = Deadline::after_ms(opts.deadline_ms);
+    lc.plan = &faults;
+    lc.wall_degraded = &wall_degraded;
+    return route_net(net, index, diag_seed, tech, opts, faults, lc, ws);
 }
 
 bool route_report_compiled(const FlatTree& ft, std::size_t nodes,
@@ -704,7 +920,10 @@ void route_tail_compiled(const FlatTree& ft, std::size_t index,
                          const FaultPlan& faults, Workspace& ws,
                          NetRouteResult& r, const WiresizeSolver& solver)
 {
-    route_tail(ft, index, t, opts, faults, ws, r, solver);
+    // The session ECO path bit-compares against route_single, whose deadline
+    // behavior it does not replicate; repairs run with an inert clock.
+    NetClock clk;
+    route_tail(ft, index, t, opts, faults, clk, ws, r, solver);
 }
 
 std::vector<NetRouteResult> route_batch(const std::vector<Net>& nets,

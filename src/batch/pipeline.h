@@ -46,6 +46,16 @@
 // failures are isolated; anything else is a programming error and still
 // propagates (aggregated by the thread pool into a BatchError).  Faults can
 // be injected deterministically for soak testing (batch/fault_inject.h).
+//
+// Request lifecycle (batch/lifecycle.h): each batch may carry a deadline, a
+// cancellation token, an admission cap and a cache memory budget (see
+// PipelineOptions).  Deadline pressure reuses the ladder as a
+// quality-for-latency dial -- a pressured net takes the cheap SPT rung
+// directly and skips the wiresize tail (status deadline_degraded, still
+// is_routed()); a cancelled net stops at the next stage boundary and reports
+// status cancelled with every number zeroed; an over-cap net is refused
+// before any work (status rejected_overload).  All three stamp a
+// RouteStage::lifecycle diagnostic event.
 #ifndef CONG93_BATCH_PIPELINE_H
 #define CONG93_BATCH_PIPELINE_H
 
@@ -58,6 +68,7 @@
 #include "batch/batch.h"
 #include "batch/errors.h"
 #include "batch/fault_inject.h"
+#include "batch/lifecycle.h"
 #include "batch/workspace.h"
 #include "rtree/routing_tree.h"
 #include "tech/technology.h"
@@ -81,6 +92,31 @@ struct PipelineOptions {
     /// Arena OOM guard: reject nets whose topology exceeds this many nodes
     /// (status failed, stage compile).  0 disables the cap.
     std::size_t max_nodes_per_net = 0;
+    /// Wall-clock budget for the whole request in milliseconds; 0 disables.
+    /// A net that observes the expired deadline at a stage boundary degrades
+    /// (cheap SPT topology and/or skipped wiresize tail, status
+    /// deadline_degraded) instead of blocking the shared pool.  Which nets
+    /// observe expiry first is schedule-dependent, so wall-triggered
+    /// degradations are telemetry (PipelineStats::deadline_wall_degraded),
+    /// excluded from the byte-identity contract; deterministic degradation
+    /// comes from FaultPlan's virtual clock instead (batch/fault_inject.h).
+    double deadline_ms = 0.0;
+    /// Optional client cancellation flag (not owned; may be flipped from any
+    /// thread).  Checked between chunks in parallel_for_slots and at stage
+    /// boundaries inside route_net: nets not finished when the token fires
+    /// end as status cancelled with all numbers zero -- never half-written.
+    const CancelToken* cancel = nullptr;
+    /// Bounded admission: nets with batch index >= admit_cap are refused
+    /// up front (status rejected_overload, no routing work, no cache probe).
+    /// Deterministic by construction (a pure function of the index).
+    /// 0 disables.  SessionService layers its own request-level queue cap on
+    /// top of this per-batch knob.
+    std::size_t admit_cap = 0;
+    /// Resident-bytes budget for the attached cache: after the batch-end
+    /// epoch drain, LRU entries are pressure-evicted until
+    /// cache->resident_bytes() <= budget (counted in cache_evictions).
+    /// 0 disables; no-op without a cache.
+    std::size_t memory_budget_bytes = 0;
     /// Deterministic fault injection (soak testing).  When this plan is
     /// disabled, $CONG93_FAULT_INJECT is consulted instead; both off means
     /// no injection.
@@ -215,14 +251,23 @@ struct PipelineStats {
     std::uint64_t nets_ok = 0;
     std::uint64_t nets_fallback = 0;       ///< fallback_brbc + fallback_spt
     std::uint64_t nets_uniform_width = 0;
+    std::uint64_t nets_deadline_degraded = 0;  ///< deadline-pressured nets
     std::uint64_t nets_invalid = 0;
+    std::uint64_t nets_cancelled = 0;      ///< cancelled before finishing
+    std::uint64_t nets_rejected = 0;       ///< refused by admission control
     std::uint64_t nets_failed = 0;
     std::uint64_t fault_events = 0;        ///< total diagnostic events
+    /// Nets whose degradation was triggered by the WALL clock (as opposed to
+    /// the deterministic virtual clock).  Schedule-dependent telemetry: NOT
+    /// covered by the determinism contract, never part of diffed output --
+    /// exactly like cache_shard_contention.
+    std::uint64_t deadline_wall_degraded = 0;
 
     /// Nets that ended below the full flow (degraded or worse).
     std::uint64_t nets_not_ok() const
     {
-        return nets_fallback + nets_uniform_width + nets_invalid + nets_failed;
+        return nets_fallback + nets_uniform_width + nets_deadline_degraded +
+               nets_invalid + nets_cancelled + nets_rejected + nets_failed;
     }
 };
 

@@ -140,6 +140,25 @@ public:
     /// post-pass).
     void note_results_served(std::uint64_t n) { results_served_ += n; }
 
+    /// Approximate bytes held by this workspace's arenas (capacities, not
+    /// sizes: arenas never shrink, so capacity is what the process pays).
+    /// Feeds the SessionService memory budget, which spans the shared cache
+    /// plus every session's per-slot arenas.
+    std::size_t resident_bytes() const
+    {
+        std::size_t n = flat_tree_bytes(flat);
+        for (const auto& t : lane_trees_) n += flat_tree_bytes(*t);
+        n += moments.subtree.capacity() * sizeof(double);
+        n += moments.subtree_pp.capacity() * sizeof(double);
+        for (const auto& row : moments.m) n += row.capacity() * sizeof(double);
+        n += caps.capacity() * sizeof(double);
+        n += sink_delays.capacity() * sizeof(double);
+        n += node_scratch.capacity() * sizeof(NodeId);
+        n += lane_caps.capacity() * sizeof(double);
+        n += lane_delays.capacity() * sizeof(double);
+        return n;
+    }
+
     WorkspaceCounters counters() const
     {
         WorkspaceCounters c;
@@ -161,6 +180,21 @@ public:
     }
 
 private:
+    static std::size_t flat_tree_bytes(const FlatTree& t)
+    {
+        return t.parent().capacity() * sizeof(std::int32_t) +
+               t.edge_length().capacity() * sizeof(Length) +
+               t.path_length().capacity() * sizeof(Length) +
+               t.is_sink().capacity() * sizeof(std::uint8_t) +
+               t.sink_cap().capacity() * sizeof(double) +
+               t.point().capacity() * sizeof(Point) +
+               t.seg_boundary().capacity() * sizeof(std::uint8_t) +
+               t.child_ptr().capacity() * sizeof(std::int32_t) +
+               t.child_idx().capacity() * sizeof(std::int32_t) +
+               t.sinks().capacity() * sizeof(std::int32_t) +
+               t.node_of().capacity() * sizeof(NodeId);
+    }
+
     std::vector<std::unique_ptr<FlatTree>> lane_trees_;
     std::vector<std::size_t> lane_free_;
     std::uint64_t scratch_growths_ = 0;

@@ -1,5 +1,6 @@
 #include "cli/cli.h"
 
+#include <array>
 #include <fstream>
 #include <functional>
 #include <ostream>
@@ -62,6 +63,16 @@ options:
   --max-nodes <n>      batch per-net arena cap in nodes (0 = uncapped)
   --fault-inject <s>   batch fault-injection spec, e.g.
                        "seed=7,topology=0.2,wiresize=0.2,arena-cap=40@0.1"
+  --deadline-ms <t>    per-request wall deadline in milliseconds (0 = none);
+                       pressured nets degrade to deadline_degraded -- cheap
+                       topology, no wiresizing -- instead of running long
+  --queue-cap <n>      admission bound: batch/session admit only the first n
+                       nets of a batch (rejected_overload beyond); serve
+                       bounds concurrently in-flight requests and refuses
+                       the rest up front (0 = unbounded)
+  --memory-budget <b>  resident-bytes budget over route cache + workspace
+                       arenas; LRU cache entries are pressure-evicted until
+                       the total fits (0 = no budget)
   --cache-capacity <n> session route-cache entry cap (default 0 = unbounded)
   --no-cache           session: admit without the hash-consed route cache
   --eco-threshold <t>  session: dirty-sink fraction in [0,1] above which an
@@ -246,6 +257,8 @@ int run_batch(const CliOptions& opts, std::ostream& out,
     popts.threads = opts.threads;
     popts.max_nodes_per_net = opts.max_nodes;
     popts.faults = FaultPlan::parse(opts.fault_spec);
+    popts.deadline_ms = opts.deadline_ms;
+    popts.admit_cap = opts.queue_cap;
 
     PipelineStats stats;
     std::vector<NetRouteResult> results;
@@ -264,14 +277,17 @@ int run_batch(const CliOptions& opts, std::ostream& out,
     out << format_results(results);
     out << "batch: " << results.size() << " nets  ok " << stats.nets_ok
         << "  fallback " << stats.nets_fallback << "  uniform_width "
-        << stats.nets_uniform_width << "  invalid " << stats.nets_invalid
-        << "  failed " << stats.nets_failed << "  fault_events "
-        << stats.fault_events << '\n';
-    // Degraded nets are an expected outcome under fault load; only a batch
-    // where nothing routed at all exits nonzero.
+        << stats.nets_uniform_width << "  deadline_degraded "
+        << stats.nets_deadline_degraded << "  invalid " << stats.nets_invalid
+        << "  cancelled " << stats.nets_cancelled << "  rejected "
+        << stats.nets_rejected << "  failed " << stats.nets_failed
+        << "  fault_events " << stats.fault_events << '\n';
+    // Degraded nets are an expected outcome under fault or deadline load;
+    // only a batch where nothing routed at all exits nonzero.
     const bool any_routed =
         results.empty() || stats.nets_ok + stats.nets_fallback +
-                                   stats.nets_uniform_width >
+                                   stats.nets_uniform_width +
+                                   stats.nets_deadline_degraded >
                                0;
     return any_routed ? 0 : 1;
 }
@@ -296,6 +312,9 @@ int run_session(const CliOptions& opts, std::ostream& out,
     sopts.pipeline.threads = opts.threads;
     sopts.pipeline.max_nodes_per_net = opts.max_nodes;
     sopts.pipeline.faults = FaultPlan::parse(opts.fault_spec);
+    sopts.pipeline.deadline_ms = opts.deadline_ms;
+    sopts.pipeline.admit_cap = opts.queue_cap;
+    sopts.pipeline.memory_budget_bytes = opts.memory_budget;
     sopts.eco_threshold = opts.eco_threshold;
     sopts.cache_capacity = opts.cache_capacity;
     sopts.cache_shards = opts.shards;
@@ -400,6 +419,138 @@ int run_session(const CliOptions& opts, std::ostream& out,
     return 0;
 }
 
+/// Translated twins of the common base batch for session `s`, request `r`:
+/// identical signatures across sessions (so the shared cache shares), unique
+/// placement per (s, r).
+std::vector<Net> translated_twins(const std::vector<Net>& common, int s, int r)
+{
+    const Coord dx = static_cast<Coord>(1000 * s + 17 * r);
+    const Coord dy = static_cast<Coord>(500 * s + 13 * r);
+    std::vector<Net> nets;
+    nets.reserve(common.size());
+    for (const Net& n : common) {
+        Net m = n;
+        m.source = Point{n.source.x + dx, n.source.y + dy};
+        for (Point& p : m.sinks) p = Point{p.x + dx, p.y + dy};
+        nets.push_back(std::move(m));
+    }
+    return nets;
+}
+
+/// The deterministic ECO move of session `s`, request `r` in the serve
+/// scripts.
+EcoDelta script_move(const CliOptions& opts, int s, int r)
+{
+    return EcoDelta::make_move(
+        static_cast<std::size_t>(r) % static_cast<std::size_t>(opts.sinks),
+        Point{static_cast<Coord>(100 + 31 * r + 11 * s),
+              static_cast<Coord>(2000 - 17 * r + 7 * s)});
+}
+
+/// Overload-mode serve: the same per-session scripts, but driven against a
+/// service with a queue cap / deadlines / a memory budget, to demonstrate
+/// graceful degradation instead of byte-identity (WHICH requests get
+/// refused depends on arrival timing, so there is no serial reference to
+/// diff; the per-net statuses themselves are still drawn from the ladder).
+/// Clients treat OverloadError as backpressure -- count and move on, never
+/// crash or hang.  Everything numeric is '#'-prefixed telemetry except the
+/// final `serve overload:` verdict line; exits nonzero only if a client
+/// failed with a real error or a net came back with an unknown status.
+int run_serve_overload(const CliOptions& opts, const Technology& tech,
+                       const SessionOptions& base,
+                       const std::vector<Net>& common, std::ostream& out)
+{
+    ServiceOptions so;
+    so.session = base;
+    so.threads = opts.threads;
+    so.cache_capacity = opts.cache_capacity;
+    so.cache_shards = opts.shards;
+    so.queue_cap = opts.queue_cap;
+    so.memory_budget_bytes = opts.memory_budget;
+    SessionService svc(tech, so);
+
+    const auto n_sessions = static_cast<std::size_t>(opts.sessions);
+    std::vector<std::array<std::uint64_t, kRouteStatusCount>> tallies(
+        n_sessions, std::array<std::uint64_t, kRouteStatusCount>{});
+    std::vector<std::uint64_t> rejected_requests(n_sessions, 0);
+    std::vector<std::string> errors(n_sessions);
+
+    std::vector<std::thread> clients;
+    clients.reserve(n_sessions);
+    for (int s = 0; s < opts.sessions; ++s) {
+        const SessionId sid = svc.open();
+        clients.emplace_back([&, s, sid] {
+            const auto si = static_cast<std::size_t>(s);
+            std::size_t admitted = 0;
+            try {
+                for (int r = 0; r < opts.requests; ++r) {
+                    try {
+                        if (r % 2 == 0 || admitted == 0) {
+                            const std::vector<NetId> ids = svc.add_batch(
+                                sid, translated_twins(common, s, r));
+                            admitted += ids.size();
+                            for (const NetId id : ids)
+                                ++tallies[si][static_cast<std::size_t>(
+                                    svc.result(sid, id).status)];
+                        } else {
+                            const NetId id = static_cast<NetId>(
+                                static_cast<std::size_t>(r * 7) % admitted);
+                            const EcoOutcome o =
+                                svc.apply(sid, id, script_move(opts, s, r));
+                            ++tallies[si][static_cast<std::size_t>(
+                                o.result.status)];
+                        }
+                    } catch (const OverloadError&) {
+                        // Backpressure, not failure: the request was refused
+                        // whole before any work ran.  A real client would
+                        // retry with backoff; the stress just counts it.
+                        ++rejected_requests[si];
+                    }
+                }
+            } catch (const std::exception& e) {
+                errors[si] = e.what();
+            }
+        });
+    }
+    for (std::thread& c : clients) c.join();
+
+    std::array<std::uint64_t, kRouteStatusCount> totals{};
+    std::uint64_t rejected = 0;
+    for (std::size_t s = 0; s < n_sessions; ++s) {
+        for (std::size_t i = 0; i < kRouteStatusCount; ++i)
+            totals[i] += tallies[s][i];
+        rejected += rejected_requests[s];
+    }
+
+    const ServiceStats st = svc.stats();
+    out << "# serve stats: batches " << st.batches << "  applies " << st.applies
+        << "  hits " << st.cache_hits << "  shared " << st.cache_shared
+        << "  evictions " << st.cache_evictions << "  parked "
+        << st.single_flight_parked << "  contended "
+        << st.cache_shard_contention << '\n'
+        << "# serve overload stats: rejected_overload " << st.rejected_overload
+        << "  pressure_evictions " << st.pressure_evictions << '\n'
+        << "# serve cache: size " << svc.cache().size() << "  resident_bytes "
+        << svc.cache().resident_bytes() << '\n';
+
+    bool bad = false;
+    out << "serve overload: sessions=" << opts.sessions
+        << " requests=" << opts.requests << " queue_cap=" << opts.queue_cap
+        << " rejected_requests=" << rejected;
+    for (std::size_t i = 0; i < kRouteStatusCount; ++i) {
+        const std::string name = to_string(static_cast<RouteStatus>(i));
+        if (name == "?") bad = bad || totals[i] != 0;
+        out << ' ' << name << '=' << totals[i];
+    }
+    for (std::size_t s = 0; s < n_sessions; ++s) {
+        if (errors[s].empty()) continue;
+        bad = true;
+        out << "\nsession " << s << " error: " << errors[s];
+    }
+    out << (bad ? " verdict=FAIL" : " verdict=ok") << '\n';
+    return bad ? 1 : 0;
+}
+
 int run_serve(const CliOptions& opts, std::ostream& out)
 {
     const Technology tech = technology_by_name(opts.tech, opts.driver_scale);
@@ -408,6 +559,8 @@ int run_serve(const CliOptions& opts, std::ostream& out)
     base.pipeline.widths_r = opts.widths;
     base.pipeline.threads = opts.threads;
     base.pipeline.max_nodes_per_net = opts.max_nodes;
+    base.pipeline.faults = FaultPlan::parse(opts.fault_spec);
+    base.pipeline.deadline_ms = opts.deadline_ms;
     base.eco_threshold = opts.eco_threshold;
     base.cache_capacity = opts.cache_capacity;
     base.cache_shards = opts.shards;
@@ -417,6 +570,13 @@ int run_serve(const CliOptions& opts, std::ostream& out)
     // sessions' signatures collide and the shared cache actually shares.
     const std::vector<Net> common =
         random_nets(opts.seed, opts.random_count, opts.grid, opts.sinks);
+
+    // Lifecycle pressure switches serve into overload mode: graceful-
+    // degradation stress instead of the byte-identity check (whose serial
+    // reference is meaningless when admission depends on arrival timing).
+    if (opts.queue_cap > 0 || opts.deadline_ms > 0.0 ||
+        base.pipeline.faults.virtual_clock() || opts.memory_budget > 0)
+        return run_serve_overload(opts, tech, base, common, out);
 
     // One session's deterministic request script -- translated-twin batch
     // admissions on even requests, ECO sink moves on odd ones -- producing a
@@ -432,18 +592,8 @@ int run_serve(const CliOptions& opts, std::ostream& out)
             std::size_t admitted = 0;
             for (int r = 0; r < opts.requests; ++r) {
                 if (r % 2 == 0 || admitted == 0) {
-                    const Coord dx = static_cast<Coord>(1000 * s + 17 * r);
-                    const Coord dy = static_cast<Coord>(500 * s + 13 * r);
-                    std::vector<Net> nets;
-                    nets.reserve(common.size());
-                    for (const Net& n : common) {
-                        Net m = n;
-                        m.source = Point{n.source.x + dx, n.source.y + dy};
-                        for (Point& p : m.sinks)
-                            p = Point{p.x + dx, p.y + dy};
-                        nets.push_back(std::move(m));
-                    }
-                    const std::vector<NetId> ids = add_batch(nets);
+                    const std::vector<NetId> ids =
+                        add_batch(translated_twins(common, s, r));
                     admitted += ids.size();
                     for (const NetId id : ids)
                         t += "net " + result_line(id, result(id));
@@ -451,12 +601,7 @@ int run_serve(const CliOptions& opts, std::ostream& out)
                     const NetId id =
                         static_cast<NetId>(static_cast<std::size_t>(r * 7) %
                                            admitted);
-                    const EcoDelta d = EcoDelta::make_move(
-                        static_cast<std::size_t>(r) %
-                            static_cast<std::size_t>(opts.sinks),
-                        Point{static_cast<Coord>(100 + 31 * r + 11 * s),
-                              static_cast<Coord>(2000 - 17 * r + 7 * s)});
-                    const EcoOutcome o = apply(id, d);
+                    const EcoOutcome o = apply(id, script_move(opts, s, r));
                     t += "eco " + std::to_string(id) +
                          " move inc=" + std::to_string(o.incremental ? 1 : 0) +
                          " tf=" + std::to_string(o.threshold_fallback ? 1 : 0) +
@@ -567,11 +712,10 @@ CliOptions parse_cli(const std::vector<std::string>& args)
         throw std::invalid_argument("unknown command: " + opts.command + '\n' +
                                     cli_usage());
 
-    const auto need_value = [&](std::size_t i, const std::string& flag) {
-        if (i + 1 >= args.size())
-            throw std::invalid_argument(flag + " requires a value");
-        return args[i + 1];
-    };
+    // Numeric parsing is strict and signed-aware: trailing junk, overflow,
+    // and a negative value for an unsigned knob all reject with the usage
+    // text, so a typo like `--shards=abc` or `--queue-cap -1` can never be
+    // silently truncated into a huge or zero limit.
     const auto to_int = [](const std::string& flag, const std::string& v) {
         try {
             std::size_t used = 0;
@@ -579,8 +723,16 @@ CliOptions parse_cli(const std::vector<std::string>& args)
             if (used != v.size()) throw std::invalid_argument(v);
             return n;
         } catch (const std::exception&) {
-            throw std::invalid_argument("bad integer for " + flag + ": " + v);
+            throw std::invalid_argument("bad integer for " + flag + ": '" + v +
+                                        "'\n" + cli_usage());
         }
+    };
+    const auto to_size = [&to_int](const std::string& flag, const std::string& v) {
+        const long n = to_int(flag, v);
+        if (n < 0)
+            throw std::invalid_argument(flag + " must be >= 0, got " + v + '\n' +
+                                        cli_usage());
+        return static_cast<std::size_t>(n);
     };
     const auto to_double = [](const std::string& flag, const std::string& v) {
         try {
@@ -589,35 +741,56 @@ CliOptions parse_cli(const std::vector<std::string>& args)
             if (used != v.size()) throw std::invalid_argument(v);
             return d;
         } catch (const std::exception&) {
-            throw std::invalid_argument("bad number for " + flag + ": " + v);
+            throw std::invalid_argument("bad number for " + flag + ": '" + v +
+                                        "'\n" + cli_usage());
         }
     };
 
     for (std::size_t i = 1; i < args.size(); ++i) {
-        const std::string& a = args[i];
-        if (a == "--in") opts.input_path = need_value(i++, a);
-        else if (a == "--random") opts.random_count = static_cast<int>(to_int(a, need_value(i++, a)));
-        else if (a == "--sinks") opts.sinks = static_cast<int>(to_int(a, need_value(i++, a)));
-        else if (a == "--grid") opts.grid = static_cast<Coord>(to_int(a, need_value(i++, a)));
-        else if (a == "--seed") opts.seed = static_cast<std::uint64_t>(to_int(a, need_value(i++, a)));
-        else if (a == "--algo") opts.algo = need_value(i++, a);
-        else if (a == "--tech") opts.tech = need_value(i++, a);
-        else if (a == "--driver-scale") opts.driver_scale = to_double(a, need_value(i++, a));
-        else if (a == "--widths") opts.widths = static_cast<int>(to_int(a, need_value(i++, a)));
-        else if (a == "--sizer") opts.sizer = need_value(i++, a);
-        else if (a == "--method") opts.method = need_value(i++, a);
-        else if (a == "--threshold") opts.threshold = to_double(a, need_value(i++, a));
+        // Both `--flag value` and `--flag=value` spellings are accepted.
+        std::string a = args[i];
+        std::string inline_value;
+        bool has_inline = false;
+        if (a.rfind("--", 0) == 0) {
+            const std::size_t eq = a.find('=');
+            if (eq != std::string::npos) {
+                inline_value = a.substr(eq + 1);
+                a.resize(eq);
+                has_inline = true;
+            }
+        }
+        const auto value = [&]() -> std::string {
+            if (has_inline) return inline_value;
+            if (i + 1 >= args.size())
+                throw std::invalid_argument(a + " requires a value");
+            return args[++i];
+        };
+        if (a == "--in") opts.input_path = value();
+        else if (a == "--random") opts.random_count = static_cast<int>(to_int(a, value()));
+        else if (a == "--sinks") opts.sinks = static_cast<int>(to_int(a, value()));
+        else if (a == "--grid") opts.grid = static_cast<Coord>(to_int(a, value()));
+        else if (a == "--seed") opts.seed = static_cast<std::uint64_t>(to_size(a, value()));
+        else if (a == "--algo") opts.algo = value();
+        else if (a == "--tech") opts.tech = value();
+        else if (a == "--driver-scale") opts.driver_scale = to_double(a, value());
+        else if (a == "--widths") opts.widths = static_cast<int>(to_int(a, value()));
+        else if (a == "--sizer") opts.sizer = value();
+        else if (a == "--method") opts.method = value();
+        else if (a == "--threshold") opts.threshold = to_double(a, value());
         else if (a == "--rlc") opts.rlc = true;
-        else if (a == "--out") opts.out_path = need_value(i++, a);
-        else if (a == "--threads") opts.threads = static_cast<int>(to_int(a, need_value(i++, a)));
-        else if (a == "--max-nodes") opts.max_nodes = static_cast<std::size_t>(to_int(a, need_value(i++, a)));
-        else if (a == "--fault-inject") opts.fault_spec = need_value(i++, a);
-        else if (a == "--cache-capacity") opts.cache_capacity = static_cast<std::size_t>(to_int(a, need_value(i++, a)));
+        else if (a == "--out") opts.out_path = value();
+        else if (a == "--threads") opts.threads = static_cast<int>(to_int(a, value()));
+        else if (a == "--max-nodes") opts.max_nodes = to_size(a, value());
+        else if (a == "--fault-inject") opts.fault_spec = value();
+        else if (a == "--deadline-ms") opts.deadline_ms = to_double(a, value());
+        else if (a == "--queue-cap") opts.queue_cap = to_size(a, value());
+        else if (a == "--memory-budget") opts.memory_budget = to_size(a, value());
+        else if (a == "--cache-capacity") opts.cache_capacity = to_size(a, value());
         else if (a == "--no-cache") opts.session_cache = false;
-        else if (a == "--eco-threshold") opts.eco_threshold = to_double(a, need_value(i++, a));
-        else if (a == "--shards") opts.shards = static_cast<std::size_t>(to_int(a, need_value(i++, a)));
-        else if (a == "--sessions") opts.sessions = static_cast<int>(to_int(a, need_value(i++, a)));
-        else if (a == "--requests") opts.requests = static_cast<int>(to_int(a, need_value(i++, a)));
+        else if (a == "--eco-threshold") opts.eco_threshold = to_double(a, value());
+        else if (a == "--shards") opts.shards = to_size(a, value());
+        else if (a == "--sessions") opts.sessions = static_cast<int>(to_int(a, value()));
+        else if (a == "--requests") opts.requests = static_cast<int>(to_int(a, value()));
         else throw std::invalid_argument("unknown option: " + a + '\n' + cli_usage());
     }
 
@@ -633,6 +806,8 @@ CliOptions parse_cli(const std::vector<std::string>& args)
         throw std::invalid_argument("--max-nodes must be 0 or >= 2");
     if (opts.eco_threshold < 0.0 || opts.eco_threshold > 1.0)
         throw std::invalid_argument("--eco-threshold must be in [0,1]");
+    if (opts.deadline_ms < 0.0)
+        throw std::invalid_argument("--deadline-ms must be >= 0\n" + cli_usage());
     if (opts.sessions < 1) throw std::invalid_argument("--sessions must be >= 1");
     if (opts.requests < 1) throw std::invalid_argument("--requests must be >= 1");
     if (!opts.fault_spec.empty()) FaultPlan::parse(opts.fault_spec);  // validate

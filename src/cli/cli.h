@@ -9,9 +9,10 @@
 //                   [--rlc] [--tech mcm]
 //   cong93 batch    like route, through the fault-isolated route_batch
 //                   pipeline: [--threads T] [--max-nodes N]
-//                   [--fault-inject SPEC] -- prints the canonical per-net
-//                   result lines (status + diagnostics) and an outcome
-//                   summary, both byte-identical at any thread count
+//                   [--fault-inject SPEC] [--deadline-ms T] [--queue-cap N]
+//                   -- prints the canonical per-net result lines (status +
+//                   diagnostics) and an outcome summary, both byte-identical
+//                   at any thread count
 //   cong93 serve    multi-session service stress: N client threads drive N
 //                   sessions through one SessionService (shared sharded
 //                   route cache + shared worker pool) with deterministic
@@ -87,6 +88,11 @@ struct CliOptions {
     int threads = 0;            ///< <= 0: CONG93_THREADS / hardware default
     std::size_t max_nodes = 0;  ///< per-net arena cap (0 = uncapped)
     std::string fault_spec;     ///< fault-injection plan (batch/fault_inject.h)
+
+    // Request lifecycle (batch/session/serve).
+    double deadline_ms = 0.0;       ///< wall deadline per request (0 = none)
+    std::size_t queue_cap = 0;      ///< admission bound (0 = unbounded)
+    std::size_t memory_budget = 0;  ///< resident-bytes budget (0 = none)
 
     // Session (ECO) engine.
     std::size_t cache_capacity = 0;  ///< route-cache entries (0 = unbounded)

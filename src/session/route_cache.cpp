@@ -90,6 +90,29 @@ std::uint64_t RouteCache::drain(std::vector<CacheEpochEvent>& events)
     return evicted;
 }
 
+std::uint64_t RouteCache::evict_to_resident(std::size_t target_bytes)
+{
+    std::uint64_t evicted = 0;
+    // Evict from the largest-resident shard each round: a deterministic
+    // order for a deterministic cache state, and the fastest route under
+    // the budget when one shard holds the bulk of the bytes.
+    while (resident_bytes() > target_bytes) {
+        std::size_t worst_shard = shards_.size();
+        std::size_t worst_bytes = 0;
+        for (std::size_t i = 0; i < shards_.size(); ++i) {
+            const std::size_t b = shards_[i].resident_bytes();
+            if (b > worst_bytes) {
+                worst_bytes = b;
+                worst_shard = i;
+            }
+        }
+        if (worst_shard == shards_.size()) break;  // everything already empty
+        if (shards_[worst_shard].evict_one() == 0) break;
+        ++evicted;
+    }
+    return evicted;
+}
+
 RouteCacheStats RouteCache::stats() const
 {
     RouteCacheStats total;

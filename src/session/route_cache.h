@@ -135,6 +135,14 @@ public:
     /// entries evicted.  Consumes `events` (payloads are moved out).
     std::uint64_t drain(std::vector<CacheEpochEvent>& events);
 
+    /// Pressure eviction: drops LRU entries (round-robin over the shards,
+    /// largest-resident shard first each round) until resident_bytes() <=
+    /// target_bytes or the cache is empty.  Returns entries evicted.  This
+    /// is the memory-budget enforcement path (PipelineOptions::
+    /// memory_budget_bytes, ServiceOptions::memory_budget_bytes): entries go
+    /// before an allocation has to fail.
+    std::uint64_t evict_to_resident(std::size_t target_bytes);
+
     RouteCacheStats stats() const;  ///< aggregated over shards, by value
     std::size_t size() const;
     std::size_t capacity() const { return capacity_; }

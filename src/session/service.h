@@ -36,6 +36,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <vector>
 
 #include "session/session.h"
@@ -44,6 +45,15 @@ namespace cong93 {
 
 /// Handle to a session owned by a SessionService (dense, open order).
 using SessionId = std::size_t;
+
+/// Thrown by admission control when the bounded request queue is full: the
+/// request was refused before any work ran (the whole-request form of the
+/// per-net RouteStatus::rejected_overload rung).  Clients back off and
+/// retry; nothing was half-done, no state changed.
+class OverloadError : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
 
 struct ServiceOptions {
     /// Defaults for every session the service opens (open() overrides win).
@@ -55,6 +65,17 @@ struct ServiceOptions {
     std::size_t cache_capacity = 0;
     /// Shared cache shard count; 0 = RouteCache::shards_for_threads(threads).
     std::size_t cache_shards = 0;
+    /// Bounded admission queue: at most this many work-bearing requests
+    /// (add_batch / add / apply) in flight or waiting on a session slot at
+    /// once; request queue_cap + 1 is refused with OverloadError instead of
+    /// queueing unboundedly.  0 = unbounded (the PR-8 behavior).
+    std::size_t queue_cap = 0;
+    /// Global resident-bytes budget spanning the shared cache plus every
+    /// session's workspace arenas.  After each work-bearing request the
+    /// service pressure-evicts LRU cache entries until the total fits
+    /// (arenas never shrink, so the cache is the evictable pool).  0 = no
+    /// budget.
+    std::size_t memory_budget_bytes = 0;
 };
 
 /// Cumulative request telemetry (schedule-dependent counters included; see
@@ -68,6 +89,10 @@ struct ServiceStats {
     std::uint64_t cache_evictions = 0;
     std::uint64_t cache_shard_contention = 0;
     std::uint64_t single_flight_parked = 0;
+    /// Work-bearing requests refused by the queue cap (OverloadError thrown).
+    std::uint64_t rejected_overload = 0;
+    /// Cache entries dropped by the memory budget (evict_to_resident).
+    std::uint64_t pressure_evictions = 0;
 };
 
 class SessionService {
@@ -102,6 +127,11 @@ public:
     ThreadPool& pool() { return pool_; }
     ServiceStats stats() const;
 
+    /// Approximate resident bytes of everything the memory budget covers:
+    /// the shared cache plus every open session's workspace arenas.  Locks
+    /// each slot briefly (one at a time) to read its arena sizes.
+    std::size_t resident_bytes();
+
 private:
     /// One open session behind its request mutex.  unique_ptr keeps slot
     /// addresses stable while open() grows the vector under mutex_.
@@ -117,13 +147,34 @@ private:
     Slot& slot(SessionId id);
     void count_batch(const PipelineStats& stats);
 
+    /// RAII admission ticket: the constructor takes the queue-cap decision
+    /// under mutex_ (throwing OverloadError when full), the destructor
+    /// releases the in-flight slot even when the request itself throws.
+    class Admission {
+    public:
+        Admission(SessionService& svc, const char* op);
+        ~Admission();
+        Admission(const Admission&) = delete;
+        Admission& operator=(const Admission&) = delete;
+
+    private:
+        SessionService& svc_;
+    };
+
+    /// Memory-budget enforcement, run after every work-bearing request:
+    /// when resident_bytes() exceeds the budget, pressure-evicts LRU cache
+    /// entries until the total fits (or the cache is empty -- arenas are
+    /// not evictable).  No-op without a budget.
+    void enforce_budget();
+
     Technology tech_;
     ServiceOptions opts_;
     RouteCache cache_;
     ThreadPool pool_;
-    mutable std::mutex mutex_;  ///< guards slots_ growth and stats_
+    mutable std::mutex mutex_;  ///< guards slots_ growth, stats_, in_flight_
     std::vector<std::unique_ptr<Slot>> slots_;
     ServiceStats stats_;
+    std::size_t in_flight_ = 0;  ///< admitted, not yet finished requests
 };
 
 }  // namespace cong93

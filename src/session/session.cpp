@@ -150,12 +150,25 @@ PipelineOptions Session::route_options(const Technology&) const
     PipelineOptions p = opts_.pipeline;
     p.faults = faults_;
     p.cache = nullptr;  // per-request paths never consult the batch cache
+    // Lifecycle knobs apply to batch admission (add_batch), not to the
+    // per-request ECO path: an incremental repair is bit-compared against
+    // route_single, an exactness contract wall-deadline pressure would
+    // break.  The deterministic virtual clock still applies -- it defers
+    // every request to route_single via fault_would_fire.
+    p.deadline_ms = 0.0;
+    p.cancel = nullptr;
+    p.admit_cap = 0;
+    p.memory_budget_bytes = 0;
     return p;
 }
 
 bool Session::fault_would_fire(std::uint64_t request) const
 {
     if (!faults_.enabled) return false;
+    // A virtual deadline clock charges per-stage costs route_single's ladder
+    // knows how to honor and the incremental fast path does not; defer every
+    // request to route_single so the stored result stays authoritative.
+    if (faults_.virtual_clock()) return true;
     const std::size_t i = static_cast<std::size_t>(request);
     return faults_.fires(i, RouteStage::topology) ||
            faults_.fires(i, RouteStage::fallback) ||

@@ -192,6 +192,11 @@ public:
     }
     const SessionOptions& options() const { return opts_; }
 
+    /// Approximate bytes resident in this session's workspace arenas
+    /// (capacities; arenas never shrink).  The SessionService memory budget
+    /// sums this over every session plus the shared cache.
+    std::size_t resident_bytes() const { return ws_.resident_bytes(); }
+
 private:
     /// Cached GREWSA fixpoint bounds of one stem, keyed by exact content.
     struct StemBounds {

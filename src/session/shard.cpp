@@ -216,6 +216,27 @@ std::uint64_t CacheShard::evict_locked()
     return evicted;
 }
 
+std::size_t CacheShard::evict_one()
+{
+    std::unique_lock<std::mutex> lk(m_, std::defer_lock);
+    lock_counting(lk, nullptr);
+    if (lru_.empty()) return 0;
+    const auto victim = std::prev(lru_.end());
+    auto& vchain = by_hash_[victim->key.hash];
+    for (std::size_t i = 0; i < vchain.size(); ++i) {
+        if (vchain[i] == victim) {
+            vchain.erase(vchain.begin() + static_cast<std::ptrdiff_t>(i));
+            break;
+        }
+    }
+    if (vchain.empty()) by_hash_.erase(victim->key.hash);
+    const std::size_t freed = victim->bytes;
+    resident_ -= victim->bytes;
+    lru_.erase(victim);
+    ++stats_.evictions;
+    return freed;
+}
+
 std::uint64_t CacheShard::insert(const CacheKey& key,
                                  const NetRouteResult& result)
 {

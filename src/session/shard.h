@@ -133,6 +133,12 @@ public:
     /// payload bits are identical by the translation-invariance contract).
     std::uint64_t apply(std::vector<CacheEpochEvent>& events);
 
+    /// Pressure eviction: unconditionally drops the least-recently-used
+    /// entry (capacity notwithstanding).  Returns the bytes freed, 0 when
+    /// the shard is empty.  Used by RouteCache::evict_to_resident to hold a
+    /// global memory budget before allocation failure.
+    std::size_t evict_one();
+
     void set_capacity(std::size_t capacity) { capacity_ = capacity; }
     std::size_t capacity() const { return capacity_; }
 

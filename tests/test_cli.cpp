@@ -63,6 +63,84 @@ TEST(CliParse, Errors)
     EXPECT_THROW(parse({"--help"}), std::invalid_argument);  // usage via throw
 }
 
+TEST(CliParse, MalformedNumericsRejectPerFlag)
+{
+    // Every numeric lifecycle/capacity flag rejects garbage and (for the
+    // unsigned ones) negative values instead of truncating them silently.
+    EXPECT_THROW(parse({"serve", "--shards=abc"}), std::invalid_argument);
+    EXPECT_THROW(parse({"serve", "--shards", "-1"}), std::invalid_argument);
+    EXPECT_THROW(parse({"session", "--cache-capacity", "-5"}),
+                 std::invalid_argument);
+    EXPECT_THROW(parse({"batch", "--max-nodes", "-1"}), std::invalid_argument);
+    EXPECT_THROW(parse({"batch", "--seed", "-2"}), std::invalid_argument);
+    EXPECT_THROW(parse({"serve", "--queue-cap", "-1"}), std::invalid_argument);
+    EXPECT_THROW(parse({"serve", "--queue-cap=x"}), std::invalid_argument);
+    EXPECT_THROW(parse({"serve", "--memory-budget", "-1"}),
+                 std::invalid_argument);
+    EXPECT_THROW(parse({"batch", "--deadline-ms", "-0.5"}),
+                 std::invalid_argument);
+    EXPECT_THROW(parse({"batch", "--deadline-ms", "abc"}),
+                 std::invalid_argument);
+    EXPECT_THROW(parse({"batch", "--threads", "2x"}), std::invalid_argument);
+
+    // The rejection message carries the usage text so a CLI user sees the
+    // expected spelling without a second invocation.
+    try {
+        parse({"serve", "--shards=abc"});
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string(e.what()).find("usage:"), std::string::npos);
+    }
+}
+
+TEST(CliParse, EqualsSpellingAndLifecycleFlags)
+{
+    const CliOptions o =
+        parse({"serve", "--queue-cap=3", "--memory-budget=65536",
+               "--deadline-ms=2.5", "--shards=4", "--sessions=5"});
+    EXPECT_EQ(o.queue_cap, 3u);
+    EXPECT_EQ(o.memory_budget, 65536u);
+    EXPECT_DOUBLE_EQ(o.deadline_ms, 2.5);
+    EXPECT_EQ(o.shards, 4u);
+    EXPECT_EQ(o.sessions, 5);
+
+    // Both spellings parse identically.
+    const CliOptions spaced =
+        parse({"serve", "--queue-cap", "3", "--memory-budget", "65536",
+               "--deadline-ms", "2.5", "--shards", "4", "--sessions", "5"});
+    EXPECT_EQ(spaced.queue_cap, o.queue_cap);
+    EXPECT_EQ(spaced.memory_budget, o.memory_budget);
+    EXPECT_DOUBLE_EQ(spaced.deadline_ms, o.deadline_ms);
+
+    // Defaults: lifecycle machinery entirely off.
+    const CliOptions d = parse({"batch"});
+    EXPECT_EQ(d.queue_cap, 0u);
+    EXPECT_EQ(d.memory_budget, 0u);
+    EXPECT_DOUBLE_EQ(d.deadline_ms, 0.0);
+}
+
+TEST(CliRun, BatchAdmitCapAndVirtualDeadline)
+{
+    // Admission cap: the tail of the batch is rejected, deterministically.
+    CliOptions capped = parse({"batch", "--random", "6", "--sinks", "4",
+                               "--queue-cap", "2"});
+    std::ostringstream out;
+    EXPECT_EQ(run_cli(capped, out), 0);
+    EXPECT_NE(out.str().find("rejected 4"), std::string::npos);
+    EXPECT_NE(out.str().find("rejected_overload"), std::string::npos);
+
+    // Virtual-clock deadline: every net degrades, output is deterministic.
+    CliOptions vclock = parse({"batch", "--random", "4", "--sinks", "4",
+                               "--fault-inject",
+                               "seed=5,vdeadline=10,vcost-wiresize=20"});
+    std::ostringstream a, b;
+    EXPECT_EQ(run_cli(vclock, a), 0);
+    vclock.threads = 4;
+    EXPECT_EQ(run_cli(vclock, b), 0);
+    EXPECT_EQ(a.str(), b.str());
+    EXPECT_NE(a.str().find("deadline_degraded 4"), std::string::npos);
+}
+
 TEST(CliRun, GenProducesParsableNets)
 {
     CliOptions o = parse({"gen", "--random", "4", "--sinks", "3", "--grid", "50"});

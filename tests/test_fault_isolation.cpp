@@ -17,6 +17,7 @@
 #include "batch/batch.h"
 #include "batch/errors.h"
 #include "batch/fault_inject.h"
+#include "batch/lifecycle.h"
 #include "batch/pipeline.h"
 #include "tech/technology.h"
 
@@ -416,6 +417,45 @@ TEST(ThreadPoolAggregation, MultiSlotFailuresInParallelForSlotsAggregate)
             EXPECT_NE(what.find("chunk fault " + std::to_string(i)),
                       std::string::npos);
     }
+}
+
+TEST(ThreadPoolAggregation, FailuresDuringCancellationStillAggregate)
+{
+    // Cancellation and worker failure race during real overload shutdowns;
+    // the contract is that cancellation never swallows exceptions.  Four
+    // slots each pull one index and park at a barrier; once all arrived the
+    // request is cancelled and every slot throws anyway -- all four causes
+    // must still reach the caller as one BatchError.
+    ThreadPool pool(4);
+    CancelToken cancel;
+    std::atomic<int> arrivals{0};
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    try {
+        parallel_for_slots(
+            pool, 4,
+            [&](std::size_t i, int) {
+                arrivals.fetch_add(1);
+                while (arrivals.load() < 4 &&
+                       std::chrono::steady_clock::now() < deadline)
+                    std::this_thread::yield();
+                cancel.cancel();
+                throw std::runtime_error("dying worker " + std::to_string(i));
+            },
+            1, &cancel);
+        FAIL() << "parallel_for_slots must rethrow";
+    } catch (const BatchError& e) {
+        EXPECT_EQ(e.causes().size(), 4u);
+        const std::string what = e.what();
+        for (int i = 0; i < 4; ++i)
+            EXPECT_NE(what.find("dying worker " + std::to_string(i)),
+                      std::string::npos);
+    }
+
+    // The pool is fully serviceable after the cancelled, failed run.
+    std::atomic<int> ran{0};
+    parallel_for_slots(pool, 8, [&](std::size_t, int) { ran.fetch_add(1); });
+    EXPECT_EQ(ran.load(), 8);
 }
 
 }  // namespace

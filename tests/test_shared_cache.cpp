@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "batch/batch.h"
+#include "batch/lifecycle.h"
 #include "batch/pipeline.h"
 #include "netgen/netgen.h"
 #include "rtree/validate.h"
@@ -264,6 +265,32 @@ TEST(TaskGroup, FailuresStayWithTheirGroup)
     good.wait();  // must not observe the other group's failure
     EXPECT_EQ(ran, 1);
     pool.wait_idle();  // grouped errors never leak into the pool-wide list
+}
+
+TEST(TaskGroup, CancelledRunLeavesNoParkedTasks)
+{
+    // A cancelled parallel_for_slots run abandons its remaining chunks by
+    // design; nothing may stay parked in the pool or its task groups.  A
+    // follow-up clean run on the same pool must cover every index exactly
+    // once, with no stragglers from the cancelled pass bleeding in.
+    ThreadPool pool(2);
+    CancelToken cancel;
+    std::atomic<std::size_t> before{0};
+    parallel_for_slots(
+        pool, 1000,
+        [&](std::size_t, int) {
+            before.fetch_add(1);
+            cancel.cancel();  // cancel as soon as any chunk ran
+        },
+        1, &cancel);
+    EXPECT_GT(before.load(), 0u);     // something ran before the cancel
+    EXPECT_LT(before.load(), 1000u);  // and the run genuinely stopped early
+
+    std::vector<int> seen(1000, 0);
+    parallel_for_slots(pool, 1000, [&](std::size_t i, int) { ++seen[i]; });
+    for (std::size_t i = 0; i < seen.size(); ++i)
+        EXPECT_EQ(seen[i], 1) << "index " << i;
+    pool.wait_idle();
 }
 
 // ---------------------------------------------------------------------------

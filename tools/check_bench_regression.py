@@ -23,6 +23,14 @@ of checks with different severities:
   serial.  Either mismatch means the isolation layer lost determinism or
   the routers started degrading organically -- not machine variance.
 
+* Liveness counts are HARD failures: any fresh entry carrying a ``hung``
+  field must report zero -- a serve-overload request that started but never
+  finished means graceful degradation lost a request instead of classifying
+  it.  ``serve_overload`` rows must also carry their ``outcomes`` mix (the
+  per-rung RouteStatus tally); a row that drops it hides the degradation
+  ladder the study exists to witness, and like ``cache_mt*`` the whole
+  section cannot silently disappear from a fresh study.
+
 * Compile counts are HARD failures: any fresh entry carrying a
   ``compiles_per_net`` or ``compiles_per_routed_net`` field must not exceed
   1.0.  The batch pipeline compiles each net's FlatTree exactly once and
@@ -139,6 +147,23 @@ def failure_violations(study):
     return bad
 
 
+def liveness_violations(study):
+    """Hung requests and serve rows that dropped their outcome mix."""
+    bad = []
+    for section, value in study.items():
+        entries = value if isinstance(value, list) else [value]
+        for entry in entries:
+            if not isinstance(entry, dict):
+                continue
+            if entry.get("hung", 0) != 0:
+                bad.append((section, entry, f"hung={entry['hung']}"))
+            if section.startswith("serve_overload") and not isinstance(
+                entry.get("outcomes"), dict
+            ):
+                bad.append((section, entry, "missing outcomes mix"))
+    return bad
+
+
 def compile_rate_violations(study):
     """Every entry compiling more than once per (routed) net."""
     bad = []
@@ -192,6 +217,10 @@ def main(argv):
         )
         failed = True
 
+    for section, entry, why in liveness_violations(fresh):
+        print(f"FAIL: {describe(section, entry)}: {why}")
+        failed = True
+
     for section, entry, field in compile_rate_violations(fresh):
         print(
             f"FAIL: {describe(section, entry)}: "
@@ -200,7 +229,10 @@ def main(argv):
         failed = True
 
     for section in committed:
-        if section.startswith("cache_mt") and section not in fresh:
+        if (
+            section.startswith("cache_mt")
+            or section.startswith("serve_overload")
+        ) and section not in fresh:
             print(f"FAIL: fresh study dropped determinism section {section}")
             failed = True
 
