@@ -34,6 +34,13 @@
 // on duplicate-laden batches at controlled dup ratios with byte-identity vs
 // the cache-off run, and the serial-vs-4-thread cache determinism probe).
 //
+// BENCH_chip.json (the chip workload study: a 100k-net generated design
+// streamed through route_stream in 512-net chunks -- nets/sec at 1 and 4
+// threads with byte-identity of the serialized results, chunked vs
+// one-shot byte-identity, the bounded-memory witness comparing workspace
+// resident bytes against a 10x smaller design, and the measured-vs-
+// bounding-box delay-model band with planted RAT violations for WNS/TNS).
+//
 //   --json=PATH          output path for the wiresize study (default BENCH_wiresize.json)
 //   --atree-json=PATH    output path for the A-tree study (default BENCH_atree.json)
 //   --pipeline-json=PATH output path for the pipeline study (default BENCH_pipeline.json)
@@ -42,6 +49,8 @@
 //   --eco-json=PATH      output path for the session study (default BENCH_eco.json)
 //   --serve-json=PATH    output path for the service overload study
 //                        (default BENCH_serve.json)
+//   --chip-json=PATH     output path for the chip workload study
+//                        (default BENCH_chip.json)
 //   --json-only          skip the google-benchmark suite, only write the studies
 //   --smoke              small-size studies only (CI smoke job)
 //   --skip-wiresize      do not (re)generate the wiresize study
@@ -77,6 +86,7 @@
 #include "sim/moments.h"
 #include "sim/rc_tree.h"
 #include "netgen/netgen.h"
+#include "report/chip_report.h"
 #include "rtree/flat_tree.h"
 #include "rtree/io.h"
 #include "rtree/metrics.h"
@@ -93,6 +103,8 @@
 #include "wiresize/combined.h"
 #include "wiresize/grewsa.h"
 #include "wiresize/owsa.h"
+#include "workload/net_source.h"
+#include "workload/stream.h"
 
 namespace cong93 {
 namespace {
@@ -1645,6 +1657,186 @@ bool write_serve_json(const std::string& path, bool smoke)
     return all_ok;
 }
 
+bool write_chip_json(const std::string& path, bool smoke)
+{
+    ScopedSimdMode scalar_pin(SimdMode::scalar);
+    const Technology tech = mcm_technology();
+
+    // --- chip workload study --------------------------------------------
+    // A whole generated design streamed through route_stream in 512-net
+    // chunks: throughput at 1 and 4 threads with byte-identity of the
+    // serialized results (the format_results contract lifted to streams),
+    // chunked-vs-one-shot byte-identity, and the bounded-memory witness --
+    // a 10x larger design through the same chunk size must not grow the
+    // persistent workspace footprint.  The full run is the acceptance-scale
+    // 100k-net design; smoke shrinks the net count only.
+    const std::size_t full_nets = smoke ? 2000 : 100000;
+    const std::size_t chunk = 512;
+    const int sinks = 6;
+    const std::uint64_t seed = 71;
+
+    struct ChipRun {
+        std::string bytes;  ///< format_results over the whole stream
+        StreamStats st;
+        double seconds = 0.0;
+    };
+    const auto run_stream = [&](std::size_t count, int threads,
+                                std::size_t chunk_nets) {
+        PipelineOptions popts;
+        popts.threads = threads;
+        GeneratedNetSource src(seed, count, kMcmGrid, sinks);
+        StreamOptions sopts;
+        sopts.chunk_nets = chunk_nets;
+        std::vector<NetRouteResult> all;
+        all.reserve(count);
+        ChipRun r;
+        const auto t0 = std::chrono::steady_clock::now();
+        r.st = route_stream(src, tech, popts, sopts,
+                            [&](std::size_t, const std::vector<WorkItem>&,
+                                const std::vector<NetRouteResult>& results) {
+                                all.insert(all.end(), results.begin(),
+                                           results.end());
+                            });
+        r.seconds = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+        r.bytes = format_results(all);
+        return r;
+    };
+
+    const ChipRun serial = run_stream(full_nets, 1, chunk);
+    const ChipRun threaded = run_stream(full_nets, 4, chunk);
+    const ChipRun oneshot = run_stream(full_nets, 1, 0);
+    const ChipRun small = run_stream(full_nets / 10, 1, chunk);
+
+    const bool mt_identical = threaded.bytes == serial.bytes;
+    const bool oneshot_identical = oneshot.bytes == serial.bytes;
+    // Arenas are high-water marks of the largest net routed, so a 10x
+    // larger design may legitimately grow them a little; staying under 2x
+    // while the design grows 10x is the design-size-independence witness.
+    const bool bounded = small.st.workspace_resident_bytes > 0 &&
+                         serial.st.workspace_resident_bytes <=
+                             2 * small.st.workspace_resident_bytes;
+
+    std::cout << "chip stream: " << full_nets << " nets  serial "
+              << fmt_fixed(static_cast<double>(full_nets) / serial.seconds, 0)
+              << " nets/s  4-thread "
+              << fmt_fixed(static_cast<double>(full_nets) / threaded.seconds, 0)
+              << " nets/s  mt_identical " << (mt_identical ? "yes" : "no")
+              << "  oneshot_identical " << (oneshot_identical ? "yes" : "no")
+              << "  resident " << serial.st.workspace_resident_bytes
+              << "B (10% design: " << small.st.workspace_resident_bytes
+              << "B)\n";
+
+    // --- delay-model cross-check ----------------------------------------
+    // A smaller constrained design: every third net gets a loose RAT (1.5x
+    // its bounding-box estimate, normally met), every tenth a hopeless one
+    // (0.1x, a guaranteed violation), so WNS/TNS and the measured-vs-
+    // estimate ratio band are all exercised with nonzero values.
+    const std::size_t dm_nets = smoke ? 300 : 3000;
+    std::vector<WorkItem> dm_items;
+    {
+        GeneratedNetSource src(seed + 1, dm_nets, kMcmGrid, sinks);
+        while (src.pull(dm_items, 1024) != 0) {}
+        for (std::size_t i = 0; i < dm_items.size(); ++i) {
+            const double bb = bounding_box_delay_s(dm_items[i].net, tech);
+            if (i % 10 == 0) {
+                dm_items[i].meta.required_arrival_s = 0.1 * bb;
+                dm_items[i].meta.criticality = 2.0;
+            } else if (i % 3 == 0) {
+                dm_items[i].meta.required_arrival_s = 1.5 * bb;
+            }
+        }
+    }
+    ChipAggregator agg(tech, 10);
+    {
+        VectorNetSource src(dm_items);
+        StreamOptions sopts;
+        sopts.chunk_nets = chunk;
+        route_stream(src, tech, {}, sopts,
+                     [&](std::size_t first, const std::vector<WorkItem>& it,
+                         const std::vector<NetRouteResult>& r) {
+                         agg.add_chunk(first, it, r);
+                     });
+    }
+    const ChipSummary& dm = agg.summary();
+    // Model sanity gate: every routed net produced a usable ratio and the
+    // band is physical (positive, bounded) with the planted violations seen.
+    const bool model_ok = dm.ratio_nets == dm.routed && dm.ratio_min > 0.0 &&
+                          dm.ratio_max < 100.0 && dm.violations > 0 &&
+                          dm.wns_s < 0.0 && dm.tns_s <= dm.wns_s;
+    std::cout << "chip delay model: " << dm.nets << " nets  ratio mean "
+              << fmt_fixed(dm.ratio_mean, 3) << " [" << fmt_fixed(dm.ratio_min, 3)
+              << ", " << fmt_fixed(dm.ratio_max, 3) << "]  violations "
+              << dm.violations << "  wns " << fmt_sci(dm.wns_s, 2) << "s  ok "
+              << (model_ok ? "yes" : "no") << '\n';
+
+    std::ofstream out(path);
+    if (!out) {
+        std::cerr << "cannot write " << path << '\n';
+        return false;
+    }
+    const auto stream_row = [&](const ChipRun& r, int threads, bool identical,
+                                double speedup) {
+        out << "    {\"nets\": " << full_nets << ", \"threads\": " << threads
+            << ", \"chunk_nets\": " << chunk
+            << ", \"chunks\": " << r.st.chunks
+            << ", \"seconds\": " << fmt_sci(r.seconds, 4)
+            << ", \"nets_per_sec\": "
+            << fmt_fixed(static_cast<double>(full_nets) / r.seconds, 1)
+            << ", \"speedup\": " << fmt_fixed(speedup, 2)
+            << ", \"resident_bytes\": " << r.st.workspace_resident_bytes
+            << ", \"failed\": " << r.st.pipeline.nets_failed
+            << ", \"expected_failed\": 0"
+            << ", \"compiles_per_net\": "
+            << fmt_fixed(r.st.pipeline.compiles_per_net, 4)
+            << ", \"compiles_per_routed_net\": "
+            << fmt_fixed(r.st.pipeline.compiles_per_routed_net, 4)
+            << ", \"identical\": " << (identical ? "true" : "false") << "}";
+    };
+    out << "{\n"
+        << "  \"benchmark\": \"chip_workload\",\n"
+        << "  \"generated_by\": \"bench_micro_scaling\",\n"
+        << "  \"technology\": \"mcm\",\n"
+        << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
+        << ",\n"
+        << "  \"sinks\": " << sinks << ",\n"
+        << "  \"seed\": " << seed << ",\n"
+        << "  \"chip_stream\": [\n";
+    stream_row(serial, 1, true, 1.0);
+    out << ",\n";
+    stream_row(threaded, 4, mt_identical, serial.seconds / threaded.seconds);
+    out << "\n  ],\n"
+        << "  \"chip_identity\": {\"chunked_vs_oneshot\": {\"nets\": "
+        << full_nets << ", \"chunk_nets\": " << chunk
+        << ", \"identical\": " << (oneshot_identical ? "true" : "false")
+        << "}},\n"
+        << "  \"chip_bounded_memory\": {\n"
+        << "    \"small\": {\"nets\": " << full_nets / 10
+        << ", \"resident_bytes\": " << small.st.workspace_resident_bytes
+        << "},\n"
+        << "    \"full\": {\"nets\": " << full_nets
+        << ", \"resident_bytes\": " << serial.st.workspace_resident_bytes
+        << "},\n"
+        << "    \"identical\": " << (bounded ? "true" : "false") << "\n"
+        << "  },\n"
+        << "  \"chip_delay_model\": {\"nets\": " << dm.nets
+        << ", \"routed\": " << dm.routed << ", \"constrained\": "
+        << dm.constrained << ", \"violations\": " << dm.violations
+        << ", \"ratio_mean\": " << fmt_fixed(dm.ratio_mean, 4)
+        << ", \"ratio_min\": " << fmt_fixed(dm.ratio_min, 4)
+        << ", \"ratio_max\": " << fmt_fixed(dm.ratio_max, 4)
+        << ", \"ratio_nets\": " << dm.ratio_nets
+        << ", \"wns_s\": " << fmt_sci(dm.wns_s, 4)
+        << ", \"tns_s\": " << fmt_sci(dm.tns_s, 4)
+        << ", \"identical\": " << (model_ok ? "true" : "false") << "}\n"
+        << "}\n";
+    std::cout << "wrote " << path << '\n';
+
+    return mt_identical && oneshot_identical && bounded && model_ok &&
+           serial.st.pipeline.nets_failed == 0;
+}
+
 }  // namespace
 }  // namespace cong93
 
@@ -1657,6 +1849,7 @@ int main(int argc, char** argv)
     std::string simd_json_path = "BENCH_simd.json";
     std::string eco_json_path = "BENCH_eco.json";
     std::string serve_json_path = "BENCH_serve.json";
+    std::string chip_json_path = "BENCH_chip.json";
     bool json_only = false;
     bool smoke = false;
     bool skip_wiresize = false;
@@ -1686,6 +1879,8 @@ int main(int argc, char** argv)
             eco_json_path = argv[i] + 11;
         else if (std::strncmp(argv[i], "--serve-json=", 13) == 0)
             serve_json_path = argv[i] + 13;
+        else if (std::strncmp(argv[i], "--chip-json=", 12) == 0)
+            chip_json_path = argv[i] + 12;
         else if (std::strcmp(argv[i], "--json-only") == 0)
             json_only = true;
         else if (std::strcmp(argv[i], "--smoke") == 0)
@@ -1719,8 +1914,9 @@ int main(int argc, char** argv)
     const bool simd_ok = cong93::write_simd_json(simd_json_path, smoke);
     const bool eco_ok = cong93::write_eco_json(eco_json_path, smoke, threads_list);
     const bool serve_ok = cong93::write_serve_json(serve_json_path, smoke);
+    const bool chip_ok = cong93::write_chip_json(chip_json_path, smoke);
     return wiresize_ok && atree_ok && metrics_ok && pipeline_ok && simd_ok &&
-                   eco_ok && serve_ok
+                   eco_ok && serve_ok && chip_ok
                ? 0
                : 1;
 }

@@ -546,6 +546,7 @@ void tally_outcomes(const std::vector<NetRouteResult>& out, PipelineStats& stats
 std::vector<NetRouteResult> route_batch_impl(const std::vector<Net>& nets,
                                              std::uint64_t diag_seed_base,
                                              bool seeded,
+                                             const std::uint64_t* diag_seeds,
                                              const Technology& tech,
                                              const PipelineOptions& opts,
                                              PipelineStats* stats,
@@ -587,7 +588,8 @@ std::vector<NetRouteResult> route_batch_impl(const std::vector<Net>& nets,
     lc.plan = &faults;
     lc.wall_degraded = &wall_degraded;
 
-    const auto seed_of = [&](std::size_t i) {
+    const auto seed_of = [&](std::size_t i) -> std::uint64_t {
+        if (diag_seeds != nullptr) return diag_seeds[i];
         return seeded ? net_seed(diag_seed_base, i) : 0;
     };
 
@@ -932,7 +934,23 @@ std::vector<NetRouteResult> route_batch(const std::vector<Net>& nets,
                                         PipelineStats* stats,
                                         std::vector<Workspace>* workspaces)
 {
-    return route_batch_impl(nets, 0, false, tech, opts, stats, workspaces);
+    return route_batch_impl(nets, 0, false, nullptr, tech, opts, stats,
+                            workspaces);
+}
+
+std::vector<NetRouteResult> route_batch(const std::vector<Net>& nets,
+                                        const std::vector<std::uint64_t>& diag_seeds,
+                                        const Technology& tech,
+                                        const PipelineOptions& opts,
+                                        PipelineStats* stats,
+                                        std::vector<Workspace>* workspaces)
+{
+    if (diag_seeds.size() != nets.size())
+        throw std::invalid_argument("route_batch: diag_seeds size " +
+                                    std::to_string(diag_seeds.size()) +
+                                    " != nets size " + std::to_string(nets.size()));
+    return route_batch_impl(nets, 0, false, diag_seeds.data(), tech, opts,
+                            stats, workspaces);
 }
 
 std::vector<NetRouteResult> route_batch(std::uint64_t seed, int count, Coord grid,
@@ -942,7 +960,7 @@ std::vector<NetRouteResult> route_batch(std::uint64_t seed, int count, Coord gri
                                         std::vector<Workspace>* workspaces)
 {
     return route_batch_impl(random_nets(seed, count, grid, sink_count), seed,
-                            true, tech, opts, stats, workspaces);
+                            true, nullptr, tech, opts, stats, workspaces);
 }
 
 std::string format_results(const std::vector<NetRouteResult>& results)

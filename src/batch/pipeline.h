@@ -282,6 +282,18 @@ std::vector<NetRouteResult> route_batch(const std::vector<Net>& nets,
                                         PipelineStats* stats = nullptr,
                                         std::vector<Workspace>* workspaces = nullptr);
 
+/// Caller-supplied per-net diagnostic seeds (diag_seeds.size() must equal
+/// nets.size(); throws std::invalid_argument otherwise).  Each result's
+/// NetDiagnostic::net_seed is diag_seeds[i] -- the hook that lets streamed
+/// workload sources (workload/net_source.h) carry generator seeds through
+/// chunked routing exactly as the seeded front-end below records them.
+std::vector<NetRouteResult> route_batch(const std::vector<Net>& nets,
+                                        const std::vector<std::uint64_t>& diag_seeds,
+                                        const Technology& tech,
+                                        const PipelineOptions& opts = {},
+                                        PipelineStats* stats = nullptr,
+                                        std::vector<Workspace>* workspaces = nullptr);
+
 /// netgen front-end: generates `count` random nets (uniform terminals on
 /// [0, grid]^2, seeded deterministically) and routes them; each net's
 /// diagnostic carries net_seed(seed, index).

@@ -3,6 +3,7 @@
 #include <array>
 #include <fstream>
 #include <functional>
+#include <optional>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
@@ -15,8 +16,12 @@
 #include "baseline/one_steiner.h"
 #include "baseline/spt.h"
 #include "netgen/netgen.h"
+#include "report/chip_report.h"
 #include "report/table.h"
 #include "rtree/io.h"
+#include "workload/net_source.h"
+#include "workload/netlist.h"
+#include "workload/stream.h"
 #include "session/service.h"
 #include "session/session.h"
 #include "rtree/metrics.h"
@@ -32,11 +37,16 @@ std::string cli_usage()
     return R"(usage: cong93 <command> [options]
 
 commands:
-  gen        generate random nets and print them
+  gen        generate random nets and print them (--out also writes the
+             cong93 netlist format, read back by chip/batch --in)
   route      route nets, print metrics (optionally dump trees with --out)
   flow       route + wiresize + simulate
   simulate   simulate serialized trees (--in trees.txt)
   batch      fault-isolated batch pipeline: per-net status + diagnostics
+  chip       chip-level workload: stream a whole design (netlist --in, or
+             --random generated nets) through route_stream in bounded-memory
+             chunks and roll up worst slacks + measured-vs-bounding-box
+             delay ratios into a chip report
   session    replay an ECO delta script (--in) through the incremental
              session engine: gen/net admit nets, move/add/remove/retech
              repair them in place, route/print/stats inspect
@@ -81,6 +91,10 @@ options:
                        next-pow2(4 x threads); never changes output bytes)
   --sessions <n>       serve: concurrent sessions / client threads (default 2)
   --requests <r>       serve: requests per session script (default 3)
+  --chunk-nets <c>     nets per route_stream chunk (batch/chip); 0 keeps
+                       batch on one chunk and chip on its streaming
+                       default of 4096
+  --top <k>            chip: worst-slack leaderboard size (default 10)
 )";
 }
 
@@ -160,10 +174,27 @@ std::vector<RoutingTree> parse_tree_blocks(const std::string& text)
 
 int run_gen(const CliOptions& opts, std::ostream& out)
 {
+    // Pull through the workload source (bit-identical to random_nets) so
+    // the stdout dump and the --out netlist describe one generation.
+    GeneratedNetSource src(opts.seed, static_cast<std::size_t>(opts.random_count),
+                           opts.grid, opts.sinks);
+    std::vector<WorkItem> items;
+    items.reserve(src.size_hint());
+    while (src.pull(items, 1024) != 0) {
+    }
+    std::vector<Net> nets;
+    nets.reserve(items.size());
+    for (const WorkItem& item : items) nets.push_back(item.net);
+
     out << "# cong93 gen --random " << opts.random_count << " --sinks " << opts.sinks
         << " --grid " << opts.grid << " --seed " << opts.seed << '\n'
-        << format_nets(
-               random_nets(opts.seed, opts.random_count, opts.grid, opts.sinks));
+        << format_nets(nets);
+    if (!opts.out_path.empty()) {
+        std::ofstream of(opts.out_path);
+        if (!of) throw std::invalid_argument("cannot write " + opts.out_path);
+        of << format_netlist(items, "rand" + std::to_string(opts.seed));
+        out << "wrote " << items.size() << " nets to " << opts.out_path << '\n';
+    }
     return 0;
 }
 
@@ -260,16 +291,43 @@ int run_batch(const CliOptions& opts, std::ostream& out,
     popts.deadline_ms = opts.deadline_ms;
     popts.admit_cap = opts.queue_cap;
 
-    PipelineStats stats;
-    std::vector<NetRouteResult> results;
+    // Workload source selection: generated nets (diagnostics carry
+    // net_seed(seed, index), exactly like the seeded route_batch
+    // front-end), a cong93 netlist (malformed blocks surface as
+    // invalid_input results, never exceptions), or the legacy net list.
+    std::optional<GeneratedNetSource> gen;
+    std::optional<VectorNetSource> vec;
+    std::optional<NetlistReader> reader;
+    std::istringstream netlist_text;
+    NetSource* src = nullptr;
     if (opts.input_path.empty() && !input_text) {
-        // Seeded front-end: diagnostics carry net_seed(seed, index).
-        results = route_batch(opts.seed, opts.random_count, opts.grid,
-                              opts.sinks, tech, popts, &stats);
+        gen.emplace(opts.seed, static_cast<std::size_t>(opts.random_count),
+                    opts.grid, opts.sinks);
+        src = &*gen;
     } else {
-        results = route_batch(parse_nets(read_input(opts, input_text)), tech,
-                              popts, &stats);
+        const std::string text = read_input(opts, input_text);
+        if (text.rfind("# cong93 netlist", 0) == 0) {
+            netlist_text.str(text);
+            reader.emplace(netlist_text);
+            src = &*reader;
+        } else {
+            vec.emplace(parse_nets(text));
+            src = &*vec;
+        }
     }
+
+    // Stream through route_batch; --chunk-nets 0 (the default) keeps one
+    // chunk, i.e. the exact historical one-shot behavior.
+    StreamOptions sopts;
+    sopts.chunk_nets = opts.chunk_nets;
+    std::vector<NetRouteResult> results;
+    const StreamStats st = route_stream(
+        *src, tech, popts, sopts,
+        [&](std::size_t, const std::vector<WorkItem>&,
+            const std::vector<NetRouteResult>& chunk) {
+            results.insert(results.end(), chunk.begin(), chunk.end());
+        });
+    const PipelineStats& stats = st.pipeline;
 
     // The result lines and the summary are deterministic at any thread
     // count (timings deliberately excluded), so outputs can be diffed
@@ -290,6 +348,80 @@ int run_batch(const CliOptions& opts, std::ostream& out,
                                    stats.nets_deadline_degraded >
                                0;
     return any_routed ? 0 : 1;
+}
+
+/// Chip-level roll-up: stream a whole design (netlist file or generated
+/// nets) through route_stream in bounded-memory chunks and fold every
+/// routed net into the ChipAggregator.  The report and the machine line
+/// are byte-identical at any thread count; the '#'-prefixed telemetry
+/// lines are the only schedule-dependent output.
+int run_chip(const CliOptions& opts, std::ostream& out,
+             const std::string* input_text)
+{
+    const Technology tech = technology_by_name(opts.tech, opts.driver_scale);
+    PipelineOptions popts;
+    popts.widths_r = opts.widths;
+    popts.threads = opts.threads;
+    popts.max_nodes_per_net = opts.max_nodes;
+    popts.faults = FaultPlan::parse(opts.fault_spec);
+    popts.deadline_ms = opts.deadline_ms;
+    popts.admit_cap = opts.queue_cap;
+
+    // A netlist file streams straight off the ifstream -- the design is
+    // never fully resident; only --random synthesizes nets on the fly.
+    std::optional<GeneratedNetSource> gen;
+    std::optional<NetlistReader> reader;
+    std::ifstream file;
+    std::istringstream text_stream;
+    NetSource* src = nullptr;
+    if (!opts.input_path.empty() || input_text != nullptr) {
+        if (input_text != nullptr) {
+            text_stream.str(*input_text);
+            reader.emplace(text_stream);
+        } else {
+            file.open(opts.input_path);
+            if (!file)
+                throw std::invalid_argument("cannot read " + opts.input_path);
+            reader.emplace(file);
+        }
+        src = &*reader;
+    } else {
+        gen.emplace(opts.seed, static_cast<std::size_t>(opts.random_count),
+                    opts.grid, opts.sinks);
+        src = &*gen;
+    }
+
+    StreamOptions sopts;
+    sopts.chunk_nets = opts.chunk_nets == 0 ? 4096 : opts.chunk_nets;
+
+    ChipAggregator agg(tech, opts.top);
+    const StreamStats st = route_stream(
+        *src, tech, popts, sopts,
+        [&](std::size_t first, const std::vector<WorkItem>& items,
+            const std::vector<NetRouteResult>& results) {
+            agg.add_chunk(first, items, results);
+        });
+    const PipelineStats& stats = st.pipeline;
+
+    out << agg.table();
+    out << agg.machine_line() << '\n';
+    out << "chip outcomes: ok " << stats.nets_ok << "  fallback "
+        << stats.nets_fallback << "  uniform_width "
+        << stats.nets_uniform_width << "  deadline_degraded "
+        << stats.nets_deadline_degraded << "  invalid " << stats.nets_invalid
+        << "  cancelled " << stats.nets_cancelled << "  rejected "
+        << stats.nets_rejected << "  failed " << stats.nets_failed << '\n';
+    // Throughput/memory telemetry is timing-dependent; '#'-prefixed lines
+    // are excluded from the CI serial-vs-threaded transcript diff.
+    out << "# chip stream: chunks " << st.chunks << "  peak_chunk_nets "
+        << st.peak_chunk_nets << "  nets_per_sec " << st.nets_per_sec
+        << "  workspace_resident_bytes " << st.workspace_resident_bytes
+        << '\n';
+    if (!st.source_error.empty()) {
+        out << "chip error: " << st.source_error << '\n';
+        return 1;
+    }
+    return agg.summary().routed > 0 ? 0 : 1;
 }
 
 /// One canonical result line, prefixed with the session net id instead of
@@ -344,11 +476,13 @@ int run_session(const CliOptions& opts, std::ostream& out,
                 if (long long s_in = 0; ls >> s_in) seed = s_in;  // optional
                 if (count < 1 || sinks < 1)
                     throw std::invalid_argument("gen needs count, sinks >= 1");
-                const auto nets =
-                    random_nets(static_cast<std::uint64_t>(seed),
-                                static_cast<int>(count), opts.grid,
-                                static_cast<int>(sinks));
-                for (const NetId id : s.add_batch(nets))
+                // Workload-layer admission: GeneratedNetSource draws the
+                // same RNG stream as random_nets, so the admitted nets --
+                // and every output byte -- match the pre-NetSource CLI.
+                GeneratedNetSource src(static_cast<std::uint64_t>(seed),
+                                       static_cast<std::size_t>(count),
+                                       opts.grid, static_cast<int>(sinks));
+                for (const NetId id : s.add_batch(src))
                     out << "net " << result_line(id, s.result(id));
             } else if (cmd == "net") {
                 Net n;
@@ -629,7 +763,11 @@ int run_serve(const CliOptions& opts, std::ostream& out)
                 got[static_cast<std::size_t>(s)] = run_script(
                     s,
                     [&](const std::vector<Net>& nets) {
-                        return svc.add_batch(sid, nets);
+                        // Admissions go through the workload layer: the
+                        // NetSource overload chunks (one chunk here) and
+                        // takes an admission ticket per chunk.
+                        VectorNetSource src(nets);
+                        return svc.add_batch(sid, src);
                     },
                     [&](NetId id) { return svc.result(sid, id); },
                     [&](NetId id, const EcoDelta& d) {
@@ -649,7 +787,10 @@ int run_serve(const CliOptions& opts, std::ostream& out)
         Session session(tech, base);
         const std::string want = run_script(
             s,
-            [&](const std::vector<Net>& nets) { return session.add_batch(nets); },
+            [&](const std::vector<Net>& nets) {
+                VectorNetSource src(nets);
+                return session.add_batch(src);
+            },
             [&](NetId id) { return session.result(id); },
             [&](NetId id, const EcoDelta& d) { return session.apply(id, d); });
         const bool match = got[static_cast<std::size_t>(s)] == want;
@@ -708,7 +849,8 @@ CliOptions parse_cli(const std::vector<std::string>& args)
         throw std::invalid_argument(cli_usage());
     if (opts.command != "gen" && opts.command != "route" && opts.command != "flow" &&
         opts.command != "simulate" && opts.command != "batch" &&
-        opts.command != "session" && opts.command != "serve")
+        opts.command != "chip" && opts.command != "session" &&
+        opts.command != "serve")
         throw std::invalid_argument("unknown command: " + opts.command + '\n' +
                                     cli_usage());
 
@@ -791,6 +933,8 @@ CliOptions parse_cli(const std::vector<std::string>& args)
         else if (a == "--shards") opts.shards = to_size(a, value());
         else if (a == "--sessions") opts.sessions = static_cast<int>(to_int(a, value()));
         else if (a == "--requests") opts.requests = static_cast<int>(to_int(a, value()));
+        else if (a == "--chunk-nets") opts.chunk_nets = to_size(a, value());
+        else if (a == "--top") opts.top = to_size(a, value());
         else throw std::invalid_argument("unknown option: " + a + '\n' + cli_usage());
     }
 
@@ -821,6 +965,7 @@ int run_cli(const CliOptions& opts, std::ostream& out, const std::string* input_
     if (opts.command == "flow") return run_flow(opts, out, input_text);
     if (opts.command == "simulate") return run_simulate(opts, out, input_text);
     if (opts.command == "batch") return run_batch(opts, out, input_text);
+    if (opts.command == "chip") return run_chip(opts, out, input_text);
     if (opts.command == "session") return run_session(opts, out, input_text);
     if (opts.command == "serve") return run_serve(opts, out);
     throw std::invalid_argument("unknown command: " + opts.command);

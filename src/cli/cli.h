@@ -2,6 +2,17 @@
 // full route+wiresize+simulate flow, or simulate serialized trees.
 //
 //   cong93 gen      --random 10 --sinks 8 [--grid 4000] [--seed 1]
+//                   [--out design.nets]: also write the cong93 netlist
+//                   format (workload/netlist.h), which `chip`/`batch
+//                   --in` read back bit-identically
+//   cong93 chip     chip-level workload: stream a whole design (netlist
+//                   --in file, or --random N generated nets) through
+//                   route_stream in bounded-memory chunks and roll up
+//                   chip-level timing (worst slacks against the netlist's
+//                   required-arrival metadata, measured vs bounding-box
+//                   delay ratios): [--chunk-nets C] [--top K] plus the
+//                   batch pipeline knobs -- output is byte-identical at
+//                   any thread count ('#' telemetry lines excluded)
 //   cong93 route    (--in nets.txt | --random N --sinks K) [--algo atree]
 //                   [--tech mcm] [--driver-scale X] [--out trees.txt]
 //   cong93 flow     like route, plus --widths R and --sizer combined
@@ -58,7 +69,7 @@
 namespace cong93 {
 
 struct CliOptions {
-    std::string command;  ///< gen|route|flow|simulate|batch|session|serve
+    std::string command;  ///< gen|route|flow|simulate|batch|chip|session|serve
 
     // Input selection.
     std::string input_path;  ///< nets/trees file; empty => --random
@@ -103,6 +114,14 @@ struct CliOptions {
     // Service facade (serve).
     int sessions = 2;  ///< concurrent sessions / client threads
     int requests = 3;  ///< requests per session script
+
+    // Workload streaming (batch/chip).
+    /// Nets per route_stream chunk.  0 keeps batch on one chunk (exact
+    /// one-shot route_batch semantics) and gives chip its streaming
+    /// default (4096).
+    std::size_t chunk_nets = 0;
+    /// Worst-slack leaderboard size of the chip report (0 = summary only).
+    std::size_t top = 10;
 };
 
 /// Usage text for --help and error messages.

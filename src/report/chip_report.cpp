@@ -1,0 +1,206 @@
+#include "report/chip_report.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "report/table.h"
+
+namespace cong93 {
+namespace {
+
+// VPR's expected-wirelength / HPWL crossing-count table, indexed by
+// pins - 1 (exact up to 50 pins).
+constexpr double kCrossCount[50] = {
+    1.0,    1.0,    1.0,    1.0828, 1.1536, 1.2206, 1.2823, 1.3385, 1.3991,
+    1.4493, 1.4974, 1.5455, 1.5937, 1.6418, 1.6899, 1.7304, 1.7709, 1.8114,
+    1.8519, 1.8924, 1.9288, 1.9652, 2.0015, 2.0379, 2.0743, 2.1061, 2.1379,
+    2.1698, 2.2016, 2.2334, 2.2646, 2.2958, 2.3271, 2.3583, 2.3895, 2.4187,
+    2.4479, 2.4772, 2.5064, 2.5356, 2.5610, 2.5864, 2.6117, 2.6371, 2.6625,
+    2.6887, 2.7148, 2.7410, 2.7671, 2.7933};
+
+/// Delay used for slack accounting: the wiresized optimum when the flow
+/// produced one, else the uniform-width Elmore report.
+double reported_delay_s(const NetRouteResult& r)
+{
+    return r.wiresized_delay_s > 0.0 ? r.wiresized_delay_s : r.elmore_max_s;
+}
+
+/// Leaderboard order, worst first: constrained nets by ascending slack,
+/// then unconstrained nets by descending criticality-weighted delay; index
+/// breaks ties so the order is total and schedule-independent.
+bool worse_than(const ChipNetRow& a, const ChipNetRow& b)
+{
+    const bool ac = a.rat_s >= 0.0;
+    const bool bc = b.rat_s >= 0.0;
+    if (ac != bc) return ac;
+    if (ac) {
+        if (a.slack_s != b.slack_s) return a.slack_s < b.slack_s;
+    } else {
+        const double aw = a.criticality * a.delay_s;
+        const double bw = b.criticality * b.delay_s;
+        if (aw != bw) return aw > bw;
+    }
+    return a.index < b.index;
+}
+
+}  // namespace
+
+double crossing_count(std::size_t pins)
+{
+    if (pins == 0) return 1.0;
+    if (pins <= 50) return kCrossCount[pins - 1];
+    return 2.7933 + 0.02616 * static_cast<double>(pins - 50);
+}
+
+double bounding_box_delay_s(const Net& net, const Technology& tech)
+{
+    if (net.sinks.empty()) return 0.0;
+    Coord min_x = net.source.x, max_x = net.source.x;
+    Coord min_y = net.source.y, max_y = net.source.y;
+    for (Point p : net.sinks) {
+        min_x = std::min(min_x, p.x);
+        max_x = std::max(max_x, p.x);
+        min_y = std::min(min_y, p.y);
+        max_y = std::max(max_y, p.y);
+    }
+    const double hpwl = static_cast<double>(max_x - min_x) +
+                        static_cast<double>(max_y - min_y);
+    const double length = hpwl * crossing_count(net.terminal_count());
+    double sink_caps = 0.0;
+    for (std::size_t i = 0; i < net.sinks.size(); ++i) {
+        const double cap = net.sink_cap(i);
+        sink_caps += cap >= 0.0 ? cap : tech.sink_load_f;
+    }
+    const double r_wire = tech.r_grid() * length;
+    const double c_wire = tech.c_grid() * length;
+    return tech.driver_resistance_ohm * (c_wire + sink_caps) +
+           r_wire * (c_wire / 2.0 + sink_caps);
+}
+
+ChipAggregator::ChipAggregator(const Technology& tech, std::size_t top_k)
+    : tech_(tech), top_k_(top_k)
+{
+}
+
+void ChipAggregator::add(std::size_t index, const WorkItem& item,
+                         const NetRouteResult& r)
+{
+    ++summary_.nets;
+    if (!is_routed(r.status)) {
+        // Unrouted nets (invalid, rejected, cancelled, failed) carry no
+        // numbers; they count toward the outcome totals only.
+        return;
+    }
+    ++summary_.routed;
+    summary_.total_wirelength += r.wirelength;
+
+    ChipNetRow row;
+    row.index = index;
+    row.name = item.meta.name.empty() ? "n" + std::to_string(index)
+                                      : item.meta.name;
+    row.sinks = item.net.sinks.size();
+    row.status = r.status;
+    row.wirelength = r.wirelength;
+    row.delay_s = reported_delay_s(r);
+    row.criticality = item.meta.criticality;
+    row.rat_s = item.meta.effective_required_arrival_s();
+
+    summary_.max_delay_s = std::max(summary_.max_delay_s, row.delay_s);
+    summary_.sum_delay_s += row.delay_s;
+
+    if (row.rat_s >= 0.0) {
+        row.slack_s = row.rat_s - row.delay_s;
+        ++summary_.constrained;
+        if (row.slack_s < 0.0) {
+            ++summary_.violations;
+            summary_.tns_s += row.criticality * row.slack_s;
+        }
+        if (summary_.constrained == 1 || row.slack_s < summary_.wns_s)
+            summary_.wns_s = row.slack_s;
+    }
+
+    const double est = bounding_box_delay_s(item.net, tech_);
+    if (est > 0.0 && r.elmore_max_s > 0.0) {
+        const double ratio = r.elmore_max_s / est;
+        if (summary_.ratio_nets == 0) {
+            summary_.ratio_min = summary_.ratio_max = ratio;
+        } else {
+            summary_.ratio_min = std::min(summary_.ratio_min, ratio);
+            summary_.ratio_max = std::max(summary_.ratio_max, ratio);
+        }
+        ratio_sum_ += ratio;
+        ++summary_.ratio_nets;
+        summary_.ratio_mean = ratio_sum_ / static_cast<double>(summary_.ratio_nets);
+    }
+
+    if (top_k_ == 0) return;
+    const auto pos = std::lower_bound(
+        worst_.begin(), worst_.end(), row,
+        [](const ChipNetRow& a, const ChipNetRow& b) { return worse_than(a, b); });
+    if (pos == worst_.end() && worst_.size() >= top_k_) return;
+    worst_.insert(pos, row);
+    if (worst_.size() > top_k_) worst_.pop_back();
+}
+
+void ChipAggregator::add_chunk(std::size_t first_index,
+                               const std::vector<WorkItem>& items,
+                               const std::vector<NetRouteResult>& results)
+{
+    for (std::size_t i = 0; i < items.size() && i < results.size(); ++i)
+        add(first_index + i, items[i], results[i]);
+}
+
+std::string ChipAggregator::table() const
+{
+    std::ostringstream os;
+    const ChipSummary& s = summary_;
+    os << "nets " << s.nets << "  routed " << s.routed << "  constrained "
+       << s.constrained << "  violations " << s.violations << '\n';
+    os << "total wirelength " << s.total_wirelength << "  max delay "
+       << fmt_ns(s.max_delay_s) << " ns  mean delay "
+       << fmt_ns(s.routed > 0 ? s.sum_delay_s / static_cast<double>(s.routed) : 0.0)
+       << " ns\n";
+    if (s.constrained > 0)
+        os << "WNS " << fmt_ns(s.wns_s) << " ns  TNS " << fmt_ns(s.tns_s)
+           << " ns (criticality-weighted)\n";
+    if (s.ratio_nets > 0)
+        os << "measured/bounding-box delay ratio: mean "
+           << fmt_fixed(s.ratio_mean) << "  min " << fmt_fixed(s.ratio_min)
+           << "  max " << fmt_fixed(s.ratio_max) << " over " << s.ratio_nets
+           << " nets\n";
+
+    if (!worst_.empty()) {
+        os << "critical nets (worst " << worst_.size() << "):\n";
+        TextTable t({"net", "sinks", "status", "wirelen", "delay_ns", "rat_ns",
+                     "slack_ns", "crit"});
+        for (const ChipNetRow& row : worst_) {
+            const bool constrained = row.rat_s >= 0.0;
+            t.add_row({row.name, std::to_string(row.sinks),
+                       to_string(row.status), std::to_string(row.wirelength),
+                       fmt_ns(row.delay_s),
+                       constrained ? fmt_ns(row.rat_s) : std::string("-"),
+                       constrained ? fmt_ns(row.slack_s) : std::string("-"),
+                       fmt_fixed(row.criticality, 2)});
+        }
+        os << t.to_string();
+    }
+    return os.str();
+}
+
+std::string ChipAggregator::machine_line() const
+{
+    const ChipSummary& s = summary_;
+    std::ostringstream os;
+    os << std::hexfloat;
+    os << "chip: nets=" << s.nets << " routed=" << s.routed
+       << " constrained=" << s.constrained << " violations=" << s.violations
+       << " wirelength=" << s.total_wirelength << " max_delay_s="
+       << s.max_delay_s << " sum_delay_s=" << s.sum_delay_s
+       << " wns_s=" << s.wns_s << " tns_s=" << s.tns_s
+       << " ratio_mean=" << s.ratio_mean << " ratio_min=" << s.ratio_min
+       << " ratio_max=" << s.ratio_max << " ratio_nets=" << s.ratio_nets;
+    return os.str();
+}
+
+}  // namespace cong93

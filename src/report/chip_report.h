@@ -1,0 +1,115 @@
+// Chip-level timing roll-up over a streamed design.
+//
+// A ChipAggregator consumes (item, result) pairs as route_stream's visitor
+// yields them and folds them into design-wide timing: per-net slacks
+// against the workload metadata's required-arrival times (worst = WNS,
+// criticality-weighted negative sum = TNS), outcome/wirelength totals, and
+// a model cross-check comparing each net's measured uniform-width Elmore
+// delay against a fanout-corrected bounding-box estimate -- the structure
+// of VPR's post-placement net-delay estimator: half-perimeter wirelength
+// scaled by a crossing-count factor per pin count, then a lumped
+// source-to-far-end Elmore evaluation of that length.
+//
+// Memory is O(top_k): the aggregator keeps running sums plus a bounded
+// worst-slack leaderboard, so a 100k-net stream rolls up in constant
+// space.  All state is folded in stream order on the visiting thread, and
+// every input is a deterministic function of the routed results, so the
+// emitted tables are byte-identical whenever the stream's results are --
+// serial vs parallel, chunked vs one-shot, cache on or off.
+#ifndef CONG93_REPORT_CHIP_REPORT_H
+#define CONG93_REPORT_CHIP_REPORT_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "batch/pipeline.h"
+#include "tech/technology.h"
+#include "workload/net_source.h"
+
+namespace cong93 {
+
+/// Fanout correction factor for half-perimeter wirelength estimation:
+/// VPR's crossing-count table (exact for <= 50 pins, linear extrapolation
+/// beyond), mapping pin count to expected wirelength / HPWL.
+double crossing_count(std::size_t pins);
+
+/// Fanout-corrected bounding-box delay estimate for a net: estimated
+/// wirelength = HPWL x crossing_count(pins), evaluated as a single
+/// uniform-width line driven by Rd with all sink loads lumped at the far
+/// end (lumped Elmore: Rd*(C_wire + C_sinks) + R_wire*(C_wire/2 +
+/// C_sinks)).  The coarse a-priori model measured results are compared
+/// against; returns 0 for a net with no sinks.
+double bounding_box_delay_s(const Net& net, const Technology& tech);
+
+/// One leaderboard entry of the chip report.
+struct ChipNetRow {
+    std::size_t index = 0;  ///< stream-global net index
+    std::string name;
+    std::size_t sinks = 0;
+    RouteStatus status = RouteStatus::ok;
+    Length wirelength = 0;
+    double delay_s = 0.0;        ///< wiresized when available, else uniform
+    double rat_s = -1.0;         ///< effective RAT; negative = unconstrained
+    double slack_s = 0.0;        ///< rat - delay (meaningful when rat >= 0)
+    double criticality = 1.0;
+};
+
+/// Design-wide totals.
+struct ChipSummary {
+    std::size_t nets = 0;
+    std::size_t routed = 0;       ///< results with is_routed(status)
+    std::size_t constrained = 0;  ///< nets with an effective RAT
+    std::size_t violations = 0;   ///< constrained nets with negative slack
+    Length total_wirelength = 0;
+    double max_delay_s = 0.0;
+    double sum_delay_s = 0.0;
+    /// Worst negative slack (seconds; meaningful when constrained > 0).
+    double wns_s = 0.0;
+    /// Criticality-weighted total negative slack (sum of crit * min(0,
+    /// slack) over constrained nets).
+    double tns_s = 0.0;
+    /// measured / bounding-box-estimate delay ratio over routed nets with a
+    /// positive estimate.
+    double ratio_min = 0.0;
+    double ratio_max = 0.0;
+    double ratio_mean = 0.0;
+    std::size_t ratio_nets = 0;
+};
+
+class ChipAggregator {
+public:
+    explicit ChipAggregator(const Technology& tech, std::size_t top_k = 10);
+
+    /// Folds one routed net.  `index` is the stream-global net index.
+    void add(std::size_t index, const WorkItem& item, const NetRouteResult& r);
+
+    /// Convenience visitor body: folds a whole route_stream chunk.
+    void add_chunk(std::size_t first_index, const std::vector<WorkItem>& items,
+                   const std::vector<NetRouteResult>& results);
+
+    const ChipSummary& summary() const { return summary_; }
+
+    /// The top_k most critical nets, worst first: constrained nets ordered
+    /// by slack (ascending), then unconstrained by criticality-weighted
+    /// delay (descending).
+    const std::vector<ChipNetRow>& worst_nets() const { return worst_; }
+
+    /// Human-readable report: summary block + worst-net table.
+    std::string table() const;
+
+    /// Machine-readable one-line summary ("chip: nets=... wns_s=...",
+    /// full-precision hexfloat for all timing values).
+    std::string machine_line() const;
+
+private:
+    Technology tech_;
+    std::size_t top_k_;
+    ChipSummary summary_;
+    std::vector<ChipNetRow> worst_;  // sorted, size <= top_k_
+    double ratio_sum_ = 0.0;
+};
+
+}  // namespace cong93
+
+#endif  // CONG93_REPORT_CHIP_REPORT_H

@@ -112,6 +112,17 @@ public:
     std::vector<NetId> add_batch(SessionId id, const std::vector<Net>& nets,
                                  PipelineStats* stats = nullptr);
 
+    /// Chunked admission from a workload source (0 = one chunk): each
+    /// chunk takes its own admission ticket and session-slot acquisition
+    /// through the vector overload, so backpressure (queue_cap ->
+    /// OverloadError) and the resident-bytes budget apply per chunk -- a
+    /// 100k-net design never needs a 100k-net admission window.  Chunks
+    /// admitted before a mid-stream refusal stay admitted; the
+    /// OverloadError propagates to the caller.
+    std::vector<NetId> add_batch(SessionId id, NetSource& source,
+                                 std::size_t chunk_nets = 0,
+                                 PipelineStats* stats = nullptr);
+
     /// Single-net admission through session `id`.
     NetId add(SessionId id, Net net);
 

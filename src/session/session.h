@@ -61,6 +61,8 @@
 
 namespace cong93 {
 
+class NetSource;  // workload/net_source.h
+
 /// Handle to a net owned by a Session (dense, 0-based admission order).
 using NetId = std::size_t;
 
@@ -165,6 +167,16 @@ public:
     /// apply().  `stats` (optional) receives the batch's PipelineStats
     /// including the cache counters.
     std::vector<NetId> add_batch(const std::vector<Net>& nets,
+                                 PipelineStats* stats = nullptr);
+
+    /// Admits everything a workload source yields, pulled in
+    /// `chunk_nets`-item chunks through the vector overload (0 = one
+    /// chunk).  The session retains geometry only -- workload metadata is
+    /// a roll-up concern (report/chip_report.h), not repair state; items a
+    /// reader rejected admit as their cleared geometry and surface as
+    /// invalid_input results.  `stats` aggregates additive counters across
+    /// chunks with whole-stream compile ratios.
+    std::vector<NetId> add_batch(NetSource& source, std::size_t chunk_nets = 0,
                                  PipelineStats* stats = nullptr);
 
     /// Applies one ECO delta to net `id` and returns the repaired result

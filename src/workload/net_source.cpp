@@ -1,0 +1,44 @@
+#include "workload/net_source.h"
+
+#include <algorithm>
+
+#include "batch/batch.h"
+#include "netgen/netgen.h"
+
+namespace cong93 {
+
+VectorNetSource::VectorNetSource(const std::vector<Net>& nets)
+{
+    items_.reserve(nets.size());
+    for (const Net& net : nets) items_.push_back(WorkItem{net, NetMeta{}});
+}
+
+std::size_t VectorNetSource::pull(std::vector<WorkItem>& out, std::size_t max_items)
+{
+    const std::size_t n = std::min(max_items, items_.size() - cursor_);
+    for (std::size_t i = 0; i < n; ++i) out.push_back(items_[cursor_ + i]);
+    cursor_ += n;
+    return n;
+}
+
+GeneratedNetSource::GeneratedNetSource(std::uint64_t seed, std::size_t count,
+                                       Coord grid, int sink_count)
+    : rng_(seed), seed_(seed), count_(count), grid_(grid), sink_count_(sink_count)
+{
+}
+
+std::size_t GeneratedNetSource::pull(std::vector<WorkItem>& out, std::size_t max_items)
+{
+    const std::size_t n = std::min(max_items, count_ - next_);
+    for (std::size_t i = 0; i < n; ++i) {
+        WorkItem item;
+        item.net = random_net(rng_, grid_, sink_count_);
+        item.meta.name = "n" + std::to_string(next_);
+        item.meta.diag_seed = net_seed(seed_, next_);
+        ++next_;
+        out.push_back(std::move(item));
+    }
+    return n;
+}
+
+}  // namespace cong93

@@ -1,0 +1,166 @@
+#include "workload/stream.h"
+
+#include <algorithm>
+#include <exception>
+#include <limits>
+
+#include "batch/workspace.h"
+
+namespace cong93 {
+namespace {
+
+/// Recomputes a chunk's outcome tally from its (possibly rewritten)
+/// results; mirrors route_batch's own serial post-barrier reduction.
+void tally_outcomes(const std::vector<NetRouteResult>& results, PipelineStats& stats)
+{
+    stats.nets_ok = 0;
+    stats.nets_fallback = 0;
+    stats.nets_uniform_width = 0;
+    stats.nets_deadline_degraded = 0;
+    stats.nets_invalid = 0;
+    stats.nets_cancelled = 0;
+    stats.nets_rejected = 0;
+    stats.nets_failed = 0;
+    stats.fault_events = 0;
+    for (const NetRouteResult& r : results) {
+        switch (r.status) {
+        case RouteStatus::ok: ++stats.nets_ok; break;
+        case RouteStatus::fallback_brbc:
+        case RouteStatus::fallback_spt: ++stats.nets_fallback; break;
+        case RouteStatus::uniform_width: ++stats.nets_uniform_width; break;
+        case RouteStatus::deadline_degraded:
+            ++stats.nets_deadline_degraded;
+            break;
+        case RouteStatus::invalid_input: ++stats.nets_invalid; break;
+        case RouteStatus::cancelled: ++stats.nets_cancelled; break;
+        case RouteStatus::rejected_overload: ++stats.nets_rejected; break;
+        case RouteStatus::failed: ++stats.nets_failed; break;
+        }
+        stats.fault_events += r.diag.events.size();
+    }
+}
+
+}  // namespace
+
+void accumulate_pipeline_stats(PipelineStats& total, const PipelineStats& chunk)
+{
+    total.threads = std::max(total.threads, chunk.threads);
+    total.pool_threads = std::max(total.pool_threads, chunk.pool_threads);
+    total.seconds += chunk.seconds;
+    total.counters = chunk.counters;  // cumulative over shared workspaces
+    total.nets_routed += chunk.nets_routed;
+    total.cache_hits += chunk.cache_hits;
+    total.cache_misses += chunk.cache_misses;
+    total.cache_shared += chunk.cache_shared;
+    total.cache_evictions += chunk.cache_evictions;
+    total.resident_bytes = chunk.resident_bytes;
+    total.cache_shard_contention += chunk.cache_shard_contention;
+    total.single_flight_parked += chunk.single_flight_parked;
+    total.nets_ok += chunk.nets_ok;
+    total.nets_fallback += chunk.nets_fallback;
+    total.nets_uniform_width += chunk.nets_uniform_width;
+    total.nets_deadline_degraded += chunk.nets_deadline_degraded;
+    total.nets_invalid += chunk.nets_invalid;
+    total.nets_cancelled += chunk.nets_cancelled;
+    total.nets_rejected += chunk.nets_rejected;
+    total.nets_failed += chunk.nets_failed;
+    total.fault_events += chunk.fault_events;
+    total.deadline_wall_degraded += chunk.deadline_wall_degraded;
+}
+
+StreamStats route_stream(NetSource& source, const Technology& tech,
+                         const PipelineOptions& opts,
+                         const StreamOptions& stream_opts,
+                         const StreamVisitor& visit)
+{
+    StreamStats stats;
+    const std::size_t chunk = stream_opts.chunk_nets == 0
+                                  ? std::numeric_limits<std::size_t>::max()
+                                  : stream_opts.chunk_nets;
+
+    // One set of buffers and per-slot workspaces for the whole stream: the
+    // bounded-memory property is exactly their chunk-sized high-water mark.
+    std::vector<Workspace> workspaces;
+    std::vector<WorkItem> items;
+    std::vector<Net> nets;
+    std::vector<std::uint64_t> seeds;
+    std::vector<NetRouteResult> results;
+
+    // Whole-stream compile accounting (ratios are per-chunk in
+    // PipelineStats; recompute them over all chunks at the end).
+    double total_builds = 0.0;
+    std::size_t first_index = 0;
+
+    for (;;) {
+        items.clear();
+        std::size_t pulled = 0;
+        try {
+            pulled = source.pull(items, chunk);
+        } catch (const std::exception& e) {
+            stats.source_error = std::string("pull: ") + e.what();
+            break;
+        }
+        if (pulled == 0) break;
+
+        nets.clear();
+        seeds.clear();
+        nets.reserve(items.size());
+        seeds.reserve(items.size());
+        for (const WorkItem& item : items) {
+            nets.push_back(item.net);
+            seeds.push_back(item.meta.diag_seed);
+        }
+
+        PipelineStats cs;
+        try {
+            results = route_batch(nets, seeds, tech, opts, &cs, &workspaces);
+        } catch (const std::exception& e) {
+            stats.source_error = std::string("route_batch: ") + e.what();
+            break;
+        }
+
+        // Reader-rejected items: overwrite in place (index-addressed, after
+        // the barrier -- deterministic at any thread count) so malformed
+        // nets surface as invalid_input diagnostics, never as exceptions.
+        bool rewrote = false;
+        for (std::size_t i = 0; i < items.size(); ++i) {
+            const NetMeta& meta = items[i].meta;
+            if (meta.parse_error.empty()) continue;
+            NetRouteResult r;
+            r.status = RouteStatus::invalid_input;
+            r.diag.net_index = i;
+            r.diag.net_seed = meta.diag_seed;
+            r.diag.note(RouteStage::validate, "netlist: " + meta.parse_error);
+            results[i] = std::move(r);
+            rewrote = true;
+        }
+        if (rewrote) tally_outcomes(results, cs);
+
+        accumulate_pipeline_stats(stats.pipeline, cs);
+        total_builds += cs.compiles_per_net * static_cast<double>(nets.size());
+
+        ++stats.chunks;
+        stats.nets += items.size();
+        stats.peak_chunk_nets = std::max(stats.peak_chunk_nets, items.size());
+
+        if (visit) visit(first_index, items, results);
+        first_index += items.size();
+    }
+
+    if (stats.nets > 0) {
+        stats.pipeline.compiles_per_net =
+            total_builds / static_cast<double>(stats.nets);
+        if (stats.pipeline.nets_routed > 0)
+            stats.pipeline.compiles_per_routed_net =
+                total_builds / static_cast<double>(stats.pipeline.nets_routed);
+    }
+    stats.seconds = stats.pipeline.seconds;
+    if (stats.seconds > 0.0)
+        stats.nets_per_sec = static_cast<double>(stats.nets) / stats.seconds;
+    stats.pipeline.nets_per_sec = stats.nets_per_sec;
+    for (const Workspace& w : workspaces)
+        stats.workspace_resident_bytes += w.resident_bytes();
+    return stats;
+}
+
+}  // namespace cong93

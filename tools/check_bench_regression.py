@@ -13,8 +13,8 @@ of checks with different severities:
   against their reference twins (``ulp_ok``: ULP-bounded equivalence of
   relaxed vectorized kernels, bit-exact for strict rows), which no machine
   variance can excuse.  A fresh study that silently DROPS a committed
-  ``cache_mt*`` determinism section is a hard failure too: the identity
-  claim must be re-proven, not removed.
+  ``cache_mt*``, ``serve_overload*`` or ``chip_*`` determinism section is a
+  hard failure too: the identity claim must be re-proven, not removed.
 
 * Failure counts are HARD failures too: any fresh entry carrying a
   ``failed`` field must match its ``expected_failed`` (default 0).  Plain
@@ -232,6 +232,7 @@ def main(argv):
         if (
             section.startswith("cache_mt")
             or section.startswith("serve_overload")
+            or section.startswith("chip_")
         ) and section not in fresh:
             print(f"FAIL: fresh study dropped determinism section {section}")
             failed = True
